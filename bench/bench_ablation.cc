@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation study of the design choices DESIGN.md §8 calls out:
+ *
+ *  1. The two monotonicity principles of §3.1: tree clocks with
+ *     (a) full pruning, (b) indirect monotonicity disabled,
+ *     (c) all pruning disabled — isolating how much each principle
+ *     contributes vs pure tree overhead.
+ *  2. SHB's O(1) CopyCheckMonotone test vs always deep-copying.
+ *  3. The FastTrack-style epoch optimization in the HB analysis vs
+ *     flat DJIT+-style access vectors (both clock types).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "gen/synthetic.hh"
+#include "support/table.hh"
+
+using namespace tc;
+using namespace tc::bench;
+
+namespace {
+
+double
+timeHbWithPolicy(const Trace &trace, TreeClock::JoinPolicy policy,
+                 int reps)
+{
+    EngineConfig cfg;
+    cfg.policy = policy;
+    return timePo<TreeClock>(Po::HB, trace, false, reps, cfg);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("ablations: monotonicity pruning, "
+                   "CopyCheckMonotone, epochs");
+    addCommonFlags(args);
+    args.addInt("events", 2000000, "events per scenario trace");
+    if (!args.parse(argc, argv))
+        return 1;
+    const double scale = args.getDouble("scale");
+    const int reps = static_cast<int>(args.getInt("reps"));
+    const auto events = static_cast<std::uint64_t>(
+        static_cast<double>(args.getInt("events")) * scale);
+
+    // --- 1. Monotonicity pruning ----------------------------------
+    std::printf("== Ablation 1: monotonicity principles (HB, "
+                "%s events) ==\n\n", humanCount(events).c_str());
+    Table t1({"Topology", "VC (s)", "TC full (s)",
+              "TC no-indirect (s)", "TC no-pruning (s)"});
+    for (const Scenario scenario : allScenarios()) {
+        ScenarioParams params;
+        params.threads = 120;
+        params.events = events;
+        params.seed = 23;
+        const Trace trace = genScenario(scenario, params);
+        const double vc =
+            timePo<VectorClock>(Po::HB, trace, false, reps);
+        const double full = timeHbWithPolicy(
+            trace, TreeClock::JoinPolicy::Full, reps);
+        const double no_ind = timeHbWithPolicy(
+            trace, TreeClock::JoinPolicy::NoIndirect, reps);
+        const double no_prune = timeHbWithPolicy(
+            trace, TreeClock::JoinPolicy::NoPruning, reps);
+        t1.addRow({scenarioName(scenario), fixed(vc, 3),
+                   fixed(full, 3), fixed(no_ind, 3),
+                   fixed(no_prune, 3)});
+    }
+    t1.print(std::cout);
+    std::printf("\nexpected: full <= no-indirect < no-pruning; "
+                "no-pruning ~ tree overhead without benefits\n\n");
+
+    // --- 2. CopyCheckMonotone vs always deep copy (SHB) -----------
+    std::printf("== Ablation 2: SHB CopyCheckMonotone fast path "
+                "==\n\n");
+    Table t2({"Benchmark", "TC (s)", "TC always-deep-copy (s)",
+              "slowdown"});
+    auto corpus = defaultCorpus();
+    for (std::size_t i = 0; i < corpus.size(); i += 5) {
+        const Trace trace = buildCorpusTrace(corpus[i], scale);
+        EngineConfig fast;
+        const double t_fast =
+            timePo<TreeClock>(Po::SHB, trace, true, reps, fast);
+        EngineConfig slow;
+        slow.alwaysDeepCopy = true;
+        const double t_slow =
+            timePo<TreeClock>(Po::SHB, trace, true, reps, slow);
+        t2.addRow({corpus[i].name, fixed(t_fast, 3),
+                   fixed(t_slow, 3), fixed(t_slow / t_fast, 2)});
+    }
+    t2.print(std::cout);
+
+    // --- 3. Epoch optimization in the HB analysis -----------------
+    std::printf("\n== Ablation 3: FastTrack-style epochs in "
+                "HB+Analysis ==\n\n");
+    Table t3({"Benchmark", "TC epochs (s)", "TC flat (s)",
+              "VC epochs (s)", "VC flat (s)"});
+    for (std::size_t i = 0; i < corpus.size(); i += 5) {
+        const Trace trace = buildCorpusTrace(corpus[i], scale);
+        EngineConfig epochs;
+        EngineConfig flat;
+        flat.useEpochs = false;
+        t3.addRow(
+            {corpus[i].name,
+             fixed(timePo<TreeClock>(Po::HB, trace, true, reps,
+                                     epochs), 3),
+             fixed(timePo<TreeClock>(Po::HB, trace, true, reps,
+                                     flat), 3),
+             fixed(timePo<VectorClock>(Po::HB, trace, true, reps,
+                                       epochs), 3),
+             fixed(timePo<VectorClock>(Po::HB, trace, true, reps,
+                                       flat), 3)});
+    }
+    t3.print(std::cout);
+    std::printf("\nexpected: epochs help both clock types (the "
+                "paper enables them for both, Remark 1)\n");
+    return 0;
+}

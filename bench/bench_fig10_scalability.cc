@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 10: HB computation time for tree
+ * vs vector clocks on the four controlled communication topologies,
+ * sweeping the thread count at a fixed event budget.
+ *
+ * Expected shapes (paper §6 Scalability):
+ *  (a) single lock: constant-factor TC win;
+ *  (b) fifty locks, skewed: smaller but present TC win;
+ *  (c) star topology: VC grows linearly with threads, TC stays
+ *      flat;
+ *  (d) pairwise: TC's worst case — the win disappears and may
+ *      invert slightly.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "gen/synthetic.hh"
+#include "support/table.hh"
+
+using namespace tc;
+using namespace tc::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Figure 10: thread-count sweep over four "
+                   "communication topologies");
+    addCommonFlags(args);
+    args.addInt("events", 2000000,
+                "events per trace (pre-scale; paper used 10M)");
+    if (!args.parse(argc, argv))
+        return 1;
+    const double scale = args.getDouble("scale");
+    const int reps = static_cast<int>(args.getInt("reps"));
+    const auto events = static_cast<std::uint64_t>(
+        static_cast<double>(args.getInt("events")) * scale);
+
+    const Tid thread_counts[] = {10, 40, 90, 160, 250, 360};
+
+    for (const Scenario scenario : allScenarios()) {
+        std::printf("== Figure 10 (%s), %s events/trace ==\n\n",
+                    scenarioName(scenario),
+                    humanCount(events).c_str());
+        Table table({"Threads", "VC (s)", "TC (s)", "VC/TC"});
+        for (const Tid threads : thread_counts) {
+            ScenarioParams params;
+            params.threads = threads;
+            params.events = events;
+            params.seed = 77;
+            const Trace trace = genScenario(scenario, params);
+            const double vc =
+                timePo<VectorClock>(Po::HB, trace, false, reps);
+            const double tc =
+                timePo<TreeClock>(Po::HB, trace, false, reps);
+            table.addRow({strFormat("%d", threads), fixed(vc, 3),
+                          fixed(tc, 3), fixed(vc / tc, 2)});
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+    std::printf("paper shapes: (a) constant-factor win, (b) smaller "
+                "win, (c) TC flat vs VC linear, (d) near-parity "
+                "worst case\n");
+    return 0;
+}

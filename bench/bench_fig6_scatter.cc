@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 6: per-trace processing times with
+ * tree clocks (TC) vs vector clocks (VC) for MAZ/SHB/HB, with the
+ * partial-order-only times (top row, 6a-6c) and the times including
+ * the analysis component (bottom row, 6d-6f). Printed as the (VC,
+ * TC) series a plotting script can scatter; expected shape: points
+ * on or below the diagonal, larger wins on heavier traces.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "support/table.hh"
+
+using namespace tc;
+using namespace tc::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Figure 6: per-trace VC vs TC times");
+    addCommonFlags(args);
+    if (!args.parse(argc, argv))
+        return 1;
+    const double scale = args.getDouble("scale");
+    const int reps = static_cast<int>(args.getInt("reps"));
+
+    auto corpus = defaultCorpus();
+    const auto limit =
+        static_cast<std::size_t>(args.getInt("max-traces"));
+    if (corpus.size() > limit)
+        corpus.resize(limit);
+
+    for (const bool analysis : {false, true}) {
+        std::printf("== Figure 6%s: %s ==\n\n",
+                    analysis ? "d-f" : "a-c",
+                    analysis ? "PO + Analysis times (s)"
+                             : "PO-only times (s)");
+        Table table({"Benchmark", "MAZ VC", "MAZ TC", "SHB VC",
+                     "SHB TC", "HB VC", "HB TC"});
+        for (const CorpusSpec &spec : corpus) {
+            const Trace trace = buildCorpusTrace(spec, scale);
+            std::vector<std::string> row{spec.name};
+            for (const Po po : allPos()) {
+                const double vc =
+                    timePo<VectorClock>(po, trace, analysis, reps);
+                const double tc =
+                    timePo<TreeClock>(po, trace, analysis, reps);
+                row.push_back(fixed(vc, 4));
+                row.push_back(fixed(tc, 4));
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+    std::printf("plot hint: scatter VC on x, TC on y; points below "
+                "the diagonal are TC wins (paper: almost all)\n");
+    return 0;
+}

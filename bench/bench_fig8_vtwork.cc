@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 8: for HB on every corpus trace,
+ * the ratios TCWork/VTWork and VCWork/VTWork. Expected shape (and
+ * Theorem 1): TCWork/VTWork ≤ 3 on every trace, while VCWork/VTWork
+ * is unbounded (grows to ~100 in the paper's corpus).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "support/table.hh"
+
+using namespace tc;
+using namespace tc::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Figure 8: TCWork/VTWork vs VCWork/VTWork (HB)");
+    addCommonFlags(args);
+    if (!args.parse(argc, argv))
+        return 1;
+    const double scale = args.getDouble("scale");
+
+    auto corpus = defaultCorpus();
+    const auto limit =
+        static_cast<std::size_t>(args.getInt("max-traces"));
+    if (corpus.size() > limit)
+        corpus.resize(limit);
+
+    std::printf("== Figure 8: data-structure work over minimal "
+                "vector-time work (HB) ==\n\n");
+    Table table({"Benchmark", "VTWork", "TCWork/VTWork",
+                 "VCWork/VTWork"});
+    double max_tc_ratio = 0, max_vc_ratio = 0;
+    bool bound_holds = true;
+    for (const CorpusSpec &spec : corpus) {
+        const Trace trace = buildCorpusTrace(spec, scale);
+        const WorkCounters tc_work =
+            workPo<TreeClock>(Po::HB, trace, false);
+        const WorkCounters vc_work =
+            workPo<VectorClock>(Po::HB, trace, false);
+        TC_CHECK(tc_work.vtWork == vc_work.vtWork,
+                 "VTWork must not depend on the data structure");
+        const double tc_ratio = tc_work.workRatio();
+        const double vc_ratio = vc_work.workRatio();
+        max_tc_ratio = std::max(max_tc_ratio, tc_ratio);
+        max_vc_ratio = std::max(max_vc_ratio, vc_ratio);
+        bound_holds &= tc_work.dsWork <= 3 * tc_work.vtWork;
+        table.addRow({spec.name, humanCount(tc_work.vtWork),
+                      fixed(tc_ratio, 3), fixed(vc_ratio, 2)});
+    }
+    table.print(std::cout);
+    std::printf("\nmax TCWork/VTWork = %.3f (Theorem 1 bound 3: "
+                "%s)\n", max_tc_ratio,
+                bound_holds ? "HOLDS" : "VIOLATED");
+    std::printf("max VCWork/VTWork = %.2f (unbounded in k; paper "
+                "sees up to ~100)\n", max_vc_ratio);
+    return bound_holds ? 0 : 1;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the raw clock operations:
+ * get/increment (both O(1)), join and copy under controlled
+ * knowledge patterns, across thread counts. These isolate the
+ * per-operation costs behind the macro results: a vacuous VC join
+ * still pays Θ(k); a vacuous TC join pays O(1).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/tree_clock.hh"
+#include "core/vector_clock.hh"
+#include "support/rng.hh"
+
+namespace tc {
+namespace {
+
+/**
+ * Build a pair (a, b) of clocks of k threads where b carries fresh
+ * knowledge about roughly `fresh` threads that a lacks, learned
+ * through a chain (a realistic tree shape).
+ */
+template <typename ClockT>
+std::pair<ClockT, ClockT>
+makeClockPair(Tid k, Tid fresh)
+{
+    ClockT a(0, static_cast<std::size_t>(k));
+    ClockT b(1, static_cast<std::size_t>(k));
+    std::vector<ClockT> others;
+    others.reserve(static_cast<std::size_t>(k));
+    for (Tid t = 0; t < k; t++) {
+        others.emplace_back(t, static_cast<std::size_t>(k));
+        others.back().increment(static_cast<Clk>(t) + 1);
+    }
+    a.increment(5);
+    b.increment(5);
+    // Both learn everything once (so joins below are warm).
+    for (Tid t = 2; t < k; t++) {
+        a.join(others[static_cast<std::size_t>(t)]);
+        b.join(others[static_cast<std::size_t>(t)]);
+    }
+    // b additionally learns fresh progress on `fresh` threads.
+    for (Tid t = 2; t < 2 + fresh && t < k; t++) {
+        others[static_cast<std::size_t>(t)].increment(100);
+        b.join(others[static_cast<std::size_t>(t)]);
+    }
+    return {std::move(a), std::move(b)};
+}
+
+template <typename ClockT>
+void
+BM_Get(benchmark::State &state)
+{
+    const Tid k = static_cast<Tid>(state.range(0));
+    auto [a, b] = makeClockPair<ClockT>(k, k / 4);
+    Tid t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.get(t));
+        t = (t + 1) % k;
+    }
+}
+
+template <typename ClockT>
+void
+BM_Increment(benchmark::State &state)
+{
+    const Tid k = static_cast<Tid>(state.range(0));
+    ClockT c(0, static_cast<std::size_t>(k));
+    for (auto _ : state)
+        c.increment(1);
+    benchmark::DoNotOptimize(c.get(0));
+}
+
+/** Vacuous join: the operand holds nothing new. VC pays Θ(k), TC
+ * pays O(1) — the heart of the paper. */
+template <typename ClockT>
+void
+BM_JoinVacuous(benchmark::State &state)
+{
+    const Tid k = static_cast<Tid>(state.range(0));
+    auto [a, b] = makeClockPair<ClockT>(k, 0);
+    a.join(b); // make any residue vacuous
+    for (auto _ : state)
+        a.join(b);
+    benchmark::DoNotOptimize(a.get(0));
+}
+
+/**
+ * A full release/acquire round trip: thread a publishes through a
+ * lock clock, thread b consumes, then roles swap. Each iteration
+ * performs 2 increments, 1 monotone copy and 1 join with a small
+ * genuine delta — the realistic steady-state op mix of the HB
+ * algorithm.
+ */
+template <typename ClockT>
+void
+BM_SyncRoundTrip(benchmark::State &state)
+{
+    const Tid k = static_cast<Tid>(state.range(0));
+    auto [a, b] = makeClockPair<ClockT>(k, 0);
+    ClockT lock;
+    bool a_turn = true;
+    for (auto _ : state) {
+        ClockT &src = a_turn ? a : b;
+        ClockT &dst = a_turn ? b : a;
+        src.increment(1);
+        lock.monotoneCopy(src);
+        dst.increment(1);
+        dst.join(lock);
+        a_turn = !a_turn;
+    }
+    benchmark::DoNotOptimize(a.get(0));
+    benchmark::DoNotOptimize(b.get(1));
+}
+
+/** Monotone copy of a fully-known clock (release-path pattern). */
+template <typename ClockT>
+void
+BM_MonotoneCopy(benchmark::State &state)
+{
+    const Tid k = static_cast<Tid>(state.range(0));
+    auto [a, b] = makeClockPair<ClockT>(k, 0);
+    ClockT lock;
+    lock.monotoneCopy(b);
+    for (auto _ : state) {
+        b.increment(1);
+        lock.monotoneCopy(b);
+    }
+    benchmark::DoNotOptimize(lock.get(1));
+}
+
+#define TC_BENCH_RANGE RangeMultiplier(4)->Range(8, 2048)
+
+BENCHMARK_TEMPLATE(BM_Get, VectorClock)->TC_BENCH_RANGE;
+BENCHMARK_TEMPLATE(BM_Get, TreeClock)->TC_BENCH_RANGE;
+BENCHMARK_TEMPLATE(BM_Increment, VectorClock)->TC_BENCH_RANGE;
+BENCHMARK_TEMPLATE(BM_Increment, TreeClock)->TC_BENCH_RANGE;
+BENCHMARK_TEMPLATE(BM_JoinVacuous, VectorClock)->TC_BENCH_RANGE;
+BENCHMARK_TEMPLATE(BM_JoinVacuous, TreeClock)->TC_BENCH_RANGE;
+BENCHMARK_TEMPLATE(BM_SyncRoundTrip, VectorClock)->TC_BENCH_RANGE;
+BENCHMARK_TEMPLATE(BM_SyncRoundTrip, TreeClock)->TC_BENCH_RANGE;
+BENCHMARK_TEMPLATE(BM_MonotoneCopy, VectorClock)->TC_BENCH_RANGE;
+BENCHMARK_TEMPLATE(BM_MonotoneCopy, TreeClock)->TC_BENCH_RANGE;
+
+} // namespace
+} // namespace tc
+
+BENCHMARK_MAIN();

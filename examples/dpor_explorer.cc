@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Mazurkiewicz-trace explorer: the stateless-model-checking use
+ * case of §5.2/§6. Computes the MAZ partial order over a trace and
+ * reports the *reversible* conflicting pairs — the candidate
+ * backtracking points a DPOR-style model checker would explore —
+ * comparing tree clocks against vector clocks on the same input.
+ *
+ * Example: ./dpor_explorer --threads=24 --events=400000
+ */
+
+#include <cstdio>
+
+#include "analysis/maz_engine.hh"
+#include "core/tree_clock.hh"
+#include "core/vector_clock.hh"
+#include "gen/random_trace.hh"
+#include "support/cli.hh"
+#include "support/strings.hh"
+#include "support/timer.hh"
+#include "trace/trace_stats.hh"
+
+using namespace tc;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("MAZ reversible-race explorer (DPOR seed points)");
+    args.addInt("threads", 24, "threads");
+    args.addInt("locks", 16, "locks");
+    args.addInt("vars", 2048, "variables");
+    args.addInt("events", 400000, "events");
+    args.addDouble("sync-ratio", 0.1, "sync share");
+    args.addInt("seed", 7, "generator seed");
+    args.addInt("max-reports", 8, "reversible pairs to display");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    RandomTraceParams params;
+    params.threads = static_cast<Tid>(args.getInt("threads"));
+    params.locks = static_cast<LockId>(args.getInt("locks"));
+    params.vars = static_cast<VarId>(args.getInt("vars"));
+    params.events = static_cast<std::uint64_t>(args.getInt("events"));
+    params.syncRatio = args.getDouble("sync-ratio");
+    params.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    const Trace trace = generateRandomTrace(params);
+
+    const TraceStats stats = computeStats(trace);
+    std::printf("trace: %s events, %d threads, %s vars, %.1f%% "
+                "sync\n\n",
+                humanCount(stats.events).c_str(), stats.threads,
+                humanCount(stats.variables).c_str(),
+                stats.syncPercent());
+
+    EngineResult tree_result;
+    double tree_seconds = 0, flat_seconds = 0;
+    {
+        EngineConfig cfg;
+        cfg.maxReports =
+            static_cast<std::size_t>(args.getInt("max-reports"));
+        cfg.validate = false;
+        MazEngine<TreeClock> engine(cfg);
+        Timer timer;
+        tree_result = engine.run(trace);
+        tree_seconds = timer.seconds();
+    }
+    {
+        EngineConfig cfg;
+        cfg.validate = false;
+        MazEngine<VectorClock> engine(cfg);
+        Timer timer;
+        const EngineResult r = engine.run(trace);
+        flat_seconds = timer.seconds();
+        if (r.races.total() != tree_result.races.total()) {
+            std::fprintf(stderr, "clock implementations disagree!\n");
+            return 1;
+        }
+    }
+
+    std::printf("reversible conflicting pairs: %llu across %llu "
+                "variables\n",
+                static_cast<unsigned long long>(
+                    tree_result.races.total()),
+                static_cast<unsigned long long>(
+                    tree_result.races.racyVarCount()));
+    std::printf("  backtracking seeds a DPOR checker would explore "
+                "first:\n");
+    for (const RacePair &pair : tree_result.races.reports())
+        std::printf("    %s\n", pair.toString().c_str());
+
+    std::printf("\nMAZ computation time:\n");
+    std::printf("  tree clocks  : %.3f s\n", tree_seconds);
+    std::printf("  vector clocks: %.3f s\n", flat_seconds);
+    std::printf("  speedup      : %.2fx\n",
+                flat_seconds / tree_seconds);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: the 60-second tour of the library.
+ *
+ *  1. Build an execution trace with the builder API.
+ *  2. Compute happens-before with tree clocks (Algorithm 3) and
+ *     detect races.
+ *  3. Peek at a tree clock directly to see the hierarchical
+ *     structure the paper introduces.
+ *
+ * Run: ./quickstart
+ */
+
+#include <cstdio>
+
+#include "analysis/hb_engine.hh"
+#include "core/tree_clock.hh"
+
+using namespace tc;
+
+int
+main()
+{
+    // --- 1. A small racy trace -------------------------------------
+    // t0 writes x unprotected; t1 writes x under a lock. The two
+    // writes are concurrent under happens-before: a data race.
+    Trace trace;
+    trace.write(0, /*var=*/0);
+    trace.acquire(1, /*lock=*/0);
+    trace.write(1, /*var=*/0);
+    trace.release(1, /*lock=*/0);
+    trace.acquire(0, /*lock=*/0);
+    trace.read(0, /*var=*/0);
+    trace.release(0, /*lock=*/0);
+
+    // --- 2. Run the HB analysis with tree clocks -------------------
+    HbEngine<TreeClock> engine;
+    const EngineResult result = engine.run(trace);
+
+    std::printf("events analyzed : %llu\n",
+                static_cast<unsigned long long>(result.events));
+    std::printf("races found     : %llu\n",
+                static_cast<unsigned long long>(result.races.total()));
+    for (const RacePair &race : result.races.reports())
+        std::printf("  %s\n", race.toString().c_str());
+
+    // --- 3. Tree clocks stand on their own -------------------------
+    // Three threads exchange knowledge through joins; the tree
+    // remembers *how* times were learned (t2 below t1 because t0
+    // learned t2's time through t1).
+    TreeClock c0(0, 3), c1(1, 3), c2(2, 3);
+    c2.increment(4);            // t2 performs 4 events
+    c1.increment(1);
+    c1.join(c2);                // t1 hears from t2
+    c1.increment(2);
+    c0.increment(1);
+    c0.join(c1);                // t0 hears from t1 (and t2 inside)
+
+    std::printf("\nt0's tree clock after the joins:\n%s",
+                c0.toString().c_str());
+    std::printf("vector time: [%u, %u, %u]\n", c0.get(0), c0.get(1),
+                c0.get(2));
+    std::printf("t2 learned through t1? parentOf(t2) = t%d\n",
+                c0.parentOf(2));
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * A command-line dynamic race detector — the paper's headline
+ * application. Reads a trace from a file (text .tct or binary .tcb)
+ * or generates a synthetic one, computes HB or SHB with tree or
+ * vector clocks, and reports the races.
+ *
+ * Examples:
+ *   ./race_detector --generate --threads=16 --events=1000000
+ *   ./race_detector --trace=run.tct --po=shb --clock=vc
+ */
+
+#include <cstdio>
+
+#include "analysis/hb_engine.hh"
+#include "analysis/shb_engine.hh"
+#include "core/tree_clock.hh"
+#include "core/vector_clock.hh"
+#include "gen/random_trace.hh"
+#include "support/cli.hh"
+#include "support/strings.hh"
+#include "support/timer.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+
+using namespace tc;
+
+namespace {
+
+template <template <typename> class Engine, typename ClockT>
+int
+detect(const Trace &trace, std::size_t max_reports)
+{
+    WorkCounters work;
+    EngineConfig cfg;
+    cfg.counters = &work;
+    cfg.maxReports = max_reports;
+    Engine<ClockT> engine(cfg);
+
+    Timer timer;
+    const EngineResult result = engine.run(trace);
+    const double seconds = timer.seconds();
+
+    std::printf("analysis time   : %.3f s (%s events/s)\n", seconds,
+                humanCount(static_cast<std::uint64_t>(
+                               static_cast<double>(result.events) /
+                               seconds))
+                    .c_str());
+    std::printf("races           : %llu  (w-w %llu, w-r %llu, "
+                "r-w %llu)\n",
+                static_cast<unsigned long long>(result.races.total()),
+                static_cast<unsigned long long>(
+                    result.races.writeWrite()),
+                static_cast<unsigned long long>(
+                    result.races.writeRead()),
+                static_cast<unsigned long long>(
+                    result.races.readWrite()));
+    std::printf("racy variables  : %llu\n",
+                static_cast<unsigned long long>(
+                    result.races.racyVarCount()));
+    std::printf("clock work      : %llu entries touched, %llu "
+                "entries changed\n",
+                static_cast<unsigned long long>(work.dsWork),
+                static_cast<unsigned long long>(work.vtWork));
+    if (!result.races.reports().empty()) {
+        std::printf("first %zu race reports:\n",
+                    result.races.reports().size());
+        for (const RacePair &race : result.races.reports())
+            std::printf("  %s\n", race.toString().c_str());
+    }
+    return result.races.total() > 0 ? 2 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("dynamic race detector (HB/SHB, tree or vector "
+                   "clocks)");
+    args.addString("trace", "", "trace file to analyze (.tct/.tcb)");
+    args.addBool("generate", false, "generate a synthetic trace");
+    args.addInt("threads", 16, "threads for --generate");
+    args.addInt("locks", 16, "locks for --generate");
+    args.addInt("vars", 4096, "variables for --generate");
+    args.addInt("events", 500000, "events for --generate");
+    args.addDouble("sync-ratio", 0.1, "sync share for --generate");
+    args.addInt("seed", 1, "seed for --generate");
+    args.addString("po", "hb", "partial order: hb | shb");
+    args.addString("clock", "tc", "clock data structure: tc | vc");
+    args.addInt("max-reports", 10, "race reports to keep");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    Trace trace;
+    if (!args.getString("trace").empty()) {
+        ParseResult parsed = loadTrace(args.getString("trace"));
+        if (!parsed.ok) {
+            std::fprintf(stderr, "error: %s (line %zu)\n",
+                         parsed.message.c_str(), parsed.line);
+            return 1;
+        }
+        trace = std::move(parsed.trace);
+    } else if (args.getBool("generate")) {
+        RandomTraceParams params;
+        params.threads = static_cast<Tid>(args.getInt("threads"));
+        params.locks = static_cast<LockId>(args.getInt("locks"));
+        params.vars = static_cast<VarId>(args.getInt("vars"));
+        params.events =
+            static_cast<std::uint64_t>(args.getInt("events"));
+        params.syncRatio = args.getDouble("sync-ratio");
+        params.seed =
+            static_cast<std::uint64_t>(args.getInt("seed"));
+        trace = generateRandomTrace(params);
+    } else {
+        std::fprintf(stderr,
+                     "error: pass --trace=FILE or --generate "
+                     "(see --help)\n");
+        return 1;
+    }
+
+    const ValidationResult valid = trace.validate();
+    if (!valid.ok) {
+        std::fprintf(stderr, "error: malformed trace at event %zu: "
+                     "%s\n", valid.eventIndex, valid.message.c_str());
+        return 1;
+    }
+
+    const TraceStats stats = computeStats(trace);
+    std::printf("trace           : %s events, %d threads, %s vars, "
+                "%s locks, %.1f%% sync\n",
+                humanCount(stats.events).c_str(), stats.threads,
+                humanCount(stats.variables).c_str(),
+                humanCount(stats.locks).c_str(), stats.syncPercent());
+    std::printf("configuration   : %s with %s clocks\n",
+                args.getString("po").c_str(),
+                args.getString("clock") == "tc" ? "tree" : "vector");
+
+    const bool use_tree = args.getString("clock") == "tc";
+    const auto max_reports =
+        static_cast<std::size_t>(args.getInt("max-reports"));
+    if (args.getString("po") == "hb") {
+        return use_tree
+                   ? detect<HbEngine, TreeClock>(trace, max_reports)
+                   : detect<HbEngine, VectorClock>(trace,
+                                                   max_reports);
+    }
+    if (args.getString("po") == "shb") {
+        return use_tree
+                   ? detect<ShbEngine, TreeClock>(trace, max_reports)
+                   : detect<ShbEngine, VectorClock>(trace,
+                                                    max_reports);
+    }
+    std::fprintf(stderr, "error: unknown --po '%s'\n",
+                 args.getString("po").c_str());
+    return 1;
+}

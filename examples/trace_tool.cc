@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Trace toolbox: inspect, validate, convert, slice and compact
+ * treeclock trace files from the command line.
+ *
+ *   trace_tool stats    run.tct
+ *   trace_tool validate run.tct
+ *   trace_tool convert  run.tct run.tcb       (format by extension)
+ *   trace_tool slice    run.tct out.tct --vars=3,17,42
+ *   trace_tool project  run.tct out.tct --threads=0,1
+ *   trace_tool prefix   run.tct out.tct --events=100000
+ *   trace_tool compact  run.tct out.tct
+ *   trace_tool generate out.tcb --threads=16 --events=1000000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gen/random_trace.hh"
+#include "support/cli.hh"
+#include "support/strings.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_ops.hh"
+#include "trace/trace_stats.hh"
+
+using namespace tc;
+
+namespace {
+
+std::vector<std::int64_t>
+parseIdList(const std::string &text)
+{
+    std::vector<std::int64_t> out;
+    for (const std::string &part : splitString(text, ',')) {
+        const std::string item = trimString(part);
+        if (item.empty())
+            continue;
+        out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+    }
+    return out;
+}
+
+Trace
+loadOrDie(const std::string &path)
+{
+    ParseResult r = loadTrace(path);
+    if (!r.ok) {
+        std::fprintf(stderr, "error: %s (%s line %zu)\n",
+                     r.message.c_str(), path.c_str(), r.line);
+        std::exit(1);
+    }
+    return std::move(r.trace);
+}
+
+void
+saveOrDie(const Trace &trace, const std::string &path)
+{
+    if (!saveTrace(trace, path)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::printf("wrote %s (%s events)\n", path.c_str(),
+                humanCount(trace.size()).c_str());
+}
+
+void
+printStats(const Trace &trace)
+{
+    const TraceStats s = computeStats(trace);
+    std::printf("events    : %s\n", humanCount(s.events).c_str());
+    std::printf("threads   : %d\n", s.threads);
+    std::printf("variables : %s\n", humanCount(s.variables).c_str());
+    std::printf("locks     : %s\n", humanCount(s.locks).c_str());
+    std::printf("reads     : %s   writes: %s\n",
+                humanCount(s.reads).c_str(),
+                humanCount(s.writes).c_str());
+    std::printf("acquires  : %s   releases: %s\n",
+                humanCount(s.acquires).c_str(),
+                humanCount(s.releases).c_str());
+    std::printf("forks     : %s   joins: %s\n",
+                humanCount(s.forks).c_str(),
+                humanCount(s.joins).c_str());
+    std::printf("sync %%    : %.2f\n", s.syncPercent());
+    std::printf("r/w %%     : %.2f\n", s.rwPercent());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(
+        "trace toolbox: stats | validate | convert | slice | "
+        "project | prefix | compact | generate");
+    args.addString("vars", "", "comma-separated variable ids (slice)");
+    args.addString("threads-list", "",
+                   "comma-separated thread ids (project)");
+    args.addInt("events", 1000000, "event count (prefix/generate)");
+    args.addInt("threads", 16, "threads (generate)");
+    args.addInt("locks", 16, "locks (generate)");
+    args.addInt("gen-vars", 4096, "variables (generate)");
+    args.addDouble("sync-ratio", 0.1, "sync share (generate)");
+    args.addInt("seed", 1, "seed (generate)");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    const auto &pos = args.positional();
+    if (pos.empty()) {
+        args.printHelp();
+        return 1;
+    }
+    const std::string &cmd = pos[0];
+
+    if (cmd == "stats" && pos.size() == 2) {
+        printStats(loadOrDie(pos[1]));
+        return 0;
+    }
+    if (cmd == "validate" && pos.size() == 2) {
+        const Trace t = loadOrDie(pos[1]);
+        const ValidationResult v = t.validate();
+        if (v.ok) {
+            std::printf("OK: %s events, well-formed\n",
+                        humanCount(t.size()).c_str());
+            return 0;
+        }
+        std::printf("INVALID at event %zu: %s\n", v.eventIndex,
+                    v.message.c_str());
+        return 2;
+    }
+    if (cmd == "convert" && pos.size() == 3) {
+        saveOrDie(loadOrDie(pos[1]), pos[2]);
+        return 0;
+    }
+    if (cmd == "slice" && pos.size() == 3) {
+        const Trace t = loadOrDie(pos[1]);
+        std::vector<VarId> vars;
+        for (const auto id : parseIdList(args.getString("vars")))
+            vars.push_back(static_cast<VarId>(id));
+        if (vars.empty()) {
+            std::fprintf(stderr, "error: slice needs --vars=...\n");
+            return 1;
+        }
+        saveOrDie(sliceByVars(t, vars), pos[2]);
+        return 0;
+    }
+    if (cmd == "project" && pos.size() == 3) {
+        const Trace t = loadOrDie(pos[1]);
+        std::vector<Tid> tids;
+        for (const auto id :
+             parseIdList(args.getString("threads-list")))
+            tids.push_back(static_cast<Tid>(id));
+        if (tids.empty()) {
+            std::fprintf(stderr,
+                         "error: project needs --threads-list=...\n");
+            return 1;
+        }
+        saveOrDie(projectThreads(t, tids), pos[2]);
+        return 0;
+    }
+    if (cmd == "prefix" && pos.size() == 3) {
+        const Trace t = loadOrDie(pos[1]);
+        saveOrDie(prefix(t, static_cast<std::size_t>(
+                                args.getInt("events"))),
+                  pos[2]);
+        return 0;
+    }
+    if (cmd == "compact" && pos.size() == 3) {
+        const Trace t = loadOrDie(pos[1]);
+        IdRemap remap;
+        const Trace d = renumberDense(t, &remap);
+        std::printf("compacted: %zu threads, %zu locks, %zu vars in "
+                    "use\n", remap.threads.size(),
+                    remap.locks.size(), remap.vars.size());
+        saveOrDie(d, pos[2]);
+        return 0;
+    }
+    if (cmd == "generate" && pos.size() == 2) {
+        RandomTraceParams params;
+        params.threads = static_cast<Tid>(args.getInt("threads"));
+        params.locks = static_cast<LockId>(args.getInt("locks"));
+        params.vars = static_cast<VarId>(args.getInt("gen-vars"));
+        params.events =
+            static_cast<std::uint64_t>(args.getInt("events"));
+        params.syncRatio = args.getDouble("sync-ratio");
+        params.seed =
+            static_cast<std::uint64_t>(args.getInt("seed"));
+        saveOrDie(generateRandomTrace(params), pos[1]);
+        return 0;
+    }
+
+    std::fprintf(stderr, "error: unknown command or wrong arity "
+                 "(see --help)\n");
+    return 1;
+}

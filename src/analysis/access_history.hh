@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Per-variable access histories for the race-detection analysis.
+ *
+ * AccessHistory is the FastTrack-style adaptive state: the last write
+ * as an epoch, and reads as a single epoch while one suffices
+ * (reads totally ordered so far), promoted to a flat per-thread
+ * vector once reads become concurrent. FlatAccessHistory is the
+ * pre-epoch (DJIT+-style) variant that always keeps full per-thread
+ * read and write vectors; it exists as the `useEpochs=false`
+ * ablation of the HB engine.
+ */
+
+#ifndef TC_ANALYSIS_ACCESS_HISTORY_HH
+#define TC_ANALYSIS_ACCESS_HISTORY_HH
+
+#include <vector>
+
+#include "analysis/epoch.hh"
+#include "support/types.hh"
+
+namespace tc {
+
+/** FastTrack-style adaptive access history for one variable. */
+class AccessHistory
+{
+  public:
+    Epoch lastWrite() const { return lastWrite_; }
+    void setLastWrite(Epoch e) { lastWrite_ = e; }
+
+    /**
+     * Record a read t@c. While reads stay totally ordered (each new
+     * read covers the stored one) a single epoch suffices; otherwise
+     * promote to a per-thread vector of size @p num_threads.
+     */
+    template <typename ClockT>
+    void
+    recordRead(Tid t, Clk c, const ClockT &clock, Tid num_threads)
+    {
+        if (!shared_) {
+            if (readEpoch_.isNone() || readEpoch_.tid == t ||
+                readEpoch_.coveredBy(clock)) {
+                readEpoch_ = Epoch(t, c);
+                return;
+            }
+            // Concurrent reads: switch to the shared representation.
+            shared_ = true;
+            readVec_.assign(static_cast<std::size_t>(num_threads), 0);
+            readVec_[static_cast<std::size_t>(readEpoch_.tid)] =
+                readEpoch_.clk;
+        }
+        // Online analyses may grow the thread population after the
+        // promotion to shared mode.
+        if (readVec_.size() <= static_cast<std::size_t>(t))
+            readVec_.resize(static_cast<std::size_t>(t) + 1, 0);
+        readVec_[static_cast<std::size_t>(t)] = c;
+    }
+
+    /**
+     * Invoke @p on_race(Epoch) for every recorded read not covered
+     * by @p clock (the read-write race check at a write).
+     */
+    template <typename ClockT, typename Fn>
+    void
+    forEachUncoveredRead(const ClockT &clock, Fn &&on_race) const
+    {
+        if (!shared_) {
+            if (!readEpoch_.coveredBy(clock))
+                on_race(readEpoch_);
+            return;
+        }
+        for (std::size_t u = 0; u < readVec_.size(); u++) {
+            if (readVec_[u] > clock.get(static_cast<Tid>(u)))
+                on_race(Epoch(static_cast<Tid>(u), readVec_[u]));
+        }
+    }
+
+    /** Forget reads (performed after a write, as in FastTrack). */
+    void
+    clearReads()
+    {
+        readEpoch_ = Epoch();
+        if (shared_) {
+            shared_ = false;
+            readVec_.clear();
+        }
+    }
+
+    bool sharedReads() const { return shared_; }
+
+  private:
+    Epoch lastWrite_;
+    Epoch readEpoch_;
+    bool shared_ = false;
+    std::vector<Clk> readVec_;
+};
+
+/** Always-flat per-thread access history (epoch ablation). */
+class FlatAccessHistory
+{
+  public:
+    explicit FlatAccessHistory(Tid num_threads = 0)
+        : reads_(static_cast<std::size_t>(num_threads), 0),
+          writes_(static_cast<std::size_t>(num_threads), 0)
+    {}
+
+    void
+    recordRead(Tid t, Clk c)
+    {
+        reads_[static_cast<std::size_t>(t)] = c;
+    }
+    void
+    recordWrite(Tid t, Clk c)
+    {
+        writes_[static_cast<std::size_t>(t)] = c;
+    }
+
+    template <typename ClockT, typename Fn>
+    void
+    forEachUncoveredWrite(const ClockT &clock, Fn &&on_race) const
+    {
+        for (std::size_t u = 0; u < writes_.size(); u++) {
+            if (writes_[u] > clock.get(static_cast<Tid>(u)))
+                on_race(Epoch(static_cast<Tid>(u), writes_[u]));
+        }
+    }
+
+    template <typename ClockT, typename Fn>
+    void
+    forEachUncoveredRead(const ClockT &clock, Fn &&on_race) const
+    {
+        for (std::size_t u = 0; u < reads_.size(); u++) {
+            if (reads_[u] > clock.get(static_cast<Tid>(u)))
+                on_race(Epoch(static_cast<Tid>(u), reads_[u]));
+        }
+    }
+
+  private:
+    std::vector<Clk> reads_;
+    std::vector<Clk> writes_;
+};
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_ACCESS_HISTORY_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Shared configuration, result types and clock-bank scaffolding for
+ * the HB/SHB/MAZ engines.
+ */
+
+#ifndef TC_ANALYSIS_ENGINE_SUPPORT_HH
+#define TC_ANALYSIS_ENGINE_SUPPORT_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/clock_traits.hh"
+#include "core/tree_clock.hh"
+#include "analysis/race.hh"
+#include "support/assert.hh"
+#include "trace/trace.hh"
+
+namespace tc {
+
+/**
+ * Per-event observer: (event index, event, materialized vector time
+ * of the performing thread right after the event was processed).
+ * Used by tests to compare against the oracle; expensive, leave
+ * unset in production runs.
+ */
+using TimestampObserver = std::function<void(
+    std::size_t, const Event &, const std::vector<Clk> &)>;
+
+/** Configuration shared by all engines. */
+struct EngineConfig
+{
+    /** Run the race-detection analysis on access events ("PO +
+     * Analysis" in the paper); false computes the partial order
+     * only. */
+    bool analysis = true;
+
+    /** Validate the trace before running (cheap; disable in tight
+     * benchmark loops after the first run). */
+    bool validate = true;
+
+    /** Cap on collected RacePair reports (counts are unaffected). */
+    std::size_t maxReports = 64;
+
+    /** Work-accounting sink shared by every clock of the run. */
+    WorkCounters *counters = nullptr;
+
+    /** Traversal policy for TreeClock runs (ablation hook). */
+    TreeClock::JoinPolicy policy = TreeClock::JoinPolicy::Full;
+
+    /** HB only: FastTrack-style adaptive epochs (true) vs flat
+     * DJIT+-style access vectors (false). */
+    bool useEpochs = true;
+
+    /** SHB only: force the linear deep-copy path of
+     * CopyCheckMonotone (ablation of the O(1) monotone test). */
+    bool alwaysDeepCopy = false;
+
+    /** Optional per-event timestamp observer (tests). */
+    TimestampObserver onTimestamp;
+
+    /** Verify every touched tree clock's structural invariants after
+     * each event (tests; very slow). No-op for vector clocks. */
+    bool deepChecks = false;
+};
+
+/** Outcome of an engine run. */
+struct EngineResult
+{
+    std::uint64_t events = 0;
+    RaceSummary races;
+    /** Snapshot of the run's work counters (zero when no sink was
+     * attached). */
+    WorkCounters work;
+};
+
+namespace detail {
+
+/** Apply config knobs that only exist on some clock types. */
+template <ClockLike ClockT>
+void
+configureClock(ClockT &clock, const EngineConfig &cfg)
+{
+    clock.setCounters(cfg.counters);
+    if constexpr (std::same_as<ClockT, TreeClock>)
+        clock.setPolicy(cfg.policy);
+}
+
+/**
+ * Thread and lock clock banks (the C_t and C_l / L_l of
+ * Algorithms 1-5). Thread clocks are initialized to their owners;
+ * lock clocks start empty and are populated by monotone copies.
+ */
+template <ClockLike ClockT>
+struct ClockBank
+{
+    std::vector<ClockT> threads;
+    std::vector<ClockT> locks;
+
+    void
+    reset(const Trace &trace, const EngineConfig &cfg)
+    {
+        const auto k = static_cast<std::size_t>(trace.numThreads());
+        threads.clear();
+        threads.reserve(k);
+        for (std::size_t t = 0; t < k; t++) {
+            threads.emplace_back(static_cast<Tid>(t), k);
+            configureClock(threads.back(), cfg);
+        }
+        locks.assign(static_cast<std::size_t>(trace.numLocks()),
+                     ClockT());
+        for (ClockT &l : locks)
+            configureClock(l, cfg);
+    }
+};
+
+/** Tree-clock structural invariant check (tests only). */
+template <ClockLike ClockT>
+void
+deepCheck(const ClockT &clock)
+{
+    if constexpr (std::same_as<ClockT, TreeClock>) {
+        const std::string msg = clock.checkInvariants();
+        TC_CHECK(msg.empty(), msg.c_str());
+    } else {
+        (void)clock;
+    }
+}
+
+/** Shared handling of the synchronization events of Algorithm 1/3:
+ * acquire joins the lock clock, release monotone-copies into it;
+ * fork seeds the child with the parent's view, join absorbs the
+ * finished child (footnote 2 extension). */
+template <ClockLike ClockT>
+void
+handleSyncEvent(const Event &e, ClockBank<ClockT> &bank,
+                const EngineConfig &cfg)
+{
+    ClockT &ct = bank.threads[static_cast<std::size_t>(e.tid)];
+    switch (e.op) {
+      case OpType::Acquire:
+        ct.join(bank.locks[static_cast<std::size_t>(e.lock())]);
+        break;
+      case OpType::Release:
+        bank.locks[static_cast<std::size_t>(e.lock())]
+            .monotoneCopy(ct);
+        if (cfg.deepChecks) {
+            deepCheck(
+                bank.locks[static_cast<std::size_t>(e.lock())]);
+        }
+        break;
+      case OpType::Fork:
+        bank.threads[static_cast<std::size_t>(e.targetTid())]
+            .join(ct);
+        if (cfg.deepChecks) {
+            deepCheck(bank.threads[static_cast<std::size_t>(
+                e.targetTid())]);
+        }
+        break;
+      case OpType::Join:
+        ct.join(
+            bank.threads[static_cast<std::size_t>(e.targetTid())]);
+        break;
+      default:
+        TC_ASSERT(false, "not a sync event");
+    }
+    if (cfg.deepChecks)
+        deepCheck(ct);
+}
+
+/** Validate a trace when the config requests it. */
+inline void
+maybeValidate(const Trace &trace, const EngineConfig &cfg)
+{
+    if (!cfg.validate)
+        return;
+    const ValidationResult v = trace.validate();
+    TC_CHECK(v.ok, v.message.c_str());
+}
+
+} // namespace detail
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_ENGINE_SUPPORT_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Epochs: the FastTrack-style O(1) summaries of single accesses used
+ * by the analysis ("+Analysis") phase. An epoch t@c names the event
+ * with local time c of thread t. The paper's Remark 1 notes that
+ * tree clocks keep Get O(1), so "all epoch-related optimizations
+ * from vector clocks apply to tree clocks" — the engines use the
+ * same epoch machinery for both clock types.
+ */
+
+#ifndef TC_ANALYSIS_EPOCH_HH
+#define TC_ANALYSIS_EPOCH_HH
+
+#include <string>
+
+#include "support/strings.hh"
+#include "support/types.hh"
+
+namespace tc {
+
+/** A (thread, local time) pair; value 0@kNoTid means "none". */
+struct Epoch
+{
+    Tid tid = kNoTid;
+    Clk clk = 0;
+
+    constexpr Epoch() = default;
+    constexpr Epoch(Tid t, Clk c) : tid(t), clk(c) {}
+
+    constexpr bool isNone() const { return tid == kNoTid; }
+
+    constexpr bool
+    operator==(const Epoch &o) const
+    {
+        return tid == o.tid && clk == o.clk;
+    }
+
+    /**
+     * True iff the event named by this epoch is ordered before the
+     * current event of a thread whose clock is @p clock (i.e.
+     * clk <= clock.get(tid)). The none-epoch is covered by
+     * everything.
+     */
+    template <typename ClockT>
+    bool
+    coveredBy(const ClockT &clock) const
+    {
+        return isNone() || clk <= clock.get(tid);
+    }
+
+    std::string
+    toString() const
+    {
+        return isNone() ? "_" : strFormat("%u@t%d", clk, tid);
+    }
+};
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_EPOCH_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Happens-before (paper §2.3, Algorithms 1 and 3).
+ *
+ * HB is the smallest partial order containing thread order and
+ * release-to-later-acquire orderings per lock. The partial-order
+ * computation touches clocks only at synchronization events; the
+ * optional analysis phase performs the FastTrack-style epoch race
+ * checks on every access event (the paper's "+Analysis"
+ * configuration, with "common epoch optimizations ... for both tree
+ * clocks and vector clocks").
+ *
+ * The engine is a template over the clock data structure: with
+ * VectorClock it is Algorithm 1, with TreeClock it is Algorithm 3 —
+ * the drop-in replacement the paper advocates.
+ */
+
+#ifndef TC_ANALYSIS_HB_ENGINE_HH
+#define TC_ANALYSIS_HB_ENGINE_HH
+
+#include <vector>
+
+#include "analysis/access_history.hh"
+#include "analysis/engine_support.hh"
+
+namespace tc {
+
+template <ClockLike ClockT>
+class HbEngine
+{
+  public:
+    explicit HbEngine(EngineConfig cfg = {}) : cfg_(std::move(cfg)) {}
+
+    const EngineConfig &config() const { return cfg_; }
+
+    /** Process @p trace and return the run's results. */
+    EngineResult
+    run(const Trace &trace)
+    {
+        detail::maybeValidate(trace, cfg_);
+
+        detail::ClockBank<ClockT> bank;
+        bank.reset(trace, cfg_);
+
+        const Tid k = trace.numThreads();
+        std::vector<Clk> local(static_cast<std::size_t>(k), 0);
+
+        std::vector<AccessHistory> vars;
+        std::vector<FlatAccessHistory> flatVars;
+        if (cfg_.analysis) {
+            if (cfg_.useEpochs) {
+                vars.assign(static_cast<std::size_t>(trace.numVars()),
+                            AccessHistory());
+            } else {
+                flatVars.assign(
+                    static_cast<std::size_t>(trace.numVars()),
+                    FlatAccessHistory(k));
+            }
+        }
+
+        EngineResult result;
+        result.races = RaceSummary(trace.numVars(), cfg_.maxReports);
+
+        for (std::size_t i = 0; i < trace.size(); i++) {
+            const Event &e = trace[i];
+            ClockT &ct =
+                bank.threads[static_cast<std::size_t>(e.tid)];
+            const Clk c = ++local[static_cast<std::size_t>(e.tid)];
+            ct.increment(1);
+
+            if (e.isAccess()) {
+                if (cfg_.analysis) {
+                    if (cfg_.useEpochs) {
+                        analyzeEpoch(
+                            vars[static_cast<std::size_t>(e.var())],
+                            e, c, ct, k, result.races);
+                    } else {
+                        analyzeFlat(
+                            flatVars[static_cast<std::size_t>(
+                                e.var())],
+                            e, c, ct, result.races);
+                    }
+                }
+            } else {
+                detail::handleSyncEvent(e, bank, cfg_);
+            }
+
+            if (cfg_.onTimestamp) {
+                cfg_.onTimestamp(
+                    i, e,
+                    ct.toVector(static_cast<std::size_t>(k)));
+            }
+        }
+
+        result.events = trace.size();
+        if (cfg_.counters)
+            result.work = *cfg_.counters;
+        return result;
+    }
+
+  private:
+    /** FastTrack-style epoch checks (see access_history.hh). */
+    void
+    analyzeEpoch(AccessHistory &v, const Event &e, Clk c,
+                 const ClockT &ct, Tid k, RaceSummary &races)
+    {
+        const Epoch cur(e.tid, c);
+        if (e.isRead()) {
+            if (!v.lastWrite().coveredBy(ct)) {
+                races.record(e.var(), RaceKind::WriteRead,
+                             v.lastWrite(), cur);
+            }
+            v.recordRead(e.tid, c, ct, k);
+        } else {
+            if (!v.lastWrite().coveredBy(ct)) {
+                races.record(e.var(), RaceKind::WriteWrite,
+                             v.lastWrite(), cur);
+            }
+            v.forEachUncoveredRead(ct, [&](Epoch prior) {
+                races.record(e.var(), RaceKind::ReadWrite, prior,
+                             cur);
+            });
+            v.setLastWrite(cur);
+            v.clearReads();
+        }
+    }
+
+    /** DJIT+-style flat checks (epoch ablation). */
+    void
+    analyzeFlat(FlatAccessHistory &v, const Event &e, Clk c,
+                const ClockT &ct, RaceSummary &races)
+    {
+        const Epoch cur(e.tid, c);
+        if (e.isRead()) {
+            v.forEachUncoveredWrite(ct, [&](Epoch prior) {
+                races.record(e.var(), RaceKind::WriteRead, prior,
+                             cur);
+            });
+            v.recordRead(e.tid, c);
+        } else {
+            v.forEachUncoveredWrite(ct, [&](Epoch prior) {
+                races.record(e.var(), RaceKind::WriteWrite, prior,
+                             cur);
+            });
+            v.forEachUncoveredRead(ct, [&](Epoch prior) {
+                if (prior.tid != e.tid) {
+                    races.record(e.var(), RaceKind::ReadWrite, prior,
+                                 cur);
+                }
+            });
+            v.recordWrite(e.tid, c);
+        }
+    }
+
+    EngineConfig cfg_;
+};
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_HB_ENGINE_HH

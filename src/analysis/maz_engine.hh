@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The Mazurkiewicz partial order (paper §5.2, Algorithm 5).
+ *
+ * MAZ strengthens HB with trace-orderings between every pair of
+ * conflicting events. Per Algorithm 5 the engine keeps, per
+ * variable x: the last-write clock LW_x, per-thread read clocks
+ * R_{t,x} and the set LRDs_x of threads that read x since the last
+ * write. A write joins LW_x and all R_{t',x} for t' in LRDs_x (only
+ * the first read-to-write ordering needs explicit work; later ones
+ * follow transitively via write-to-write orderings), then
+ * monotone-copies into LW_x and clears LRDs_x.
+ *
+ * The analysis phase counts *reversible* conflicting pairs — the
+ * pairs a stateless model checker would try to reverse: a candidate
+ * predecessor access races the current access iff its epoch is not
+ * covered by the current thread's clock before the current event's
+ * conflict edges are added.
+ */
+
+#ifndef TC_ANALYSIS_MAZ_ENGINE_HH
+#define TC_ANALYSIS_MAZ_ENGINE_HH
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "analysis/engine_support.hh"
+
+namespace tc {
+
+template <ClockLike ClockT>
+class MazEngine
+{
+  public:
+    explicit MazEngine(EngineConfig cfg = {}) : cfg_(std::move(cfg))
+    {}
+
+    const EngineConfig &config() const { return cfg_; }
+
+    EngineResult
+    run(const Trace &trace)
+    {
+        detail::maybeValidate(trace, cfg_);
+
+        detail::ClockBank<ClockT> bank;
+        bank.reset(trace, cfg_);
+
+        const Tid k = trace.numThreads();
+        std::vector<Clk> local(static_cast<std::size_t>(k), 0);
+
+        struct VarState
+        {
+            ClockT lastWriteClock;  ///< LW_x
+            Epoch lastWriteEpoch;
+            /** R_{t,x}, allocated on a thread's first read of x. */
+            std::vector<std::unique_ptr<ClockT>> readClocks;
+            /** LRDs_x: readers since the last write (duplicates
+             * excluded; scanned linearly — it stays small). */
+            std::vector<Tid> lrds;
+        };
+        std::vector<VarState> vars(
+            static_cast<std::size_t>(trace.numVars()));
+        for (VarState &v : vars)
+            detail::configureClock(v.lastWriteClock, cfg_);
+
+        EngineResult result;
+        result.races = RaceSummary(trace.numVars(), cfg_.maxReports);
+
+        for (std::size_t i = 0; i < trace.size(); i++) {
+            const Event &e = trace[i];
+            ClockT &ct =
+                bank.threads[static_cast<std::size_t>(e.tid)];
+            const Clk c = ++local[static_cast<std::size_t>(e.tid)];
+            ct.increment(1);
+
+            switch (e.op) {
+              case OpType::Read: {
+                VarState &v =
+                    vars[static_cast<std::size_t>(e.var())];
+                if (cfg_.analysis &&
+                    !v.lastWriteEpoch.coveredBy(ct)) {
+                    result.races.record(e.var(), RaceKind::WriteRead,
+                                        v.lastWriteEpoch,
+                                        Epoch(e.tid, c));
+                }
+                ct.join(v.lastWriteClock);
+                ClockT &r = readClock(v, e.tid);
+                r.monotoneCopy(ct);
+                if (std::find(v.lrds.begin(), v.lrds.end(), e.tid) ==
+                    v.lrds.end()) {
+                    v.lrds.push_back(e.tid);
+                }
+                if (cfg_.deepChecks) {
+                    detail::deepCheck(ct);
+                    detail::deepCheck(r);
+                }
+                break;
+              }
+              case OpType::Write: {
+                VarState &v =
+                    vars[static_cast<std::size_t>(e.var())];
+                if (cfg_.analysis) {
+                    // All checks precede this event's joins: the
+                    // question is whether the prior access and this
+                    // one are ordered *without* the direct edge.
+                    const Epoch cur(e.tid, c);
+                    if (!v.lastWriteEpoch.coveredBy(ct)) {
+                        result.races.record(e.var(),
+                                            RaceKind::WriteWrite,
+                                            v.lastWriteEpoch, cur);
+                    }
+                    for (Tid reader : v.lrds) {
+                        const Epoch re(
+                            reader,
+                            v.readClocks[static_cast<std::size_t>(
+                                             reader)]
+                                ->get(reader));
+                        if (!re.coveredBy(ct)) {
+                            result.races.record(
+                                e.var(), RaceKind::ReadWrite, re,
+                                cur);
+                        }
+                    }
+                }
+                ct.join(v.lastWriteClock);
+                for (Tid reader : v.lrds) {
+                    ct.join(*v.readClocks[static_cast<std::size_t>(
+                        reader)]);
+                }
+                v.lastWriteClock.monotoneCopy(ct);
+                v.lastWriteEpoch = Epoch(e.tid, c);
+                v.lrds.clear();
+                if (cfg_.deepChecks) {
+                    detail::deepCheck(ct);
+                    detail::deepCheck(v.lastWriteClock);
+                }
+                break;
+              }
+              default:
+                detail::handleSyncEvent(e, bank, cfg_);
+                break;
+            }
+
+            if (cfg_.onTimestamp) {
+                cfg_.onTimestamp(
+                    i, e,
+                    ct.toVector(static_cast<std::size_t>(k)));
+            }
+        }
+
+        result.events = trace.size();
+        if (cfg_.counters)
+            result.work = *cfg_.counters;
+        return result;
+    }
+
+  private:
+    template <typename VarState>
+    ClockT &
+    readClock(VarState &v, Tid t)
+    {
+        auto &slot_list = v.readClocks;
+        const auto idx = static_cast<std::size_t>(t);
+        if (slot_list.size() <= idx)
+            slot_list.resize(idx + 1);
+        if (!slot_list[idx]) {
+            slot_list[idx] = std::make_unique<ClockT>();
+            detail::configureClock(*slot_list[idx], cfg_);
+        }
+        return *slot_list[idx];
+    }
+
+    EngineConfig cfg_;
+};
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_MAZ_ENGINE_HH

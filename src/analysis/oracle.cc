@@ -1,0 +1,198 @@
+#include "analysis/oracle.hh"
+
+#include <algorithm>
+
+#include "support/assert.hh"
+
+namespace tc {
+
+const char *
+partialOrderName(PartialOrderKind kind)
+{
+    switch (kind) {
+      case PartialOrderKind::HB: return "HB";
+      case PartialOrderKind::SHB: return "SHB";
+      case PartialOrderKind::MAZ: return "MAZ";
+    }
+    return "?";
+}
+
+PoOracle::PoOracle(const Trace &trace, PartialOrderKind kind,
+                   std::size_t max_pairs)
+    : trace_(trace), n_(trace.size()), words_((trace.size() + 63) / 64)
+{
+    const ValidationResult v = trace_.validate();
+    TC_CHECK(v.ok, "oracle requires a well-formed trace");
+    ltimes_ = trace_.localTimes();
+    build(kind, max_pairs);
+}
+
+void
+PoOracle::build(PartialOrderKind kind, std::size_t max_pairs)
+{
+    preds_.assign(n_ * words_, 0);
+    races_.racyVar.assign(
+        static_cast<std::size_t>(trace_.numVars()), false);
+    races_.raceAt.assign(n_, false);
+
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    const auto threads = static_cast<std::size_t>(trace_.numThreads());
+    const auto locks = static_cast<std::size_t>(trace_.numLocks());
+    const auto vars = static_cast<std::size_t>(trace_.numVars());
+
+    std::vector<std::size_t> last_of_thread(threads, kNone);
+    std::vector<std::size_t> last_release(locks, kNone);
+    std::vector<std::size_t> pending_fork(threads, kNone);
+    std::vector<std::size_t> last_write(vars, kNone);
+    // Per variable: each thread's last read since the last write.
+    std::vector<std::vector<std::size_t>> reads_since(
+        vars, std::vector<std::size_t>(threads, kNone));
+
+    auto record_race = [&](std::size_t i, RaceKind rk,
+                           std::size_t prior, VarId var) {
+        races_.total++;
+        switch (rk) {
+          case RaceKind::WriteWrite: races_.writeWrite++; break;
+          case RaceKind::WriteRead: races_.writeRead++; break;
+          case RaceKind::ReadWrite: races_.readWrite++; break;
+        }
+        races_.raceAt[i] = true;
+        if (!races_.racyVar[static_cast<std::size_t>(var)]) {
+            races_.racyVar[static_cast<std::size_t>(var)] = true;
+            races_.racyVarCount++;
+        }
+        if (races_.pairs.size() < max_pairs) {
+            races_.pairs.push_back(
+                {var, rk,
+                 Epoch(trace_[prior].tid, ltimes_[prior]),
+                 Epoch(trace_[i].tid, ltimes_[i])});
+        }
+    };
+
+    for (std::size_t i = 0; i < n_; i++) {
+        const Event &e = trace_[i];
+        const auto t = static_cast<std::size_t>(e.tid);
+
+        // Program-order predecessor (or the pending fork for a
+        // thread's first event).
+        if (last_of_thread[t] != kNone) {
+            orRow(i, last_of_thread[t]);
+        } else if (pending_fork[t] != kNone) {
+            orRow(i, pending_fork[t]);
+        }
+
+        // Race checks happen against this pre-conflict-edge set —
+        // exactly what the engines see in C_t before their joins.
+        if (e.isAccess()) {
+            const auto x = static_cast<std::size_t>(e.var());
+            const std::size_t lw = last_write[x];
+            if (e.isRead()) {
+                if (lw != kNone && !testBit(i, lw)) {
+                    record_race(i, RaceKind::WriteRead, lw,
+                                e.var());
+                }
+            } else {
+                if (lw != kNone && !testBit(i, lw)) {
+                    record_race(i, RaceKind::WriteWrite, lw,
+                                e.var());
+                }
+                for (std::size_t u = 0; u < threads; u++) {
+                    const std::size_t r = reads_since[x][u];
+                    if (r != kNone && u != t && !testBit(i, r)) {
+                        record_race(i, RaceKind::ReadWrite, r,
+                                    e.var());
+                    }
+                }
+            }
+        }
+
+        // Add the partial order's remaining in-edges.
+        switch (e.op) {
+          case OpType::Acquire: {
+            const std::size_t rel =
+                last_release[static_cast<std::size_t>(e.lock())];
+            if (rel != kNone)
+                orRow(i, rel);
+            break;
+          }
+          case OpType::Release:
+            last_release[static_cast<std::size_t>(e.lock())] = i;
+            break;
+          case OpType::Fork:
+            pending_fork[static_cast<std::size_t>(e.targetTid())] = i;
+            break;
+          case OpType::Join: {
+            const std::size_t child_last =
+                last_of_thread[static_cast<std::size_t>(
+                    e.targetTid())];
+            if (child_last != kNone)
+                orRow(i, child_last);
+            break;
+          }
+          case OpType::Read: {
+            const auto x = static_cast<std::size_t>(e.var());
+            if (kind != PartialOrderKind::HB &&
+                last_write[x] != kNone) {
+                orRow(i, last_write[x]); // lw(r) ≤ r
+            }
+            reads_since[x][t] = i;
+            break;
+          }
+          case OpType::Write: {
+            const auto x = static_cast<std::size_t>(e.var());
+            if (kind == PartialOrderKind::MAZ) {
+                if (last_write[x] != kNone)
+                    orRow(i, last_write[x]);
+                for (std::size_t u = 0; u < threads; u++) {
+                    if (reads_since[x][u] != kNone && u != t)
+                        orRow(i, reads_since[x][u]);
+                }
+            }
+            last_write[x] = i;
+            std::fill(reads_since[x].begin(), reads_since[x].end(),
+                      kNone);
+            break;
+          }
+        }
+
+        setBit(i, i);
+        last_of_thread[t] = i;
+    }
+}
+
+std::vector<Clk>
+PoOracle::timestampOf(std::size_t i) const
+{
+    TC_CHECK(i < n_, "event index out of range");
+    std::vector<Clk> ts(static_cast<std::size_t>(trace_.numThreads()),
+                        0);
+    for (std::size_t w = 0; w < words_; w++) {
+        std::uint64_t bits = preds_[i * words_ + w];
+        while (bits) {
+            const std::size_t j =
+                w * 64 +
+                static_cast<std::size_t>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            const auto tj = static_cast<std::size_t>(trace_[j].tid);
+            ts[tj] = std::max(ts[tj], ltimes_[j]);
+        }
+    }
+    return ts;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+PoOracle::unorderedConflictingPairs(std::size_t cap) const
+{
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    for (std::size_t j = 0; j < n_ && out.size() < cap; j++) {
+        if (!trace_[j].isAccess())
+            continue;
+        for (std::size_t i = 0; i < j && out.size() < cap; i++) {
+            if (conflicting(trace_[i], trace_[j]) && !ordered(i, j))
+                out.push_back({i, j});
+        }
+    }
+    return out;
+}
+
+} // namespace tc

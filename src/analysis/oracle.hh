@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Reference ("oracle") computation of the HB/SHB/MAZ partial orders
+ * by explicit transitive closure over the event graph — the naive
+ * representation the paper contrasts with clock-based streaming
+ * algorithms (§2.2). O(n²) time/space: tests use it to validate the
+ * engines on small traces; it shares no code with the clock path.
+ */
+
+#ifndef TC_ANALYSIS_ORACLE_HH
+#define TC_ANALYSIS_ORACLE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "analysis/race.hh"
+#include "trace/trace.hh"
+
+namespace tc {
+
+/** Which partial order the oracle materializes. */
+enum class PartialOrderKind
+{
+    HB,  ///< thread order + rel→acq per lock (+ fork/join)
+    SHB, ///< HB + last-write→read
+    MAZ, ///< HB + trace order between all conflicting accesses
+};
+
+const char *partialOrderName(PartialOrderKind kind);
+
+/** Ground-truth race statistics computed during the closure. */
+struct OracleRaceStats
+{
+    std::uint64_t total = 0;
+    std::uint64_t writeWrite = 0;
+    std::uint64_t writeRead = 0;
+    std::uint64_t readWrite = 0;
+    std::uint64_t racyVarCount = 0;
+    std::vector<bool> racyVar;
+    /** raceAt[i]: event i detected at least one race against a
+     * candidate predecessor (same notion the engines use). */
+    std::vector<bool> raceAt;
+    std::vector<RacePair> pairs; // capped
+};
+
+/**
+ * Bitset transitive closure of one partial order over one trace.
+ *
+ * Race accounting mirrors the engines' candidate notion exactly: at
+ * a read the candidate is the variable's last write; at a write the
+ * candidates are the last write plus each thread's last read since
+ * that write; a candidate races the current event iff it is not
+ * ordered before it using only edges present *before* the current
+ * event's conflict edges are added. Unlike the engines' adaptive
+ * epoch representation, the oracle never drops subsumed reads, so
+ * engine read-write counts may be ≤ the oracle's while racy
+ * variables and per-event indicators must agree (see tests).
+ */
+class PoOracle
+{
+  public:
+    PoOracle(const Trace &trace, PartialOrderKind kind,
+             std::size_t max_pairs = 64);
+
+    /** e_i ≤P e_j (reflexive). Indices into the trace. */
+    bool
+    ordered(std::size_t i, std::size_t j) const
+    {
+        if (i == j)
+            return true;
+        if (i > j)
+            return false; // all edges point forward in trace order
+        return testBit(j, i);
+    }
+
+    bool
+    concurrent(std::size_t i, std::size_t j) const
+    {
+        return !ordered(i, j) && !ordered(j, i);
+    }
+
+    /** P-timestamp of e_i (paper §2.2): per thread, the max local
+     * time of events ordered at-or-before e_i. */
+    std::vector<Clk> timestampOf(std::size_t i) const;
+
+    const OracleRaceStats &races() const { return races_; }
+
+    /** All conflicting pairs unordered by P, capped; for MAZ this is
+     * empty by definition. */
+    std::vector<std::pair<std::size_t, std::size_t>>
+    unorderedConflictingPairs(std::size_t cap) const;
+
+    std::size_t size() const { return n_; }
+    const std::vector<Clk> &localTimes() const { return ltimes_; }
+
+  private:
+    void build(PartialOrderKind kind, std::size_t max_pairs);
+    bool
+    testBit(std::size_t row, std::size_t bit) const
+    {
+        return (preds_[row * words_ + bit / 64] >> (bit % 64)) & 1;
+    }
+    void
+    setBit(std::size_t row, std::size_t bit)
+    {
+        preds_[row * words_ + bit / 64] |= std::uint64_t{1}
+                                           << (bit % 64);
+    }
+    void
+    orRow(std::size_t dst, std::size_t src)
+    {
+        for (std::size_t w = 0; w < words_; w++)
+            preds_[dst * words_ + w] |= preds_[src * words_ + w];
+    }
+
+    Trace trace_;
+    std::size_t n_ = 0;
+    std::size_t words_ = 0;
+    std::vector<std::uint64_t> preds_;
+    std::vector<Clk> ltimes_;
+    OracleRaceStats races_;
+};
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_ORACLE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Race records produced by the "+Analysis" phase (paper §6 Setup):
+ * for each pair of conflicting events the analysis decides whether
+ * they are concurrent with respect to the partial order at hand.
+ */
+
+#ifndef TC_ANALYSIS_RACE_HH
+#define TC_ANALYSIS_RACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/epoch.hh"
+#include "support/types.hh"
+
+namespace tc {
+
+/** Which access pair raced. */
+enum class RaceKind : std::uint8_t
+{
+    WriteWrite,
+    WriteRead, ///< prior write, current read
+    ReadWrite, ///< prior read, current write
+};
+
+const char *raceKindName(RaceKind kind);
+
+/**
+ * One detected race: the prior and current events are identified by
+ * their (tid, local time) epochs — the unique naming the paper uses.
+ */
+struct RacePair
+{
+    VarId var = 0;
+    RaceKind kind = RaceKind::WriteWrite;
+    Epoch prior;
+    Epoch current;
+
+    std::string toString() const;
+};
+
+/** Aggregated race results with a bounded report buffer. */
+class RaceSummary
+{
+  public:
+    RaceSummary() = default;
+    RaceSummary(VarId num_vars, std::size_t max_reports)
+        : racyVar_(static_cast<std::size_t>(num_vars), false),
+          maxReports_(max_reports)
+    {}
+
+    /** Extend the variable space (online analyses). */
+    void
+    growVars(VarId num_vars)
+    {
+        if (racyVar_.size() < static_cast<std::size_t>(num_vars))
+            racyVar_.resize(static_cast<std::size_t>(num_vars),
+                            false);
+    }
+
+    void
+    record(VarId var, RaceKind kind, Epoch prior, Epoch current)
+    {
+        total_++;
+        switch (kind) {
+          case RaceKind::WriteWrite: writeWrite_++; break;
+          case RaceKind::WriteRead: writeRead_++; break;
+          case RaceKind::ReadWrite: readWrite_++; break;
+        }
+        if (!racyVar_[static_cast<std::size_t>(var)]) {
+            racyVar_[static_cast<std::size_t>(var)] = true;
+            racyVarCount_++;
+        }
+        if (reports_.size() < maxReports_)
+            reports_.push_back({var, kind, prior, current});
+    }
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t writeWrite() const { return writeWrite_; }
+    std::uint64_t writeRead() const { return writeRead_; }
+    std::uint64_t readWrite() const { return readWrite_; }
+    std::uint64_t racyVarCount() const { return racyVarCount_; }
+    bool isVarRacy(VarId x) const
+    {
+        return racyVar_[static_cast<std::size_t>(x)];
+    }
+    const std::vector<bool> &racyVars() const { return racyVar_; }
+    const std::vector<RacePair> &reports() const { return reports_; }
+
+  private:
+    std::uint64_t total_ = 0;
+    std::uint64_t writeWrite_ = 0;
+    std::uint64_t writeRead_ = 0;
+    std::uint64_t readWrite_ = 0;
+    std::uint64_t racyVarCount_ = 0;
+    std::vector<bool> racyVar_;
+    std::vector<RacePair> reports_;
+    std::size_t maxReports_ = 0;
+};
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_RACE_HH

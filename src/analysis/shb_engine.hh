@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Schedulable-happens-before (paper §5.1, Algorithm 4).
+ *
+ * SHB strengthens HB with last-write-to-read orderings
+ * (lw(r) ≤ r for every read r). Per Algorithm 4 the engine keeps a
+ * clock LW_x with the vector time of the latest write to each
+ * variable: reads join it; writes store into it via
+ * CopyCheckMonotone, whose O(1) monotone test fails exactly when the
+ * write races its variable's last reads-or-write — the paper's key
+ * observation bounding deep copies by the number of write-read
+ * races.
+ *
+ * Race checks (the "+Analysis" phase) follow the SHB paper: a read
+ * races the last write when the write's epoch is not covered before
+ * the lw-join; a write races the last write / the per-thread last
+ * reads when their epochs are not covered.
+ */
+
+#ifndef TC_ANALYSIS_SHB_ENGINE_HH
+#define TC_ANALYSIS_SHB_ENGINE_HH
+
+#include <vector>
+
+#include "analysis/access_history.hh"
+#include "analysis/engine_support.hh"
+
+namespace tc {
+
+template <ClockLike ClockT>
+class ShbEngine
+{
+  public:
+    explicit ShbEngine(EngineConfig cfg = {}) : cfg_(std::move(cfg))
+    {}
+
+    const EngineConfig &config() const { return cfg_; }
+
+    EngineResult
+    run(const Trace &trace)
+    {
+        detail::maybeValidate(trace, cfg_);
+
+        detail::ClockBank<ClockT> bank;
+        bank.reset(trace, cfg_);
+
+        const Tid k = trace.numThreads();
+        std::vector<Clk> local(static_cast<std::size_t>(k), 0);
+
+        struct VarState
+        {
+            ClockT lastWriteClock; ///< LW_x of Algorithm 4
+            AccessHistory history; ///< epochs for the race checks
+        };
+        std::vector<VarState> vars(
+            static_cast<std::size_t>(trace.numVars()));
+        for (VarState &v : vars)
+            detail::configureClock(v.lastWriteClock, cfg_);
+
+        EngineResult result;
+        result.races = RaceSummary(trace.numVars(), cfg_.maxReports);
+
+        for (std::size_t i = 0; i < trace.size(); i++) {
+            const Event &e = trace[i];
+            ClockT &ct =
+                bank.threads[static_cast<std::size_t>(e.tid)];
+            const Clk c = ++local[static_cast<std::size_t>(e.tid)];
+            ct.increment(1);
+
+            switch (e.op) {
+              case OpType::Read: {
+                VarState &v =
+                    vars[static_cast<std::size_t>(e.var())];
+                if (cfg_.analysis &&
+                    !v.history.lastWrite().coveredBy(ct)) {
+                    result.races.record(e.var(), RaceKind::WriteRead,
+                                        v.history.lastWrite(),
+                                        Epoch(e.tid, c));
+                }
+                ct.join(v.lastWriteClock);
+                if (cfg_.analysis)
+                    v.history.recordRead(e.tid, c, ct, k);
+                if (cfg_.deepChecks)
+                    detail::deepCheck(ct);
+                break;
+              }
+              case OpType::Write: {
+                VarState &v =
+                    vars[static_cast<std::size_t>(e.var())];
+                if (cfg_.analysis) {
+                    const Epoch cur(e.tid, c);
+                    if (!v.history.lastWrite().coveredBy(ct)) {
+                        result.races.record(e.var(),
+                                            RaceKind::WriteWrite,
+                                            v.history.lastWrite(),
+                                            cur);
+                    }
+                    v.history.forEachUncoveredRead(
+                        ct, [&](Epoch prior) {
+                            result.races.record(e.var(),
+                                                RaceKind::ReadWrite,
+                                                prior, cur);
+                        });
+                }
+                if (cfg_.alwaysDeepCopy)
+                    v.lastWriteClock.deepCopy(ct);
+                else
+                    v.lastWriteClock.copyCheckMonotone(ct);
+                if (cfg_.analysis) {
+                    v.history.setLastWrite(Epoch(e.tid, c));
+                    v.history.clearReads();
+                }
+                if (cfg_.deepChecks)
+                    detail::deepCheck(v.lastWriteClock);
+                break;
+              }
+              default:
+                detail::handleSyncEvent(e, bank, cfg_);
+                break;
+            }
+
+            if (cfg_.onTimestamp) {
+                cfg_.onTimestamp(
+                    i, e,
+                    ct.toVector(static_cast<std::size_t>(k)));
+            }
+        }
+
+        result.events = trace.size();
+        if (cfg_.counters)
+            result.work = *cfg_.counters;
+        return result;
+    }
+
+  private:
+    EngineConfig cfg_;
+};
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_SHB_ENGINE_HH

@@ -1,0 +1,94 @@
+#include "analysis/timestamp_index.hh"
+
+#include "analysis/hb_engine.hh"
+#include "analysis/maz_engine.hh"
+#include "analysis/shb_engine.hh"
+#include "core/tree_clock.hh"
+#include "support/assert.hh"
+
+namespace tc {
+
+TimestampIndex::TimestampIndex(const Trace &trace,
+                               PartialOrderKind kind)
+    : n_(trace.size()), threads_(trace.numThreads()), kind_(kind),
+      events_(trace.events()), ltimes_(trace.localTimes())
+{
+    stamps_.assign(n_ * static_cast<std::size_t>(threads_), 0);
+
+    EngineConfig cfg;
+    cfg.analysis = false;
+    cfg.onTimestamp = [&](std::size_t i, const Event &,
+                          const std::vector<Clk> &ts) {
+        TC_ASSERT(ts.size() >=
+                      static_cast<std::size_t>(threads_),
+                  "timestamp narrower than thread count");
+        std::copy(ts.begin(),
+                  ts.begin() + static_cast<std::size_t>(threads_),
+                  stamps_.begin() +
+                      i * static_cast<std::size_t>(threads_));
+    };
+
+    switch (kind) {
+      case PartialOrderKind::HB: {
+        HbEngine<TreeClock> engine(cfg);
+        engine.run(trace);
+        break;
+      }
+      case PartialOrderKind::SHB: {
+        ShbEngine<TreeClock> engine(cfg);
+        engine.run(trace);
+        break;
+      }
+      case PartialOrderKind::MAZ: {
+        MazEngine<TreeClock> engine(cfg);
+        engine.run(trace);
+        break;
+      }
+    }
+}
+
+std::vector<Clk>
+TimestampIndex::timestampOf(std::size_t i) const
+{
+    TC_CHECK(i < n_, "event index out of range");
+    const auto begin =
+        stamps_.begin() + i * static_cast<std::size_t>(threads_);
+    return std::vector<Clk>(begin,
+                            begin +
+                                static_cast<std::size_t>(threads_));
+}
+
+bool
+TimestampIndex::ordered(std::size_t i, std::size_t j) const
+{
+    TC_CHECK(i < n_ && j < n_, "event index out of range");
+    if (i == j)
+        return true;
+    // Lemma 1: e_i <=P e_j iff C_i ⊑ C_j. Since thread order is
+    // contained in P, it suffices to check e_i's own component
+    // (C_j knows e_i's thread at least as far as e_i iff e_i is
+    // ordered before e_j) — the standard O(1) specialization of the
+    // pointwise comparison.
+    const auto ti = static_cast<std::size_t>(events_[i].tid);
+    return ltimes_[i] <=
+           stamps_[j * static_cast<std::size_t>(threads_) + ti];
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+TimestampIndex::unorderedConflictingPairs(std::size_t cap) const
+{
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    for (std::size_t j = 0; j < n_ && out.size() < cap; j++) {
+        if (!events_[j].isAccess())
+            continue;
+        for (std::size_t i = 0; i < j && out.size() < cap; i++) {
+            if (conflicting(events_[i], events_[j]) &&
+                !ordered(i, j) && !ordered(j, i)) {
+                out.push_back({i, j});
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace tc

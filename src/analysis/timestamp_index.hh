@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Materialized vector timestamps with event-pair ordering queries —
+ * the direct application of the paper's Lemma 1: for partial orders
+ * containing thread order, e1 ≤P e2 iff C_{e1} ⊑ C_{e2}, so a pair
+ * query needs no graph search.
+ *
+ * The index stores the P-timestamp of every event (n·k clock
+ * values); it is an analysis/debugging tool for moderate traces,
+ * not a streaming structure. Building it runs the corresponding
+ * tree clock engine once.
+ */
+
+#ifndef TC_ANALYSIS_TIMESTAMP_INDEX_HH
+#define TC_ANALYSIS_TIMESTAMP_INDEX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/oracle.hh" // PartialOrderKind
+#include "trace/trace.hh"
+
+namespace tc {
+
+/** Per-event vector timestamps for one partial order over one
+ * trace, with Lemma-1 ordering queries. */
+class TimestampIndex
+{
+  public:
+    /**
+     * Build by running the HB/SHB/MAZ engine (with tree clocks)
+     * over @p trace. O(n·k) memory.
+     */
+    TimestampIndex(const Trace &trace, PartialOrderKind kind);
+
+    std::size_t events() const { return n_; }
+    Tid threads() const { return threads_; }
+    PartialOrderKind kind() const { return kind_; }
+
+    /** P-timestamp of event @p i (k entries). */
+    std::vector<Clk> timestampOf(std::size_t i) const;
+
+    /** Entry of thread @p t in event @p i's timestamp. */
+    Clk
+    component(std::size_t i, Tid t) const
+    {
+        return stamps_[i * static_cast<std::size_t>(threads_) +
+                       static_cast<std::size_t>(t)];
+    }
+
+    /**
+     * e_i ≤P e_j, decided by timestamp comparison (Lemma 1).
+     * Reflexive; indices are trace positions.
+     */
+    bool ordered(std::size_t i, std::size_t j) const;
+
+    bool
+    concurrent(std::size_t i, std::size_t j) const
+    {
+        return !ordered(i, j) && !ordered(j, i);
+    }
+
+    /**
+     * All conflicting event pairs unordered by P, up to @p cap —
+     * the "analysis" of the paper's §6 expressed as pair queries.
+     */
+    std::vector<std::pair<std::size_t, std::size_t>>
+    unorderedConflictingPairs(std::size_t cap) const;
+
+  private:
+    std::size_t n_ = 0;
+    Tid threads_ = 0;
+    PartialOrderKind kind_;
+    std::vector<Event> events_;
+    std::vector<Clk> ltimes_;
+    std::vector<Clk> stamps_; ///< n_ x threads_, row-major
+};
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_TIMESTAMP_INDEX_HH

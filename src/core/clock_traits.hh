@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The compile-time interface the analysis engines require from a
+ * clock implementation. TreeClock and VectorClock both model it;
+ * the engines are templates over any model, which is how the paper's
+ * "drop-in replacement" claim is realized in code.
+ */
+
+#ifndef TC_CORE_CLOCK_TRAITS_HH
+#define TC_CORE_CLOCK_TRAITS_HH
+
+#include <concepts>
+#include <cstddef>
+#include <vector>
+
+#include "core/work_counters.hh"
+#include "support/types.hh"
+
+namespace tc {
+
+/**
+ * A vector-time data structure usable by the HB/SHB/MAZ engines.
+ *
+ * Required semantics:
+ *  - get(t): current time of thread t (0 if unknown), O(1);
+ *  - increment(d): advance the owning thread's entry;
+ *  - join(o): pointwise maximum with o;
+ *  - monotoneCopy(o): become o, given this ⊑ o;
+ *  - copyCheckMonotone(o): become o with no precondition
+ *    (SHB §5.1);
+ *  - toVector(k): materialized vector time;
+ *  - setCounters(c): attach work accounting.
+ */
+template <typename C>
+concept ClockLike =
+    std::default_initializable<C> &&
+    std::constructible_from<C, Tid, std::size_t> &&
+    requires(C c, const C cc, Tid t, Clk d, WorkCounters *w,
+             std::size_t n) {
+        { cc.get(t) } -> std::same_as<Clk>;
+        { cc.localClk() } -> std::same_as<Clk>;
+        { c.increment(d) };
+        { c.join(cc) };
+        { c.monotoneCopy(cc) };
+        { c.copyCheckMonotone(cc) };
+        { cc.lessThanOrEqual(cc) } -> std::same_as<bool>;
+        { cc.toVector(n) } -> std::same_as<std::vector<Clk>>;
+        { c.setCounters(w) };
+        { C::kName } -> std::convertible_to<const char *>;
+    };
+
+} // namespace tc
+
+#endif // TC_CORE_CLOCK_TRAITS_HH

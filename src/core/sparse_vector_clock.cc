@@ -1,0 +1,163 @@
+#include "core/sparse_vector_clock.hh"
+
+#include <algorithm>
+
+#include "support/assert.hh"
+
+namespace tc {
+
+SparseVectorClock::SparseVectorClock(Tid owner, std::size_t capacity)
+    : owner_(owner)
+{
+    TC_CHECK(owner >= 0, "thread clock owner must be a valid tid");
+    entries_.reserve(capacity);
+    entries_.emplace_back(owner, 0);
+    ownerIndex_ = 0;
+}
+
+Clk
+SparseVectorClock::get(Tid t) const
+{
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), t,
+        [](const auto &entry, Tid tid) { return entry.first < tid; });
+    return it != entries_.end() && it->first == t ? it->second : 0;
+}
+
+void
+SparseVectorClock::increment(Clk delta)
+{
+    TC_CHECK(owner_ != kNoTid,
+             "increment() requires an owning thread clock");
+    entries_[ownerIndex_].second += delta;
+    if (counters_) {
+        counters_->increments++;
+        counters_->vtWork++;
+        counters_->dsWork++;
+    }
+}
+
+void
+SparseVectorClock::join(const SparseVectorClock &other)
+{
+    if (other.entries_.empty()) {
+        if (counters_)
+            counters_->joins++;
+        return;
+    }
+    // Sorted two-pointer merge into a scratch buffer.
+    thread_local std::vector<std::pair<Tid, Clk>> merged;
+    merged.clear();
+    merged.reserve(entries_.size() + other.entries_.size());
+
+    std::uint64_t changed = 0;
+    std::size_t i = 0, j = 0;
+    while (i < entries_.size() || j < other.entries_.size()) {
+        if (j == other.entries_.size() ||
+            (i < entries_.size() &&
+             entries_[i].first < other.entries_[j].first)) {
+            merged.push_back(entries_[i++]);
+        } else if (i == entries_.size() ||
+                   other.entries_[j].first < entries_[i].first) {
+            merged.push_back(other.entries_[j++]);
+            changed++;
+        } else {
+            const Clk mine = entries_[i].second;
+            const Clk theirs = other.entries_[j].second;
+            merged.emplace_back(entries_[i].first,
+                                std::max(mine, theirs));
+            changed += theirs > mine;
+            i++;
+            j++;
+        }
+    }
+    entries_.assign(merged.begin(), merged.end());
+    if (owner_ != kNoTid) {
+        // Restore the cached owner position.
+        const auto it = std::lower_bound(
+            entries_.begin(), entries_.end(), owner_,
+            [](const auto &entry, Tid tid) {
+                return entry.first < tid;
+            });
+        TC_ASSERT(it != entries_.end() && it->first == owner_,
+                  "owner entry lost in join");
+        ownerIndex_ =
+            static_cast<std::size_t>(it - entries_.begin());
+    }
+    if (counters_) {
+        counters_->joins++;
+        counters_->vtWork += changed;
+        counters_->dsWork +=
+            entries_.size() > other.entries_.size()
+                ? entries_.size()
+                : other.entries_.size();
+    }
+}
+
+void
+SparseVectorClock::copyFrom(const SparseVectorClock &other)
+{
+    // Count changed entries via a sorted two-pointer diff.
+    std::uint64_t changed = 0;
+    std::size_t i = 0, j = 0;
+    while (i < entries_.size() || j < other.entries_.size()) {
+        if (j == other.entries_.size() ||
+            (i < entries_.size() &&
+             entries_[i].first < other.entries_[j].first)) {
+            changed += entries_[i].second != 0;
+            i++;
+        } else if (i == entries_.size() ||
+                   other.entries_[j].first < entries_[i].first) {
+            changed += other.entries_[j].second != 0;
+            j++;
+        } else {
+            changed += entries_[i].second != other.entries_[j].second;
+            i++;
+            j++;
+        }
+    }
+    entries_ = other.entries_;
+    if (counters_) {
+        counters_->copies++;
+        counters_->vtWork += changed;
+        counters_->dsWork += entries_.size();
+    }
+}
+
+bool
+SparseVectorClock::lessThanOrEqual(
+    const SparseVectorClock &other) const
+{
+    // Two-pointer walk; both sides sorted.
+    std::size_t j = 0;
+    for (const auto &[tid, clk] : entries_) {
+        while (j < other.entries_.size() &&
+               other.entries_[j].first < tid) {
+            j++;
+        }
+        const Clk theirs = (j < other.entries_.size() &&
+                            other.entries_[j].first == tid)
+                               ? other.entries_[j].second
+                               : 0;
+        if (clk > theirs)
+            return false;
+    }
+    return true;
+}
+
+std::vector<Clk>
+SparseVectorClock::toVector(std::size_t min_threads) const
+{
+    std::size_t width = min_threads;
+    if (!entries_.empty()) {
+        width = std::max(
+            width,
+            static_cast<std::size_t>(entries_.back().first) + 1);
+    }
+    std::vector<Clk> out(width, 0);
+    for (const auto &[tid, clk] : entries_)
+        out[static_cast<std::size_t>(tid)] = clk;
+    return out;
+}
+
+} // namespace tc

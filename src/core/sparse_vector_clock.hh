@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A sparse vector clock: the vector time kept as a sorted array of
+ * (tid, clk) pairs, storing only non-zero entries.
+ *
+ * This is the classic alternative for sparse/dynamic thread
+ * populations (§7's related work discusses several): memory is
+ * proportional to the threads actually known, but Get degrades to
+ * O(log m) and join/copy remain linear in the knowledge size — the
+ * operations still touch entries that a tree clock would prove
+ * vacuous. It models the same ClockLike concept as TreeClock and
+ * VectorClock, so every engine can run on it; the benchmarks use it
+ * to show that *sparseness alone* does not yield tree clock's
+ * pruning (answering §4's "is there a more efficient data
+ * structure?" from one more angle).
+ */
+
+#ifndef TC_CORE_SPARSE_VECTOR_CLOCK_HH
+#define TC_CORE_SPARSE_VECTOR_CLOCK_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/work_counters.hh"
+#include "support/types.hh"
+
+namespace tc {
+
+/** Sorted-pairs sparse vector clock. */
+class SparseVectorClock
+{
+  public:
+    /** Auxiliary (empty) clock. */
+    SparseVectorClock() = default;
+
+    /** Thread clock for @p owner. The capacity hint only reserves;
+     * entries appear as they become non-zero. */
+    explicit SparseVectorClock(Tid owner, std::size_t capacity = 0);
+
+    void setCounters(WorkCounters *counters) { counters_ = counters; }
+
+    Tid ownerTid() const { return owner_; }
+
+    /** Time of thread @p t (0 when unknown). O(log m). */
+    Clk get(Tid t) const;
+
+    /** Owner's own time. */
+    Clk localClk() const { return get(owner_); }
+
+    bool
+    empty() const
+    {
+        return owner_ == kNoTid && entries_.empty();
+    }
+
+    /** Bump the owner's entry by @p delta. */
+    void increment(Clk delta);
+
+    /** Pointwise maximum (sorted merge). O(m1 + m2). */
+    void join(const SparseVectorClock &other);
+
+    /** Plain assignment of @p other's time. O(m). */
+    void copyFrom(const SparseVectorClock &other);
+
+    void monotoneCopy(const SparseVectorClock &other)
+    {
+        copyFrom(other);
+    }
+    void copyCheckMonotone(const SparseVectorClock &other)
+    {
+        copyFrom(other);
+    }
+    void deepCopy(const SparseVectorClock &other)
+    {
+        copyFrom(other);
+    }
+
+    /** True iff this ⊑ other pointwise. O(m1 log m2). */
+    bool lessThanOrEqual(const SparseVectorClock &other) const;
+    bool
+    lessThanOrEqualExact(const SparseVectorClock &other) const
+    {
+        return lessThanOrEqual(other);
+    }
+
+    std::vector<Clk> toVector(std::size_t min_threads = 0) const;
+
+    /** Number of stored (non-zero) entries. */
+    std::size_t size() const { return entries_.size(); }
+
+    static constexpr const char *kName = "SVC";
+
+  private:
+    /** Entries sorted by tid; clk values are always non-zero except
+     * transiently for a fresh owner entry. */
+    std::vector<std::pair<Tid, Clk>> entries_;
+    Tid owner_ = kNoTid;
+    std::size_t ownerIndex_ = 0; ///< cached position of owner entry
+    WorkCounters *counters_ = nullptr;
+};
+
+} // namespace tc
+
+#endif // TC_CORE_SPARSE_VECTOR_CLOCK_HH

@@ -1,0 +1,551 @@
+#include "core/tree_clock.hh"
+
+#include <algorithm>
+
+#include "support/assert.hh"
+#include "support/strings.hh"
+
+namespace tc {
+
+namespace {
+
+/**
+ * Scratch buffers for the iterative traversals. Thread-local so that
+ * concurrent analyses in different OS threads do not interfere;
+ * reused across operations so the hot path never allocates.
+ */
+thread_local std::vector<Tid> tl_stack;
+
+} // namespace
+
+TreeClock::TreeClock(Tid owner, std::size_t capacity)
+{
+    TC_CHECK(owner >= 0, "thread clock owner must be a valid tid");
+    ensure(std::max<std::size_t>(capacity,
+                                 static_cast<std::size_t>(owner) + 1));
+    root_ = owner;
+    shape_[static_cast<std::size_t>(owner)].parent = kNoTid;
+}
+
+void
+TreeClock::ensure(std::size_t n)
+{
+    if (clk_.size() < n) {
+        clk_.resize(n, 0);
+        shape_.resize(n);
+    }
+}
+
+void
+TreeClock::increment(Clk delta)
+{
+    TC_CHECK(root_ != kNoTid,
+             "increment() requires an initialized thread clock");
+    clk_[static_cast<std::size_t>(root_)] += delta;
+    if (counters_) {
+        counters_->increments++;
+        counters_->vtWork++;
+        counters_->dsWork++;
+    }
+}
+
+bool
+TreeClock::lessThanOrEqualExact(const TreeClock &other) const
+{
+    for (std::size_t i = 0; i < clk_.size(); i++) {
+        if (clk_[i] > other.get(static_cast<Tid>(i)))
+            return false;
+    }
+    return true;
+}
+
+void
+TreeClock::pushChild(Tid child, Tid parent)
+{
+    Shape &c = shape_[static_cast<std::size_t>(child)];
+    Shape &p = shape_[static_cast<std::size_t>(parent)];
+    c.parent = parent;
+    c.prevSib = kNoTid;
+    c.nextSib = p.firstChild;
+    if (p.firstChild != kNoTid)
+        shape_[static_cast<std::size_t>(p.firstChild)].prevSib =
+            child;
+    p.firstChild = child;
+}
+
+void
+TreeClock::detachFromParent(Tid t)
+{
+    const Shape &n = shape_[static_cast<std::size_t>(t)];
+    if (n.prevSib != kNoTid) {
+        shape_[static_cast<std::size_t>(n.prevSib)].nextSib =
+            n.nextSib;
+    } else {
+        shape_[static_cast<std::size_t>(n.parent)].firstChild =
+            n.nextSib;
+    }
+    if (n.nextSib != kNoTid) {
+        shape_[static_cast<std::size_t>(n.nextSib)].prevSib =
+            n.prevSib;
+    }
+}
+
+void
+TreeClock::gatherUpdated(const TreeClock &other, std::vector<Tid> &S,
+                         bool is_copy, Tid z_tid,
+                         std::uint64_t &examined)
+{
+    // Iterative rendering of getUpdatedNodesJoin/-Copy
+    // (Algorithm 2, lines 36-40 and 62-69), walking the operand's
+    // tree with parent-pointer backtracking — no auxiliary frame
+    // stack. S is filled in pre-order; attachNodes pops it from the
+    // back, which attaches later siblings first so the front-insert
+    // of pushChild restores the operand's (descending-aclk) child
+    // order. Nodes are unlinked from our tree as they enter S (the
+    // walk itself only reads our flat clk_ array, so the link edits
+    // cannot disturb it).
+    const bool use_direct = policy_ != JoinPolicy::NoPruning;
+    const bool use_indirect = policy_ == JoinPolicy::Full;
+
+    const Shape *oshape = other.shape_.data();
+    const Clk *oclk = other.clk_.data();
+    const Clk *mine = clk_.data();
+    auto enter = [&](Tid t) {
+        if (t != root_ &&
+            shape_[static_cast<std::size_t>(t)].parent != kAbsent) {
+            detachFromParent(t);
+        }
+        S.push_back(t);
+    };
+
+    const Tid root = other.root_;
+    enter(root);
+    Tid parent = root;
+    Tid cur = oshape[static_cast<std::size_t>(root)].firstChild;
+    std::uint64_t scans = 0;
+    while (true) {
+        if (cur == kNoTid) {
+            // Level exhausted: resume the parent's sibling scan.
+            if (parent == root)
+                break;
+            cur = oshape[static_cast<std::size_t>(parent)].nextSib;
+            parent =
+                oshape[static_cast<std::size_t>(parent)].parent;
+            continue;
+        }
+        scans++;
+        const Shape &vs = oshape[static_cast<std::size_t>(cur)];
+        const bool progressed =
+            mine[static_cast<std::size_t>(cur)] <
+            oclk[static_cast<std::size_t>(cur)];
+        if (progressed || !use_direct) {
+            // Direct monotonicity: descend only into progressed
+            // subtrees (NoPruning descends regardless but still
+            // only transplants progressed nodes on joins).
+            if (progressed || is_copy)
+                enter(cur);
+            if (vs.firstChild != kNoTid) {
+                parent = cur;
+                cur = vs.firstChild;
+            } else {
+                cur = vs.nextSib;
+            }
+            continue;
+        }
+        if (is_copy && cur == z_tid) {
+            // The copy target's old root must be repositioned even
+            // though its time has not progressed (line 67).
+            S.push_back(cur);
+        }
+        if (use_indirect &&
+            vs.aclk <= mine[static_cast<std::size_t>(parent)]) {
+            // Indirect monotonicity: siblings further down the list
+            // were attached no later than cur, so our view of the
+            // parent already covers them (lines 39/68).
+            if (parent == root)
+                break;
+            cur = oshape[static_cast<std::size_t>(parent)].nextSib;
+            parent =
+                oshape[static_cast<std::size_t>(parent)].parent;
+            continue;
+        }
+        cur = vs.nextSib;
+    }
+    examined += scans;
+}
+
+std::uint64_t
+TreeClock::attachNodes(const TreeClock &other, std::vector<Tid> &S)
+{
+    // Iterate back-to-front: S is in pre-order, so later siblings
+    // attach first and pushChild's front insertion restores the
+    // operand's child order.
+    const Shape *oshape = other.shape_.data();
+    const Clk *oclk = other.clk_.data();
+    Clk *mclk = clk_.data();
+    Shape *mshape = shape_.data();
+    std::uint64_t changed = 0;
+    for (std::size_t idx = S.size(); idx-- > 0;) {
+        const auto i = static_cast<std::size_t>(S[idx]);
+        const Shape &src = oshape[i];
+        const Clk new_clk = oclk[i];
+        changed += mclk[i] != new_clk;
+        mclk[i] = new_clk;
+        const Tid parent = src.parent;
+        if (parent != kNoTid) {
+            const auto p = static_cast<std::size_t>(parent);
+            Shape &dst = mshape[i];
+            dst.aclk = src.aclk;
+            dst.parent = parent;
+            dst.prevSib = kNoTid;
+            const Tid head = mshape[p].firstChild;
+            dst.nextSib = head;
+            if (head != kNoTid)
+                mshape[static_cast<std::size_t>(head)].prevSib =
+                    static_cast<Tid>(i);
+            mshape[p].firstChild = static_cast<Tid>(i);
+        }
+    }
+    return changed;
+}
+
+void
+TreeClock::join(const TreeClock &other)
+{
+    if (other.root_ == kNoTid) {
+        // Nothing to learn from an empty clock; still an operation
+        // (vector clocks count it too, over zero stored entries).
+        if (counters_)
+            counters_->joins++;
+        return;
+    }
+    TC_CHECK(root_ != kNoTid,
+             "join() requires an initialized thread clock");
+
+    const Clk other_root_clk =
+        other.clk_[static_cast<std::size_t>(other.root_)];
+    if (get(other.root_) >= other_root_clk) {
+        // Root already covered: by direct monotonicity the whole
+        // operand is covered (Algorithm 2, line 18).
+        if (counters_) {
+            counters_->joins++;
+            counters_->dsWork++;
+        }
+        return;
+    }
+    TC_CHECK(other.get(root_) <= localClk(),
+             "join operand claims to know this thread's future");
+    ensure(other.clk_.size());
+
+    // Fast path: only the operand's root thread progressed. Its
+    // first child is not ahead of us and was attached no later than
+    // our knowledge of the root, so by indirect monotonicity the
+    // whole remainder is covered; transplant just the root node.
+    if (policy_ == JoinPolicy::Full) {
+        const Tid c = other.shape_[static_cast<std::size_t>(
+                                       other.root_)]
+                          .firstChild;
+        if (c == kNoTid ||
+            (get(c) >= other.clk_[static_cast<std::size_t>(c)] &&
+             other.shape_[static_cast<std::size_t>(c)].aclk <=
+                 get(other.root_))) {
+            const auto i = static_cast<std::size_t>(other.root_);
+            if (shape_[i].parent != kAbsent)
+                detachFromParent(other.root_);
+            clk_[i] = other_root_clk;
+            shape_[i].aclk = clk_[static_cast<std::size_t>(root_)];
+            pushChild(other.root_, root_);
+            if (counters_) {
+                // Same accounting as the generic path: root compare
+                // + children examined (0 or 1) + one transplant.
+                counters_->joins++;
+                counters_->vtWork += 1;
+                counters_->dsWork += 2 + (c != kNoTid);
+            }
+            return;
+        }
+    }
+
+    std::vector<Tid> &S = tl_stack;
+    S.clear();
+
+    std::uint64_t examined = 0;
+    gatherUpdated(other, S, false, kNoTid, examined);
+    const std::uint64_t transplanted = S.size();
+    const std::uint64_t changed = attachNodes(other, S);
+
+    // Hang the transplanted subtree under our root, stamped with the
+    // current root time (Algorithm 2, lines 24-27).
+    shape_[static_cast<std::size_t>(other.root_)].aclk =
+        clk_[static_cast<std::size_t>(root_)];
+    pushChild(other.root_, root_);
+
+    if (counters_) {
+        counters_->joins++;
+        counters_->vtWork += changed;
+        counters_->dsWork += 1 + examined + transplanted;
+    }
+}
+
+void
+TreeClock::monotoneCopy(const TreeClock &other)
+{
+    if (other.root_ == kNoTid) {
+        TC_CHECK(root_ == kNoTid,
+                 "monotoneCopy from an empty clock onto a non-empty "
+                 "one violates this ⊑ other");
+        return;
+    }
+    if (root_ == kNoTid) {
+        // First population of an auxiliary clock: plain linear copy.
+        deepCopy(other);
+        return;
+    }
+    TC_ASSERT(lessThanOrEqualExact(other),
+              "monotoneCopy requires this ⊑ other");
+    ensure(other.clk_.size());
+
+    // Fast path: same root thread and only its time progressed
+    // (the common shape for last-write and read clocks refreshed by
+    // the same thread). By indirect monotonicity the first child's
+    // coverage extends to all siblings, so the copy is one store.
+    if (policy_ == JoinPolicy::Full && other.root_ == root_) {
+        const auto i = static_cast<std::size_t>(root_);
+        const Tid c =
+            other.shape_[i].firstChild;
+        if (c == kNoTid ||
+            (get(c) >= other.clk_[static_cast<std::size_t>(c)] &&
+             other.shape_[static_cast<std::size_t>(c)].aclk <=
+                 clk_[i])) {
+            const std::uint64_t changed = clk_[i] != other.clk_[i];
+            clk_[i] = other.clk_[i];
+            if (counters_) {
+                // Same accounting as the generic path: children
+                // examined (0 or 1) + the root transplant.
+                counters_->copies++;
+                counters_->vtWork += changed;
+                counters_->dsWork += 1 + (c != kNoTid);
+            }
+            return;
+        }
+    }
+
+    std::vector<Tid> &S = tl_stack;
+    S.clear();
+
+    std::uint64_t examined = 0;
+    gatherUpdated(other, S, true, root_, examined);
+
+    if (root_ != other.root_ &&
+        std::find(S.begin(), S.end(), root_) == S.end()) {
+        // The traversal never met our old root, so repositioning it
+        // is impossible without breaking reachability. This cannot
+        // happen under the HB/SHB/MAZ usage discipline (Lemma 5);
+        // stay correct for ad-hoc users via the linear path.
+        fallbackCopies_++;
+        if (counters_) {
+            counters_->fallbackCopies++;
+            counters_->dsWork += examined;
+        }
+        deepCopy(other);
+        return;
+    }
+
+    const std::uint64_t transplanted = S.size();
+    const std::uint64_t changed = attachNodes(other, S);
+
+    root_ = other.root_;
+    Shape &r = shape_[static_cast<std::size_t>(root_)];
+    r.parent = kNoTid;
+    r.aclk = 0;
+    r.nextSib = kNoTid;
+    r.prevSib = kNoTid;
+
+    if (counters_) {
+        counters_->copies++;
+        counters_->vtWork += changed;
+        counters_->dsWork += examined + transplanted;
+    }
+}
+
+bool
+TreeClock::copyCheckMonotone(const TreeClock &other)
+{
+    if (lessThanOrEqual(other)) {
+        monotoneCopy(other);
+        return true;
+    }
+    if (counters_)
+        counters_->deepCopies++;
+    deepCopy(other);
+    return false;
+}
+
+void
+TreeClock::deepCopy(const TreeClock &other)
+{
+    ensure(other.clk_.size());
+    std::uint64_t changed = 0;
+    const std::size_t n = other.clk_.size();
+    for (std::size_t i = 0; i < n; i++) {
+        changed += clk_[i] != other.clk_[i];
+        clk_[i] = other.clk_[i];
+        shape_[i] = other.shape_[i];
+    }
+    for (std::size_t i = n; i < clk_.size(); i++) {
+        changed += clk_[i] != 0;
+        clk_[i] = 0;
+        shape_[i] = Shape{};
+    }
+    root_ = other.root_;
+    if (counters_) {
+        counters_->copies++;
+        counters_->vtWork += changed;
+        counters_->dsWork += clk_.size();
+    }
+}
+
+std::vector<Clk>
+TreeClock::toVector(std::size_t min_threads) const
+{
+    std::vector<Clk> out(std::max(clk_.size(), min_threads), 0);
+    std::copy(clk_.begin(), clk_.end(), out.begin());
+    return out;
+}
+
+std::size_t
+TreeClock::nodeCount() const
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < shape_.size(); i++)
+        n += hasThread(static_cast<Tid>(i));
+    return n;
+}
+
+Tid
+TreeClock::parentOf(Tid t) const
+{
+    if (!hasThread(t))
+        return kNoTid;
+    const Tid p = shape_[static_cast<std::size_t>(t)].parent;
+    return p == kAbsent ? kNoTid : p;
+}
+
+Clk
+TreeClock::aclkOf(Tid t) const
+{
+    return hasThread(t) && t != root_
+               ? shape_[static_cast<std::size_t>(t)].aclk
+               : 0;
+}
+
+std::vector<Tid>
+TreeClock::childrenOf(Tid t) const
+{
+    std::vector<Tid> out;
+    if (!hasThread(t))
+        return out;
+    for (Tid c = shape_[static_cast<std::size_t>(t)].firstChild;
+         c != kNoTid;
+         c = shape_[static_cast<std::size_t>(c)].nextSib) {
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+TreeClock::checkInvariants() const
+{
+    const std::size_t present = nodeCount();
+    if (root_ == kNoTid) {
+        if (present != 0)
+            return "empty clock has present nodes";
+        return "";
+    }
+    if (!hasThread(root_))
+        return "root is not present";
+    if (shape_[static_cast<std::size_t>(root_)].parent != kNoTid)
+        return "root has a parent";
+
+    // Walk the tree from the root, verifying link consistency and
+    // the descending-aclk child order on the way.
+    std::vector<Tid> stack{root_};
+    std::size_t reached = 0;
+    std::vector<bool> seen(shape_.size(), false);
+    while (!stack.empty()) {
+        const Tid u = stack.back();
+        stack.pop_back();
+        if (seen[static_cast<std::size_t>(u)])
+            return strFormat("node t%d reached twice (cycle)", u);
+        seen[static_cast<std::size_t>(u)] = true;
+        reached++;
+
+        const Shape &us = shape_[static_cast<std::size_t>(u)];
+        Clk prev_aclk = 0;
+        bool first = true;
+        Tid prev = kNoTid;
+        for (Tid c = us.firstChild; c != kNoTid;
+             c = shape_[static_cast<std::size_t>(c)].nextSib) {
+            const Shape &cs = shape_[static_cast<std::size_t>(c)];
+            if (!hasThread(c))
+                return strFormat("child t%d of t%d not present", c,
+                                 u);
+            if (cs.parent != u)
+                return strFormat("child t%d has wrong parent", c);
+            if (cs.prevSib != prev)
+                return strFormat("broken prevSib link at t%d", c);
+            if (!first && cs.aclk > prev_aclk) {
+                return strFormat(
+                    "children of t%d not in descending aclk order",
+                    u);
+            }
+            if (cs.aclk > clk_[static_cast<std::size_t>(u)]) {
+                return strFormat(
+                    "child t%d attached later (%u) than parent time "
+                    "(%u)", c, cs.aclk,
+                    clk_[static_cast<std::size_t>(u)]);
+            }
+            prev_aclk = cs.aclk;
+            first = false;
+            prev = c;
+            stack.push_back(c);
+        }
+    }
+    if (reached != present) {
+        return strFormat(
+            "%zu nodes present but only %zu reachable from root",
+            present, reached);
+    }
+    return "";
+}
+
+std::string
+TreeClock::toString() const
+{
+    if (root_ == kNoTid)
+        return "(empty tree clock)\n";
+    std::string out;
+    // Depth-first render; stack of (tid, depth).
+    std::vector<std::pair<Tid, int>> stack{{root_, 0}};
+    while (!stack.empty()) {
+        const auto [u, depth] = stack.back();
+        stack.pop_back();
+        out += std::string(static_cast<std::size_t>(depth) * 2, ' ');
+        if (u == root_) {
+            out += strFormat("(t%d, %u, _)\n", u,
+                             clk_[static_cast<std::size_t>(u)]);
+        } else {
+            out += strFormat(
+                "(t%d, %u, %u)\n", u,
+                clk_[static_cast<std::size_t>(u)],
+                shape_[static_cast<std::size_t>(u)].aclk);
+        }
+        // Push children reversed so the first child prints first.
+        const auto kids = childrenOf(u);
+        for (auto it = kids.rbegin(); it != kids.rend(); ++it)
+            stack.push_back({*it, depth + 1});
+    }
+    return out;
+}
+
+} // namespace tc

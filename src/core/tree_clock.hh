@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The tree clock data structure (paper §3, Algorithm 2).
+ *
+ * A tree clock stores the same vector time as a vector clock, but as
+ * a rooted tree whose structure remembers how times were learned
+ * transitively. A node is (tid, clk, aclk): clk is the last known
+ * local time of tid, aclk is the parent's local time when this node
+ * was (re)attached. Children are kept in descending aclk order.
+ *
+ * Join and MonotoneCopy exploit two pruning principles (§3.1):
+ *  - direct monotonicity: if the operand's node for thread u has not
+ *    progressed past what we know, nothing in its subtree has either,
+ *    so the traversal skips the whole subtree;
+ *  - indirect monotonicity: children are attached in increasing aclk
+ *    order over time, so once a non-progressed child's aclk is
+ *    already covered by our knowledge of the parent, all remaining
+ *    (older) siblings are covered too and the child scan stops.
+ *
+ * Both routines therefore run in time proportional to the entries
+ * that actually change (Theorem 1: total accessed entries over a run
+ * are at most 3·VTWork).
+ *
+ * Implementation follows the paper's §6 notes: "the tree clock data
+ * structure is represented as two arrays of length k, the first one
+ * encoding the shape of the tree and the second one encoding the
+ * integer timestamps as in a standard vector clock". Here clk_ is
+ * the flat timestamp array (so Get is the same single load a vector
+ * clock performs, Remark 1) and shape_ holds aclk plus the intrusive
+ * parent/child/sibling links; the recursive traversals of
+ * Algorithm 2 are made iterative with an explicit frame stack.
+ */
+
+#ifndef TC_CORE_TREE_CLOCK_HH
+#define TC_CORE_TREE_CLOCK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/work_counters.hh"
+#include "support/types.hh"
+
+namespace tc {
+
+/**
+ * Tree clock. See the file comment for the data structure overview.
+ *
+ * Usage discipline (all asserted where affordable):
+ *  - Thread clocks are built with the owning constructor; auxiliary
+ *    clocks (locks, last-writes, per-thread reads) are default
+ *    constructed and populated by monotoneCopy/copyCheckMonotone.
+ *  - join(o) requires an initialized clock and must not be handed an
+ *    operand claiming to know this clock's root thread beyond the
+ *    root's own time ("a thread cannot learn its own future").
+ *  - monotoneCopy(o) requires this ⊑ o. Under the HB/SHB/MAZ
+ *    algorithms the old root is always repositioned by the traversal
+ *    (paper Lemma 5); for ad-hoc call sequences where it is not, we
+ *    fall back to a linear deepCopy and count it in
+ *    WorkCounters::fallbackCopies, keeping the structure correct for
+ *    any monotone copy.
+ */
+class TreeClock
+{
+  public:
+    /**
+     * Traversal pruning policy — ablation hook (DESIGN.md §8).
+     * Full is the paper's Algorithm 2; NoIndirect drops the aclk
+     * sibling cut; NoPruning also descends into non-progressed
+     * subtrees (isolating pure tree overhead).
+     */
+    enum class JoinPolicy : std::uint8_t
+    {
+        Full,
+        NoIndirect,
+        NoPruning,
+    };
+
+    /** Auxiliary (empty) clock; Get(t) = 0 for all t. */
+    TreeClock() = default;
+
+    /** Init(t): thread clock rooted at (t, 0, ⊥). */
+    explicit TreeClock(Tid owner, std::size_t capacity = 0);
+
+    /** Attach a work-counter sink (nullptr detaches). */
+    void setCounters(WorkCounters *counters) { counters_ = counters; }
+
+    void setPolicy(JoinPolicy policy) { policy_ = policy; }
+    JoinPolicy policy() const { return policy_; }
+
+    /**
+     * Get(t): time of thread @p t, 0 when unknown. The same single
+     * array load a vector clock pays (absent threads hold 0 in the
+     * flat timestamp array).
+     */
+    Clk
+    get(Tid t) const
+    {
+        const auto i = static_cast<std::size_t>(t);
+        return i < clk_.size() ? clk_[i] : 0;
+    }
+
+    /** Root's thread id (kNoTid when empty). */
+    Tid rootTid() const { return root_; }
+
+    /** Root's own time (the owner's local clock for thread clocks). */
+    Clk
+    localClk() const
+    {
+        return root_ == kNoTid
+                   ? 0
+                   : clk_[static_cast<std::size_t>(root_)];
+    }
+
+    bool empty() const { return root_ == kNoTid; }
+
+    /** Increment(i): bump the root thread's time. */
+    void increment(Clk delta);
+
+    /**
+     * LessThan of Algorithm 2: O(1) root-entry test, exact whenever
+     * the two clocks evolved inside one analysis (by direct
+     * monotonicity, Lemma 3, the root entry dominates the tree).
+     */
+    bool
+    lessThanOrEqual(const TreeClock &other) const
+    {
+        return root_ == kNoTid || localClk() <= other.get(root_);
+    }
+
+    /** Exact pointwise comparison for arbitrary clocks. O(k). */
+    bool lessThanOrEqualExact(const TreeClock &other) const;
+
+    /** Join of Algorithm 2: this ← this ⊔ other, sublinear. */
+    void join(const TreeClock &other);
+
+    /**
+     * MonotoneCopy of Algorithm 2: this ← other given this ⊑ other,
+     * sublinear.
+     */
+    void monotoneCopy(const TreeClock &other);
+
+    /**
+     * CopyCheckMonotone (§5.1): O(1) monotonicity test, then either
+     * a sublinear MonotoneCopy or a linear deep copy. Returns true
+     * when the monotone (cheap) path was taken — SHB uses the false
+     * case as its write-read race witness.
+     */
+    bool copyCheckMonotone(const TreeClock &other);
+
+    /** Unconditional linear copy of @p other's tree. */
+    void deepCopy(const TreeClock &other);
+
+    /** Materialize the vector time (at least @p min_threads wide). */
+    std::vector<Clk> toVector(std::size_t min_threads = 0) const;
+
+    /** Number of addressable thread ids. */
+    std::size_t size() const { return clk_.size(); }
+
+    /** Number of threads present in the tree. O(k). */
+    std::size_t nodeCount() const;
+
+    /** @name Introspection (tests, debugging, examples)
+     * @{ */
+    bool
+    hasThread(Tid t) const
+    {
+        const auto i = static_cast<std::size_t>(t);
+        return i < shape_.size() &&
+               (t == root_ || shape_[i].parent != kAbsent);
+    }
+    /** Parent thread of @p t's node (kNoTid for root/absent). */
+    Tid parentOf(Tid t) const;
+    /** Attachment time of @p t's node (0 for the root). */
+    Clk aclkOf(Tid t) const;
+    /** Children of @p t's node, in stored (descending aclk) order. */
+    std::vector<Tid> childrenOf(Tid t) const;
+    /** Safety-net deep copies taken by this instance (see class
+     * comment); 0 under algorithm usage. */
+    std::uint64_t fallbackCopies() const { return fallbackCopies_; }
+    /**
+     * Validate all structural invariants: single root, consistent
+     * parent/sibling links, descending-aclk child lists,
+     * aclk ≤ parent clk, and reachability of every present node.
+     * Returns an empty string when healthy, else a diagnostic.
+     */
+    std::string checkInvariants() const;
+    /** Render the tree as an indented multi-line string. */
+    std::string toString() const;
+    /** @} */
+
+    static constexpr const char *kName = "TC";
+
+  private:
+    /** Sentinel parent for threads that were never in the tree. */
+    static constexpr Tid kAbsent = -2;
+
+    /** Cold per-node tree structure (the "shape" array). */
+    struct Shape
+    {
+        Clk aclk = 0;
+        Tid parent = kAbsent;
+        Tid firstChild = kNoTid;
+        Tid nextSib = kNoTid;
+        Tid prevSib = kNoTid;
+    };
+
+    void ensure(std::size_t n);
+    /** Front-insert @p child under @p parent (pushChild). */
+    void pushChild(Tid child, Tid parent);
+    /** Unlink @p t from its parent's child list. */
+    void detachFromParent(Tid t);
+
+    /**
+     * getUpdatedNodesJoin / getUpdatedNodesCopy: collect into @p S
+     * (pre-order) the operand's nodes to transplant, unlinking them
+     * from this tree on the way. @p z_tid is the old root for
+     * copies (kNoTid for joins).
+     */
+    void gatherUpdated(const TreeClock &other, std::vector<Tid> &S,
+                       bool is_copy, Tid z_tid,
+                       std::uint64_t &examined);
+    /** Transplant S (popped in reverse) mirroring other's shape;
+     * returns the number of clk entries whose value changed. */
+    std::uint64_t attachNodes(const TreeClock &other,
+                              std::vector<Tid> &S);
+
+    std::vector<Clk> clk_;     ///< flat timestamps (hot)
+    std::vector<Shape> shape_; ///< tree links + aclk (cold)
+    Tid root_ = kNoTid;
+    WorkCounters *counters_ = nullptr;
+    JoinPolicy policy_ = JoinPolicy::Full;
+    std::uint64_t fallbackCopies_ = 0;
+};
+
+} // namespace tc
+
+#endif // TC_CORE_TREE_CLOCK_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The classic flat vector clock (paper §2.2) — the baseline data
+ * structure tree clocks are measured against. Join, copy and
+ * comparison are Θ(k); get and increment are O(1).
+ */
+
+#ifndef TC_CORE_VECTOR_CLOCK_HH
+#define TC_CORE_VECTOR_CLOCK_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/work_counters.hh"
+#include "support/types.hh"
+
+namespace tc {
+
+/**
+ * Vector clock over dense thread ids. Storage grows lazily to the
+ * largest id touched; entries beyond the stored prefix read as 0.
+ *
+ * A clock may own a thread (set by the owning constructor), in which
+ * case increment() bumps the owner's entry. Auxiliary clocks (locks,
+ * last-write) are default-constructed and never incremented.
+ */
+class VectorClock
+{
+  public:
+    /** Auxiliary (ownerless) clock; all entries 0. */
+    VectorClock() = default;
+
+    /** Thread clock for @p owner, pre-sized to @p capacity entries. */
+    explicit VectorClock(Tid owner, std::size_t capacity = 0);
+
+    /** Attach a work-counter sink (nullptr detaches). */
+    void setCounters(WorkCounters *counters) { counters_ = counters; }
+
+    Tid ownerTid() const { return owner_; }
+
+    /** Time of thread @p t (0 when unknown). O(1). */
+    Clk
+    get(Tid t) const
+    {
+        const auto i = static_cast<std::size_t>(t);
+        return i < times_.size() ? times_[i] : 0;
+    }
+
+    /** Owner's own time. */
+    Clk localClk() const { return get(owner_); }
+
+    /** True when every entry is 0 and no owner was set. */
+    bool
+    empty() const
+    {
+        if (owner_ != kNoTid)
+            return false;
+        for (Clk c : times_)
+            if (c != 0)
+                return false;
+        return true;
+    }
+
+    /** Bump the owner's entry by @p delta. */
+    void increment(Clk delta);
+
+    /** Pointwise maximum with @p other (the ⊔ of §2.2). Θ(k). */
+    void join(const VectorClock &other);
+
+    /** Plain assignment of @p other's vector time. Θ(k). */
+    void copyFrom(const VectorClock &other);
+
+    /**
+     * For vector clocks a monotone copy has no cheaper
+     * implementation than a plain copy; provided so engines can be
+     * written against one clock interface.
+     */
+    void monotoneCopy(const VectorClock &other) { copyFrom(other); }
+
+    /** Ditto (SHB's CopyCheckMonotone, §5.1). */
+    void copyCheckMonotone(const VectorClock &other)
+    {
+        copyFrom(other);
+    }
+
+    /** Ditto (TreeClock's linear fallback; a flat copy already is
+     * one). */
+    void deepCopy(const VectorClock &other) { copyFrom(other); }
+
+    /** True iff this ⊑ other pointwise. Θ(k). */
+    bool lessThanOrEqual(const VectorClock &other) const;
+
+    /** Exact comparison (same operation for a vector clock). */
+    bool
+    lessThanOrEqualExact(const VectorClock &other) const
+    {
+        return lessThanOrEqual(other);
+    }
+
+    /**
+     * Materialize the vector time over at least @p min_threads
+     * entries.
+     */
+    std::vector<Clk> toVector(std::size_t min_threads = 0) const;
+
+    /** Number of stored entries. */
+    std::size_t size() const { return times_.size(); }
+
+    static constexpr const char *kName = "VC";
+
+  private:
+    void ensure(std::size_t n);
+
+    std::vector<Clk> times_;
+    Tid owner_ = kNoTid;
+    WorkCounters *counters_ = nullptr;
+};
+
+} // namespace tc
+
+#endif // TC_CORE_VECTOR_CLOCK_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Work accounting for the paper's §4 optimality study.
+ *
+ * - vtWork: number of vector-time entries whose *value* changed.
+ *   This is VTWork(σ) when summed over a run — independent of the
+ *   data structure (the tests assert VC and TC runs agree on it).
+ * - dsWork: number of entries the data structure touched. For vector
+ *   clocks this is Θ(k) per join/copy (VCWork); for tree clocks it is
+ *   the traversal iterations plus updated nodes (TCWork), which
+ *   Theorem 1 bounds by 3·VTWork.
+ */
+
+#ifndef TC_CORE_WORK_COUNTERS_HH
+#define TC_CORE_WORK_COUNTERS_HH
+
+#include <cstdint>
+
+namespace tc {
+
+/** Accumulated operation/work statistics for a set of clocks. */
+struct WorkCounters
+{
+    std::uint64_t vtWork = 0;   ///< entries whose value changed
+    std::uint64_t dsWork = 0;   ///< entries touched by the DS
+
+    std::uint64_t increments = 0;
+    std::uint64_t joins = 0;
+    std::uint64_t copies = 0;
+    /** Deep copies taken by CopyCheckMonotone (the SHB race path). */
+    std::uint64_t deepCopies = 0;
+    /** Safety-net deep copies in MonotoneCopy (see TreeClock docs);
+     * must stay 0 under HB/SHB/MAZ usage. */
+    std::uint64_t fallbackCopies = 0;
+
+    void
+    reset()
+    {
+        *this = WorkCounters{};
+    }
+
+    /** DSWork / VTWork; the paper's Figures 8–9 plot these ratios. */
+    double
+    workRatio() const
+    {
+        return vtWork == 0
+                   ? 0.0
+                   : static_cast<double>(dsWork) /
+                         static_cast<double>(vtWork);
+    }
+};
+
+} // namespace tc
+
+#endif // TC_CORE_WORK_COUNTERS_HH

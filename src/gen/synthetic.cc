@@ -1,0 +1,137 @@
+#include "gen/synthetic.hh"
+
+#include <algorithm>
+
+#include "support/assert.hh"
+#include "support/rng.hh"
+
+namespace tc {
+
+const char *
+scenarioName(Scenario scenario)
+{
+    switch (scenario) {
+      case Scenario::SingleLock: return "single-lock";
+      case Scenario::SkewedLocks: return "fifty-locks-skewed";
+      case Scenario::StarTopology: return "star-topology";
+      case Scenario::Pairwise: return "pairwise";
+    }
+    return "?";
+}
+
+std::vector<Scenario>
+allScenarios()
+{
+    return {Scenario::SingleLock, Scenario::SkewedLocks,
+            Scenario::StarTopology, Scenario::Pairwise};
+}
+
+Trace
+genSingleLock(const ScenarioParams &params)
+{
+    TC_CHECK(params.threads >= 1, "need at least one thread");
+    Rng rng(params.seed);
+    Trace trace(params.threads, 1, 0);
+    trace.reserve(params.events);
+    while (trace.size() + 1 < params.events) {
+        const Tid t = static_cast<Tid>(rng.below(
+            static_cast<std::uint64_t>(params.threads)));
+        trace.sync(t, 0);
+    }
+    return trace;
+}
+
+Trace
+genSkewedLocks(const ScenarioParams &params, LockId num_locks)
+{
+    TC_CHECK(params.threads >= 1, "need at least one thread");
+    TC_CHECK(num_locks >= 1, "need at least one lock");
+    Rng rng(params.seed);
+    Trace trace(params.threads, num_locks, 0);
+    trace.reserve(params.events);
+
+    // First 20% of threads get weight 5, the rest weight 1.
+    const Tid hot = std::max<Tid>(1, params.threads / 5);
+    std::vector<double> weights(
+        static_cast<std::size_t>(params.threads), 1.0);
+    for (Tid t = 0; t < hot; t++)
+        weights[static_cast<std::size_t>(t)] = 5.0;
+    WeightedSampler sampler(weights);
+
+    while (trace.size() + 1 < params.events) {
+        const Tid t = static_cast<Tid>(sampler.draw(rng));
+        const LockId l = static_cast<LockId>(rng.below(
+            static_cast<std::uint64_t>(num_locks)));
+        trace.sync(t, l);
+    }
+    return trace;
+}
+
+Trace
+genStarTopology(const ScenarioParams &params)
+{
+    TC_CHECK(params.threads >= 2,
+             "star topology needs a server and a client");
+    Rng rng(params.seed);
+    const Tid clients = params.threads - 1;
+    Trace trace(params.threads, clients, 0);
+    trace.reserve(params.events);
+    // Per the paper's recipe, every round one *random* thread syncs:
+    // a client on its dedicated lock, the server (thread 0) on a
+    // random client's lock. Client syncs are mostly vacuous joins,
+    // which is what makes tree clocks O(1) amortized here while
+    // vector clocks stay Θ(k).
+    while (trace.size() + 1 < params.events) {
+        const Tid t = static_cast<Tid>(rng.below(
+            static_cast<std::uint64_t>(params.threads)));
+        const LockId l =
+            t == 0 ? static_cast<LockId>(rng.below(
+                         static_cast<std::uint64_t>(clients)))
+                   : t - 1;
+        trace.sync(t, l);
+    }
+    return trace;
+}
+
+Trace
+genPairwise(const ScenarioParams &params)
+{
+    TC_CHECK(params.threads >= 2, "pairwise needs two threads");
+    Rng rng(params.seed);
+    const std::uint64_t k =
+        static_cast<std::uint64_t>(params.threads);
+    const std::uint64_t pairs = k * (k - 1) / 2;
+    Trace trace(params.threads, static_cast<LockId>(pairs), 0);
+    trace.reserve(params.events);
+    // One random thread per round syncs on the lock it shares with
+    // a random partner (the "randomly chosen lock" of the paper's
+    // recipe, restricted to the thread's own pair locks).
+    while (trace.size() + 1 < params.events) {
+        std::uint64_t i = rng.below(k);
+        std::uint64_t j = rng.below(k - 1);
+        if (j >= i)
+            j++;
+        const std::uint64_t lo = std::min(i, j);
+        const std::uint64_t hi = std::max(i, j);
+        // Dense index of the pair (lo, hi), lo < hi.
+        const std::uint64_t l =
+            lo * k - lo * (lo + 1) / 2 + (hi - lo - 1);
+        trace.sync(static_cast<Tid>(i), static_cast<LockId>(l));
+    }
+    return trace;
+}
+
+Trace
+genScenario(Scenario scenario, const ScenarioParams &params)
+{
+    switch (scenario) {
+      case Scenario::SingleLock: return genSingleLock(params);
+      case Scenario::SkewedLocks: return genSkewedLocks(params);
+      case Scenario::StarTopology: return genStarTopology(params);
+      case Scenario::Pairwise: return genPairwise(params);
+    }
+    TC_CHECK(false, "unknown scenario");
+    return Trace();
+}
+
+} // namespace tc

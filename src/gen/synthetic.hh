@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The paper's §6 "Scalability" workloads (Figure 10): synthetic
+ * traces with a fixed event budget and a controlled communication
+ * topology, swept over the thread count.
+ *
+ * (a) single lock      — all threads sync over one common lock;
+ * (b) fifty locks, skewed — 50 locks, 20% of threads 5× more active;
+ * (c) star topology    — k-1 clients, each with a dedicated lock to
+ *                        one server thread;
+ * (d) pairwise         — every thread pair has a dedicated lock.
+ */
+
+#ifndef TC_GEN_SYNTHETIC_HH
+#define TC_GEN_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace tc {
+
+/** Parameters shared by the four scenarios. */
+struct ScenarioParams
+{
+    Tid threads = 16;
+    std::uint64_t events = 1000000; ///< total events (approx.)
+    std::uint64_t seed = 7;
+};
+
+/** Figure 10 scenario identifiers. */
+enum class Scenario
+{
+    SingleLock,
+    SkewedLocks,
+    StarTopology,
+    Pairwise,
+};
+
+const char *scenarioName(Scenario scenario);
+std::vector<Scenario> allScenarios();
+
+/** (a): every round one random thread does acq(l0), rel(l0). */
+Trace genSingleLock(const ScenarioParams &params);
+
+/**
+ * (b): 50 locks; the first 20% of threads are 5× more likely to be
+ * picked; each round the chosen thread syncs on a random lock.
+ */
+Trace genSkewedLocks(const ScenarioParams &params,
+                     LockId num_locks = 50);
+
+/**
+ * (c): thread 0 is the server. Each round a random client c syncs on
+ * its dedicated lock l_c, then the server syncs on l_c.
+ */
+Trace genStarTopology(const ScenarioParams &params);
+
+/**
+ * (d): each round a random pair (i, j) communicates over the pair's
+ * dedicated lock: i syncs, then j syncs.
+ */
+Trace genPairwise(const ScenarioParams &params);
+
+/** Dispatch by scenario id. */
+Trace genScenario(Scenario scenario, const ScenarioParams &params);
+
+} // namespace tc
+
+#endif // TC_GEN_SYNTHETIC_HH

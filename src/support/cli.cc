@@ -1,0 +1,196 @@
+#include "support/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/assert.hh"
+#include "support/strings.hh"
+
+namespace tc {
+
+ArgParser::ArgParser(std::string description)
+    : description_(std::move(description))
+{
+}
+
+void
+ArgParser::addInt(const std::string &name, std::int64_t def,
+                  const std::string &help)
+{
+    Flag f;
+    f.kind = Kind::Int;
+    f.help = help;
+    f.intVal = def;
+    f.defText = strFormat("%lld", static_cast<long long>(def));
+    flags_[name] = std::move(f);
+}
+
+void
+ArgParser::addDouble(const std::string &name, double def,
+                     const std::string &help)
+{
+    Flag f;
+    f.kind = Kind::Double;
+    f.help = help;
+    f.doubleVal = def;
+    f.defText = strFormat("%g", def);
+    flags_[name] = std::move(f);
+}
+
+void
+ArgParser::addString(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    Flag f;
+    f.kind = Kind::String;
+    f.help = help;
+    f.strVal = def;
+    f.defText = def.empty() ? "\"\"" : def;
+    flags_[name] = std::move(f);
+}
+
+void
+ArgParser::addBool(const std::string &name, bool def,
+                   const std::string &help)
+{
+    Flag f;
+    f.kind = Kind::Bool;
+    f.help = help;
+    f.boolVal = def;
+    f.defText = def ? "true" : "false";
+    flags_[name] = std::move(f);
+}
+
+bool
+ArgParser::assign(Flag &flag, const std::string &name,
+                  const std::string &text)
+{
+    char *end = nullptr;
+    switch (flag.kind) {
+      case Kind::Int:
+        flag.intVal = std::strtoll(text.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+            std::fprintf(stderr, "error: --%s expects an integer, "
+                         "got '%s'\n", name.c_str(), text.c_str());
+            return false;
+        }
+        return true;
+      case Kind::Double:
+        flag.doubleVal = std::strtod(text.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            std::fprintf(stderr, "error: --%s expects a number, "
+                         "got '%s'\n", name.c_str(), text.c_str());
+            return false;
+        }
+        return true;
+      case Kind::String:
+        flag.strVal = text;
+        return true;
+      case Kind::Bool:
+        if (text == "true" || text == "1") {
+            flag.boolVal = true;
+        } else if (text == "false" || text == "0") {
+            flag.boolVal = false;
+        } else {
+            std::fprintf(stderr, "error: --%s expects true/false, "
+                         "got '%s'\n", name.c_str(), text.c_str());
+            return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+ArgParser::parse(int argc, char **argv)
+{
+    program_ = argc > 0 ? argv[0] : "tool";
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp();
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool have_value = false;
+        const std::size_t eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            have_value = true;
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end()) {
+            std::fprintf(stderr, "error: unknown flag --%s "
+                         "(try --help)\n", name.c_str());
+            return false;
+        }
+        Flag &flag = it->second;
+        if (!have_value) {
+            if (flag.kind == Kind::Bool) {
+                flag.boolVal = true;
+                continue;
+            }
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: --%s needs a value\n",
+                             name.c_str());
+                return false;
+            }
+            value = argv[++i];
+        }
+        if (!assign(flag, name, value))
+            return false;
+    }
+    return true;
+}
+
+const ArgParser::Flag &
+ArgParser::find(const std::string &name, Kind kind) const
+{
+    auto it = flags_.find(name);
+    TC_CHECK(it != flags_.end(), "flag was never registered");
+    TC_CHECK(it->second.kind == kind, "flag accessed with wrong type");
+    return it->second;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    return find(name, Kind::Int).intVal;
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    return find(name, Kind::Double).doubleVal;
+}
+
+const std::string &
+ArgParser::getString(const std::string &name) const
+{
+    return find(name, Kind::String).strVal;
+}
+
+bool
+ArgParser::getBool(const std::string &name) const
+{
+    return find(name, Kind::Bool).boolVal;
+}
+
+void
+ArgParser::printHelp() const
+{
+    std::printf("%s\n\nusage: %s [--flag=value ...]\n\nflags:\n",
+                description_.c_str(), program_.c_str());
+    for (const auto &[name, flag] : flags_) {
+        std::printf("  --%-22s %s (default: %s)\n", name.c_str(),
+                    flag.help.c_str(), flag.defText.c_str());
+    }
+}
+
+} // namespace tc

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal command-line flag parser shared by the examples and the
+ * benchmark harness binaries.
+ *
+ * Supported syntax: --name=value, --name value, and bare --name for
+ * booleans. --help prints registered flags with defaults and exits.
+ */
+
+#ifndef TC_SUPPORT_CLI_HH
+#define TC_SUPPORT_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tc {
+
+/** Declarative flag registry + parser. */
+class ArgParser
+{
+  public:
+    /**
+     * @param description One-line tool description shown by --help.
+     */
+    explicit ArgParser(std::string description);
+
+    /** Register an integer flag and return a stable handle. */
+    void addInt(const std::string &name, std::int64_t def,
+                const std::string &help);
+    /** Register a floating-point flag. */
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+    /** Register a string flag. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+    /** Register a boolean flag (default false; bare flag sets true). */
+    void addBool(const std::string &name, bool def,
+                 const std::string &help);
+
+    /**
+     * Parse argv. On --help, prints usage and returns false (caller
+     * should exit 0). On malformed input, prints an error and returns
+     * false as well.
+     */
+    bool parse(int argc, char **argv);
+
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    const std::string &getString(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Positional (non-flag) arguments, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    void printHelp() const;
+
+  private:
+    enum class Kind { Int, Double, String, Bool };
+
+    struct Flag
+    {
+        Kind kind;
+        std::string help;
+        std::string defText;
+        std::int64_t intVal = 0;
+        double doubleVal = 0;
+        std::string strVal;
+        bool boolVal = false;
+    };
+
+    const Flag &find(const std::string &name, Kind kind) const;
+    bool assign(Flag &flag, const std::string &name,
+                const std::string &text);
+
+    std::string description_;
+    std::string program_;
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace tc
+
+#endif // TC_SUPPORT_CLI_HH

@@ -1,0 +1,84 @@
+#include "support/histogram.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/assert.hh"
+#include "support/strings.hh"
+
+namespace tc {
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges))
+{
+    TC_CHECK(edges_.size() >= 2, "histogram needs at least two edges");
+    TC_CHECK(std::is_sorted(edges_.begin(), edges_.end()),
+             "histogram edges must be ascending");
+    counts_.assign(edges_.size() - 1, 0);
+}
+
+Histogram
+Histogram::paperFig9()
+{
+    return Histogram({1, 5, 10, 20, 30, 40, 50, 60, 70, 80});
+}
+
+void
+Histogram::add(double sample)
+{
+    total_++;
+    if (sample < edges_.front()) {
+        underflow_++;
+        return;
+    }
+    if (sample >= edges_.back()) {
+        overflow_++;
+        return;
+    }
+    const auto it =
+        std::upper_bound(edges_.begin(), edges_.end(), sample);
+    counts_[static_cast<std::size_t>(it - edges_.begin()) - 1]++;
+}
+
+std::string
+Histogram::binLabel(std::size_t bin) const
+{
+    TC_CHECK(bin < counts_.size(), "bin out of range");
+    return strFormat("[%g, %g)", edges_[bin], edges_[bin + 1]);
+}
+
+void
+Histogram::print(std::ostream &os, std::size_t max_bar_width) const
+{
+    std::uint64_t peak = std::max<std::uint64_t>(
+        {underflow_, overflow_,
+         counts_.empty()
+             ? 0
+             : *std::max_element(counts_.begin(), counts_.end())});
+    peak = std::max<std::uint64_t>(peak, 1);
+
+    auto bar = [&](std::uint64_t n) {
+        const std::size_t len = static_cast<std::size_t>(
+            static_cast<double>(n) / static_cast<double>(peak) *
+            static_cast<double>(max_bar_width));
+        return std::string(len, '#');
+    };
+
+    if (underflow_ > 0) {
+        os << strFormat("  %-12s %6llu  ", "< min",
+                        static_cast<unsigned long long>(underflow_))
+           << bar(underflow_) << '\n';
+    }
+    for (std::size_t i = 0; i < counts_.size(); i++) {
+        os << strFormat("  %-12s %6llu  ", binLabel(i).c_str(),
+                        static_cast<unsigned long long>(counts_[i]))
+           << bar(counts_[i]) << '\n';
+    }
+    if (overflow_ > 0) {
+        os << strFormat("  %-12s %6llu  ", ">= max",
+                        static_cast<unsigned long long>(overflow_))
+           << bar(overflow_) << '\n';
+    }
+}
+
+} // namespace tc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fixed-edge histogram with ASCII rendering; used to regenerate the
+ * paper's Figure 9 (histograms of VCWork/TCWork ratios).
+ */
+
+#ifndef TC_SUPPORT_HISTOGRAM_HH
+#define TC_SUPPORT_HISTOGRAM_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tc {
+
+/**
+ * Histogram over user-supplied bin edges. A sample x lands in bin i
+ * when edges[i] <= x < edges[i+1]; samples below the first edge go to
+ * an underflow bin, samples at/above the last edge to an overflow bin.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> edges);
+
+    /** Bin edges matching Figure 9's x axis: 1,5,10,20,...,80. */
+    static Histogram paperFig9();
+
+    void add(double sample);
+
+    std::uint64_t count(std::size_t bin) const { return counts_[bin]; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Label of bin i, e.g. "[5, 10)". */
+    std::string binLabel(std::size_t bin) const;
+
+    /** Render counts as horizontal ASCII bars. */
+    void print(std::ostream &os, std::size_t max_bar_width = 50) const;
+
+  private:
+    std::vector<double> edges_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace tc
+
+#endif // TC_SUPPORT_HISTOGRAM_HH

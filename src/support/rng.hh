@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for trace synthesis.
+ *
+ * We use xoshiro256** seeded through SplitMix64 — fast, reproducible
+ * across platforms (unlike std::mt19937 distributions, whose results
+ * are not specified identically across standard libraries).
+ */
+
+#ifndef TC_SUPPORT_RNG_HH
+#define TC_SUPPORT_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hh"
+
+namespace tc {
+
+/** SplitMix64 step; used to expand a single seed into a full state. */
+inline std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator. Deterministic for a given seed; every
+ * generator in the library goes through this class so that traces and
+ * benchmarks are bit-reproducible.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be positive. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        TC_ASSERT(bound > 0, "below() needs a positive bound");
+        // Lemire-style rejection-free-ish bounded draw; the tiny bias
+        // of plain modulo is irrelevant for workload synthesis, but
+        // multiply-shift is faster and unbiased enough.
+        return (static_cast<unsigned __int128>(next()) * bound) >> 64;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        TC_ASSERT(lo <= hi, "range() needs lo <= hi");
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Draw an index according to a weight vector. Weights need not be
+     * normalized. O(n); callers with hot loops should precompute a
+     * cumulative table instead.
+     */
+    std::size_t
+    pickWeighted(const std::vector<double> &weights)
+    {
+        double total = 0;
+        for (double w : weights)
+            total += w;
+        TC_ASSERT(total > 0, "pickWeighted() needs positive mass");
+        double x = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); i++) {
+            x -= weights[i];
+            if (x < 0)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+/**
+ * Cumulative-weight sampler for skewed choices in hot generator loops.
+ * Build once, draw in O(log n).
+ */
+class WeightedSampler
+{
+  public:
+    explicit WeightedSampler(const std::vector<double> &weights)
+    {
+        cumulative_.reserve(weights.size());
+        double total = 0;
+        for (double w : weights) {
+            TC_ASSERT(w >= 0, "negative weight");
+            total += w;
+            cumulative_.push_back(total);
+        }
+        TC_CHECK(total > 0, "WeightedSampler needs positive total mass");
+    }
+
+    std::size_t
+    draw(Rng &rng) const
+    {
+        const double x = rng.uniform() * cumulative_.back();
+        std::size_t lo = 0, hi = cumulative_.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (cumulative_[mid] <= x)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    std::size_t size() const { return cumulative_.size(); }
+
+  private:
+    std::vector<double> cumulative_;
+};
+
+} // namespace tc
+
+#endif // TC_SUPPORT_RNG_HH

@@ -1,0 +1,71 @@
+#include "support/strings.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace tc {
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+
+    std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0,
+                    '\0');
+    if (needed > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+humanCount(std::uint64_t n)
+{
+    if (n >= 1000000000ULL)
+        return strFormat("%.1fB", static_cast<double>(n) / 1e9);
+    if (n >= 1000000ULL)
+        return strFormat("%.1fM", static_cast<double>(n) / 1e6);
+    if (n >= 1000ULL)
+        return strFormat("%.1fK", static_cast<double>(n) / 1e3);
+    return strFormat("%llu", static_cast<unsigned long long>(n));
+}
+
+std::string
+fixed(double value, int digits)
+{
+    return strFormat("%.*f", digits, value);
+}
+
+std::vector<std::string>
+splitString(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(delim, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+trimString(const std::string &s)
+{
+    const char *ws = " \t\r\n";
+    const std::size_t begin = s.find_first_not_of(ws);
+    if (begin == std::string::npos)
+        return "";
+    const std::size_t end = s.find_last_not_of(ws);
+    return s.substr(begin, end - begin + 1);
+}
+
+} // namespace tc

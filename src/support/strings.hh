@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Small string formatting helpers used by the CLI tools and the
+ * benchmark harness (GCC 12 lacks <format>, so we wrap snprintf).
+ */
+
+#ifndef TC_SUPPORT_STRINGS_HH
+#define TC_SUPPORT_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tc {
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** 1234567 -> "1.2M", 2100000000 -> "2.1B"; matches the paper's
+ * Table 3 convention. */
+std::string humanCount(std::uint64_t n);
+
+/** Fixed-point decimal with @p digits fractional digits. */
+std::string fixed(double value, int digits = 2);
+
+/** Split on a delimiter; empty fields preserved. */
+std::vector<std::string> splitString(const std::string &s, char delim);
+
+/** Strip leading/trailing whitespace. */
+std::string trimString(const std::string &s);
+
+} // namespace tc
+
+#endif // TC_SUPPORT_STRINGS_HH

@@ -1,0 +1,70 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/assert.hh"
+
+namespace tc {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    TC_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    TC_CHECK(cells.size() == headers_.size(),
+             "row arity must match header arity");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRule()
+{
+    ruleAfter_.push_back(rows_.size());
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); c++)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); c++) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    auto emit_rule = [&]() {
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < widths.size(); c++)
+            total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    };
+
+    emit_row(headers_);
+    emit_rule();
+    for (std::size_t r = 0; r < rows_.size(); r++) {
+        if (std::find(ruleAfter_.begin(), ruleAfter_.end(), r) !=
+            ruleAfter_.end()) {
+            emit_rule();
+        }
+        emit_row(rows_[r]);
+    }
+    if (std::find(ruleAfter_.begin(), ruleAfter_.end(), rows_.size()) !=
+        ruleAfter_.end()) {
+        emit_rule();
+    }
+}
+
+} // namespace tc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Column-aligned ASCII table printer for benchmark output. The
+ * harness binaries print the same rows the paper's tables report, so
+ * readable alignment matters.
+ */
+
+#ifndef TC_SUPPORT_TABLE_HH
+#define TC_SUPPORT_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tc {
+
+/** Accumulates rows of strings and prints them column-aligned. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Optional horizontal rule after the most recent row. */
+    void addRule();
+
+    /** Render to a stream with 2-space column gaps. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> ruleAfter_;
+};
+
+} // namespace tc
+
+#endif // TC_SUPPORT_TABLE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Wall-clock timing helpers for the benchmark harness.
+ */
+
+#ifndef TC_SUPPORT_TIMER_HH
+#define TC_SUPPORT_TIMER_HH
+
+#include <chrono>
+#include <utility>
+
+namespace tc {
+
+/** Simple steady-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Run @p fn once and return its wall-clock duration in seconds. */
+template <typename Fn>
+double
+timeIt(Fn &&fn)
+{
+    Timer t;
+    std::forward<Fn>(fn)();
+    return t.seconds();
+}
+
+/**
+ * Run @p fn @p reps times and return the mean duration in seconds.
+ * The paper averages 3 repetitions; benches default to fewer to keep
+ * total harness time reasonable.
+ */
+template <typename Fn>
+double
+timeMean(int reps, Fn &&fn)
+{
+    double total = 0;
+    for (int i = 0; i < reps; i++)
+        total += timeIt(fn);
+    return total / reps;
+}
+
+} // namespace tc
+
+#endif // TC_SUPPORT_TIMER_HH

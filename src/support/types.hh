@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the treeclock library.
+ */
+
+#ifndef TC_SUPPORT_TYPES_HH
+#define TC_SUPPORT_TYPES_HH
+
+#include <cstdint>
+
+namespace tc {
+
+/** Thread identifier. Threads are dense ids in [0, numThreads). */
+using Tid = std::int32_t;
+
+/** Lock identifier. Locks are dense ids in [0, numLocks). */
+using LockId = std::int32_t;
+
+/** Shared-variable identifier. Dense ids in [0, numVars). */
+using VarId = std::int32_t;
+
+/**
+ * A logical clock value (local time of a thread). Local times start
+ * at 1 for the first event of a thread; 0 means "nothing known".
+ */
+using Clk = std::uint32_t;
+
+/** Sentinel for "no thread" / absent node references. */
+constexpr Tid kNoTid = -1;
+
+} // namespace tc
+
+#endif // TC_SUPPORT_TYPES_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Event model for concurrent execution traces (paper §2.1).
+ *
+ * An event is <tid, op> where op is one of r(x), w(x), acq(l), rel(l)
+ * plus the fork/join extension the paper's footnote 2 declares
+ * straightforward. The unique event identifier of the paper is the
+ * event's index in its trace; (tid, local time) also identifies an
+ * event uniquely and is what race reports use.
+ */
+
+#ifndef TC_TRACE_EVENT_HH
+#define TC_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/types.hh"
+
+namespace tc {
+
+/** Operation performed by an event. */
+enum class OpType : std::uint8_t
+{
+    Read,    ///< r(x): read of shared variable x
+    Write,   ///< w(x): write of shared variable x
+    Acquire, ///< acq(l): lock acquire
+    Release, ///< rel(l): lock release
+    Fork,    ///< fork(u): spawn thread u (extension)
+    Join,    ///< join(u): wait for thread u to finish (extension)
+};
+
+/** Short mnemonic used by the text trace format ("r", "acq", ...). */
+const char *opName(OpType op);
+
+/**
+ * One trace event. @c target is a VarId for Read/Write, a LockId for
+ * Acquire/Release, and a Tid for Fork/Join.
+ */
+struct Event
+{
+    Tid tid = kNoTid;
+    std::uint32_t target = 0;
+    OpType op = OpType::Read;
+
+    Event() = default;
+    Event(Tid t, OpType o, std::uint32_t tgt)
+        : tid(t), target(tgt), op(o)
+    {}
+
+    bool isRead() const { return op == OpType::Read; }
+    bool isWrite() const { return op == OpType::Write; }
+    bool isAccess() const { return isRead() || isWrite(); }
+    bool isAcquire() const { return op == OpType::Acquire; }
+    bool isRelease() const { return op == OpType::Release; }
+    bool isFork() const { return op == OpType::Fork; }
+    bool isJoin() const { return op == OpType::Join; }
+    /** Synchronization events in the paper's sense (acq/rel), plus
+     * the fork/join extension. */
+    bool isSync() const { return !isAccess(); }
+
+    VarId var() const { return static_cast<VarId>(target); }
+    LockId lock() const { return static_cast<LockId>(target); }
+    Tid targetTid() const { return static_cast<Tid>(target); }
+
+    bool
+    operator==(const Event &other) const
+    {
+        return tid == other.tid && target == other.target &&
+               op == other.op;
+    }
+
+    /** Human-readable form, e.g. "t3:acq(l1)". */
+    std::string toString() const;
+};
+
+/**
+ * Conflict predicate (paper §2.1): same variable, different threads,
+ * at least one write.
+ */
+inline bool
+conflicting(const Event &a, const Event &b)
+{
+    return a.isAccess() && b.isAccess() && a.var() == b.var() &&
+           a.tid != b.tid && (a.isWrite() || b.isWrite());
+}
+
+} // namespace tc
+
+#endif // TC_TRACE_EVENT_HH

@@ -1,0 +1,184 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+#include "support/assert.hh"
+#include "support/strings.hh"
+
+namespace tc {
+
+const char *
+opName(OpType op)
+{
+    switch (op) {
+      case OpType::Read: return "r";
+      case OpType::Write: return "w";
+      case OpType::Acquire: return "acq";
+      case OpType::Release: return "rel";
+      case OpType::Fork: return "fork";
+      case OpType::Join: return "join";
+    }
+    return "?";
+}
+
+std::string
+Event::toString() const
+{
+    const char prefix = isAccess() ? 'x' : (isSync() && !isFork() &&
+                                            !isJoin()) ? 'l' : 't';
+    return strFormat("t%d:%s(%c%u)", tid, opName(op), prefix, target);
+}
+
+Trace::Trace(Tid num_threads, LockId num_locks, VarId num_vars)
+    : numThreads_(num_threads), numLocks_(num_locks),
+      numVars_(num_vars)
+{
+    TC_CHECK(num_threads >= 0 && num_locks >= 0 && num_vars >= 0,
+             "id space sizes must be non-negative");
+}
+
+void
+Trace::push(const Event &e)
+{
+    TC_CHECK(e.tid >= 0, "event thread id must be non-negative");
+    numThreads_ = std::max(numThreads_, e.tid + 1);
+    switch (e.op) {
+      case OpType::Read:
+      case OpType::Write:
+        numVars_ = std::max(numVars_, e.var() + 1);
+        break;
+      case OpType::Acquire:
+      case OpType::Release:
+        numLocks_ = std::max(numLocks_, e.lock() + 1);
+        break;
+      case OpType::Fork:
+      case OpType::Join:
+        numThreads_ = std::max(numThreads_, e.targetTid() + 1);
+        break;
+    }
+    events_.push_back(e);
+}
+
+ValidationResult
+Trace::validate() const
+{
+    // Holder of each lock; kNoTid when free.
+    std::vector<Tid> holder(static_cast<std::size_t>(numLocks_),
+                            kNoTid);
+    // Threads that have performed at least one event so far.
+    std::vector<bool> started(static_cast<std::size_t>(numThreads_),
+                              false);
+    // Threads that were the target of a fork / a join.
+    std::vector<bool> forked(static_cast<std::size_t>(numThreads_),
+                             false);
+    std::vector<bool> joined(static_cast<std::size_t>(numThreads_),
+                             false);
+
+    for (std::size_t i = 0; i < events_.size(); i++) {
+        const Event &e = events_[i];
+        if (e.tid < 0 || e.tid >= numThreads_) {
+            return ValidationResult::failure(
+                i, strFormat("thread id %d out of range", e.tid));
+        }
+        if (joined[static_cast<std::size_t>(e.tid)]) {
+            return ValidationResult::failure(
+                i, strFormat("thread %d acts after being joined",
+                             e.tid));
+        }
+        started[static_cast<std::size_t>(e.tid)] = true;
+
+        switch (e.op) {
+          case OpType::Read:
+          case OpType::Write:
+            if (e.var() < 0 || e.var() >= numVars_) {
+                return ValidationResult::failure(
+                    i, strFormat("variable id %d out of range",
+                                 e.var()));
+            }
+            break;
+          case OpType::Acquire: {
+            if (e.lock() < 0 || e.lock() >= numLocks_) {
+                return ValidationResult::failure(
+                    i, strFormat("lock id %d out of range", e.lock()));
+            }
+            Tid &h = holder[static_cast<std::size_t>(e.lock())];
+            if (h != kNoTid) {
+                return ValidationResult::failure(
+                    i, strFormat("lock %d acquired while held by "
+                                 "thread %d", e.lock(), h));
+            }
+            h = e.tid;
+            break;
+          }
+          case OpType::Release: {
+            if (e.lock() < 0 || e.lock() >= numLocks_) {
+                return ValidationResult::failure(
+                    i, strFormat("lock id %d out of range", e.lock()));
+            }
+            Tid &h = holder[static_cast<std::size_t>(e.lock())];
+            if (h != e.tid) {
+                return ValidationResult::failure(
+                    i, strFormat("lock %d released by thread %d but "
+                                 "held by %d", e.lock(), e.tid, h));
+            }
+            h = kNoTid;
+            break;
+          }
+          case OpType::Fork: {
+            const Tid child = e.targetTid();
+            if (child < 0 || child >= numThreads_) {
+                return ValidationResult::failure(
+                    i, strFormat("fork target %d out of range",
+                                 child));
+            }
+            if (child == e.tid) {
+                return ValidationResult::failure(
+                    i, "thread forks itself");
+            }
+            if (started[static_cast<std::size_t>(child)]) {
+                return ValidationResult::failure(
+                    i, strFormat("fork target %d already has events",
+                                 child));
+            }
+            if (forked[static_cast<std::size_t>(child)]) {
+                return ValidationResult::failure(
+                    i, strFormat("thread %d forked twice", child));
+            }
+            forked[static_cast<std::size_t>(child)] = true;
+            break;
+          }
+          case OpType::Join: {
+            const Tid child = e.targetTid();
+            if (child < 0 || child >= numThreads_) {
+                return ValidationResult::failure(
+                    i, strFormat("join target %d out of range",
+                                 child));
+            }
+            if (child == e.tid) {
+                return ValidationResult::failure(
+                    i, "thread joins itself");
+            }
+            if (joined[static_cast<std::size_t>(child)]) {
+                return ValidationResult::failure(
+                    i, strFormat("thread %d joined twice", child));
+            }
+            joined[static_cast<std::size_t>(child)] = true;
+            break;
+          }
+        }
+    }
+    return {};
+}
+
+std::vector<Clk>
+Trace::localTimes() const
+{
+    std::vector<Clk> times(events_.size());
+    std::vector<Clk> counters(static_cast<std::size_t>(numThreads_),
+                              0);
+    for (std::size_t i = 0; i < events_.size(); i++)
+        times[i] = ++counters[static_cast<std::size_t>(events_[i].tid)];
+    return times;
+}
+
+} // namespace tc

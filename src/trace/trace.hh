@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Trace container: a sequence of events over dense thread/lock/var id
+ * spaces, with builder helpers, well-formedness validation and local
+ * time computation (paper §2.1).
+ */
+
+#ifndef TC_TRACE_TRACE_HH
+#define TC_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace tc {
+
+/** Outcome of Trace::validate(). */
+struct ValidationResult
+{
+    bool ok = true;
+    /** Index of the first offending event (size() if none). */
+    std::size_t eventIndex = 0;
+    std::string message;
+
+    static ValidationResult
+    failure(std::size_t index, std::string msg)
+    {
+        return {false, index, std::move(msg)};
+    }
+};
+
+/**
+ * A concrete execution trace. Events are appended in trace order;
+ * thread, lock and variable ids must be dense (the builder grows the
+ * id spaces automatically, explicit constructors pre-declare them).
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+    Trace(Tid num_threads, LockId num_locks, VarId num_vars);
+
+    /** @name Builder interface
+     * Append one event; id spaces grow as needed. @{ */
+    void read(Tid t, VarId x) { push(Event(t, OpType::Read, x)); }
+    void write(Tid t, VarId x) { push(Event(t, OpType::Write, x)); }
+    void acquire(Tid t, LockId l)
+    {
+        push(Event(t, OpType::Acquire, l));
+    }
+    void release(Tid t, LockId l)
+    {
+        push(Event(t, OpType::Release, l));
+    }
+    void fork(Tid t, Tid child)
+    {
+        push(Event(t, OpType::Fork, child));
+    }
+    void join(Tid t, Tid child)
+    {
+        push(Event(t, OpType::Join, child));
+    }
+    /** sync(l) of the paper's examples: acq(l) directly followed by
+     * rel(l). */
+    void sync(Tid t, LockId l) { acquire(t, l); release(t, l); }
+    void push(const Event &e);
+    /** @} */
+
+    const Event &operator[](std::size_t i) const { return events_[i]; }
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+    const std::vector<Event> &events() const { return events_; }
+
+    auto begin() const { return events_.begin(); }
+    auto end() const { return events_.end(); }
+
+    Tid numThreads() const { return numThreads_; }
+    LockId numLocks() const { return numLocks_; }
+    VarId numVars() const { return numVars_; }
+
+    /** Reserve storage for n events. */
+    void reserve(std::size_t n) { events_.reserve(n); }
+
+    /**
+     * Check well-formedness: ids dense and in range; lock semantics
+     * (acquire only free locks, release only held locks, by the
+     * holder); fork targets have no earlier events and are forked at
+     * most once; join targets have no later events.
+     */
+    ValidationResult validate() const;
+
+    /**
+     * Local time of every event: lTime(e) = number of events of
+     * tid(e) up to and including e (paper §2.1, so the first event of
+     * a thread has local time 1).
+     */
+    std::vector<Clk> localTimes() const;
+
+  private:
+    std::vector<Event> events_;
+    Tid numThreads_ = 0;
+    LockId numLocks_ = 0;
+    VarId numVars_ = 0;
+};
+
+} // namespace tc
+
+#endif // TC_TRACE_TRACE_HH

@@ -1,0 +1,122 @@
+#include "trace/trace_stats.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace tc {
+
+double
+TraceStats::syncPercent() const
+{
+    if (events == 0)
+        return 0;
+    return 100.0 * static_cast<double>(syncEvents()) /
+           static_cast<double>(events);
+}
+
+double
+TraceStats::rwPercent() const
+{
+    if (events == 0)
+        return 0;
+    return 100.0 * static_cast<double>(accessEvents()) /
+           static_cast<double>(events);
+}
+
+TraceStats
+computeStats(const Trace &trace)
+{
+    TraceStats s;
+    s.events = trace.size();
+
+    std::vector<bool> thread_seen(
+        static_cast<std::size_t>(trace.numThreads()), false);
+    std::vector<bool> var_seen(
+        static_cast<std::size_t>(trace.numVars()), false);
+    std::vector<bool> lock_seen(
+        static_cast<std::size_t>(trace.numLocks()), false);
+
+    for (const Event &e : trace) {
+        thread_seen[static_cast<std::size_t>(e.tid)] = true;
+        switch (e.op) {
+          case OpType::Read:
+            s.reads++;
+            var_seen[static_cast<std::size_t>(e.var())] = true;
+            break;
+          case OpType::Write:
+            s.writes++;
+            var_seen[static_cast<std::size_t>(e.var())] = true;
+            break;
+          case OpType::Acquire:
+            s.acquires++;
+            lock_seen[static_cast<std::size_t>(e.lock())] = true;
+            break;
+          case OpType::Release:
+            s.releases++;
+            lock_seen[static_cast<std::size_t>(e.lock())] = true;
+            break;
+          case OpType::Fork:
+            s.forks++;
+            thread_seen[static_cast<std::size_t>(e.targetTid())] =
+                true;
+            break;
+          case OpType::Join:
+            s.joins++;
+            break;
+        }
+    }
+
+    s.threads = static_cast<Tid>(
+        std::count(thread_seen.begin(), thread_seen.end(), true));
+    s.variables = static_cast<std::uint64_t>(
+        std::count(var_seen.begin(), var_seen.end(), true));
+    s.locks = static_cast<std::uint64_t>(
+        std::count(lock_seen.begin(), lock_seen.end(), true));
+    return s;
+}
+
+CorpusStats
+aggregateStats(const std::vector<TraceStats> &stats)
+{
+    CorpusStats agg;
+    agg.traces = stats.size();
+    if (stats.empty())
+        return agg;
+
+    auto fold = [&](auto extract) {
+        CorpusStats::MinMaxMean m;
+        m.min = std::numeric_limits<double>::infinity();
+        m.max = -std::numeric_limits<double>::infinity();
+        double total = 0;
+        for (const TraceStats &s : stats) {
+            const double v = extract(s);
+            m.min = std::min(m.min, v);
+            m.max = std::max(m.max, v);
+            total += v;
+        }
+        m.mean = total / static_cast<double>(stats.size());
+        return m;
+    };
+
+    agg.threads = fold([](const TraceStats &s) {
+        return static_cast<double>(s.threads);
+    });
+    agg.locks = fold([](const TraceStats &s) {
+        return static_cast<double>(s.locks);
+    });
+    agg.variables = fold([](const TraceStats &s) {
+        return static_cast<double>(s.variables);
+    });
+    agg.events = fold([](const TraceStats &s) {
+        return static_cast<double>(s.events);
+    });
+    agg.syncPct = fold([](const TraceStats &s) {
+        return s.syncPercent();
+    });
+    agg.rwPct = fold([](const TraceStats &s) {
+        return s.rwPercent();
+    });
+    return agg;
+}
+
+} // namespace tc

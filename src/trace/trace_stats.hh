@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Trace statistics: the N/T/M/L and event-mix columns of the paper's
+ * Table 1 (aggregate) and Table 3 (per trace).
+ */
+
+#ifndef TC_TRACE_TRACE_STATS_HH
+#define TC_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace tc {
+
+/** Per-trace statistics (one Table 3 row). */
+struct TraceStats
+{
+    std::uint64_t events = 0;        ///< N
+    Tid threads = 0;                 ///< T (threads with >= 1 event)
+    std::uint64_t variables = 0;     ///< M (distinct accessed vars)
+    std::uint64_t locks = 0;         ///< L (distinct used locks)
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t acquires = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t forks = 0;
+    std::uint64_t joins = 0;
+
+    std::uint64_t accessEvents() const { return reads + writes; }
+    std::uint64_t
+    syncEvents() const
+    {
+        return acquires + releases + forks + joins;
+    }
+    /** Percentage of synchronization events (paper Table 1 row). */
+    double syncPercent() const;
+    /** Percentage of read/write events. */
+    double rwPercent() const;
+};
+
+/** Compute statistics for a single trace. */
+TraceStats computeStats(const Trace &trace);
+
+/** Aggregate min/max/mean over a set of traces (Table 1). */
+struct CorpusStats
+{
+    struct MinMaxMean
+    {
+        double min = 0, max = 0, mean = 0;
+    };
+    MinMaxMean threads, locks, variables, events, syncPct, rwPct;
+    std::size_t traces = 0;
+};
+
+CorpusStats aggregateStats(const std::vector<TraceStats> &stats);
+
+} // namespace tc
+
+#endif // TC_TRACE_TRACE_STATS_HH

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Generator tests: every scenario and random configuration must
+ * produce well-formed, deterministic traces with the requested
+ * shape (threads, topology, sync density).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gen/random_trace.hh"
+#include "gen/synthetic.hh"
+#include "trace/trace_stats.hh"
+
+namespace tc {
+namespace {
+
+TEST(Scenarios, AllProduceValidTraces)
+{
+    for (const Scenario s : allScenarios()) {
+        ScenarioParams p;
+        p.threads = 12;
+        p.events = 10000;
+        p.seed = 3;
+        const Trace t = genScenario(s, p);
+        const auto v = t.validate();
+        EXPECT_TRUE(v.ok) << scenarioName(s) << ": " << v.message;
+        EXPECT_NEAR(static_cast<double>(t.size()), 10000.0, 4.0)
+            << scenarioName(s);
+        // Scenario traces are pure synchronization.
+        const TraceStats stats = computeStats(t);
+        EXPECT_EQ(stats.accessEvents(), 0u) << scenarioName(s);
+        EXPECT_EQ(stats.syncEvents(), t.size()) << scenarioName(s);
+    }
+}
+
+TEST(Scenarios, DeterministicPerSeed)
+{
+    ScenarioParams p;
+    p.threads = 8;
+    p.events = 5000;
+    p.seed = 42;
+    const Trace a = genSingleLock(p);
+    const Trace b = genSingleLock(p);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++)
+        ASSERT_EQ(a[i], b[i]);
+    p.seed = 43;
+    const Trace c = genSingleLock(p);
+    bool all_same = a.size() == c.size();
+    for (std::size_t i = 0; all_same && i < a.size(); i++)
+        all_same = a[i] == c[i];
+    EXPECT_FALSE(all_same);
+}
+
+TEST(Scenarios, SingleLockUsesOneLock)
+{
+    ScenarioParams p;
+    p.threads = 8;
+    p.events = 2000;
+    const Trace t = genSingleLock(p);
+    EXPECT_EQ(t.numLocks(), 1);
+}
+
+TEST(Scenarios, SkewedLocksFavorsHotThreads)
+{
+    ScenarioParams p;
+    p.threads = 20;
+    p.events = 40000;
+    const Trace t = genSkewedLocks(p);
+    EXPECT_EQ(t.numLocks(), 50);
+    std::vector<std::uint64_t> per_thread(20, 0);
+    for (const Event &e : t)
+        per_thread[static_cast<std::size_t>(e.tid)]++;
+    // Threads 0..3 carry weight 5, threads 4..19 weight 1.
+    const double hot =
+        static_cast<double>(per_thread[0] + per_thread[1] +
+                            per_thread[2] + per_thread[3]);
+    const double total = static_cast<double>(t.size());
+    // Expected hot share: 20/36 ≈ 0.556.
+    EXPECT_NEAR(hot / total, 20.0 / 36.0, 0.05);
+}
+
+TEST(Scenarios, StarUsesDedicatedClientLocks)
+{
+    ScenarioParams p;
+    p.threads = 10;
+    p.events = 8000;
+    const Trace t = genStarTopology(p);
+    EXPECT_EQ(t.numLocks(), 9); // one per client
+    // Each thread is picked uniformly; clients only ever touch
+    // their own lock.
+    std::uint64_t server_events = 0;
+    for (const Event &e : t) {
+        server_events += e.tid == 0;
+        if (e.tid != 0) {
+            EXPECT_EQ(e.lock(), e.tid - 1);
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(server_events) /
+                    static_cast<double>(t.size()),
+                0.1, 0.02);
+}
+
+TEST(Scenarios, PairwiseUsesDedicatedLocks)
+{
+    ScenarioParams p;
+    p.threads = 6;
+    p.events = 6000;
+    const Trace t = genPairwise(p);
+    EXPECT_EQ(t.numLocks(), 15); // 6*5/2
+    // Every round's two sync pairs use the same lock; check lock ids
+    // stay in range and multiple locks actually occur.
+    const TraceStats stats = computeStats(t);
+    EXPECT_GT(stats.locks, 10u);
+}
+
+struct GenCase
+{
+    std::string label;
+    RandomTraceParams params;
+
+    friend std::ostream &
+    operator<<(std::ostream &os, const GenCase &c)
+    {
+        return os << c.label;
+    }
+};
+
+class RandomGenSweep : public ::testing::TestWithParam<GenCase>
+{
+};
+
+TEST_P(RandomGenSweep, ProducesValidDeterministicTraces)
+{
+    const Trace t = generateRandomTrace(GetParam().params);
+    const auto v = t.validate();
+    ASSERT_TRUE(v.ok) << v.message << " at " << v.eventIndex;
+    // Close to the requested event budget.
+    EXPECT_GE(t.size(), GetParam().params.events * 95 / 100);
+    EXPECT_LE(t.size(),
+              GetParam().params.events +
+                  4 * static_cast<std::uint64_t>(
+                          GetParam().params.threads));
+    // Determinism.
+    const Trace t2 = generateRandomTrace(GetParam().params);
+    ASSERT_EQ(t.size(), t2.size());
+    for (std::size_t i = 0; i < t.size(); i++)
+        ASSERT_EQ(t[i], t2[i]);
+}
+
+TEST_P(RandomGenSweep, SyncRatioRoughlyHonored)
+{
+    const auto &params = GetParam().params;
+    if (params.locks == 0 || params.events < 10000)
+        return;
+    const Trace t = generateRandomTrace(params);
+    const TraceStats stats = computeStats(t);
+    const double sync_share = stats.syncPercent() / 100.0;
+    // Lock contention can depress the share; it must not exceed the
+    // request by much and should be in its vicinity.
+    EXPECT_LE(sync_share, params.syncRatio + 0.05);
+    EXPECT_GE(sync_share, params.syncRatio * 0.5 - 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomGenSweep,
+    ::testing::Values(
+        GenCase{"few_threads",
+                {4, 2, 64, 20000, 0.1, 0.7, 0.5, 8, 0.0, false, 1}},
+        GenCase{"many_threads",
+                {64, 32, 256, 30000, 0.15, 0.7, 0.5, 16, 0.0, false,
+                 2}},
+        GenCase{"sync_heavy",
+                {16, 8, 64, 30000, 0.45, 0.6, 0.5, 8, 0.0, false, 3}},
+        GenCase{"no_sync",
+                {8, 4, 128, 20000, 0.0, 0.8, 0.5, 16, 0.0, false, 4}},
+        GenCase{"skewed",
+                {32, 16, 128, 30000, 0.2, 0.7, 0.8, 8, 1.0, false,
+                 5}},
+        GenCase{"forkjoin",
+                {24, 12, 128, 30000, 0.2, 0.7, 0.5, 16, 0.0, true,
+                 6}},
+        GenCase{"single_lock_contended",
+                {32, 1, 32, 30000, 0.4, 0.5, 0.9, 4, 0.0, false, 7}},
+        GenCase{"write_only",
+                {8, 4, 64, 20000, 0.1, 0.0, 0.5, 8, 0.0, false, 8}}),
+    [](const ::testing::TestParamInfo<GenCase> &info) {
+        return info.param.label;
+    });
+
+TEST(RandomGen, ForkJoinShapeIsComplete)
+{
+    RandomTraceParams params;
+    params.threads = 8;
+    params.events = 5000;
+    params.forkJoin = true;
+    params.seed = 17;
+    const Trace t = generateRandomTrace(params);
+    const TraceStats stats = computeStats(t);
+    EXPECT_EQ(stats.forks, 7u);
+    EXPECT_EQ(stats.joins, 7u);
+    // Forks open the trace, joins close it.
+    for (Tid c = 1; c < 8; c++)
+        EXPECT_TRUE(t[static_cast<std::size_t>(c - 1)].isFork());
+    for (std::size_t i = t.size() - 7; i < t.size(); i++)
+        EXPECT_TRUE(t[i].isJoin());
+}
+
+} // namespace
+} // namespace tc

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * End-to-end integration: generate → serialize → parse → analyze
+ * with both clock data structures and all three partial orders; the
+ * results must be identical at every step.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "analysis/oracle.hh"
+#include "gen/corpus.hh"
+#include "test_helpers.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+
+namespace tc {
+namespace {
+
+using test::runEngine;
+
+TEST(Integration, GenerateSaveLoadAnalyzeRoundTrip)
+{
+    RandomTraceParams params;
+    params.threads = 10;
+    params.locks = 5;
+    params.vars = 50;
+    params.events = 5000;
+    params.syncRatio = 0.2;
+    params.forkJoin = true;
+    params.seed = 1234;
+    const Trace original = generateRandomTrace(params);
+
+    const std::string path = "/tmp/tc_integration.tcb";
+    ASSERT_TRUE(saveTrace(original, path));
+    const ParseResult loaded = loadTrace(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(loaded.ok) << loaded.message;
+
+    const auto on_original =
+        runEngine<HbEngine, TreeClock>(original);
+    const auto on_loaded =
+        runEngine<HbEngine, TreeClock>(loaded.trace);
+    EXPECT_EQ(on_original.races.total(), on_loaded.races.total());
+    EXPECT_EQ(on_original.races.racyVars(),
+              on_loaded.races.racyVars());
+}
+
+TEST(Integration, SmallCorpusConsistencyAcrossEnginesAndClocks)
+{
+    // Run the first few corpus entries at test scale through every
+    // engine with both clocks; counts must agree pairwise.
+    const auto corpus = defaultCorpus();
+    for (std::size_t c = 0; c < 6; c++) {
+        const Trace t = buildCorpusTrace(corpus[c], 0.01);
+        SCOPED_TRACE(corpus[c].name);
+
+        const auto hb_vc = runEngine<HbEngine, VectorClock>(t);
+        const auto hb_tc = runEngine<HbEngine, TreeClock>(t);
+        EXPECT_EQ(hb_vc.races.total(), hb_tc.races.total());
+
+        const auto shb_vc = runEngine<ShbEngine, VectorClock>(t);
+        const auto shb_tc = runEngine<ShbEngine, TreeClock>(t);
+        EXPECT_EQ(shb_vc.races.total(), shb_tc.races.total());
+
+        const auto maz_vc = runEngine<MazEngine, VectorClock>(t);
+        const auto maz_tc = runEngine<MazEngine, TreeClock>(t);
+        EXPECT_EQ(maz_vc.races.total(), maz_tc.races.total());
+
+        // SHB prunes races HB reports (it is a strengthening), so
+        // SHB races can never exceed HB races... on the same last
+        // write/read candidates. Check the weaker var-set relation.
+        for (VarId x = 0; x < t.numVars(); x++) {
+            if (shb_tc.races.isVarRacy(x)) {
+                EXPECT_TRUE(hb_tc.races.isVarRacy(x)) << "x" << x;
+            }
+        }
+    }
+}
+
+TEST(Integration, TextAndBinaryFormatsAgree)
+{
+    RandomTraceParams params;
+    params.threads = 6;
+    params.events = 3000;
+    params.seed = 5;
+    const Trace t = generateRandomTrace(params);
+
+    const std::string text_path = "/tmp/tc_int_text.tct";
+    const std::string bin_path = "/tmp/tc_int_bin.tcb";
+    ASSERT_TRUE(saveTrace(t, text_path));
+    ASSERT_TRUE(saveTrace(t, bin_path));
+    const ParseResult from_text = loadTrace(text_path);
+    const ParseResult from_bin = loadTrace(bin_path);
+    std::remove(text_path.c_str());
+    std::remove(bin_path.c_str());
+    ASSERT_TRUE(from_text.ok);
+    ASSERT_TRUE(from_bin.ok);
+    ASSERT_EQ(from_text.trace.size(), from_bin.trace.size());
+    for (std::size_t i = 0; i < from_text.trace.size(); i++)
+        ASSERT_EQ(from_text.trace[i], from_bin.trace[i]);
+}
+
+TEST(Integration, OracleAgreesAfterSerialization)
+{
+    RandomTraceParams params;
+    params.threads = 5;
+    params.vars = 10;
+    params.events = 800;
+    params.syncRatio = 0.25;
+    params.seed = 321;
+    const Trace t = generateRandomTrace(params);
+
+    const std::string path = "/tmp/tc_int_oracle.tct";
+    ASSERT_TRUE(saveTrace(t, path));
+    const ParseResult loaded = loadTrace(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(loaded.ok);
+
+    const PoOracle a(t, PartialOrderKind::SHB);
+    const PoOracle b(loaded.trace, PartialOrderKind::SHB);
+    EXPECT_EQ(a.races().total, b.races().total);
+    for (std::size_t i = 0; i < t.size(); i += 37)
+        EXPECT_EQ(a.timestampOf(i), b.timestampOf(i));
+}
+
+TEST(Integration, StatsStableThroughRoundTrip)
+{
+    const Trace t = buildCorpusTrace(defaultCorpus()[0], 1.0);
+    const std::string path = "/tmp/tc_int_stats.tcb";
+    ASSERT_TRUE(saveTrace(t, path));
+    const ParseResult loaded = loadTrace(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(loaded.ok);
+    const TraceStats sa = computeStats(t);
+    const TraceStats sb = computeStats(loaded.trace);
+    EXPECT_EQ(sa.events, sb.events);
+    EXPECT_EQ(sa.threads, sb.threads);
+    EXPECT_EQ(sa.variables, sb.variables);
+    EXPECT_EQ(sa.locks, sb.locks);
+}
+
+} // namespace
+} // namespace tc

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * MAZ engine tests (Algorithm 5): conflicting accesses become
+ * ordered, reversible-race counting, LRDs bookkeeping, and a sweep
+ * against the oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/oracle.hh"
+#include "test_helpers.hh"
+
+namespace tc {
+namespace {
+
+using test::collectTimestamps;
+using test::runEngine;
+using test::SweepCase;
+
+TEST(MazEngine, ConflictingAccessesBecomeOrdered)
+{
+    Trace t;
+    t.write(0, 0); // 0
+    t.write(1, 0); // 1: MAZ orders 0 -> 1
+    t.read(2, 0);  // 2: MAZ orders 1 -> 2
+    t.write(0, 0); // 3: MAZ orders 2 -> 3 (read-to-write)
+    const auto ts = collectTimestamps<MazEngine, TreeClock>(t);
+    // After event 3, t0 transitively knows everyone.
+    EXPECT_EQ(ts[3], (std::vector<Clk>{2, 1, 1}));
+}
+
+TEST(MazEngine, CountsReversibleRaces)
+{
+    Trace t;
+    t.write(0, 0); // 0
+    t.write(1, 0); // 1: reversible with 0
+    t.write(2, 0); // 2: reversible with 1 but covered wrt 0
+    const auto result = runEngine<MazEngine, TreeClock>(t);
+    // Each write sees exactly one uncovered candidate: its
+    // immediate predecessor write.
+    EXPECT_EQ(result.races.writeWrite(), 2u);
+}
+
+TEST(MazEngine, OrderedPairsAreNotReversible)
+{
+    Trace t;
+    t.write(0, 0);
+    t.sync(0, 0);
+    t.sync(1, 0);
+    t.write(1, 0); // lock-ordered after t0's write
+    const auto result = runEngine<MazEngine, TreeClock>(t);
+    EXPECT_EQ(result.races.total(), 0u);
+}
+
+TEST(MazEngine, ReadToWriteOrderingViaLrds)
+{
+    // Two threads read, then a third writes: the write must join
+    // both readers' clocks (the LRDs set) and order after them.
+    Trace t;
+    t.write(0, 0);  // 0
+    t.read(1, 0);   // 1
+    t.read(2, 0);   // 2
+    t.write(3, 0);  // 3
+    const auto ts = collectTimestamps<MazEngine, TreeClock>(t);
+    EXPECT_EQ(ts[3], (std::vector<Clk>{1, 1, 1, 1}));
+    // Three reversible candidates at event 3: the last write is
+    // covered transitively through... no — the readers only joined
+    // the write, not each other, so the write candidate *is*
+    // covered via either reader. Candidates: lw (covered via
+    // readers? No: reads join lw into their own clocks, which the
+    // writer only receives *during* event 3's joins, after the
+    // checks). All three candidates are uncovered.
+    const auto result = runEngine<MazEngine, TreeClock>(t);
+    EXPECT_EQ(result.races.writeWrite(), 1u); // vs write 0
+    EXPECT_EQ(result.races.readWrite(), 2u);  // vs both reads
+    EXPECT_EQ(result.races.writeRead(), 2u);  // reads vs write 0
+}
+
+TEST(MazEngine, SecondWriteByReaderIsNotReversible)
+{
+    // A thread that read since the last write is ordered before a
+    // subsequent write by itself; only cross-thread candidates
+    // count.
+    Trace t;
+    t.write(0, 0); // 0
+    t.read(1, 0);  // 1: wr candidate vs 0 (uncovered)
+    t.write(1, 0); // 2: lw(0) now covered via t1's own read join
+    const auto result = runEngine<MazEngine, TreeClock>(t);
+    EXPECT_EQ(result.races.writeRead(), 1u);
+    EXPECT_EQ(result.races.writeWrite(), 0u);
+    EXPECT_EQ(result.races.readWrite(), 0u);
+}
+
+class MazSweep : public ::testing::TestWithParam<SweepCase>
+{
+  protected:
+    Trace trace_ = generateRandomTrace(GetParam().params);
+    PoOracle oracle_{trace_, PartialOrderKind::MAZ};
+};
+
+TEST_P(MazSweep, TimestampsMatchOracle)
+{
+    const auto ts = collectTimestamps<MazEngine, TreeClock>(trace_);
+    for (std::size_t i = 0; i < trace_.size(); i++) {
+        ASSERT_EQ(ts[i], oracle_.timestampOf(i))
+            << "event " << i << ": " << trace_[i].toString();
+    }
+}
+
+TEST_P(MazSweep, MazLeavesNoConflictingPairUnordered)
+{
+    EXPECT_TRUE(oracle_.unorderedConflictingPairs(1).empty());
+}
+
+TEST_P(MazSweep, ReversibleRacesMatchOracle)
+{
+    const auto result = runEngine<MazEngine, TreeClock>(trace_);
+    EXPECT_EQ(result.races.writeWrite(),
+              oracle_.races().writeWrite);
+    EXPECT_EQ(result.races.writeRead(), oracle_.races().writeRead);
+    EXPECT_EQ(result.races.readWrite(), oracle_.races().readWrite);
+    EXPECT_EQ(result.races.racyVars(), oracle_.races().racyVar);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MazSweep, ::testing::ValuesIn(test::standardSweep()),
+    [](const ::testing::TestParamInfo<SweepCase> &info) {
+        return info.param.label;
+    });
+
+} // namespace
+} // namespace tc

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the graph-closure oracle itself, on traces whose
+ * orderings are known by hand — including the paper's Figure 2a/2b
+ * traces and the HB ⊆ SHB ⊆ MAZ containment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/oracle.hh"
+
+namespace tc {
+namespace {
+
+TEST(Oracle, ThreadOrderIsAlwaysThere)
+{
+    Trace t;
+    t.write(0, 0);
+    t.write(0, 1);
+    t.write(1, 2);
+    const PoOracle hb(t, PartialOrderKind::HB);
+    EXPECT_TRUE(hb.ordered(0, 1));
+    EXPECT_FALSE(hb.ordered(0, 2));
+    EXPECT_TRUE(hb.concurrent(1, 2));
+    EXPECT_TRUE(hb.ordered(1, 1)); // reflexive
+}
+
+TEST(Oracle, ReleaseAcquireOrders)
+{
+    Trace t;
+    t.acquire(0, 0); // 0
+    t.write(0, 0);   // 1
+    t.release(0, 0); // 2
+    t.acquire(1, 0); // 3
+    t.write(1, 0);   // 4
+    t.release(1, 0); // 5
+    const PoOracle hb(t, PartialOrderKind::HB);
+    EXPECT_TRUE(hb.ordered(2, 3));
+    EXPECT_TRUE(hb.ordered(1, 4)); // transitively
+    EXPECT_TRUE(hb.races().total == 0);
+    EXPECT_TRUE(hb.unorderedConflictingPairs(10).empty());
+}
+
+TEST(Oracle, ForkJoinOrders)
+{
+    Trace t(3, 0, 2);
+    t.write(0, 0); // 0
+    t.fork(0, 1);  // 1
+    t.write(1, 0); // 2: ordered after fork
+    t.join(2, 1);  // 3: t2 joins t1 (t1 finished)
+    t.write(2, 0); // 4
+    const PoOracle hb(t, PartialOrderKind::HB);
+    EXPECT_TRUE(hb.ordered(0, 2));
+    EXPECT_TRUE(hb.ordered(2, 4));
+    EXPECT_TRUE(hb.ordered(0, 4));
+    EXPECT_EQ(hb.races().total, 0u);
+}
+
+TEST(Oracle, Figure2aOrderings)
+{
+    // Paper Figure 2a (threads t1..t4 = 0..3, locks l1..l3 = 0..2):
+    // the HB chain e1 <= e2 <= e3 and e4 <= e5, e6 <= e7.
+    Trace t;
+    t.sync(0, 0); // e1: events 0,1
+    t.sync(1, 0); // e2: events 2,3
+    t.sync(2, 0); // e3: events 4,5
+    t.sync(1, 1); // e4: events 6,7
+    t.sync(3, 1); // e5: events 8,9
+    t.sync(2, 2); // e6: events 10,11
+    t.sync(3, 2); // e7: events 12,13
+    const PoOracle hb(t, PartialOrderKind::HB);
+    EXPECT_TRUE(hb.ordered(1, 2));   // e1 -> e2
+    EXPECT_TRUE(hb.ordered(3, 4));   // e2 -> e3
+    EXPECT_TRUE(hb.ordered(7, 8));   // e4 -> e5
+    EXPECT_TRUE(hb.ordered(11, 12)); // e6 -> e7
+    EXPECT_TRUE(hb.ordered(0, 13));  // e1 reaches e7 transitively
+    EXPECT_TRUE(hb.ordered(9, 12));  // e5, e7 both by t4 (TO)
+    // Cross-thread events with no lock chain remain concurrent:
+    // e4 (t2 on l2) and e6 (t3 on l3).
+    EXPECT_TRUE(hb.concurrent(7, 10));
+}
+
+TEST(Oracle, TimestampMatchesDefinition)
+{
+    Trace t;
+    t.acquire(0, 0); // 0: t0@1
+    t.release(0, 0); // 1: t0@2
+    t.acquire(1, 0); // 2: t1@1
+    const PoOracle hb(t, PartialOrderKind::HB);
+    EXPECT_EQ(hb.timestampOf(0), (std::vector<Clk>{1, 0}));
+    EXPECT_EQ(hb.timestampOf(2), (std::vector<Clk>{2, 1}));
+}
+
+TEST(Oracle, ShbAddsLastWriteToReadOrdering)
+{
+    Trace t;
+    t.write(0, 0); // 0
+    t.read(1, 0);  // 1: lw-ordered after 0 in SHB, not in HB
+    const PoOracle hb(t, PartialOrderKind::HB);
+    const PoOracle shb(t, PartialOrderKind::SHB);
+    EXPECT_FALSE(hb.ordered(0, 1));
+    EXPECT_TRUE(shb.ordered(0, 1));
+    // Both still flag the pair as a race: the engines' candidate
+    // check is performed before the conflict edge is added.
+    EXPECT_EQ(hb.races().total, 1u);
+    EXPECT_EQ(shb.races().total, 1u);
+}
+
+TEST(Oracle, MazOrdersAllConflictingPairs)
+{
+    Trace t;
+    t.write(0, 0);
+    t.read(1, 0);
+    t.write(2, 0);
+    t.write(1, 0);
+    t.read(0, 0);
+    const PoOracle maz(t, PartialOrderKind::MAZ);
+    EXPECT_TRUE(maz.unorderedConflictingPairs(100).empty());
+    // Reads of different threads do not conflict and stay unordered.
+    Trace rr;
+    rr.read(0, 0);
+    rr.read(1, 0);
+    const PoOracle maz2(rr, PartialOrderKind::MAZ);
+    EXPECT_TRUE(maz2.concurrent(0, 1));
+}
+
+TEST(Oracle, ContainmentHbShbMaz)
+{
+    Trace t;
+    t.write(0, 0);
+    t.sync(0, 0);
+    t.read(1, 0);
+    t.sync(1, 0);
+    t.write(2, 0);
+    t.read(0, 0);
+    const PoOracle hb(t, PartialOrderKind::HB);
+    const PoOracle shb(t, PartialOrderKind::SHB);
+    const PoOracle maz(t, PartialOrderKind::MAZ);
+    for (std::size_t i = 0; i < t.size(); i++) {
+        for (std::size_t j = 0; j < t.size(); j++) {
+            if (hb.ordered(i, j)) {
+                EXPECT_TRUE(shb.ordered(i, j)) << i << "," << j;
+            }
+            if (shb.ordered(i, j)) {
+                EXPECT_TRUE(maz.ordered(i, j)) << i << "," << j;
+            }
+        }
+    }
+}
+
+TEST(Oracle, RaceKindsClassified)
+{
+    Trace t;
+    t.write(0, 0); // 0
+    t.write(1, 0); // 1: ww race with 0
+    t.read(2, 0);  // 2: wr race with 1
+    const PoOracle hb(t, PartialOrderKind::HB);
+    EXPECT_EQ(hb.races().writeWrite, 1u);
+    EXPECT_EQ(hb.races().writeRead, 1u);
+    EXPECT_EQ(hb.races().racyVarCount, 1u);
+    ASSERT_EQ(hb.races().pairs.size(), 2u);
+    EXPECT_EQ(hb.races().pairs[0].kind, RaceKind::WriteWrite);
+    EXPECT_EQ(hb.races().pairs[1].kind, RaceKind::WriteRead);
+}
+
+TEST(Oracle, ReadWriteRaceDetected)
+{
+    Trace t;
+    t.read(0, 0);  // 0
+    t.write(1, 0); // 1: rw race with 0
+    const PoOracle hb(t, PartialOrderKind::HB);
+    EXPECT_EQ(hb.races().readWrite, 1u);
+    EXPECT_TRUE(hb.races().raceAt[1]);
+    EXPECT_FALSE(hb.races().raceAt[0]);
+}
+
+TEST(Oracle, LockProtectionPreventsRaces)
+{
+    Trace t;
+    for (Tid tid = 0; tid < 4; tid++) {
+        t.acquire(tid, 0);
+        t.write(tid, 7);
+        t.read(tid, 7);
+        t.release(tid, 0);
+    }
+    const PoOracle hb(t, PartialOrderKind::HB);
+    EXPECT_EQ(hb.races().total, 0u);
+}
+
+TEST(Oracle, RejectsMalformedTrace)
+{
+    Trace t;
+    t.acquire(0, 0);
+    t.acquire(1, 0);
+    EXPECT_DEATH(PoOracle(t, PartialOrderKind::HB),
+                 "well-formed");
+}
+
+} // namespace
+} // namespace tc

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Sparse vector clock tests: operation semantics, and full-engine
+ * differential equivalence against the dense vector clock (all
+ * three ClockLike implementations must compute identical partial
+ * orders and races).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sparse_vector_clock.hh"
+#include "test_helpers.hh"
+
+namespace tc {
+namespace {
+
+using test::collectTimestamps;
+using test::runEngine;
+using test::SweepCase;
+
+TEST(SparseVectorClock, FreshClockKnowsOnlyItself)
+{
+    SparseVectorClock c(3, 8);
+    EXPECT_EQ(c.ownerTid(), 3);
+    EXPECT_EQ(c.localClk(), 0u);
+    EXPECT_EQ(c.get(0), 0u);
+    EXPECT_EQ(c.size(), 1u); // only the owner entry is stored
+}
+
+TEST(SparseVectorClock, IncrementBumpsOwner)
+{
+    SparseVectorClock c(1);
+    c.increment(2);
+    c.increment(3);
+    EXPECT_EQ(c.get(1), 5u);
+    EXPECT_EQ(c.get(0), 0u);
+}
+
+TEST(SparseVectorClock, JoinMergesSortedEntries)
+{
+    SparseVectorClock a(0), b(5), c(2);
+    a.increment(1);
+    b.increment(7);
+    c.increment(3);
+    b.join(c); // b knows {2:3, 5:7}
+    a.join(b); // a knows {0:1, 2:3, 5:7}
+    EXPECT_EQ(a.toVector(6),
+              (std::vector<Clk>{1, 0, 3, 0, 0, 7}));
+    EXPECT_EQ(a.size(), 3u);
+    // Idempotent.
+    a.join(b);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.get(5), 7u);
+}
+
+TEST(SparseVectorClock, JoinKeepsMaxPerEntry)
+{
+    SparseVectorClock a(0), b(1);
+    a.increment(9);
+    b.increment(1);
+    b.join(a); // b: {0:9, 1:1}
+    a.increment(1); // a: {0:10}
+    a.join(b);
+    EXPECT_EQ(a.get(0), 10u); // own newer value kept
+    EXPECT_EQ(a.get(1), 1u);
+}
+
+TEST(SparseVectorClock, OwnerSurvivesJoins)
+{
+    SparseVectorClock a(3), b(0);
+    b.increment(5);
+    a.increment(1);
+    a.join(b);
+    a.increment(1); // must still hit the owner entry
+    EXPECT_EQ(a.get(3), 2u);
+}
+
+TEST(SparseVectorClock, CopyReplacesState)
+{
+    SparseVectorClock a(0), lw;
+    a.increment(4);
+    lw.copyCheckMonotone(a);
+    EXPECT_EQ(lw.get(0), 4u);
+    SparseVectorClock b(1);
+    b.increment(2);
+    lw.copyFrom(b);
+    EXPECT_EQ(lw.get(0), 0u); // dropped
+    EXPECT_EQ(lw.get(1), 2u);
+}
+
+TEST(SparseVectorClock, LessThanOrEqual)
+{
+    SparseVectorClock a(0), b(1);
+    a.increment(1);
+    EXPECT_FALSE(a.lessThanOrEqual(b));
+    b.increment(1);
+    b.join(a);
+    EXPECT_TRUE(a.lessThanOrEqual(b));
+    EXPECT_FALSE(b.lessThanOrEqual(a));
+    const SparseVectorClock empty;
+    EXPECT_TRUE(empty.lessThanOrEqual(a));
+}
+
+TEST(SparseVectorClock, WorkCounters)
+{
+    WorkCounters w;
+    SparseVectorClock a(0), b(1);
+    a.setCounters(&w);
+    b.setCounters(&w);
+    a.increment(1);
+    b.increment(1);
+    a.join(b);
+    EXPECT_EQ(w.increments, 2u);
+    EXPECT_EQ(w.joins, 1u);
+    EXPECT_EQ(w.vtWork, 3u); // 2 increments + 1 new entry
+}
+
+class SparseSweep : public ::testing::TestWithParam<SweepCase>
+{
+  protected:
+    Trace trace_ = generateRandomTrace(GetParam().params);
+};
+
+TEST_P(SparseSweep, MatchesDenseVectorClockOnAllEngines)
+{
+    const auto hb_dense =
+        runEngine<HbEngine, VectorClock>(trace_);
+    const auto hb_sparse =
+        runEngine<HbEngine, SparseVectorClock>(trace_);
+    EXPECT_EQ(hb_dense.races.total(), hb_sparse.races.total());
+    EXPECT_EQ(hb_dense.races.racyVars(),
+              hb_sparse.races.racyVars());
+
+    const auto shb_dense =
+        runEngine<ShbEngine, VectorClock>(trace_);
+    const auto shb_sparse =
+        runEngine<ShbEngine, SparseVectorClock>(trace_);
+    EXPECT_EQ(shb_dense.races.total(), shb_sparse.races.total());
+
+    const auto maz_dense =
+        runEngine<MazEngine, VectorClock>(trace_);
+    const auto maz_sparse =
+        runEngine<MazEngine, SparseVectorClock>(trace_);
+    EXPECT_EQ(maz_dense.races.total(), maz_sparse.races.total());
+}
+
+TEST_P(SparseSweep, TimestampsMatchDense)
+{
+    const auto dense =
+        collectTimestamps<ShbEngine, VectorClock>(trace_);
+    const auto sparse =
+        collectTimestamps<ShbEngine, SparseVectorClock>(trace_);
+    for (std::size_t i = 0; i < dense.size(); i++)
+        ASSERT_EQ(dense[i], sparse[i]) << "event " << i;
+}
+
+TEST_P(SparseSweep, VtWorkMatchesOtherClocks)
+{
+    auto work_of = [&](auto tag) {
+        using ClockT = decltype(tag);
+        WorkCounters w;
+        EngineConfig cfg;
+        cfg.counters = &w;
+        HbEngine<ClockT> engine(cfg);
+        engine.run(trace_);
+        return w.vtWork;
+    };
+    const auto dense = work_of(VectorClock{});
+    const auto sparse = work_of(SparseVectorClock{});
+    EXPECT_EQ(dense, sparse);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparseSweep,
+    ::testing::ValuesIn(test::standardSweep()),
+    [](const ::testing::TestParamInfo<SweepCase> &info) {
+        return info.param.label;
+    });
+
+} // namespace
+} // namespace tc

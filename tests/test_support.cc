@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the support substrate: RNG determinism, weighted
+ * sampling, string helpers, CLI parsing, tables and histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/cli.hh"
+#include "support/histogram.hh"
+#include "support/rng.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+#include "support/timer.hh"
+
+namespace tc {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(9);
+    std::vector<int> hits(8, 0);
+    for (int i = 0; i < 8000; i++)
+        hits[rng.below(8)]++;
+    for (int h : hits)
+        EXPECT_GT(h, 500); // roughly uniform
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; i++) {
+        const auto v = rng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; i++) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(WeightedSampler, RespectsWeights)
+{
+    Rng rng(11);
+    WeightedSampler sampler({1.0, 0.0, 3.0});
+    std::vector<int> hits(3, 0);
+    for (int i = 0; i < 8000; i++)
+        hits[sampler.draw(rng)]++;
+    EXPECT_EQ(hits[1], 0);
+    EXPECT_GT(hits[2], hits[0] * 2);
+    EXPECT_LT(hits[2], hits[0] * 4);
+}
+
+TEST(Strings, FormatBasics)
+{
+    EXPECT_EQ(strFormat("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+    EXPECT_EQ(strFormat("%05.1f", 2.25), "002.2");
+}
+
+TEST(Strings, HumanCount)
+{
+    EXPECT_EQ(humanCount(51), "51");
+    EXPECT_EQ(humanCount(1500), "1.5K");
+    EXPECT_EQ(humanCount(227000000), "227.0M");
+    EXPECT_EQ(humanCount(2100000000ULL), "2.1B");
+}
+
+TEST(Strings, SplitAndTrim)
+{
+    const auto parts = splitString("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(trimString("  hi \n"), "hi");
+    EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(Cli, ParsesAllKinds)
+{
+    ArgParser ap("test tool");
+    ap.addInt("threads", 8, "thread count");
+    ap.addDouble("ratio", 0.5, "a ratio");
+    ap.addString("name", "x", "a name");
+    ap.addBool("verbose", false, "chatty");
+
+    const char *argv[] = {"tool", "--threads=16", "--ratio", "0.25",
+                          "--name=bench", "--verbose", "pos"};
+    ASSERT_TRUE(ap.parse(7, const_cast<char **>(argv)));
+    EXPECT_EQ(ap.getInt("threads"), 16);
+    EXPECT_DOUBLE_EQ(ap.getDouble("ratio"), 0.25);
+    EXPECT_EQ(ap.getString("name"), "bench");
+    EXPECT_TRUE(ap.getBool("verbose"));
+    ASSERT_EQ(ap.positional().size(), 1u);
+    EXPECT_EQ(ap.positional()[0], "pos");
+}
+
+TEST(Cli, DefaultsSurvive)
+{
+    ArgParser ap("t");
+    ap.addInt("n", 3, "n");
+    const char *argv[] = {"tool"};
+    ASSERT_TRUE(ap.parse(1, const_cast<char **>(argv)));
+    EXPECT_EQ(ap.getInt("n"), 3);
+}
+
+TEST(Cli, RejectsUnknownAndMalformed)
+{
+    ArgParser ap("t");
+    ap.addInt("n", 3, "n");
+    const char *bad1[] = {"tool", "--what=1"};
+    EXPECT_FALSE(ap.parse(2, const_cast<char **>(bad1)));
+    ArgParser ap2("t");
+    ap2.addInt("n", 3, "n");
+    const char *bad2[] = {"tool", "--n=abc"};
+    EXPECT_FALSE(ap2.parse(2, const_cast<char **>(bad2)));
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Histogram, BinsAndOverflow)
+{
+    Histogram h({1, 5, 10});
+    h.add(0.5);  // underflow
+    h.add(1.0);  // bin 0
+    h.add(4.99); // bin 0
+    h.add(5.0);  // bin 1
+    h.add(10.0); // overflow
+    h.add(42.0); // overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, PaperFig9Edges)
+{
+    Histogram h = Histogram::paperFig9();
+    EXPECT_EQ(h.bins(), 9u);
+    h.add(3.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.binLabel(0), "[1, 5)");
+}
+
+TEST(Timer, MeasuresSomething)
+{
+    Timer t;
+    double sink = 0;
+    for (int i = 0; i < 100000; i++)
+        sink = sink + i;
+    EXPECT_GE(t.seconds(), 0.0);
+    const double measured = timeIt([&] {
+        for (int i = 0; i < 100000; i++)
+            sink = sink + i;
+    });
+    // Use sink so the loops are not optimized away entirely.
+    EXPECT_GT(sink, 0.0);
+    EXPECT_GT(measured, 0.0);
+}
+
+} // namespace
+} // namespace tc

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Serialization tests: text and binary round trips, format errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "gen/random_trace.hh"
+#include "trace/trace_io.hh"
+
+namespace tc {
+namespace {
+
+Trace
+sampleTrace()
+{
+    Trace t(4, 2, 3);
+    t.fork(0, 1);
+    t.acquire(0, 0);
+    t.write(0, 1);
+    t.release(0, 0);
+    t.acquire(1, 0);
+    t.read(1, 1);
+    t.release(1, 0);
+    t.sync(2, 1);
+    t.join(0, 1);
+    return t;
+}
+
+void
+expectSameTrace(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.numThreads(), b.numThreads());
+    EXPECT_EQ(a.numLocks(), b.numLocks());
+    EXPECT_EQ(a.numVars(), b.numVars());
+    for (std::size_t i = 0; i < a.size(); i++)
+        EXPECT_EQ(a[i], b[i]) << "event " << i;
+}
+
+TEST(TraceIoText, RoundTrip)
+{
+    const Trace t = sampleTrace();
+    std::stringstream ss;
+    writeTraceText(t, ss);
+    const ParseResult r = readTraceText(ss);
+    ASSERT_TRUE(r.ok) << r.message;
+    expectSameTrace(t, r.trace);
+}
+
+TEST(TraceIoText, CommentsAndBlanksIgnored)
+{
+    std::stringstream ss;
+    ss << "# a comment\n\nthreads 2 locks 1 vars 1\n"
+       << "0 acq 0\n# inner comment\n0 rel 0\n1 r 0\n";
+    const ParseResult r = readTraceText(ss);
+    ASSERT_TRUE(r.ok) << r.message;
+    EXPECT_EQ(r.trace.size(), 3u);
+    EXPECT_TRUE(r.trace.validate().ok);
+}
+
+TEST(TraceIoText, RejectsMissingHeader)
+{
+    std::stringstream ss("0 acq 0\n");
+    const ParseResult r = readTraceText(ss);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(TraceIoText, RejectsUnknownOp)
+{
+    std::stringstream ss("threads 1 locks 1 vars 1\n0 cas 0\n");
+    const ParseResult r = readTraceText(ss);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.line, 2u);
+}
+
+TEST(TraceIoText, RejectsNegativeIds)
+{
+    std::stringstream ss("threads 1 locks 1 vars 1\n-1 r 0\n");
+    EXPECT_FALSE(readTraceText(ss).ok);
+}
+
+TEST(TraceIoText, RejectsTrailingTokens)
+{
+    std::stringstream ss("threads 1 locks 1 vars 1\n0 r 0 junk\n");
+    EXPECT_FALSE(readTraceText(ss).ok);
+}
+
+TEST(TraceIoBinary, RoundTrip)
+{
+    const Trace t = sampleTrace();
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    ASSERT_TRUE(writeTraceBinary(t, ss));
+    const ParseResult r = readTraceBinary(ss);
+    ASSERT_TRUE(r.ok) << r.message;
+    expectSameTrace(t, r.trace);
+}
+
+TEST(TraceIoBinary, RejectsBadMagic)
+{
+    std::stringstream ss("NOTATRACE");
+    EXPECT_FALSE(readTraceBinary(ss).ok);
+}
+
+TEST(TraceIoBinary, RejectsTruncation)
+{
+    const Trace t = sampleTrace();
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    ASSERT_TRUE(writeTraceBinary(t, ss));
+    std::string data = ss.str();
+    data.resize(data.size() - 5);
+    std::stringstream cut(data);
+    EXPECT_FALSE(readTraceBinary(cut).ok);
+}
+
+TEST(TraceIoFiles, SaveLoadByExtension)
+{
+    const Trace t = sampleTrace();
+    const std::string text_path = "/tmp/tc_io_test.tct";
+    const std::string bin_path = "/tmp/tc_io_test.tcb";
+    ASSERT_TRUE(saveTrace(t, text_path));
+    ASSERT_TRUE(saveTrace(t, bin_path));
+    const ParseResult rt = loadTrace(text_path);
+    const ParseResult rb = loadTrace(bin_path);
+    ASSERT_TRUE(rt.ok) << rt.message;
+    ASSERT_TRUE(rb.ok) << rb.message;
+    expectSameTrace(t, rt.trace);
+    expectSameTrace(t, rb.trace);
+    std::remove(text_path.c_str());
+    std::remove(bin_path.c_str());
+}
+
+TEST(TraceIoFiles, LoadMissingFileFails)
+{
+    const ParseResult r = loadTrace("/tmp/definitely_missing.tct");
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(TraceIoBinary, LargeRandomRoundTrip)
+{
+    RandomTraceParams params;
+    params.threads = 12;
+    params.locks = 6;
+    params.vars = 500;
+    params.events = 20000;
+    params.forkJoin = true;
+    params.seed = 99;
+    const Trace t = generateRandomTrace(params);
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    ASSERT_TRUE(writeTraceBinary(t, ss));
+    const ParseResult r = readTraceBinary(ss);
+    ASSERT_TRUE(r.ok) << r.message;
+    expectSameTrace(t, r.trace);
+}
+
+} // namespace
+} // namespace tc

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Trace statistics tests (the Table 1 / Table 3 metrics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hh"
+
+namespace tc {
+namespace {
+
+TEST(TraceStats, CountsEventKinds)
+{
+    Trace t(4, 2, 8);
+    t.fork(0, 1);
+    t.acquire(0, 0);
+    t.write(0, 3);
+    t.read(1, 3);
+    t.read(1, 5);
+    t.release(0, 0);
+    t.join(0, 1);
+    const TraceStats s = computeStats(t);
+    EXPECT_EQ(s.events, 7u);
+    EXPECT_EQ(s.reads, 2u);
+    EXPECT_EQ(s.writes, 1u);
+    EXPECT_EQ(s.acquires, 1u);
+    EXPECT_EQ(s.releases, 1u);
+    EXPECT_EQ(s.forks, 1u);
+    EXPECT_EQ(s.joins, 1u);
+}
+
+TEST(TraceStats, CountsDistinctIdsActuallyUsed)
+{
+    Trace t(10, 10, 10); // declared spaces larger than used
+    t.write(2, 3);
+    t.write(2, 3);
+    t.read(5, 7);
+    t.sync(2, 4);
+    const TraceStats s = computeStats(t);
+    EXPECT_EQ(s.threads, 2);     // t2, t5
+    EXPECT_EQ(s.variables, 2u);  // x3, x7
+    EXPECT_EQ(s.locks, 1u);      // l4
+}
+
+TEST(TraceStats, ForkTargetCountsAsThread)
+{
+    Trace t(3, 0, 1);
+    t.fork(0, 2); // thread 2 exists even with no own events yet
+    const TraceStats s = computeStats(t);
+    EXPECT_EQ(s.threads, 2);
+}
+
+TEST(TraceStats, Percentages)
+{
+    Trace t;
+    t.sync(0, 0);   // 2 sync events
+    t.write(0, 0);
+    t.read(1, 0);   // 2 access events
+    const TraceStats s = computeStats(t);
+    EXPECT_DOUBLE_EQ(s.syncPercent(), 50.0);
+    EXPECT_DOUBLE_EQ(s.rwPercent(), 50.0);
+}
+
+TEST(TraceStats, EmptyTrace)
+{
+    const TraceStats s = computeStats(Trace());
+    EXPECT_EQ(s.events, 0u);
+    EXPECT_DOUBLE_EQ(s.syncPercent(), 0.0);
+    EXPECT_DOUBLE_EQ(s.rwPercent(), 0.0);
+}
+
+TEST(CorpusStats, AggregatesMinMaxMean)
+{
+    TraceStats a, b;
+    a.events = 100;
+    a.threads = 4;
+    a.reads = 90;
+    a.acquires = 5;
+    a.releases = 5;
+    b.events = 300;
+    b.threads = 10;
+    b.reads = 150;
+    b.acquires = 75;
+    b.releases = 75;
+    const CorpusStats agg = aggregateStats({a, b});
+    EXPECT_EQ(agg.traces, 2u);
+    EXPECT_DOUBLE_EQ(agg.events.min, 100);
+    EXPECT_DOUBLE_EQ(agg.events.max, 300);
+    EXPECT_DOUBLE_EQ(agg.events.mean, 200);
+    EXPECT_DOUBLE_EQ(agg.threads.mean, 7);
+    EXPECT_DOUBLE_EQ(agg.syncPct.min, 10.0);
+    EXPECT_DOUBLE_EQ(agg.syncPct.max, 50.0);
+}
+
+TEST(CorpusStats, EmptyCorpus)
+{
+    const CorpusStats agg = aggregateStats({});
+    EXPECT_EQ(agg.traces, 0u);
+}
+
+} // namespace
+} // namespace tc

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tree clock basics: Init/Get/Increment/LessThan (Algorithm 2's
+ * simple operations), vector-time materialization and the
+ * structural invariant checker itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tree_clock.hh"
+
+namespace tc {
+namespace {
+
+TEST(TreeClockBasic, InitCreatesZeroRoot)
+{
+    TreeClock c(3, 8);
+    EXPECT_EQ(c.rootTid(), 3);
+    EXPECT_EQ(c.localClk(), 0u);
+    EXPECT_FALSE(c.empty());
+    EXPECT_TRUE(c.hasThread(3));
+    EXPECT_FALSE(c.hasThread(0));
+    EXPECT_EQ(c.checkInvariants(), "");
+}
+
+TEST(TreeClockBasic, EmptyAuxiliaryClock)
+{
+    TreeClock aux;
+    EXPECT_TRUE(aux.empty());
+    EXPECT_EQ(aux.rootTid(), kNoTid);
+    EXPECT_EQ(aux.localClk(), 0u);
+    EXPECT_EQ(aux.get(0), 0u);
+    EXPECT_EQ(aux.checkInvariants(), "");
+}
+
+TEST(TreeClockBasic, IncrementBumpsRoot)
+{
+    TreeClock c(0, 4);
+    c.increment(1);
+    c.increment(3);
+    EXPECT_EQ(c.get(0), 4u);
+    EXPECT_EQ(c.localClk(), 4u);
+    EXPECT_EQ(c.get(1), 0u);
+}
+
+TEST(TreeClockBasic, GetOutOfRangeIsZero)
+{
+    TreeClock c(0, 2);
+    EXPECT_EQ(c.get(1000), 0u);
+}
+
+TEST(TreeClockBasic, LessThanRootTest)
+{
+    TreeClock a(0, 4), b(1, 4);
+    // Empty-ish clocks: a's root time 0 is covered by anything.
+    EXPECT_TRUE(a.lessThanOrEqual(b));
+    a.increment(2);
+    EXPECT_FALSE(a.lessThanOrEqual(b));
+    b.increment(1);
+    b.join(a);
+    EXPECT_TRUE(a.lessThanOrEqual(b));
+    EXPECT_FALSE(b.lessThanOrEqual(a));
+}
+
+TEST(TreeClockBasic, LessThanExactMatchesDefinition)
+{
+    TreeClock a(0, 4), b(1, 4);
+    a.increment(2);
+    b.increment(5);
+    b.join(a);
+    EXPECT_TRUE(a.lessThanOrEqualExact(b));
+    EXPECT_FALSE(b.lessThanOrEqualExact(a));
+}
+
+TEST(TreeClockBasic, ToVectorMaterializesTimes)
+{
+    TreeClock a(0, 3), b(1, 3);
+    a.increment(4);
+    b.increment(6);
+    a.join(b);
+    EXPECT_EQ(a.toVector(3), (std::vector<Clk>{4, 6, 0}));
+    EXPECT_EQ(a.toVector(5).size(), 5u);
+}
+
+TEST(TreeClockBasic, NodeCountTracksPresence)
+{
+    TreeClock a(0, 4), b(1, 4);
+    EXPECT_EQ(a.nodeCount(), 1u);
+    b.increment(1);
+    a.increment(1);
+    a.join(b);
+    EXPECT_EQ(a.nodeCount(), 2u);
+}
+
+TEST(TreeClockBasic, ToStringRendersTree)
+{
+    TreeClock a(0, 3), b(1, 3);
+    a.increment(1);
+    b.increment(1);
+    a.join(b);
+    const std::string s = a.toString();
+    EXPECT_NE(s.find("(t0, 1, _)"), std::string::npos);
+    EXPECT_NE(s.find("(t1, 1, 1)"), std::string::npos);
+}
+
+TEST(TreeClockBasic, JoinFromEmptyIsNoop)
+{
+    TreeClock a(0, 2);
+    TreeClock empty;
+    a.increment(3);
+    a.join(empty);
+    EXPECT_EQ(a.toVector(2), (std::vector<Clk>{3, 0}));
+    EXPECT_EQ(a.checkInvariants(), "");
+}
+
+TEST(TreeClockBasic, VacuousJoinLeavesStructureAlone)
+{
+    TreeClock a(0, 3), b(1, 3);
+    b.increment(2);
+    a.increment(1);
+    a.join(b);
+    const auto before = a.toVector(3);
+    // b has learned nothing new since; joining again is vacuous.
+    a.join(b);
+    EXPECT_EQ(a.toVector(3), before);
+    EXPECT_EQ(a.checkInvariants(), "");
+}
+
+TEST(TreeClockBasic, InvariantCheckerCatchesNothingOnHealthyOps)
+{
+    TreeClock a(0, 6), b(1, 6), c(2, 6);
+    for (int round = 0; round < 5; round++) {
+        a.increment(1);
+        b.increment(1);
+        c.increment(1);
+        b.join(a);
+        c.join(b);
+        a.join(c);
+        EXPECT_EQ(a.checkInvariants(), "");
+        EXPECT_EQ(b.checkInvariants(), "");
+        EXPECT_EQ(c.checkInvariants(), "");
+    }
+}
+
+} // namespace
+} // namespace tc

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Differential tests for the O(1) fast paths of join/monotoneCopy
+ * (the "only the root progressed" cases). The NoIndirect policy
+ * never takes the fast paths, so running the same operation
+ * sequences under both policies and demanding identical vector
+ * times, tree shapes and race results pins the fast paths to the
+ * generic algorithm.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hh"
+#include "test_helpers.hh"
+
+namespace tc {
+namespace {
+
+using test::runEngine;
+using test::SweepCase;
+
+/** Two identical clock fleets, one per policy, driven in lockstep. */
+class Fleet
+{
+  public:
+    Fleet(Tid threads, LockId locks)
+    {
+        for (Tid t = 0; t < threads; t++) {
+            fast_.emplace_back(t, static_cast<std::size_t>(threads));
+            slow_.emplace_back(t, static_cast<std::size_t>(threads));
+            slow_.back().setPolicy(TreeClock::JoinPolicy::NoIndirect);
+        }
+        fastLocks_.resize(static_cast<std::size_t>(locks));
+        slowLocks_.resize(static_cast<std::size_t>(locks));
+        for (auto &l : slowLocks_)
+            l.setPolicy(TreeClock::JoinPolicy::NoIndirect);
+    }
+
+    void
+    acq(Tid t, LockId l)
+    {
+        fast_[static_cast<std::size_t>(t)].increment(1);
+        fast_[static_cast<std::size_t>(t)].join(
+            fastLocks_[static_cast<std::size_t>(l)]);
+        slow_[static_cast<std::size_t>(t)].increment(1);
+        slow_[static_cast<std::size_t>(t)].join(
+            slowLocks_[static_cast<std::size_t>(l)]);
+    }
+
+    void
+    rel(Tid t, LockId l)
+    {
+        fast_[static_cast<std::size_t>(t)].increment(1);
+        fastLocks_[static_cast<std::size_t>(l)].monotoneCopy(
+            fast_[static_cast<std::size_t>(t)]);
+        slow_[static_cast<std::size_t>(t)].increment(1);
+        slowLocks_[static_cast<std::size_t>(l)].monotoneCopy(
+            slow_[static_cast<std::size_t>(t)]);
+    }
+
+    void
+    expectEqualState(const char *where)
+    {
+        for (std::size_t t = 0; t < fast_.size(); t++) {
+            EXPECT_EQ(fast_[t].toVector(fast_.size()),
+                      slow_[t].toVector(fast_.size()))
+                << where << " thread " << t;
+            EXPECT_EQ(fast_[t].checkInvariants(), "")
+                << where << " thread " << t;
+        }
+        for (std::size_t l = 0; l < fastLocks_.size(); l++) {
+            EXPECT_EQ(fastLocks_[l].toVector(fast_.size()),
+                      slowLocks_[l].toVector(fast_.size()))
+                << where << " lock " << l;
+            EXPECT_EQ(fastLocks_[l].checkInvariants(), "")
+                << where << " lock " << l;
+        }
+    }
+
+    std::vector<TreeClock> fast_, slow_;
+    std::vector<TreeClock> fastLocks_, slowLocks_;
+};
+
+TEST(FastPaths, RepeatedSelfSyncHitsCopyFastPath)
+{
+    // One thread re-syncing its own lock: after the first release
+    // every copy is the root-only fast path; every acquire is the
+    // vacuous-join fast path.
+    WorkCounters w;
+    TreeClock ct(0, 4);
+    TreeClock lock;
+    ct.setCounters(&w);
+    lock.setCounters(&w);
+
+    ct.increment(1);
+    ct.join(lock);
+    ct.increment(1);
+    lock.monotoneCopy(ct); // deep copy (first population)
+    const std::uint64_t after_first = w.dsWork;
+
+    for (int i = 0; i < 100; i++) {
+        ct.increment(1);
+        ct.join(lock); // vacuous
+        ct.increment(1);
+        lock.monotoneCopy(ct); // root-only fast path
+    }
+    // Each round: 2 increments (2) + vacuous join (1) + fast copy
+    // (2) = 5 dsWork; anything more means a fast path regressed.
+    EXPECT_LE(w.dsWork - after_first, 100u * 5u);
+    EXPECT_EQ(lock.localClk(), ct.localClk());
+    EXPECT_EQ(lock.checkInvariants(), "");
+}
+
+TEST(FastPaths, JoinFastPathMatchesGenericResult)
+{
+    // t1 publishes one new event; t0's join should take the
+    // root-only fast path and produce exactly the generic result.
+    for (const auto policy : {TreeClock::JoinPolicy::Full,
+                              TreeClock::JoinPolicy::NoIndirect}) {
+        TreeClock a(0, 4), b(1, 4), c(2, 4);
+        a.setPolicy(policy);
+        b.setPolicy(policy);
+        c.setPolicy(policy);
+        c.increment(2);
+        b.increment(1);
+        b.join(c);
+        a.increment(1);
+        a.join(b); // generic: transplants b and c
+        b.increment(1);
+        a.join(b); // only b's root progressed: fast path eligible
+        EXPECT_EQ(a.toVector(4),
+                  (std::vector<Clk>{1, 2, 2, 0}));
+        EXPECT_EQ(a.parentOf(1), 0);
+        EXPECT_EQ(a.checkInvariants(), "");
+    }
+}
+
+TEST(FastPaths, LockstepRandomScheduleAgrees)
+{
+    // Drive both policies through an identical random lock schedule
+    // and compare full state repeatedly.
+    Rng rng(2024);
+    const Tid threads = 12;
+    const LockId locks = 6;
+    Fleet fleet(threads, locks);
+
+    std::vector<Tid> holder(static_cast<std::size_t>(locks), kNoTid);
+    std::vector<LockId> held(static_cast<std::size_t>(threads),
+                             kNoTid);
+    for (int step = 0; step < 4000; step++) {
+        const Tid t = static_cast<Tid>(
+            rng.below(static_cast<std::uint64_t>(threads)));
+        if (held[static_cast<std::size_t>(t)] != kNoTid) {
+            const LockId l = held[static_cast<std::size_t>(t)];
+            fleet.rel(t, l);
+            holder[static_cast<std::size_t>(l)] = kNoTid;
+            held[static_cast<std::size_t>(t)] = kNoTid;
+        } else {
+            const LockId l = static_cast<LockId>(
+                rng.below(static_cast<std::uint64_t>(locks)));
+            if (holder[static_cast<std::size_t>(l)] == kNoTid) {
+                fleet.acq(t, l);
+                holder[static_cast<std::size_t>(l)] = t;
+                held[static_cast<std::size_t>(t)] = l;
+            }
+        }
+        if (step % 500 == 0)
+            fleet.expectEqualState("mid-run");
+    }
+    fleet.expectEqualState("final");
+}
+
+class FastPathSweep : public ::testing::TestWithParam<SweepCase>
+{
+  protected:
+    Trace trace_ = generateRandomTrace(GetParam().params);
+};
+
+TEST_P(FastPathSweep, PoliciesAgreeOnAllEngines)
+{
+    EngineConfig full;
+    EngineConfig no_indirect;
+    no_indirect.policy = TreeClock::JoinPolicy::NoIndirect;
+
+    const auto hb_a = runEngine<HbEngine, TreeClock>(trace_, full);
+    const auto hb_b =
+        runEngine<HbEngine, TreeClock>(trace_, no_indirect);
+    EXPECT_EQ(hb_a.races.total(), hb_b.races.total());
+    EXPECT_EQ(hb_a.races.racyVars(), hb_b.races.racyVars());
+
+    const auto maz_a = runEngine<MazEngine, TreeClock>(trace_, full);
+    const auto maz_b =
+        runEngine<MazEngine, TreeClock>(trace_, no_indirect);
+    EXPECT_EQ(maz_a.races.total(), maz_b.races.total());
+
+    const auto shb_a = runEngine<ShbEngine, TreeClock>(trace_, full);
+    const auto shb_b =
+        runEngine<ShbEngine, TreeClock>(trace_, no_indirect);
+    EXPECT_EQ(shb_a.races.total(), shb_b.races.total());
+}
+
+TEST_P(FastPathSweep, FullPolicyDoesLeastWork)
+{
+    auto work_of = [&](TreeClock::JoinPolicy policy) {
+        WorkCounters w;
+        EngineConfig cfg;
+        cfg.counters = &w;
+        cfg.policy = policy;
+        runEngine<ShbEngine, TreeClock>(trace_, cfg);
+        return w;
+    };
+    const auto full = work_of(TreeClock::JoinPolicy::Full);
+    const auto no_ind = work_of(TreeClock::JoinPolicy::NoIndirect);
+    EXPECT_LE(full.dsWork, no_ind.dsWork);
+    // The policies must agree on actual vector-time changes.
+    EXPECT_EQ(full.vtWork, no_ind.vtWork);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FastPathSweep,
+    ::testing::ValuesIn(test::standardSweep()),
+    [](const ::testing::TestParamInfo<SweepCase> &info) {
+        return info.param.label;
+    });
+
+} // namespace
+} // namespace tc

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Vector clock baseline tests: the §2.2 operations plus work
+ * accounting semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vector_clock.hh"
+
+namespace tc {
+namespace {
+
+TEST(VectorClock, FreshThreadClockIsZero)
+{
+    VectorClock c(2, 8);
+    EXPECT_EQ(c.ownerTid(), 2);
+    EXPECT_EQ(c.localClk(), 0u);
+    for (Tid t = 0; t < 8; t++)
+        EXPECT_EQ(c.get(t), 0u);
+}
+
+TEST(VectorClock, IncrementBumpsOwner)
+{
+    VectorClock c(1, 4);
+    c.increment(1);
+    c.increment(2);
+    EXPECT_EQ(c.get(1), 3u);
+    EXPECT_EQ(c.get(0), 0u);
+}
+
+TEST(VectorClock, GetBeyondStorageIsZero)
+{
+    VectorClock c(0, 2);
+    EXPECT_EQ(c.get(100), 0u);
+}
+
+TEST(VectorClock, JoinIsPointwiseMax)
+{
+    VectorClock a(0, 3), b(1, 3);
+    a.increment(5);
+    b.increment(7);
+    a.join(b);
+    EXPECT_EQ(a.toVector(3), (std::vector<Clk>{5, 7, 0}));
+    // Join is idempotent.
+    a.join(b);
+    EXPECT_EQ(a.toVector(3), (std::vector<Clk>{5, 7, 0}));
+}
+
+TEST(VectorClock, JoinGrowsStorage)
+{
+    VectorClock a(0, 1), b(5, 6);
+    b.increment(3);
+    a.join(b);
+    EXPECT_EQ(a.get(5), 3u);
+}
+
+TEST(VectorClock, CopyReplacesIncludingDecreases)
+{
+    VectorClock a(0, 3), b(1, 3);
+    a.increment(9);
+    b.increment(2);
+    a.copyFrom(b); // a's own entry drops from 9 to 0
+    EXPECT_EQ(a.toVector(3), (std::vector<Clk>{0, 2, 0}));
+}
+
+TEST(VectorClock, LessThanOrEqual)
+{
+    VectorClock a(0, 2), b(1, 2);
+    EXPECT_TRUE(a.lessThanOrEqual(b)); // all-zero ⊑ all-zero
+    a.increment(1);
+    EXPECT_FALSE(a.lessThanOrEqual(b));
+    b.join(a);
+    EXPECT_TRUE(a.lessThanOrEqual(b));
+    b.increment(1);
+    EXPECT_TRUE(a.lessThanOrEqual(b));
+    EXPECT_FALSE(b.lessThanOrEqual(a));
+}
+
+TEST(VectorClock, AuxiliaryClockEmpty)
+{
+    VectorClock aux;
+    EXPECT_TRUE(aux.empty());
+    VectorClock t0(0, 1);
+    EXPECT_FALSE(t0.empty());
+}
+
+TEST(VectorClock, WorkCountersJoin)
+{
+    WorkCounters w;
+    VectorClock a(0, 4), b(1, 4);
+    a.setCounters(&w);
+    b.setCounters(&w);
+    a.increment(1); // vt 1, ds 1
+    b.increment(1); // vt 1, ds 1
+    a.join(b);      // 1 entry changes, 4 touched
+    EXPECT_EQ(w.increments, 2u);
+    EXPECT_EQ(w.joins, 1u);
+    EXPECT_EQ(w.vtWork, 3u);
+    EXPECT_EQ(w.dsWork, 6u);
+    // A vacuous join still costs Θ(k) in dsWork but no vtWork —
+    // exactly the flat-clock weakness the paper targets.
+    a.join(b);
+    EXPECT_EQ(w.vtWork, 3u);
+    EXPECT_EQ(w.dsWork, 10u);
+}
+
+TEST(VectorClock, WorkCountersCopy)
+{
+    WorkCounters w;
+    VectorClock a(0, 4), lock;
+    a.setCounters(&w);
+    lock.setCounters(&w);
+    a.increment(1);
+    lock.copyFrom(a);
+    EXPECT_EQ(w.copies, 1u);
+    EXPECT_EQ(w.vtWork, 2u); // increment + 1 changed entry
+}
+
+TEST(VectorClock, ToVectorPadsToRequestedWidth)
+{
+    VectorClock a(0, 2);
+    a.increment(4);
+    const auto v = a.toVector(5);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_EQ(v[0], 4u);
+    EXPECT_EQ(v[4], 0u);
+}
+
+} // namespace
+} // namespace tc
