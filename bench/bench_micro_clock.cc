@@ -5,10 +5,22 @@
  * knowledge patterns, across thread counts. These isolate the
  * per-operation costs behind the macro results: a vacuous VC join
  * still pays Θ(k); a vacuous TC join pays O(1).
+ *
+ * Every benchmark reports a heap_allocs counter — allocations (via
+ * the alloc_hook.cc global operator new) performed inside the
+ * measured loop. The steady-state join/copy benchmarks must report
+ * 0: the clock hot paths reuse their scratch and never allocate
+ * once warmed. Pass --json <path> for a machine-readable report
+ * (BENCH_baseline.json is generated this way).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
 #include "core/tree_clock.hh"
 #include "core/vector_clock.hh"
 #include "support/rng.hh"
@@ -48,6 +60,14 @@ makeClockPair(Tid k, Tid fresh)
     return {std::move(a), std::move(b)};
 }
 
+/** Allocations inside the measured loop (0 = allocation-free). */
+void
+setAllocCounter(benchmark::State &state, std::uint64_t before)
+{
+    state.counters["heap_allocs"] = benchmark::Counter(
+        static_cast<double>(bench::heapAllocCount() - before));
+}
+
 template <typename ClockT>
 void
 BM_Get(benchmark::State &state)
@@ -55,10 +75,12 @@ BM_Get(benchmark::State &state)
     const Tid k = static_cast<Tid>(state.range(0));
     auto [a, b] = makeClockPair<ClockT>(k, k / 4);
     Tid t = 0;
+    const std::uint64_t allocs = bench::heapAllocCount();
     for (auto _ : state) {
         benchmark::DoNotOptimize(a.get(t));
         t = (t + 1) % k;
     }
+    setAllocCounter(state, allocs);
 }
 
 template <typename ClockT>
@@ -67,9 +89,11 @@ BM_Increment(benchmark::State &state)
 {
     const Tid k = static_cast<Tid>(state.range(0));
     ClockT c(0, static_cast<std::size_t>(k));
+    const std::uint64_t allocs = bench::heapAllocCount();
     for (auto _ : state)
         c.increment(1);
     benchmark::DoNotOptimize(c.get(0));
+    setAllocCounter(state, allocs);
 }
 
 /** Vacuous join: the operand holds nothing new. VC pays Θ(k), TC
@@ -81,9 +105,11 @@ BM_JoinVacuous(benchmark::State &state)
     const Tid k = static_cast<Tid>(state.range(0));
     auto [a, b] = makeClockPair<ClockT>(k, 0);
     a.join(b); // make any residue vacuous
+    const std::uint64_t allocs = bench::heapAllocCount();
     for (auto _ : state)
         a.join(b);
     benchmark::DoNotOptimize(a.get(0));
+    setAllocCounter(state, allocs);
 }
 
 /**
@@ -100,7 +126,18 @@ BM_SyncRoundTrip(benchmark::State &state)
     const Tid k = static_cast<Tid>(state.range(0));
     auto [a, b] = makeClockPair<ClockT>(k, 0);
     ClockT lock;
+    // One untimed round trip per role warms the lock clock and the
+    // traversal scratch so the measured loop is steady-state.
+    for (int warm = 0; warm < 2; warm++) {
+        ClockT &src = warm == 0 ? a : b;
+        ClockT &dst = warm == 0 ? b : a;
+        src.increment(1);
+        lock.monotoneCopy(src);
+        dst.increment(1);
+        dst.join(lock);
+    }
     bool a_turn = true;
+    const std::uint64_t allocs = bench::heapAllocCount();
     for (auto _ : state) {
         ClockT &src = a_turn ? a : b;
         ClockT &dst = a_turn ? b : a;
@@ -112,6 +149,7 @@ BM_SyncRoundTrip(benchmark::State &state)
     }
     benchmark::DoNotOptimize(a.get(0));
     benchmark::DoNotOptimize(b.get(1));
+    setAllocCounter(state, allocs);
 }
 
 /** Monotone copy of a fully-known clock (release-path pattern). */
@@ -123,11 +161,15 @@ BM_MonotoneCopy(benchmark::State &state)
     auto [a, b] = makeClockPair<ClockT>(k, 0);
     ClockT lock;
     lock.monotoneCopy(b);
+    b.increment(1);
+    lock.monotoneCopy(b); // warm the scratch / copy path
+    const std::uint64_t allocs = bench::heapAllocCount();
     for (auto _ : state) {
         b.increment(1);
         lock.monotoneCopy(b);
     }
     benchmark::DoNotOptimize(lock.get(1));
+    setAllocCounter(state, allocs);
 }
 
 #define TC_BENCH_RANGE RangeMultiplier(4)->Range(8, 2048)
@@ -143,7 +185,85 @@ BENCHMARK_TEMPLATE(BM_SyncRoundTrip, TreeClock)->TC_BENCH_RANGE;
 BENCHMARK_TEMPLATE(BM_MonotoneCopy, VectorClock)->TC_BENCH_RANGE;
 BENCHMARK_TEMPLATE(BM_MonotoneCopy, TreeClock)->TC_BENCH_RANGE;
 
+/** Mirrors every finished run into the shared JsonReporter while
+ * keeping the familiar console table. */
+class JsonBridgeReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit JsonBridgeReporter(bench::JsonReporter *json)
+        : json_(json)
+    {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (runFailed(run))
+                continue;
+            json_->entry(run.benchmark_name());
+            json_->metric("real_time_ns", run.GetAdjustedRealTime());
+            json_->metric("cpu_time_ns", run.GetAdjustedCPUTime());
+            json_->metric("iterations",
+                          static_cast<double>(run.iterations));
+            for (const auto &[name, counter] : run.counters)
+                json_->metric(name, counter.value);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    /** benchmark <= 1.7 flags failures via error_occurred; 1.8+
+     * replaced it with the skipped enum (0 = ran). A template so
+     * the branch for the other library version is never
+     * instantiated. */
+    template <typename R>
+    static bool
+    runFailed(const R &run)
+    {
+        if constexpr (requires { run.error_occurred; })
+            return run.error_occurred;
+        else if constexpr (requires { run.skipped; })
+            return run.skipped != decltype(run.skipped){};
+        else
+            return false;
+    }
+
+    bench::JsonReporter *json_;
+};
+
 } // namespace
 } // namespace tc
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off our --json flag before google-benchmark sees the
+    // argument vector (it rejects flags it does not know).
+    std::string json_path;
+    int kept = 1;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    tc::bench::JsonReporter json;
+    tc::JsonBridgeReporter reporter(&json);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (!json_path.empty() && !json.writeTo(json_path)) {
+        std::fprintf(stderr, "failed to write json to %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    return 0;
+}

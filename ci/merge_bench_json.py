@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Merge per-harness --json reports into one baseline document.
+
+Usage:
+    ci/merge_bench_json.py out.json name1=path1.json name2=path2.json ...
+
+Each input is the JsonReporter output of one harness (or the
+bench_micro_clock google-benchmark bridge); the merged document maps
+each given name to that harness' parsed report, so perf PRs can diff
+BENCH_baseline.json key by key.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    out_path = sys.argv[1]
+    merged = {}
+    for spec in sys.argv[2:]:
+        name, _, path = spec.partition("=")
+        if not path:
+            print(f"bad argument (want name=path): {spec}",
+                  file=sys.stderr)
+            return 1
+        with open(path) as f:
+            merged[name] = json.load(f)
+    with open(out_path, "w") as f:
+        json.dump(merged, f, indent=1)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(merged)} harness reports)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

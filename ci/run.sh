@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 cmake+ctest flow, twice.
+#
+#   Job 1 — Release with -Werror: the measured configuration must
+#           build warning-clean.
+#   Job 2 — ASan + UBSan: the full test suite under both sanitizers
+#           (catches scratch-arena lifetime bugs, OOB link-array
+#           indexing, signed-overflow in the traversals).
+#
+# Usage: ci/run.sh [jobs]   (defaults to nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+run_job() {
+    local name="$1" build_dir="$2"
+    shift 2
+    echo "=== ${name} ==="
+    cmake -B "${build_dir}" -S . "$@"
+    cmake --build "${build_dir}" -j "${JOBS}"
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_job "Release -Werror" build-ci-werror \
+    -DCMAKE_BUILD_TYPE=Release -DTC_WERROR=ON
+run_job "ASan/UBSan" build-ci-asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTC_WERROR=ON \
+    -DTC_SANITIZE=ON
+
+echo "=== CI OK ==="

@@ -88,6 +88,18 @@ class AccessHistory
 
     bool sharedReads() const { return shared_; }
 
+    /**
+     * True iff every recorded read is covered by thread @p t's
+     * program order alone: no reads, or a single read epoch owned
+     * by t. Write paths use it to skip the uncovered-read scan
+     * entirely (the same-epoch shortcut).
+     */
+    bool
+    readsOwnedBy(Tid t) const
+    {
+        return !shared_ && readEpoch_.ownedBy(t);
+    }
+
   private:
     Epoch lastWrite_;
     Epoch readEpoch_;

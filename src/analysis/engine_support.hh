@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/clock_traits.hh"
+#include "core/scratch_arena.hh"
 #include "core/tree_clock.hh"
 #include "analysis/race.hh"
 #include "support/assert.hh"
@@ -76,14 +77,45 @@ struct EngineResult
 
 namespace detail {
 
-/** Apply config knobs that only exist on some clock types. */
+/**
+ * Apply config knobs that only exist on some clock types, and share
+ * the analysis' scratch arena with clocks that can use one. The
+ * arena (when given) must outlive the clock — engines keep it next
+ * to their clock storage.
+ */
 template <ClockLike ClockT>
 void
-configureClock(ClockT &clock, const EngineConfig &cfg)
+configureClock(ClockT &clock, const EngineConfig &cfg,
+               ScratchArena *arena = nullptr)
 {
     clock.setCounters(cfg.counters);
     if constexpr (std::same_as<ClockT, TreeClock>)
         clock.setPolicy(cfg.policy);
+    if constexpr (requires { clock.setArena(arena); })
+        clock.setArena(arena);
+}
+
+/**
+ * dst ← dst ⊔ src with the O(1) "operand already covered" shortcut
+ * of clock_traits.hh hoisted in front of the call. The work
+ * accounting mirrors what the clock's own early return would have
+ * recorded (one join, one root-entry probe), so VC/TC counter
+ * parity and the Theorem 1 dsWork bound are unchanged — the
+ * shortcut removes call and dispatch overhead, not accounted work.
+ */
+template <ClockLike ClockT>
+inline void
+joinClock(ClockT &dst, const ClockT &src, const EngineConfig &cfg)
+{
+    if (joinIsVacuous(dst, src)) {
+        if (cfg.counters) {
+            cfg.counters->joins++;
+            if constexpr (RootedClock<ClockT>)
+                cfg.counters->dsWork += src.empty() ? 0 : 1;
+        }
+        return;
+    }
+    dst.join(src);
 }
 
 /**
@@ -94,8 +126,16 @@ configureClock(ClockT &clock, const EngineConfig &cfg)
 template <ClockLike ClockT>
 struct ClockBank
 {
+    /** Traversal scratch shared by every clock of this run; must be
+     * declared alongside the clocks it outlives. */
+    ScratchArena arena;
     std::vector<ClockT> threads;
     std::vector<ClockT> locks;
+
+    ClockBank() = default;
+    /** Clocks hold pointers into arena; pin the bank. */
+    ClockBank(const ClockBank &) = delete;
+    ClockBank &operator=(const ClockBank &) = delete;
 
     void
     reset(const Trace &trace, const EngineConfig &cfg)
@@ -105,12 +145,12 @@ struct ClockBank
         threads.reserve(k);
         for (std::size_t t = 0; t < k; t++) {
             threads.emplace_back(static_cast<Tid>(t), k);
-            configureClock(threads.back(), cfg);
+            configureClock(threads.back(), cfg, &arena);
         }
         locks.assign(static_cast<std::size_t>(trace.numLocks()),
                      ClockT());
         for (ClockT &l : locks)
-            configureClock(l, cfg);
+            configureClock(l, cfg, &arena);
     }
 };
 
@@ -139,7 +179,9 @@ handleSyncEvent(const Event &e, ClockBank<ClockT> &bank,
     ClockT &ct = bank.threads[static_cast<std::size_t>(e.tid)];
     switch (e.op) {
       case OpType::Acquire:
-        ct.join(bank.locks[static_cast<std::size_t>(e.lock())]);
+        joinClock(ct,
+                  bank.locks[static_cast<std::size_t>(e.lock())],
+                  cfg);
         break;
       case OpType::Release:
         bank.locks[static_cast<std::size_t>(e.lock())]
@@ -150,16 +192,19 @@ handleSyncEvent(const Event &e, ClockBank<ClockT> &bank,
         }
         break;
       case OpType::Fork:
-        bank.threads[static_cast<std::size_t>(e.targetTid())]
-            .join(ct);
+        joinClock(
+            bank.threads[static_cast<std::size_t>(e.targetTid())],
+            ct, cfg);
         if (cfg.deepChecks) {
             deepCheck(bank.threads[static_cast<std::size_t>(
                 e.targetTid())]);
         }
         break;
       case OpType::Join:
-        ct.join(
-            bank.threads[static_cast<std::size_t>(e.targetTid())]);
+        joinClock(
+            ct,
+            bank.threads[static_cast<std::size_t>(e.targetTid())],
+            cfg);
         break;
       default:
         TC_ASSERT(false, "not a sync event");

@@ -48,6 +48,20 @@ struct Epoch
         return isNone() || clk <= clock.get(tid);
     }
 
+    /**
+     * True iff the event named by this epoch is covered by thread
+     * @p t's program order alone: it is the none-epoch, or it
+     * happened on t itself (a thread's clock always dominates its
+     * own past events). A strictly cheaper sufficient condition for
+     * coveredBy(t's clock) — the same-epoch shortcut hot analysis
+     * loops test before touching the clock.
+     */
+    constexpr bool
+    ownedBy(Tid t) const
+    {
+        return tid == t || isNone();
+    }
+
     std::string
     toString() const
     {

@@ -62,7 +62,8 @@ class MazEngine
         std::vector<VarState> vars(
             static_cast<std::size_t>(trace.numVars()));
         for (VarState &v : vars)
-            detail::configureClock(v.lastWriteClock, cfg_);
+            detail::configureClock(v.lastWriteClock, cfg_,
+                                   &bank.arena);
 
         EngineResult result;
         result.races = RaceSummary(trace.numVars(), cfg_.maxReports);
@@ -84,8 +85,8 @@ class MazEngine
                                         v.lastWriteEpoch,
                                         Epoch(e.tid, c));
                 }
-                ct.join(v.lastWriteClock);
-                ClockT &r = readClock(v, e.tid);
+                detail::joinClock(ct, v.lastWriteClock, cfg_);
+                ClockT &r = readClock(v, e.tid, &bank.arena);
                 r.monotoneCopy(ct);
                 if (std::find(v.lrds.begin(), v.lrds.end(), e.tid) ==
                     v.lrds.end()) {
@@ -123,10 +124,13 @@ class MazEngine
                         }
                     }
                 }
-                ct.join(v.lastWriteClock);
+                detail::joinClock(ct, v.lastWriteClock, cfg_);
                 for (Tid reader : v.lrds) {
-                    ct.join(*v.readClocks[static_cast<std::size_t>(
-                        reader)]);
+                    detail::joinClock(
+                        ct,
+                        *v.readClocks[static_cast<std::size_t>(
+                            reader)],
+                        cfg_);
                 }
                 v.lastWriteClock.monotoneCopy(ct);
                 v.lastWriteEpoch = Epoch(e.tid, c);
@@ -158,7 +162,7 @@ class MazEngine
   private:
     template <typename VarState>
     ClockT &
-    readClock(VarState &v, Tid t)
+    readClock(VarState &v, Tid t, ScratchArena *arena)
     {
         auto &slot_list = v.readClocks;
         const auto idx = static_cast<std::size_t>(t);
@@ -166,7 +170,7 @@ class MazEngine
             slot_list.resize(idx + 1);
         if (!slot_list[idx]) {
             slot_list[idx] = std::make_unique<ClockT>();
-            detail::configureClock(*slot_list[idx], cfg_);
+            detail::configureClock(*slot_list[idx], cfg_, arena);
         }
         return *slot_list[idx];
     }

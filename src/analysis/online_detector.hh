@@ -21,6 +21,7 @@
 
 #include "analysis/access_history.hh"
 #include "analysis/engine_support.hh"
+#include "core/scratch_arena.hh"
 
 namespace tc {
 
@@ -38,6 +39,11 @@ class OnlineRaceDetector
     explicit OnlineRaceDetector(EngineConfig cfg = {})
         : cfg_(std::move(cfg)), races_(0, cfg_.maxReports)
     {}
+
+    /** Clocks hold pointers into arena_; pin the detector. */
+    OnlineRaceDetector(const OnlineRaceDetector &) = delete;
+    OnlineRaceDetector &
+    operator=(const OnlineRaceDetector &) = delete;
 
     /** Process one event. Ids may exceed anything seen before;
      * state grows on demand. */
@@ -69,7 +75,7 @@ class OnlineRaceDetector
             TC_CHECK(lock.holder == kNoTid,
                      "online feed: acquire of a held lock");
             lock.holder = e.tid;
-            ct.join(lock.clock);
+            detail::joinClock(ct, lock.clock, cfg_);
             break;
           }
           case OpType::Release: {
@@ -88,12 +94,16 @@ class OnlineRaceDetector
                          local_[static_cast<std::size_t>(child)] ==
                              0,
                      "online feed: fork target already ran");
-            threads_[static_cast<std::size_t>(child)].join(ct);
+            detail::joinClock(
+                threads_[static_cast<std::size_t>(child)], ct,
+                cfg_);
             break;
           }
           case OpType::Join: {
             const Tid child = e.targetTid();
-            ct.join(threads_[static_cast<std::size_t>(child)]);
+            detail::joinClock(
+                ct, threads_[static_cast<std::size_t>(child)],
+                cfg_);
             break;
           }
         }
@@ -153,7 +163,7 @@ class OnlineRaceDetector
             threads_.emplace_back(
                 static_cast<Tid>(threads_.size()),
                 static_cast<std::size_t>(t) + 1);
-            detail::configureClock(threads_.back(), cfg_);
+            detail::configureClock(threads_.back(), cfg_, &arena_);
             local_.push_back(0);
         }
     }
@@ -164,7 +174,8 @@ class OnlineRaceDetector
         TC_CHECK(l >= 0, "negative lock id");
         while (locks_.size() <= static_cast<std::size_t>(l)) {
             locks_.emplace_back();
-            detail::configureClock(locks_.back().clock, cfg_);
+            detail::configureClock(locks_.back().clock, cfg_,
+                                   &arena_);
         }
     }
 
@@ -184,13 +195,28 @@ class OnlineRaceDetector
             vars_[static_cast<std::size_t>(e.var())];
         const Epoch cur(e.tid, c);
         if (e.isRead()) {
-            if (!v.lastWrite().coveredBy(ct)) {
-                races_.record(e.var(), RaceKind::WriteRead,
-                              v.lastWrite(), cur);
+            // Same-epoch shortcut (epoch.hh): a prior write owned
+            // by this thread is covered by program order — skip the
+            // clock probe. The dominant steady-state read pattern
+            // (thread re-reading data it wrote) stays O(1) with no
+            // clock access at all.
+            const Epoch w = v.lastWrite();
+            if (!w.ownedBy(e.tid) && !w.coveredBy(ct)) {
+                races_.record(e.var(), RaceKind::WriteRead, w, cur);
             }
             v.recordRead(e.tid, c, ct,
                          static_cast<Tid>(threads_.size()));
         } else {
+            // Same-epoch write shortcut: when the entire history
+            // (last write + reads) is owned by this thread, program
+            // order covers it — record the new write epoch and
+            // return without any clock probes or read scans.
+            if (v.lastWrite().ownedBy(e.tid) &&
+                v.readsOwnedBy(e.tid)) {
+                v.setLastWrite(cur);
+                v.clearReads();
+                return;
+            }
             if (!v.lastWrite().coveredBy(ct)) {
                 races_.record(e.var(), RaceKind::WriteWrite,
                               v.lastWrite(), cur);
@@ -205,6 +231,9 @@ class OnlineRaceDetector
     }
 
     EngineConfig cfg_;
+    /** Traversal scratch shared by all of this detector's clocks;
+     * declared before them so it outlives every pointer. */
+    ScratchArena arena_;
     std::vector<ClockT> threads_;
     std::vector<Clk> local_;
     std::vector<LockState> locks_;

@@ -55,7 +55,8 @@ class ShbEngine
         std::vector<VarState> vars(
             static_cast<std::size_t>(trace.numVars()));
         for (VarState &v : vars)
-            detail::configureClock(v.lastWriteClock, cfg_);
+            detail::configureClock(v.lastWriteClock, cfg_,
+                                   &bank.arena);
 
         EngineResult result;
         result.races = RaceSummary(trace.numVars(), cfg_.maxReports);
@@ -77,7 +78,7 @@ class ShbEngine
                                         v.history.lastWrite(),
                                         Epoch(e.tid, c));
                 }
-                ct.join(v.lastWriteClock);
+                detail::joinClock(ct, v.lastWriteClock, cfg_);
                 if (cfg_.analysis)
                     v.history.recordRead(e.tid, c, ct, k);
                 if (cfg_.deepChecks)

@@ -49,6 +49,42 @@ concept ClockLike =
         { C::kName } -> std::convertible_to<const char *>;
     };
 
+/**
+ * Clocks that expose a dominating root entry: rootTid() names a
+ * thread whose entry bounds the whole structure whenever the clocks
+ * evolved inside one analysis (direct monotonicity, paper Lemma 3).
+ * TreeClock models this; a flat vector clock has no such summary.
+ */
+template <typename C>
+concept RootedClock = ClockLike<C> && requires(const C cc) {
+    { cc.rootTid() } -> std::same_as<Tid>;
+    { cc.empty() } -> std::same_as<bool>;
+};
+
+/**
+ * O(1) sufficient test that dst.join(src) would leave dst unchanged:
+ * the operand is empty, or its root entry is already covered
+ * (Algorithm 2, line 18 — src.localClk() <= dst.get(src.rootTid())).
+ * Engines use it to skip the join call entirely on the (dominant)
+ * already-covered case. Returns false whenever the clock cannot
+ * answer in O(1) — flat clocks always take the real join, so both
+ * backends keep identical semantics and the flat backend keeps its
+ * measured Θ(k) cost.
+ */
+template <ClockLike C>
+inline bool
+joinIsVacuous(const C &dst, const C &src)
+{
+    if constexpr (RootedClock<C>) {
+        return src.empty() ||
+               src.localClk() <= dst.get(src.rootTid());
+    } else {
+        (void)dst;
+        (void)src;
+        return false;
+    }
+}
+
 } // namespace tc
 
 #endif // TC_CORE_CLOCK_TRAITS_HH

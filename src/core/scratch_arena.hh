@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reusable traversal scratch shared by the clocks of one analysis.
+ *
+ * TreeClock's iterative Join/MonotoneCopy collect the operand nodes
+ * to transplant into an explicit stack. Allocating that stack per
+ * operation would put malloc on the hottest path of every engine;
+ * a process-wide thread_local buffer (the previous design) is
+ * allocation-free but couples unrelated clocks through hidden
+ * shared-mutable state. Instead, each analysis (engine run, online
+ * detector) owns one ScratchArena and attaches it to every clock it
+ * creates, so the steady state is allocation-free and concurrent
+ * analyses in different OS threads stay fully independent.
+ *
+ * Ownership rules:
+ *  - The arena must outlive every clock holding a pointer to it.
+ *    Engines keep the arena next to their clock bank; the online
+ *    detector keeps it as a member alongside its clock vectors.
+ *  - Copying a clock copies the arena pointer: clocks of one
+ *    analysis share one arena by construction.
+ *  - Standalone clocks (no setArena call) fall back to a private
+ *    per-clock buffer — library users need not know arenas exist,
+ *    and independent clocks never share traversal state.
+ *  - One arena serves one OS thread at a time. Clock operations
+ *    never nest (join/copy read the operand without recursing into
+ *    another join), so a single stack per analysis suffices.
+ */
+
+#ifndef TC_CORE_SCRATCH_ARENA_HH
+#define TC_CORE_SCRATCH_ARENA_HH
+
+#include <vector>
+
+#include "support/types.hh"
+
+namespace tc {
+
+/** Shared traversal scratch; see the file comment for ownership. */
+struct ScratchArena
+{
+    /** Pre-order node stack for gather/attach traversals. */
+    std::vector<Tid> stack;
+};
+
+} // namespace tc
+
+#endif // TC_CORE_SCRATCH_ARENA_HH

@@ -7,24 +7,13 @@
 
 namespace tc {
 
-namespace {
-
-/**
- * Scratch buffers for the iterative traversals. Thread-local so that
- * concurrent analyses in different OS threads do not interfere;
- * reused across operations so the hot path never allocates.
- */
-thread_local std::vector<Tid> tl_stack;
-
-} // namespace
-
 TreeClock::TreeClock(Tid owner, std::size_t capacity)
 {
     TC_CHECK(owner >= 0, "thread clock owner must be a valid tid");
     ensure(std::max<std::size_t>(capacity,
                                  static_cast<std::size_t>(owner) + 1));
     root_ = owner;
-    shape_[static_cast<std::size_t>(owner)].parent = kNoTid;
+    parent_[static_cast<std::size_t>(owner)] = kNoTid;
 }
 
 void
@@ -32,7 +21,11 @@ TreeClock::ensure(std::size_t n)
 {
     if (clk_.size() < n) {
         clk_.resize(n, 0);
-        shape_.resize(n);
+        aclk_.resize(n, 0);
+        parent_.resize(n, kAbsent);
+        firstChild_.resize(n, kNoTid);
+        nextSib_.resize(n, kNoTid);
+        prevSib_.resize(n, kNoTid);
     }
 }
 
@@ -62,32 +55,30 @@ TreeClock::lessThanOrEqualExact(const TreeClock &other) const
 void
 TreeClock::pushChild(Tid child, Tid parent)
 {
-    Shape &c = shape_[static_cast<std::size_t>(child)];
-    Shape &p = shape_[static_cast<std::size_t>(parent)];
-    c.parent = parent;
-    c.prevSib = kNoTid;
-    c.nextSib = p.firstChild;
-    if (p.firstChild != kNoTid)
-        shape_[static_cast<std::size_t>(p.firstChild)].prevSib =
-            child;
-    p.firstChild = child;
+    const auto c = static_cast<std::size_t>(child);
+    const auto p = static_cast<std::size_t>(parent);
+    parent_[c] = parent;
+    prevSib_[c] = kNoTid;
+    const Tid head = firstChild_[p];
+    nextSib_[c] = head;
+    if (head != kNoTid)
+        prevSib_[static_cast<std::size_t>(head)] = child;
+    firstChild_[p] = child;
 }
 
 void
 TreeClock::detachFromParent(Tid t)
 {
-    const Shape &n = shape_[static_cast<std::size_t>(t)];
-    if (n.prevSib != kNoTid) {
-        shape_[static_cast<std::size_t>(n.prevSib)].nextSib =
-            n.nextSib;
+    const auto i = static_cast<std::size_t>(t);
+    const Tid prev = prevSib_[i];
+    const Tid next = nextSib_[i];
+    if (prev != kNoTid) {
+        nextSib_[static_cast<std::size_t>(prev)] = next;
     } else {
-        shape_[static_cast<std::size_t>(n.parent)].firstChild =
-            n.nextSib;
+        firstChild_[static_cast<std::size_t>(parent_[i])] = next;
     }
-    if (n.nextSib != kNoTid) {
-        shape_[static_cast<std::size_t>(n.nextSib)].prevSib =
-            n.prevSib;
-    }
+    if (next != kNoTid)
+        prevSib_[static_cast<std::size_t>(next)] = prev;
 }
 
 void
@@ -104,15 +95,23 @@ TreeClock::gatherUpdated(const TreeClock &other, std::vector<Tid> &S,
     // order. Nodes are unlinked from our tree as they enter S (the
     // walk itself only reads our flat clk_ array, so the link edits
     // cannot disturb it).
+    //
+    // The scan reads exactly four operand arrays — clk (progress
+    // test), aclk (indirect cut), nextSib/firstChild/parent
+    // (navigation) — each a dense 4-byte stream thanks to the SoA
+    // layout.
     const bool use_direct = policy_ != JoinPolicy::NoPruning;
     const bool use_indirect = policy_ == JoinPolicy::Full;
 
-    const Shape *oshape = other.shape_.data();
     const Clk *oclk = other.clk_.data();
+    const Clk *oaclk = other.aclk_.data();
+    const Tid *oparent = other.parent_.data();
+    const Tid *ofirst = other.firstChild_.data();
+    const Tid *onext = other.nextSib_.data();
     const Clk *mine = clk_.data();
     auto enter = [&](Tid t) {
         if (t != root_ &&
-            shape_[static_cast<std::size_t>(t)].parent != kAbsent) {
+            parent_[static_cast<std::size_t>(t)] != kAbsent) {
             detachFromParent(t);
         }
         S.push_back(t);
@@ -121,34 +120,32 @@ TreeClock::gatherUpdated(const TreeClock &other, std::vector<Tid> &S,
     const Tid root = other.root_;
     enter(root);
     Tid parent = root;
-    Tid cur = oshape[static_cast<std::size_t>(root)].firstChild;
+    Tid cur = ofirst[static_cast<std::size_t>(root)];
     std::uint64_t scans = 0;
     while (true) {
         if (cur == kNoTid) {
             // Level exhausted: resume the parent's sibling scan.
             if (parent == root)
                 break;
-            cur = oshape[static_cast<std::size_t>(parent)].nextSib;
-            parent =
-                oshape[static_cast<std::size_t>(parent)].parent;
+            cur = onext[static_cast<std::size_t>(parent)];
+            parent = oparent[static_cast<std::size_t>(parent)];
             continue;
         }
         scans++;
-        const Shape &vs = oshape[static_cast<std::size_t>(cur)];
-        const bool progressed =
-            mine[static_cast<std::size_t>(cur)] <
-            oclk[static_cast<std::size_t>(cur)];
+        const auto c = static_cast<std::size_t>(cur);
+        const bool progressed = mine[c] < oclk[c];
         if (progressed || !use_direct) {
             // Direct monotonicity: descend only into progressed
             // subtrees (NoPruning descends regardless but still
             // only transplants progressed nodes on joins).
             if (progressed || is_copy)
                 enter(cur);
-            if (vs.firstChild != kNoTid) {
+            const Tid first = ofirst[c];
+            if (first != kNoTid) {
                 parent = cur;
-                cur = vs.firstChild;
+                cur = first;
             } else {
-                cur = vs.nextSib;
+                cur = onext[c];
             }
             continue;
         }
@@ -158,18 +155,17 @@ TreeClock::gatherUpdated(const TreeClock &other, std::vector<Tid> &S,
             S.push_back(cur);
         }
         if (use_indirect &&
-            vs.aclk <= mine[static_cast<std::size_t>(parent)]) {
+            oaclk[c] <= mine[static_cast<std::size_t>(parent)]) {
             // Indirect monotonicity: siblings further down the list
             // were attached no later than cur, so our view of the
             // parent already covers them (lines 39/68).
             if (parent == root)
                 break;
-            cur = oshape[static_cast<std::size_t>(parent)].nextSib;
-            parent =
-                oshape[static_cast<std::size_t>(parent)].parent;
+            cur = onext[static_cast<std::size_t>(parent)];
+            parent = oparent[static_cast<std::size_t>(parent)];
             continue;
         }
-        cur = vs.nextSib;
+        cur = onext[c];
     }
     examined += scans;
 }
@@ -180,30 +176,33 @@ TreeClock::attachNodes(const TreeClock &other, std::vector<Tid> &S)
     // Iterate back-to-front: S is in pre-order, so later siblings
     // attach first and pushChild's front insertion restores the
     // operand's child order.
-    const Shape *oshape = other.shape_.data();
     const Clk *oclk = other.clk_.data();
+    const Clk *oaclk = other.aclk_.data();
+    const Tid *oparent = other.parent_.data();
     Clk *mclk = clk_.data();
-    Shape *mshape = shape_.data();
+    Clk *maclk = aclk_.data();
+    Tid *mparent = parent_.data();
+    Tid *mfirst = firstChild_.data();
+    Tid *mnext = nextSib_.data();
+    Tid *mprev = prevSib_.data();
     std::uint64_t changed = 0;
     for (std::size_t idx = S.size(); idx-- > 0;) {
         const auto i = static_cast<std::size_t>(S[idx]);
-        const Shape &src = oshape[i];
         const Clk new_clk = oclk[i];
         changed += mclk[i] != new_clk;
         mclk[i] = new_clk;
-        const Tid parent = src.parent;
+        const Tid parent = oparent[i];
         if (parent != kNoTid) {
             const auto p = static_cast<std::size_t>(parent);
-            Shape &dst = mshape[i];
-            dst.aclk = src.aclk;
-            dst.parent = parent;
-            dst.prevSib = kNoTid;
-            const Tid head = mshape[p].firstChild;
-            dst.nextSib = head;
+            maclk[i] = oaclk[i];
+            mparent[i] = parent;
+            mprev[i] = kNoTid;
+            const Tid head = mfirst[p];
+            mnext[i] = head;
             if (head != kNoTid)
-                mshape[static_cast<std::size_t>(head)].prevSib =
+                mprev[static_cast<std::size_t>(head)] =
                     static_cast<Tid>(i);
-            mshape[p].firstChild = static_cast<Tid>(i);
+            mfirst[p] = static_cast<Tid>(i);
         }
     }
     return changed;
@@ -242,18 +241,16 @@ TreeClock::join(const TreeClock &other)
     // our knowledge of the root, so by indirect monotonicity the
     // whole remainder is covered; transplant just the root node.
     if (policy_ == JoinPolicy::Full) {
-        const Tid c = other.shape_[static_cast<std::size_t>(
-                                       other.root_)]
-                          .firstChild;
+        const auto o = static_cast<std::size_t>(other.root_);
+        const Tid c = other.firstChild_[o];
         if (c == kNoTid ||
             (get(c) >= other.clk_[static_cast<std::size_t>(c)] &&
-             other.shape_[static_cast<std::size_t>(c)].aclk <=
+             other.aclk_[static_cast<std::size_t>(c)] <=
                  get(other.root_))) {
-            const auto i = static_cast<std::size_t>(other.root_);
-            if (shape_[i].parent != kAbsent)
+            if (parent_[o] != kAbsent)
                 detachFromParent(other.root_);
-            clk_[i] = other_root_clk;
-            shape_[i].aclk = clk_[static_cast<std::size_t>(root_)];
+            clk_[o] = other_root_clk;
+            aclk_[o] = clk_[static_cast<std::size_t>(root_)];
             pushChild(other.root_, root_);
             if (counters_) {
                 // Same accounting as the generic path: root compare
@@ -266,7 +263,7 @@ TreeClock::join(const TreeClock &other)
         }
     }
 
-    std::vector<Tid> &S = tl_stack;
+    std::vector<Tid> &S = scratch();
     S.clear();
 
     std::uint64_t examined = 0;
@@ -276,7 +273,7 @@ TreeClock::join(const TreeClock &other)
 
     // Hang the transplanted subtree under our root, stamped with the
     // current root time (Algorithm 2, lines 24-27).
-    shape_[static_cast<std::size_t>(other.root_)].aclk =
+    aclk_[static_cast<std::size_t>(other.root_)] =
         clk_[static_cast<std::size_t>(root_)];
     pushChild(other.root_, root_);
 
@@ -311,12 +308,10 @@ TreeClock::monotoneCopy(const TreeClock &other)
     // coverage extends to all siblings, so the copy is one store.
     if (policy_ == JoinPolicy::Full && other.root_ == root_) {
         const auto i = static_cast<std::size_t>(root_);
-        const Tid c =
-            other.shape_[i].firstChild;
+        const Tid c = other.firstChild_[i];
         if (c == kNoTid ||
             (get(c) >= other.clk_[static_cast<std::size_t>(c)] &&
-             other.shape_[static_cast<std::size_t>(c)].aclk <=
-                 clk_[i])) {
+             other.aclk_[static_cast<std::size_t>(c)] <= clk_[i])) {
             const std::uint64_t changed = clk_[i] != other.clk_[i];
             clk_[i] = other.clk_[i];
             if (counters_) {
@@ -330,7 +325,7 @@ TreeClock::monotoneCopy(const TreeClock &other)
         }
     }
 
-    std::vector<Tid> &S = tl_stack;
+    std::vector<Tid> &S = scratch();
     S.clear();
 
     std::uint64_t examined = 0;
@@ -355,11 +350,11 @@ TreeClock::monotoneCopy(const TreeClock &other)
     const std::uint64_t changed = attachNodes(other, S);
 
     root_ = other.root_;
-    Shape &r = shape_[static_cast<std::size_t>(root_)];
-    r.parent = kNoTid;
-    r.aclk = 0;
-    r.nextSib = kNoTid;
-    r.prevSib = kNoTid;
+    const auto r = static_cast<std::size_t>(root_);
+    parent_[r] = kNoTid;
+    aclk_[r] = 0;
+    nextSib_[r] = kNoTid;
+    prevSib_[r] = kNoTid;
 
     if (counters_) {
         counters_->copies++;
@@ -390,13 +385,32 @@ TreeClock::deepCopy(const TreeClock &other)
     for (std::size_t i = 0; i < n; i++) {
         changed += clk_[i] != other.clk_[i];
         clk_[i] = other.clk_[i];
-        shape_[i] = other.shape_[i];
     }
     for (std::size_t i = n; i < clk_.size(); i++) {
         changed += clk_[i] != 0;
         clk_[i] = 0;
-        shape_[i] = Shape{};
     }
+    // Bulk per-array copies: each is a straight 4-byte memmove, the
+    // payoff of the SoA layout on the linear path.
+    std::copy(other.aclk_.begin(), other.aclk_.end(), aclk_.begin());
+    std::copy(other.parent_.begin(), other.parent_.end(),
+              parent_.begin());
+    std::copy(other.firstChild_.begin(), other.firstChild_.end(),
+              firstChild_.begin());
+    std::copy(other.nextSib_.begin(), other.nextSib_.end(),
+              nextSib_.begin());
+    std::copy(other.prevSib_.begin(), other.prevSib_.end(),
+              prevSib_.begin());
+    std::fill(aclk_.begin() + static_cast<std::ptrdiff_t>(n),
+              aclk_.end(), 0);
+    std::fill(parent_.begin() + static_cast<std::ptrdiff_t>(n),
+              parent_.end(), kAbsent);
+    std::fill(firstChild_.begin() + static_cast<std::ptrdiff_t>(n),
+              firstChild_.end(), kNoTid);
+    std::fill(nextSib_.begin() + static_cast<std::ptrdiff_t>(n),
+              nextSib_.end(), kNoTid);
+    std::fill(prevSib_.begin() + static_cast<std::ptrdiff_t>(n),
+              prevSib_.end(), kNoTid);
     root_ = other.root_;
     if (counters_) {
         counters_->copies++;
@@ -417,7 +431,7 @@ std::size_t
 TreeClock::nodeCount() const
 {
     std::size_t n = 0;
-    for (std::size_t i = 0; i < shape_.size(); i++)
+    for (std::size_t i = 0; i < parent_.size(); i++)
         n += hasThread(static_cast<Tid>(i));
     return n;
 }
@@ -427,7 +441,7 @@ TreeClock::parentOf(Tid t) const
 {
     if (!hasThread(t))
         return kNoTid;
-    const Tid p = shape_[static_cast<std::size_t>(t)].parent;
+    const Tid p = parent_[static_cast<std::size_t>(t)];
     return p == kAbsent ? kNoTid : p;
 }
 
@@ -435,7 +449,7 @@ Clk
 TreeClock::aclkOf(Tid t) const
 {
     return hasThread(t) && t != root_
-               ? shape_[static_cast<std::size_t>(t)].aclk
+               ? aclk_[static_cast<std::size_t>(t)]
                : 0;
 }
 
@@ -445,9 +459,8 @@ TreeClock::childrenOf(Tid t) const
     std::vector<Tid> out;
     if (!hasThread(t))
         return out;
-    for (Tid c = shape_[static_cast<std::size_t>(t)].firstChild;
-         c != kNoTid;
-         c = shape_[static_cast<std::size_t>(c)].nextSib) {
+    for (Tid c = firstChild_[static_cast<std::size_t>(t)];
+         c != kNoTid; c = nextSib_[static_cast<std::size_t>(c)]) {
         out.push_back(c);
     }
     return out;
@@ -464,14 +477,14 @@ TreeClock::checkInvariants() const
     }
     if (!hasThread(root_))
         return "root is not present";
-    if (shape_[static_cast<std::size_t>(root_)].parent != kNoTid)
+    if (parent_[static_cast<std::size_t>(root_)] != kNoTid)
         return "root has a parent";
 
     // Walk the tree from the root, verifying link consistency and
     // the descending-aclk child order on the way.
     std::vector<Tid> stack{root_};
     std::size_t reached = 0;
-    std::vector<bool> seen(shape_.size(), false);
+    std::vector<bool> seen(parent_.size(), false);
     while (!stack.empty()) {
         const Tid u = stack.back();
         stack.pop_back();
@@ -480,32 +493,31 @@ TreeClock::checkInvariants() const
         seen[static_cast<std::size_t>(u)] = true;
         reached++;
 
-        const Shape &us = shape_[static_cast<std::size_t>(u)];
         Clk prev_aclk = 0;
         bool first = true;
         Tid prev = kNoTid;
-        for (Tid c = us.firstChild; c != kNoTid;
-             c = shape_[static_cast<std::size_t>(c)].nextSib) {
-            const Shape &cs = shape_[static_cast<std::size_t>(c)];
+        for (Tid c = firstChild_[static_cast<std::size_t>(u)];
+             c != kNoTid; c = nextSib_[static_cast<std::size_t>(c)]) {
+            const auto ci = static_cast<std::size_t>(c);
             if (!hasThread(c))
                 return strFormat("child t%d of t%d not present", c,
                                  u);
-            if (cs.parent != u)
+            if (parent_[ci] != u)
                 return strFormat("child t%d has wrong parent", c);
-            if (cs.prevSib != prev)
+            if (prevSib_[ci] != prev)
                 return strFormat("broken prevSib link at t%d", c);
-            if (!first && cs.aclk > prev_aclk) {
+            if (!first && aclk_[ci] > prev_aclk) {
                 return strFormat(
                     "children of t%d not in descending aclk order",
                     u);
             }
-            if (cs.aclk > clk_[static_cast<std::size_t>(u)]) {
+            if (aclk_[ci] > clk_[static_cast<std::size_t>(u)]) {
                 return strFormat(
                     "child t%d attached later (%u) than parent time "
-                    "(%u)", c, cs.aclk,
+                    "(%u)", c, aclk_[ci],
                     clk_[static_cast<std::size_t>(u)]);
             }
-            prev_aclk = cs.aclk;
+            prev_aclk = aclk_[ci];
             first = false;
             prev = c;
             stack.push_back(c);
@@ -535,10 +547,9 @@ TreeClock::toString() const
             out += strFormat("(t%d, %u, _)\n", u,
                              clk_[static_cast<std::size_t>(u)]);
         } else {
-            out += strFormat(
-                "(t%d, %u, %u)\n", u,
-                clk_[static_cast<std::size_t>(u)],
-                shape_[static_cast<std::size_t>(u)].aclk);
+            out += strFormat("(t%d, %u, %u)\n", u,
+                             clk_[static_cast<std::size_t>(u)],
+                             aclk_[static_cast<std::size_t>(u)]);
         }
         // Push children reversed so the first child prints first.
         const auto kids = childrenOf(u);

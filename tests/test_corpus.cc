@@ -72,7 +72,10 @@ TEST(Corpus, SpansDiversityRanges)
 
 TEST(Corpus, DeterministicAcrossBuilds)
 {
-    const auto &spec = defaultCorpus()[3];
+    // Keep the vector alive: binding a reference to an element of
+    // the defaultCorpus() temporary is a use-after-free.
+    const auto corpus = defaultCorpus();
+    const CorpusSpec &spec = corpus[3];
     const Trace a = buildCorpusTrace(spec, 0.02);
     const Trace b = buildCorpusTrace(spec, 0.02);
     ASSERT_EQ(a.size(), b.size());

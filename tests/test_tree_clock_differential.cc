@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Randomized differential testing of TreeClock against VectorClock:
+ * both structures are driven through the same random-but-legal
+ * operation sequences (the lock/fork-join discipline the engines
+ * obey) and must materialize identical vector times after every
+ * operation, under all three traversal policies, with the tree's
+ * structural invariants intact throughout. This pins the SoA
+ * storage rewrite and the scratch-arena traversals to the flat
+ * reference semantics, operation by operation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/tree_clock.hh"
+#include "core/vector_clock.hh"
+#include "support/rng.hh"
+
+namespace tc {
+namespace {
+
+/** Mirrored TC/VC fleets driven through identical operations. */
+class MirrorFleet
+{
+  public:
+    MirrorFleet(Tid threads, std::size_t locks, std::size_t aux,
+                TreeClock::JoinPolicy policy)
+        : numThreads_(threads)
+    {
+        for (Tid t = 0; t < threads; t++) {
+            // Deliberately small initial capacity: growth through
+            // ensure() is part of what the differential run covers.
+            tc_.emplace_back(t, 1);
+            tc_.back().setPolicy(policy);
+            vc_.emplace_back(t, 1);
+        }
+        tcLocks_.resize(locks);
+        vcLocks_.resize(locks);
+        for (auto &l : tcLocks_)
+            l.setPolicy(policy);
+        tcAux_.resize(aux);
+        vcAux_.resize(aux);
+        for (auto &a : tcAux_)
+            a.setPolicy(policy);
+    }
+
+    void
+    increment(std::size_t t, Clk d)
+    {
+        tc_[t].increment(d);
+        vc_[t].increment(d);
+        checkClock(tc_[t], vc_[t], "increment");
+    }
+
+    /** acquire+release round on lock @p l by thread @p t. */
+    void
+    lockRound(std::size_t t, std::size_t l)
+    {
+        tc_[t].increment(1);
+        vc_[t].increment(1);
+        tc_[t].join(tcLocks_[l]);
+        vc_[t].join(vcLocks_[l]);
+        checkClock(tc_[t], vc_[t], "acquire-join");
+        tc_[t].increment(1);
+        vc_[t].increment(1);
+        tcLocks_[l].monotoneCopy(tc_[t]);
+        vcLocks_[l].monotoneCopy(vc_[t]);
+        checkClock(tcLocks_[l], vcLocks_[l], "release-copy");
+    }
+
+    /** Direct thread-to-thread join (the fork/join shape). */
+    void
+    threadJoin(std::size_t dst, std::size_t src)
+    {
+        if (dst == src)
+            return;
+        tc_[dst].increment(1);
+        vc_[dst].increment(1);
+        tc_[dst].join(tc_[src]);
+        vc_[dst].join(vc_[src]);
+        checkClock(tc_[dst], vc_[dst], "thread-join");
+    }
+
+    /** SHB's CopyCheckMonotone into an auxiliary clock. */
+    void
+    copyCheck(std::size_t a, std::size_t t)
+    {
+        tcAux_[a].copyCheckMonotone(tc_[t]);
+        vcAux_[a].copyCheckMonotone(vc_[t]);
+        checkClock(tcAux_[a], vcAux_[a], "copy-check-monotone");
+    }
+
+    void
+    deepCopy(std::size_t a, std::size_t t)
+    {
+        tcAux_[a].deepCopy(tc_[t]);
+        vcAux_[a].deepCopy(vc_[t]);
+        checkClock(tcAux_[a], vcAux_[a], "deep-copy");
+    }
+
+    void
+    checkAll() const
+    {
+        for (std::size_t t = 0; t < tc_.size(); t++)
+            checkClock(tc_[t], vc_[t], "final thread");
+        for (std::size_t l = 0; l < tcLocks_.size(); l++)
+            checkClock(tcLocks_[l], vcLocks_[l], "final lock");
+        for (std::size_t a = 0; a < tcAux_.size(); a++)
+            checkClock(tcAux_[a], vcAux_[a], "final aux");
+    }
+
+  private:
+    void
+    checkClock(const TreeClock &tree, const VectorClock &flat,
+               const char *where) const
+    {
+        const auto k = static_cast<std::size_t>(numThreads_);
+        ASSERT_EQ(tree.toVector(k), flat.toVector(k)) << where;
+        ASSERT_EQ(tree.checkInvariants(), "") << where;
+    }
+
+    Tid numThreads_;
+    std::vector<TreeClock> tc_;
+    std::vector<VectorClock> vc_;
+    std::vector<TreeClock> tcLocks_;
+    std::vector<VectorClock> vcLocks_;
+    std::vector<TreeClock> tcAux_;
+    std::vector<VectorClock> vcAux_;
+};
+
+class DifferentialPolicy
+    : public ::testing::TestWithParam<TreeClock::JoinPolicy>
+{};
+
+TEST_P(DifferentialPolicy, RandomizedJoinCopyAgreesWithVectorClock)
+{
+    const Tid threads = 11;
+    const std::size_t locks = 5;
+    const std::size_t aux = 3;
+    MirrorFleet fleet(threads, locks, aux, GetParam());
+
+    Rng rng(0xd1ffULL +
+            static_cast<std::uint64_t>(GetParam()) * 101);
+    for (int step = 0; step < 4000; step++) {
+        const auto t = static_cast<std::size_t>(
+            rng.below(static_cast<std::uint64_t>(threads)));
+        switch (rng.below(10)) {
+          case 0:
+          case 1:
+            fleet.increment(
+                t, static_cast<Clk>(1 + rng.below(3)));
+            break;
+          case 2:
+          case 3:
+          case 4:
+          case 5:
+            fleet.lockRound(
+                t, static_cast<std::size_t>(rng.below(locks)));
+            break;
+          case 6:
+          case 7:
+            fleet.threadJoin(
+                t,
+                static_cast<std::size_t>(rng.below(
+                    static_cast<std::uint64_t>(threads))));
+            break;
+          case 8:
+            fleet.copyCheck(
+                static_cast<std::size_t>(rng.below(aux)), t);
+            break;
+          case 9:
+            fleet.deepCopy(
+                static_cast<std::size_t>(rng.below(aux)), t);
+            break;
+        }
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+    fleet.checkAll();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, DifferentialPolicy,
+    ::testing::Values(TreeClock::JoinPolicy::Full,
+                      TreeClock::JoinPolicy::NoIndirect,
+                      TreeClock::JoinPolicy::NoPruning),
+    [](const auto &info) {
+        switch (info.param) {
+          case TreeClock::JoinPolicy::Full: return "Full";
+          case TreeClock::JoinPolicy::NoIndirect:
+            return "NoIndirect";
+          case TreeClock::JoinPolicy::NoPruning:
+            return "NoPruning";
+        }
+        return "Unknown";
+    });
+
+} // namespace
+} // namespace tc

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Regression tests for the traversal-scratch ownership rules
+ * (scratch_arena.hh). The previous design kept one shared
+ * thread_local scratch stack for every TreeClock in the process;
+ * these tests pin the replacement: interleaved operations on
+ * independent clocks never observe each other's traversal state,
+ * a shared arena is a pure optimization (identical results), and
+ * concurrent analyses in different OS threads stay isolated.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/scratch_arena.hh"
+#include "core/tree_clock.hh"
+#include "core/vector_clock.hh"
+#include "support/rng.hh"
+
+namespace tc {
+namespace {
+
+/** A deterministic lock-style schedule over one clock family. */
+template <typename ClockT>
+void
+runSchedule(std::vector<ClockT> &threads, std::vector<ClockT> &locks,
+            std::uint64_t seed, int steps)
+{
+    Rng rng(seed);
+    const auto k = static_cast<std::uint64_t>(threads.size());
+    const auto m = static_cast<std::uint64_t>(locks.size());
+    for (int s = 0; s < steps; s++) {
+        auto &ct = threads[static_cast<std::size_t>(rng.below(k))];
+        auto &lock = locks[static_cast<std::size_t>(rng.below(m))];
+        ct.increment(1);
+        ct.join(lock);
+        ct.increment(1);
+        lock.monotoneCopy(ct);
+    }
+}
+
+TEST(ScratchIsolation, InterleavedJoinsOnIndependentClocks)
+{
+    // Two unrelated clock families, operations interleaved call by
+    // call — the pattern that shared traversal scratch would have
+    // to survive. Each family must evolve exactly as it does when
+    // run alone (vector clocks provide the ground truth).
+    const Tid k = 8;
+    std::vector<TreeClock> ta, tb;
+    std::vector<VectorClock> va, vb;
+    for (Tid t = 0; t < k; t++) {
+        ta.emplace_back(t, static_cast<std::size_t>(k));
+        tb.emplace_back(t, static_cast<std::size_t>(k));
+        va.emplace_back(t, static_cast<std::size_t>(k));
+        vb.emplace_back(t, static_cast<std::size_t>(k));
+    }
+    TreeClock tLockA, tLockB;
+    VectorClock vLockA, vLockB;
+
+    Rng rng(77);
+    for (int s = 0; s < 3000; s++) {
+        const auto t =
+            static_cast<std::size_t>(rng.below(std::uint64_t(k)));
+        // Family A op ...
+        ta[t].increment(1);
+        va[t].increment(1);
+        ta[t].join(tLockA);
+        va[t].join(vLockA);
+        // ... interleaved mid-flight with a family B op ...
+        tb[t].increment(2);
+        vb[t].increment(2);
+        tb[t].join(tLockB);
+        vb[t].join(vLockB);
+        // ... then both release.
+        tLockA.monotoneCopy(ta[t]);
+        vLockA.monotoneCopy(va[t]);
+        tLockB.monotoneCopy(tb[t]);
+        vLockB.monotoneCopy(vb[t]);
+
+        if (s % 250 == 0 || s + 1 == 3000) {
+            for (std::size_t i = 0; i < ta.size(); i++) {
+                ASSERT_EQ(ta[i].toVector(std::size_t(k)),
+                          va[i].toVector(std::size_t(k)))
+                    << "family A diverged at step " << s;
+                ASSERT_EQ(tb[i].toVector(std::size_t(k)),
+                          vb[i].toVector(std::size_t(k)))
+                    << "family B diverged at step " << s;
+                ASSERT_EQ(ta[i].checkInvariants(), "");
+                ASSERT_EQ(tb[i].checkInvariants(), "");
+            }
+        }
+    }
+}
+
+TEST(ScratchIsolation, SharedArenaMatchesPrivateScratch)
+{
+    // The arena is a performance feature only: an arena-sharing
+    // fleet and a private-scratch fleet driven through the same
+    // schedule must be indistinguishable.
+    const Tid k = 12;
+    ScratchArena arena;
+    std::vector<TreeClock> shared, priv;
+    for (Tid t = 0; t < k; t++) {
+        shared.emplace_back(t, static_cast<std::size_t>(k));
+        shared.back().setArena(&arena);
+        priv.emplace_back(t, static_cast<std::size_t>(k));
+    }
+    std::vector<TreeClock> sharedLocks(4), privLocks(4);
+    for (auto &l : sharedLocks)
+        l.setArena(&arena);
+
+    runSchedule(shared, sharedLocks, 1234, 4000);
+    runSchedule(priv, privLocks, 1234, 4000);
+
+    for (std::size_t t = 0; t < shared.size(); t++) {
+        EXPECT_EQ(shared[t].toVector(std::size_t(k)),
+                  priv[t].toVector(std::size_t(k)));
+        EXPECT_EQ(shared[t].checkInvariants(), "");
+    }
+    for (std::size_t l = 0; l < sharedLocks.size(); l++) {
+        EXPECT_EQ(sharedLocks[l].toVector(std::size_t(k)),
+                  privLocks[l].toVector(std::size_t(k)));
+        EXPECT_EQ(sharedLocks[l].checkInvariants(), "");
+    }
+}
+
+TEST(ScratchIsolation, ConcurrentAnalysesAreIndependent)
+{
+    // Several OS threads, each driving its own clock family (one
+    // arena per family, as an engine would) while the others run —
+    // results must equal the single-threaded reference.
+    const Tid k = 10;
+    const int workers = 4;
+    const int steps = 2500;
+
+    // Reference, computed serially with vector clocks.
+    std::vector<std::vector<std::vector<Clk>>> expected(
+        static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; w++) {
+        std::vector<VectorClock> threads;
+        for (Tid t = 0; t < k; t++)
+            threads.emplace_back(t, static_cast<std::size_t>(k));
+        std::vector<VectorClock> locks(3);
+        runSchedule(threads, locks,
+                    9000 + static_cast<std::uint64_t>(w), steps);
+        for (Tid t = 0; t < k; t++) {
+            expected[static_cast<std::size_t>(w)].push_back(
+                threads[static_cast<std::size_t>(t)].toVector(
+                    std::size_t(k)));
+        }
+    }
+
+    std::vector<std::vector<std::vector<Clk>>> got(
+        static_cast<std::size_t>(workers));
+    std::vector<std::string> invariantErrors(
+        static_cast<std::size_t>(workers));
+    std::vector<std::thread> pool;
+    for (int w = 0; w < workers; w++) {
+        pool.emplace_back([&, w] {
+            ScratchArena arena;
+            std::vector<TreeClock> threads;
+            for (Tid t = 0; t < k; t++) {
+                threads.emplace_back(t,
+                                     static_cast<std::size_t>(k));
+                threads.back().setArena(&arena);
+            }
+            std::vector<TreeClock> locks(3);
+            for (auto &l : locks)
+                l.setArena(&arena);
+            runSchedule(threads, locks,
+                        9000 + static_cast<std::uint64_t>(w),
+                        steps);
+            for (Tid t = 0; t < k; t++) {
+                auto &clock =
+                    threads[static_cast<std::size_t>(t)];
+                got[static_cast<std::size_t>(w)].push_back(
+                    clock.toVector(std::size_t(k)));
+                const std::string err = clock.checkInvariants();
+                if (!err.empty())
+                    invariantErrors[static_cast<std::size_t>(w)] =
+                        err;
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+
+    for (int w = 0; w < workers; w++) {
+        EXPECT_EQ(got[static_cast<std::size_t>(w)],
+                  expected[static_cast<std::size_t>(w)])
+            << "worker " << w;
+        EXPECT_EQ(invariantErrors[static_cast<std::size_t>(w)], "")
+            << "worker " << w;
+    }
+}
+
+} // namespace
+} // namespace tc
