@@ -15,6 +15,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -29,6 +30,7 @@
 #include "support/cli.hh"
 #include "support/strings.hh"
 #include "support/timer.hh"
+#include "trace/event_source.hh"
 #include "trace/trace_stats.hh"
 
 namespace tc {
@@ -178,6 +180,31 @@ timeOne(const Trace &trace, const EngineConfig &base)
     Timer timer;
     engine.run(trace);
     return timer.seconds();
+}
+
+/** One timed engine run consuming an EventSource (the streaming
+ * path); the source is rewound first so repetitions are
+ * comparable. */
+template <template <typename> class Engine, typename ClockT>
+double
+timeOneSource(EventSource &source, const EngineConfig &base)
+{
+    if (!source.rewind()) {
+        std::fprintf(stderr, "bench: event source cannot rewind\n");
+        std::abort();
+    }
+    EngineConfig cfg = base;
+    cfg.validate = false;
+    Engine<ClockT> engine(cfg);
+    Timer timer;
+    engine.run(source);
+    const double seconds = timer.seconds();
+    if (source.failed()) {
+        std::fprintf(stderr, "bench: event source failed: %s\n",
+                     source.error().c_str());
+        std::abort();
+    }
+    return seconds;
 }
 
 /** Mean of @p reps timed runs for (po, clock, analysis). The first

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Streaming-core overhead harness: the same workload analyzed
+ * (a) batch — materialized Trace through run(Trace),
+ * (b) via an in-memory TraceSource (virtual dispatch per event),
+ * (c) out-of-core — the chunked binary file reader, which never
+ *     holds more than a fixed window of events.
+ *
+ * Reports events/s per (mode, clock), quantifying what "streaming
+ * SHB/MAZ by default" costs over the batch loop.
+ *
+ *   ./bench_streaming --events=2000000 --po=shb --json=out.json
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench_common.hh"
+#include "support/table.hh"
+#include "trace/trace_io.hh"
+
+using namespace tc;
+using namespace tc::bench;
+
+namespace {
+
+template <typename ClockT>
+double
+timePoSource(Po po, EventSource &source, int reps,
+             EngineConfig base = {})
+{
+    double total = 0;
+    for (int r = 0; r <= reps; r++) {
+        double t = 0;
+        switch (po) {
+          case Po::MAZ:
+            t = timeOneSource<MazEngine, ClockT>(source, base);
+            break;
+          case Po::SHB:
+            t = timeOneSource<ShbEngine, ClockT>(source, base);
+            break;
+          case Po::HB:
+            t = timeOneSource<HbEngine, ClockT>(source, base);
+            break;
+        }
+        if (r > 0)
+            total += t; // r == 0 warms caches / file pages
+    }
+    return total / reps;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("streaming vs batch analysis throughput");
+    addCommonFlags(args);
+    addJsonFlag(args);
+    args.addInt("events", 1000000, "workload event count");
+    args.addInt("threads", 16, "workload threads");
+    args.addString("po", "hb", "partial order: hb | shb | maz");
+    args.addString("file", "/tmp/tc_bench_streaming.tcb",
+                   "scratch trace file for the out-of-core mode");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    const double scale = args.getDouble("scale");
+    const int reps = static_cast<int>(args.getInt("reps"));
+    const std::string po_name = args.getString("po");
+    const Po po = po_name == "maz"   ? Po::MAZ
+                  : po_name == "shb" ? Po::SHB
+                                     : Po::HB;
+
+    RandomTraceParams params;
+    params.threads = static_cast<Tid>(args.getInt("threads"));
+    params.events = static_cast<std::uint64_t>(
+        static_cast<double>(args.getInt("events")) * scale);
+    params.vars = 4096;
+    params.locks = 16;
+    params.syncRatio = 0.1;
+    const Trace trace = generateRandomTrace(params);
+
+    const std::string path = args.getString("file");
+    if (!saveTrace(trace, path)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+
+    const double n = static_cast<double>(trace.size());
+    JsonReporter json;
+    json.context("harness", "bench_streaming");
+    json.context("po", po_name);
+
+    Table table({"mode", "clock", "events/s"});
+
+    auto report = [&](const char *mode, const char *clock,
+                      double seconds) {
+        const double rate = n / seconds;
+        table.addRow({mode, clock,
+                      humanCount(static_cast<std::uint64_t>(rate))});
+        json.entry(std::string(mode) + "/" + clock);
+        json.metric("events_per_s", rate);
+    };
+
+    auto runClock = [&]<typename ClockT>(const char *clock) {
+        report("batch", clock,
+               timePo<ClockT>(po, trace, true, reps));
+        TraceSource mem(trace);
+        report("trace_source", clock,
+               timePoSource<ClockT>(po, mem, reps));
+        const auto file = openTraceFile(path);
+        report("file_stream", clock,
+               timePoSource<ClockT>(po, *file, reps));
+    };
+    runClock.template operator()<TreeClock>("TC");
+    runClock.template operator()<VectorClock>("VC");
+
+    table.print(std::cout);
+    std::remove(path.c_str());
+    return maybeWriteJson(args, json) ? 0 : 1;
+}

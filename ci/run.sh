@@ -28,4 +28,20 @@ run_job "ASan/UBSan" build-ci-asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTC_WERROR=ON \
     -DTC_SANITIZE=ON
 
+# Job 3 — bench smoke: the steady-state join/copy micro-benchmarks
+# must stay allocation-free and must not regress against the
+# committed BENCH_baseline.json (timings are ignored; allocation
+# counts are deterministic). Skipped when google-benchmark was not
+# found at configure time.
+if [[ -x build-ci-werror/bench_micro_clock ]]; then
+    echo "=== bench smoke (alloc regressions) ==="
+    ./build-ci-werror/bench_micro_clock \
+        --benchmark_filter='BM_JoinVacuous|BM_SyncRoundTrip|BM_MonotoneCopy' \
+        --json /tmp/tc-bench-smoke.json > /dev/null
+    python3 ci/check_alloc_regressions.py BENCH_baseline.json \
+        /tmp/tc-bench-smoke.json
+else
+    echo "=== bench smoke skipped (no google-benchmark) ==="
+fi
+
 echo "=== CI OK ==="

@@ -1,23 +1,30 @@
 /**
  * @file
  * A command-line dynamic race detector — the paper's headline
- * application. Reads a trace from a file (text .tct or binary .tcb)
- * or generates a synthetic one, computes HB or SHB with tree or
- * vector clocks, and reports the races.
+ * application. Consumes any EventSource: a trace file (text .tct or
+ * binary .tcb) or a generated synthetic workload; computes HB, SHB
+ * or MAZ with tree or vector clocks and reports the races.
+ *
+ * By default file inputs are materialized once so the trace can be
+ * validated and summarized before the timed analysis. With --stream
+ * the file is consumed through the chunked readers instead: the
+ * full event vector is never built, so traces larger than memory
+ * analyze in O(window) input memory.
  *
  * Examples:
  *   ./race_detector --generate --threads=16 --events=1000000
  *   ./race_detector --trace=run.tct --po=shb --clock=vc
+ *   ./race_detector --trace=huge.tcb --stream
  */
 
 #include <cstdio>
 
 #include "analysis/hb_engine.hh"
+#include "analysis/maz_engine.hh"
 #include "analysis/shb_engine.hh"
 #include "core/tree_clock.hh"
 #include "core/vector_clock.hh"
-#include "gen/random_trace.hh"
-#include "support/cli.hh"
+#include "support/source_cli.hh"
 #include "support/strings.hh"
 #include "support/timer.hh"
 #include "trace/trace_io.hh"
@@ -29,17 +36,25 @@ namespace {
 
 template <template <typename> class Engine, typename ClockT>
 int
-detect(const Trace &trace, std::size_t max_reports)
+detect(EventSource &source, std::size_t max_reports)
 {
     WorkCounters work;
     EngineConfig cfg;
     cfg.counters = &work;
     cfg.maxReports = max_reports;
+    // Well-formedness was either checked on the materialized trace
+    // below or is enforced event-by-event by the driver's feed.
+    cfg.validate = false;
     Engine<ClockT> engine(cfg);
 
     Timer timer;
-    const EngineResult result = engine.run(trace);
+    const EngineResult result = engine.run(source);
     const double seconds = timer.seconds();
+    if (source.failed()) {
+        std::fprintf(stderr, "error: %s (line %zu)\n",
+                     source.error().c_str(), source.errorLine());
+        return 1;
+    }
 
     std::printf("analysis time   : %.3f s (%s events/s)\n", seconds,
                 humanCount(static_cast<std::uint64_t>(
@@ -71,87 +86,123 @@ detect(const Trace &trace, std::size_t max_reports)
     return result.races.total() > 0 ? 2 : 0;
 }
 
+template <typename ClockT>
+int
+dispatchPo(const std::string &po, EventSource &source,
+           std::size_t max_reports)
+{
+    if (po == "hb")
+        return detect<HbEngine, ClockT>(source, max_reports);
+    if (po == "shb")
+        return detect<ShbEngine, ClockT>(source, max_reports);
+    if (po == "maz")
+        return detect<MazEngine, ClockT>(source, max_reports);
+    std::fprintf(stderr, "error: unknown --po '%s'\n", po.c_str());
+    return 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    ArgParser args("dynamic race detector (HB/SHB, tree or vector "
-                   "clocks)");
-    args.addString("trace", "", "trace file to analyze (.tct/.tcb)");
-    args.addBool("generate", false, "generate a synthetic trace");
-    args.addInt("threads", 16, "threads for --generate");
-    args.addInt("locks", 16, "locks for --generate");
-    args.addInt("vars", 4096, "variables for --generate");
-    args.addInt("events", 500000, "events for --generate");
-    args.addDouble("sync-ratio", 0.1, "sync share for --generate");
-    args.addInt("seed", 1, "seed for --generate");
-    args.addString("po", "hb", "partial order: hb | shb");
+    ArgParser args("dynamic race detector (HB/SHB/MAZ, tree or "
+                   "vector clocks)");
+    addTraceSourceFlags(args);
+    args.addBool("stream", false,
+                 "consume --trace through the chunked reader "
+                 "(out-of-core; whole-trace validation is skipped "
+                 "— only lock/fork discipline is checked "
+                 "event-by-event, and violating it aborts)");
+    args.addString("po", "hb", "partial order: hb | shb | maz");
     args.addString("clock", "tc", "clock data structure: tc | vc");
     args.addInt("max-reports", 10, "race reports to keep");
     if (!args.parse(argc, argv))
         return 1;
 
-    Trace trace;
-    if (!args.getString("trace").empty()) {
-        ParseResult parsed = loadTrace(args.getString("trace"));
-        if (!parsed.ok) {
-            std::fprintf(stderr, "error: %s (line %zu)\n",
-                         parsed.message.c_str(), parsed.line);
-            return 1;
-        }
-        trace = std::move(parsed.trace);
-    } else if (args.getBool("generate")) {
-        RandomTraceParams params;
-        params.threads = static_cast<Tid>(args.getInt("threads"));
-        params.locks = static_cast<LockId>(args.getInt("locks"));
-        params.vars = static_cast<VarId>(args.getInt("vars"));
-        params.events =
-            static_cast<std::uint64_t>(args.getInt("events"));
-        params.syncRatio = args.getDouble("sync-ratio");
-        params.seed =
-            static_cast<std::uint64_t>(args.getInt("seed"));
-        trace = generateRandomTrace(params);
-    } else {
+    const bool has_trace = !args.getString("trace").empty();
+    if (!has_trace && !args.getBool("generate")) {
         std::fprintf(stderr,
                      "error: pass --trace=FILE or --generate "
                      "(see --help)\n");
         return 1;
     }
 
-    const ValidationResult valid = trace.validate();
-    if (!valid.ok) {
-        std::fprintf(stderr, "error: malformed trace at event %zu: "
-                     "%s\n", valid.eventIndex, valid.message.c_str());
+    const bool stream = args.getBool("stream");
+    if (stream && !has_trace) {
+        // Generated workloads are materialized by construction, so
+        // streaming them would only skip validation while keeping
+        // O(events) memory — refuse rather than mislead.
+        std::fprintf(stderr,
+                     "error: --stream requires --trace=FILE\n");
         return 1;
     }
-
-    const TraceStats stats = computeStats(trace);
-    std::printf("trace           : %s events, %d threads, %s vars, "
-                "%s locks, %.1f%% sync\n",
-                humanCount(stats.events).c_str(), stats.threads,
-                humanCount(stats.variables).c_str(),
-                humanCount(stats.locks).c_str(), stats.syncPercent());
-    std::printf("configuration   : %s with %s clocks\n",
+    std::unique_ptr<EventSource> source;
+    if (!stream) {
+        // Materialize once: whole-trace validation and the summary
+        // header need the full event vector.
+        Trace trace;
+        if (has_trace) {
+            ParseResult parsed =
+                loadTrace(args.getString("trace"));
+            if (!parsed.ok) {
+                std::fprintf(stderr, "error: %s (line %zu)\n",
+                             parsed.message.c_str(), parsed.line);
+                return 1;
+            }
+            trace = std::move(parsed.trace);
+        } else {
+            trace =
+                generateRandomTrace(traceParamsFromFlags(args));
+        }
+        const ValidationResult valid = trace.validate();
+        if (!valid.ok) {
+            std::fprintf(stderr,
+                         "error: malformed trace at event %zu: "
+                         "%s\n",
+                         valid.eventIndex, valid.message.c_str());
+            return 1;
+        }
+        const TraceStats stats = computeStats(trace);
+        std::printf("trace           : %s events, %d threads, "
+                    "%s vars, %s locks, %.1f%% sync\n",
+                    humanCount(stats.events).c_str(), stats.threads,
+                    humanCount(stats.variables).c_str(),
+                    humanCount(stats.locks).c_str(),
+                    stats.syncPercent());
+        source = std::make_unique<TraceSource>(std::move(trace));
+    } else {
+        source = makeEventSource(args);
+        if (source->failed()) {
+            std::fprintf(stderr, "error: %s (line %zu)\n",
+                         source->error().c_str(),
+                         source->errorLine());
+            return 1;
+        }
+        const SourceInfo si = source->info();
+        std::printf("stream          : %s declared threads %d, "
+                    "vars %s, locks %s\n",
+                    si.eventCountKnown()
+                        ? (humanCount(si.events) + " events")
+                              .c_str()
+                        : "unknown length",
+                    si.threads,
+                    humanCount(static_cast<std::uint64_t>(si.vars))
+                        .c_str(),
+                    humanCount(
+                        static_cast<std::uint64_t>(si.locks))
+                        .c_str());
+    }
+    std::printf("configuration   : %s with %s clocks%s\n",
                 args.getString("po").c_str(),
-                args.getString("clock") == "tc" ? "tree" : "vector");
+                args.getString("clock") == "tc" ? "tree" : "vector",
+                stream ? " (streaming)" : "");
 
-    const bool use_tree = args.getString("clock") == "tc";
     const auto max_reports =
         static_cast<std::size_t>(args.getInt("max-reports"));
-    if (args.getString("po") == "hb") {
-        return use_tree
-                   ? detect<HbEngine, TreeClock>(trace, max_reports)
-                   : detect<HbEngine, VectorClock>(trace,
-                                                   max_reports);
-    }
-    if (args.getString("po") == "shb") {
-        return use_tree
-                   ? detect<ShbEngine, TreeClock>(trace, max_reports)
-                   : detect<ShbEngine, VectorClock>(trace,
-                                                    max_reports);
-    }
-    std::fprintf(stderr, "error: unknown --po '%s'\n",
-                 args.getString("po").c_str());
-    return 1;
+    return args.getString("clock") == "tc"
+               ? dispatchPo<TreeClock>(args.getString("po"),
+                                       *source, max_reports)
+               : dispatchPo<VectorClock>(args.getString("po"),
+                                         *source, max_reports);
 }

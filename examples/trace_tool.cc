@@ -11,16 +11,25 @@
  *   trace_tool prefix   run.tct out.tct --events=100000
  *   trace_tool compact  run.tct out.tct
  *   trace_tool generate out.tcb --threads=16 --events=1000000
+ *
+ * stats and convert consume the chunked streaming readers and never
+ * materialize the trace, so they work on files larger than memory;
+ * the structural commands (slice/project/prefix/compact/validate)
+ * still load the full event vector.
  */
+
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "gen/random_trace.hh"
 #include "support/cli.hh"
 #include "support/strings.hh"
+#include "trace/event_source.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_ops.hh"
 #include "trace/trace_stats.hh"
@@ -54,6 +63,45 @@ loadOrDie(const std::string &path)
     return std::move(r.trace);
 }
 
+/** Open a chunked streaming reader, or die on open/header errors. */
+std::unique_ptr<EventSource>
+openOrDie(const std::string &path)
+{
+    auto source = openTraceFile(path);
+    if (source->failed()) {
+        std::fprintf(stderr, "error: %s (%s line %zu)\n",
+                     source->error().c_str(), path.c_str(),
+                     source->errorLine());
+        std::exit(1);
+    }
+    return source;
+}
+
+/** True when both paths name the same existing file (by inode, so
+ * differently-spelled aliases and symlinks are caught). */
+bool
+sameFile(const std::string &a, const std::string &b)
+{
+    if (a == b)
+        return true;
+    struct stat sa, sb;
+    return ::stat(a.c_str(), &sa) == 0 &&
+           ::stat(b.c_str(), &sb) == 0 &&
+           sa.st_dev == sb.st_dev && sa.st_ino == sb.st_ino;
+}
+
+/** Die if a drained source ended on a mid-stream error. */
+void
+checkDrained(const EventSource &source, const std::string &path)
+{
+    if (source.failed()) {
+        std::fprintf(stderr, "error: %s (%s line %zu)\n",
+                     source.error().c_str(), path.c_str(),
+                     source.errorLine());
+        std::exit(1);
+    }
+}
+
 void
 saveOrDie(const Trace &trace, const std::string &path)
 {
@@ -67,9 +115,8 @@ saveOrDie(const Trace &trace, const std::string &path)
 }
 
 void
-printStats(const Trace &trace)
+printStats(const TraceStats &s)
 {
-    const TraceStats s = computeStats(trace);
     std::printf("events    : %s\n", humanCount(s.events).c_str());
     std::printf("threads   : %d\n", s.threads);
     std::printf("variables : %s\n", humanCount(s.variables).c_str());
@@ -115,7 +162,12 @@ main(int argc, char **argv)
     const std::string &cmd = pos[0];
 
     if (cmd == "stats" && pos.size() == 2) {
-        printStats(loadOrDie(pos[1]));
+        // Streaming: O(distinct ids) memory regardless of file
+        // size.
+        const auto source = openOrDie(pos[1]);
+        const TraceStats s = computeStats(*source);
+        checkDrained(*source, pos[1]);
+        printStats(s);
         return 0;
     }
     if (cmd == "validate" && pos.size() == 2) {
@@ -131,7 +183,34 @@ main(int argc, char **argv)
         return 2;
     }
     if (cmd == "convert" && pos.size() == 3) {
-        saveOrDie(loadOrDie(pos[1]), pos[2]);
+        // Streaming: events flow reader → writer one window at a
+        // time. In-place conversion would truncate the file the
+        // reader is still consuming; compare inodes, not path
+        // spellings.
+        if (sameFile(pos[1], pos[2])) {
+            std::fprintf(stderr, "error: convert input and output "
+                                 "must be different files\n");
+            return 1;
+        }
+        const auto source = openOrDie(pos[1]);
+        // Probe writability first (append mode, no truncation) so
+        // the failure cleanup below never deletes a pre-existing
+        // file we were unable to open in the first place.
+        if (!std::ofstream(pos[2], std::ios::app)) {
+            std::fprintf(stderr, "error: cannot write '%s'\n",
+                         pos[2].c_str());
+            return 1;
+        }
+        if (!saveTraceStream(*source, pos[2])) {
+            // Never leave a half-written file that would later
+            // parse as a valid (possibly empty) trace.
+            std::remove(pos[2].c_str());
+            checkDrained(*source, pos[1]);
+            std::fprintf(stderr, "error: cannot write '%s'\n",
+                         pos[2].c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", pos[2].c_str());
         return 0;
     }
     if (cmd == "slice" && pos.size() == 3) {

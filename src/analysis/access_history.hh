@@ -119,11 +119,13 @@ class FlatAccessHistory
     void
     recordRead(Tid t, Clk c)
     {
+        grow(t);
         reads_[static_cast<std::size_t>(t)] = c;
     }
     void
     recordWrite(Tid t, Clk c)
     {
+        grow(t);
         writes_[static_cast<std::size_t>(t)] = c;
     }
 
@@ -148,6 +150,17 @@ class FlatAccessHistory
     }
 
   private:
+    /** Streaming analyses may grow the thread population after this
+     * history was sized; batch runs pre-size past every tid. */
+    void
+    grow(Tid t)
+    {
+        if (reads_.size() <= static_cast<std::size_t>(t)) {
+            reads_.resize(static_cast<std::size_t>(t) + 1, 0);
+            writes_.resize(static_cast<std::size_t>(t) + 1, 0);
+        }
+    }
+
     std::vector<Clk> reads_;
     std::vector<Clk> writes_;
 };

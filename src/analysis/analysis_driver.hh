@@ -1,0 +1,336 @@
+/**
+ * @file
+ * The single event loop behind every analysis in this repository.
+ *
+ * The paper's engines (Algorithms 1–5) share one shape: a per-event
+ * loop that advances the performing thread's clock, routes
+ * synchronization events through the lock/fork/join rules common to
+ * all partial orders, and delegates access events to order-specific
+ * rules. AnalysisDriver owns that loop plus all the state it needs —
+ * the clock bank (C_t / L_l), the traversal scratch arena, the race
+ * summary — and is parameterized by an EnginePolicy supplying only
+ * the access-event rules (HbPolicy / ShbPolicy / MazPolicy in the
+ * engine headers).
+ *
+ * Two consumption modes, one semantics:
+ *  - feed(e): event-at-a-time streaming. Id spaces grow on demand,
+ *    results are inspectable mid-stream — this is the online mode
+ *    (OnlineRaceDetector is exactly this driver with HbPolicy).
+ *  - run(source) / run(trace): a reset, an upfront reservation of
+ *    the declared id spaces, then a feed loop. run(EventSource&)
+ *    never materializes the stream, so any engine × any clock
+ *    analyzes traces larger than memory through the chunked file
+ *    sources of trace/event_source.hh.
+ *
+ * Feeding a trace event-by-event and batch-running it produce
+ * identical EngineResults for every policy and clock backend (the
+ * streaming-equivalence test suite enforces this).
+ */
+
+#ifndef TC_ANALYSIS_ANALYSIS_DRIVER_HH
+#define TC_ANALYSIS_ANALYSIS_DRIVER_HH
+
+#include <vector>
+
+#include "analysis/engine_support.hh"
+#include "core/scratch_arena.hh"
+#include "trace/event_source.hh"
+
+namespace tc {
+
+template <ClockLike ClockT, template <typename> class PolicyT>
+class AnalysisDriver
+{
+  public:
+    using Policy = PolicyT<ClockT>;
+
+    explicit AnalysisDriver(EngineConfig cfg = {})
+        : cfg_(std::move(cfg)), races_(0, cfg_.maxReports)
+    {
+        policy_.configure(&cfg_, &arena_);
+    }
+
+    /** Clocks hold pointers into arena_; pin the driver. */
+    AnalysisDriver(const AnalysisDriver &) = delete;
+    AnalysisDriver &operator=(const AnalysisDriver &) = delete;
+
+    const EngineConfig &config() const { return cfg_; }
+
+    /**
+     * Process one event. Ids may exceed anything seen before; state
+     * grows on demand. Event well-formedness is always checked
+     * (feeding an ill-formed event aborts — a streamed execution
+     * must be a real one).
+     */
+    void
+    feed(const Event &e)
+    {
+        // Grow all id spaces before taking references: emplacing a
+        // fork/join target would otherwise reallocate threads_ from
+        // under `ct`.
+        ensureThread(e.tid);
+        if (e.isFork() || e.isJoin())
+            ensureThread(e.targetTid());
+        ClockT &ct = threads_[static_cast<std::size_t>(e.tid)];
+        const Clk c = ++local_[static_cast<std::size_t>(e.tid)];
+        ct.increment(1);
+        const std::size_t index =
+            static_cast<std::size_t>(eventsProcessed_++);
+
+        switch (e.op) {
+          case OpType::Read:
+            ensureVar(e.var());
+            policy_.onRead(e, c, ct, threadsSeen(), races_);
+            break;
+          case OpType::Write:
+            ensureVar(e.var());
+            policy_.onWrite(e, c, ct, threadsSeen(), races_);
+            break;
+          case OpType::Acquire: {
+            ensureLock(e.lock());
+            LockState &lock =
+                locks_[static_cast<std::size_t>(e.lock())];
+            TC_CHECK(lock.holder == kNoTid,
+                     "feed: acquire of a held lock");
+            lock.holder = e.tid;
+            detail::joinClock(ct, lock.clock, cfg_);
+            break;
+          }
+          case OpType::Release: {
+            ensureLock(e.lock());
+            LockState &lock =
+                locks_[static_cast<std::size_t>(e.lock())];
+            TC_CHECK(lock.holder == e.tid,
+                     "feed: release by a non-holder");
+            lock.holder = kNoTid;
+            lock.clock.monotoneCopy(ct);
+            if (cfg_.deepChecks)
+                detail::deepCheck(lock.clock);
+            break;
+          }
+          case OpType::Fork: {
+            const Tid child = e.targetTid();
+            TC_CHECK(child != e.tid &&
+                         local_[static_cast<std::size_t>(child)] ==
+                             0,
+                     "feed: fork target already ran");
+            detail::joinClock(
+                threads_[static_cast<std::size_t>(child)], ct,
+                cfg_);
+            if (cfg_.deepChecks) {
+                detail::deepCheck(
+                    threads_[static_cast<std::size_t>(child)]);
+            }
+            break;
+          }
+          case OpType::Join:
+            detail::joinClock(
+                ct,
+                threads_[static_cast<std::size_t>(e.targetTid())],
+                cfg_);
+            break;
+        }
+
+        if (cfg_.deepChecks)
+            detail::deepCheck(ct);
+        if (cfg_.onTimestamp)
+            cfg_.onTimestamp(index, e,
+                             ct.toVector(timestampWidth()));
+    }
+
+    /**
+     * Batch mode over a materialized trace: validate (per config),
+     * reserve the declared id spaces, feed every event.
+     */
+    EngineResult
+    run(const Trace &trace)
+    {
+        detail::maybeValidate(trace, cfg_);
+        resetState();
+        reserve({trace.numThreads(), trace.numLocks(),
+                 trace.numVars(), trace.size()});
+        for (std::size_t i = 0; i < trace.size(); i++)
+            feed(trace[i]);
+        return result();
+    }
+
+    /**
+     * Streaming mode: drain @p source through feed() without ever
+     * materializing the event sequence. The source is consumed
+     * from its *current* position (streams may be non-seekable) —
+     * pass a fresh source or rewind() first, or an already-drained
+     * source yields a clean 0-event result. A source that fails
+     * mid-stream (truncated or malformed file) stops the drain;
+     * the returned result covers the consumed prefix and the
+     * caller must check source.failed() to distinguish that from a
+     * clean end of stream.
+     *
+     * EngineConfig::validate is necessarily ignored here: whole-
+     * trace validation needs the full event vector. Only feed()'s
+     * incremental checks apply (id ranges, lock discipline, fork
+     * targets); violations like a thread acting after being joined
+     * pass undetected — materialize and run(Trace) when that
+     * guarantee matters.
+     */
+    EngineResult
+    run(EventSource &source)
+    {
+        resetState();
+        reserve(source.info());
+        Event e;
+        while (source.next(e))
+            feed(e);
+        return result();
+    }
+
+    /** Results so far (streaming consumers may snapshot mid-run). */
+    EngineResult
+    result() const
+    {
+        EngineResult r;
+        r.events = eventsProcessed_;
+        r.races = races_;
+        if (cfg_.counters)
+            r.work = *cfg_.counters;
+        return r;
+    }
+
+    /** @name Convenience instrumentation hooks (online use) @{ */
+    void read(Tid t, VarId x) { feed(Event(t, OpType::Read, x)); }
+    void write(Tid t, VarId x) { feed(Event(t, OpType::Write, x)); }
+    void
+    acquire(Tid t, LockId l)
+    {
+        feed(Event(t, OpType::Acquire, l));
+    }
+    void
+    release(Tid t, LockId l)
+    {
+        feed(Event(t, OpType::Release, l));
+    }
+    void fork(Tid t, Tid u) { feed(Event(t, OpType::Fork, u)); }
+    void join(Tid t, Tid u) { feed(Event(t, OpType::Join, u)); }
+    /** @} */
+
+    /** Race results so far (live; totals only grow). */
+    const RaceSummary &races() const { return races_; }
+    std::uint64_t eventsProcessed() const
+    {
+        return eventsProcessed_;
+    }
+    Tid threadsSeen() const
+    {
+        return static_cast<Tid>(threads_.size());
+    }
+
+    /** Current vector time of a thread (its view of the world). */
+    std::vector<Clk>
+    viewOf(Tid t) const
+    {
+        TC_CHECK(t >= 0 &&
+                     static_cast<std::size_t>(t) < threads_.size(),
+                 "unknown thread");
+        return threads_[static_cast<std::size_t>(t)].toVector(
+            threads_.size());
+    }
+
+  private:
+    struct LockState
+    {
+        ClockT clock;
+        Tid holder = kNoTid;
+    };
+
+    /** Width of materialized timestamps handed to onTimestamp: the
+     * declared thread count in batch/stream runs, else whatever has
+     * been seen. */
+    std::size_t
+    timestampWidth() const
+    {
+        return declaredThreads_ > threads_.size()
+                   ? declaredThreads_
+                   : threads_.size();
+    }
+
+    /** Drop per-run state so run() can be called repeatedly on one
+     * driver; the scratch arena is retained. */
+    void
+    resetState()
+    {
+        threads_.clear();
+        local_.clear();
+        locks_.clear();
+        policy_.reset();
+        races_ = RaceSummary(0, cfg_.maxReports);
+        eventsProcessed_ = 0;
+        declaredThreads_ = 0;
+    }
+
+    /** Pre-size the id spaces a header declares (batch/stream
+     * runs); streams may still exceed these and grow on demand. */
+    void
+    reserve(const SourceInfo &si)
+    {
+        declaredThreads_ = static_cast<std::size_t>(si.threads);
+        const auto k = static_cast<std::size_t>(si.threads);
+        threads_.reserve(k);
+        for (std::size_t t = 0; t < k; t++) {
+            threads_.emplace_back(static_cast<Tid>(t), k);
+            detail::configureClock(threads_.back(), cfg_, &arena_);
+        }
+        local_.assign(k, 0);
+        locks_.resize(static_cast<std::size_t>(si.locks));
+        for (LockState &l : locks_)
+            detail::configureClock(l.clock, cfg_, &arena_);
+        policy_.reserveVars(si.vars, si.threads);
+        races_.growVars(si.vars);
+    }
+
+    void
+    ensureThread(Tid t)
+    {
+        TC_CHECK(t >= 0, "negative thread id");
+        while (threads_.size() <= static_cast<std::size_t>(t)) {
+            threads_.emplace_back(
+                static_cast<Tid>(threads_.size()),
+                static_cast<std::size_t>(t) + 1);
+            detail::configureClock(threads_.back(), cfg_, &arena_);
+            local_.push_back(0);
+        }
+    }
+
+    void
+    ensureLock(LockId l)
+    {
+        TC_CHECK(l >= 0, "negative lock id");
+        while (locks_.size() <= static_cast<std::size_t>(l)) {
+            locks_.emplace_back();
+            detail::configureClock(locks_.back().clock, cfg_,
+                                   &arena_);
+        }
+    }
+
+    void
+    ensureVar(VarId x)
+    {
+        TC_CHECK(x >= 0, "negative variable id");
+        policy_.ensureVar(x, threadsSeen());
+        races_.growVars(x + 1);
+    }
+
+    EngineConfig cfg_;
+    /** Traversal scratch shared by all of this driver's clocks;
+     * declared before them so it outlives every pointer. */
+    ScratchArena arena_;
+    std::vector<ClockT> threads_;
+    std::vector<Clk> local_;
+    std::vector<LockState> locks_;
+    Policy policy_;
+    RaceSummary races_;
+    std::uint64_t eventsProcessed_ = 0;
+    std::size_t declaredThreads_ = 0;
+};
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_ANALYSIS_DRIVER_HH

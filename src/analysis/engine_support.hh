@@ -1,7 +1,7 @@
 /**
  * @file
- * Shared configuration, result types and clock-bank scaffolding for
- * the HB/SHB/MAZ engines.
+ * Shared configuration, result types and clock helpers for the
+ * analysis driver and its engine policies (analysis_driver.hh).
  */
 
 #ifndef TC_ANALYSIS_ENGINE_SUPPORT_HH
@@ -118,42 +118,6 @@ joinClock(ClockT &dst, const ClockT &src, const EngineConfig &cfg)
     dst.join(src);
 }
 
-/**
- * Thread and lock clock banks (the C_t and C_l / L_l of
- * Algorithms 1-5). Thread clocks are initialized to their owners;
- * lock clocks start empty and are populated by monotone copies.
- */
-template <ClockLike ClockT>
-struct ClockBank
-{
-    /** Traversal scratch shared by every clock of this run; must be
-     * declared alongside the clocks it outlives. */
-    ScratchArena arena;
-    std::vector<ClockT> threads;
-    std::vector<ClockT> locks;
-
-    ClockBank() = default;
-    /** Clocks hold pointers into arena; pin the bank. */
-    ClockBank(const ClockBank &) = delete;
-    ClockBank &operator=(const ClockBank &) = delete;
-
-    void
-    reset(const Trace &trace, const EngineConfig &cfg)
-    {
-        const auto k = static_cast<std::size_t>(trace.numThreads());
-        threads.clear();
-        threads.reserve(k);
-        for (std::size_t t = 0; t < k; t++) {
-            threads.emplace_back(static_cast<Tid>(t), k);
-            configureClock(threads.back(), cfg, &arena);
-        }
-        locks.assign(static_cast<std::size_t>(trace.numLocks()),
-                     ClockT());
-        for (ClockT &l : locks)
-            configureClock(l, cfg, &arena);
-    }
-};
-
 /** Tree-clock structural invariant check (tests only). */
 template <ClockLike ClockT>
 void
@@ -165,52 +129,6 @@ deepCheck(const ClockT &clock)
     } else {
         (void)clock;
     }
-}
-
-/** Shared handling of the synchronization events of Algorithm 1/3:
- * acquire joins the lock clock, release monotone-copies into it;
- * fork seeds the child with the parent's view, join absorbs the
- * finished child (footnote 2 extension). */
-template <ClockLike ClockT>
-void
-handleSyncEvent(const Event &e, ClockBank<ClockT> &bank,
-                const EngineConfig &cfg)
-{
-    ClockT &ct = bank.threads[static_cast<std::size_t>(e.tid)];
-    switch (e.op) {
-      case OpType::Acquire:
-        joinClock(ct,
-                  bank.locks[static_cast<std::size_t>(e.lock())],
-                  cfg);
-        break;
-      case OpType::Release:
-        bank.locks[static_cast<std::size_t>(e.lock())]
-            .monotoneCopy(ct);
-        if (cfg.deepChecks) {
-            deepCheck(
-                bank.locks[static_cast<std::size_t>(e.lock())]);
-        }
-        break;
-      case OpType::Fork:
-        joinClock(
-            bank.threads[static_cast<std::size_t>(e.targetTid())],
-            ct, cfg);
-        if (cfg.deepChecks) {
-            deepCheck(bank.threads[static_cast<std::size_t>(
-                e.targetTid())]);
-        }
-        break;
-      case OpType::Join:
-        joinClock(
-            ct,
-            bank.threads[static_cast<std::size_t>(e.targetTid())],
-            cfg);
-        break;
-      default:
-        TC_ASSERT(false, "not a sync event");
-    }
-    if (cfg.deepChecks)
-        deepCheck(ct);
 }
 
 /** Validate a trace when the config requests it. */

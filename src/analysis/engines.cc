@@ -23,18 +23,18 @@ static_assert(ClockLike<SparseVectorClock>,
               "SparseVectorClock must model the engine clock "
               "interface");
 
-template class HbEngine<TreeClock>;
-template class HbEngine<VectorClock>;
-template class HbEngine<SparseVectorClock>;
-template class ShbEngine<TreeClock>;
-template class ShbEngine<VectorClock>;
-template class ShbEngine<SparseVectorClock>;
-template class MazEngine<TreeClock>;
-template class MazEngine<VectorClock>;
-template class MazEngine<SparseVectorClock>;
-template class OnlineRaceDetector<TreeClock>;
-template class OnlineRaceDetector<VectorClock>;
-template class OnlineRaceDetector<SparseVectorClock>;
+// The engines are aliases of AnalysisDriver instantiations
+// (OnlineRaceDetector<C> is HbEngine<C> itself), so the driver is
+// what gets instantiated explicitly.
+template class AnalysisDriver<TreeClock, HbPolicy>;
+template class AnalysisDriver<VectorClock, HbPolicy>;
+template class AnalysisDriver<SparseVectorClock, HbPolicy>;
+template class AnalysisDriver<TreeClock, ShbPolicy>;
+template class AnalysisDriver<VectorClock, ShbPolicy>;
+template class AnalysisDriver<SparseVectorClock, ShbPolicy>;
+template class AnalysisDriver<TreeClock, MazPolicy>;
+template class AnalysisDriver<VectorClock, MazPolicy>;
+template class AnalysisDriver<SparseVectorClock, MazPolicy>;
 
 const char *
 raceKindName(RaceKind kind)

@@ -4,9 +4,10 @@
  *
  * HB is the smallest partial order containing thread order and
  * release-to-later-acquire orderings per lock. The partial-order
- * computation touches clocks only at synchronization events; the
- * optional analysis phase performs the FastTrack-style epoch race
- * checks on every access event (the paper's "+Analysis"
+ * computation touches clocks only at synchronization events — which
+ * the AnalysisDriver handles for every engine — so the HB policy
+ * contributes only the optional analysis phase: FastTrack-style
+ * epoch race checks on access events (the paper's "+Analysis"
  * configuration, with "common epoch optimizations ... for both tree
  * clocks and vector clocks").
  *
@@ -21,97 +22,117 @@
 #include <vector>
 
 #include "analysis/access_history.hh"
-#include "analysis/engine_support.hh"
+#include "analysis/analysis_driver.hh"
 
 namespace tc {
 
-template <ClockLike ClockT>
-class HbEngine
+/**
+ * Access-event rules of HB: no clock updates, only the epoch (or
+ * flat DJIT+-style, under `useEpochs=false`) race checks. The
+ * epoch path takes the same-epoch `ownedBy` shortcut: a history
+ * entirely owned by the current thread is covered by program order
+ * alone, so the dominant steady-state pattern (a thread
+ * re-accessing data it wrote) stays O(1) with no clock probe; the
+ * shortcut never touches a clock, so VC/TC work-counter parity is
+ * unaffected. The flat path deliberately has no shortcut — it is
+ * the pre-epoch ablation and always runs the full per-thread
+ * scans.
+ */
+template <typename ClockT>
+class HbPolicy
 {
   public:
-    explicit HbEngine(EngineConfig cfg = {}) : cfg_(std::move(cfg)) {}
-
-    const EngineConfig &config() const { return cfg_; }
-
-    /** Process @p trace and return the run's results. */
-    EngineResult
-    run(const Trace &trace)
+    void
+    configure(const EngineConfig *cfg, ScratchArena * /*arena*/)
     {
-        detail::maybeValidate(trace, cfg_);
-
-        detail::ClockBank<ClockT> bank;
-        bank.reset(trace, cfg_);
-
-        const Tid k = trace.numThreads();
-        std::vector<Clk> local(static_cast<std::size_t>(k), 0);
-
-        std::vector<AccessHistory> vars;
-        std::vector<FlatAccessHistory> flatVars;
-        if (cfg_.analysis) {
-            if (cfg_.useEpochs) {
-                vars.assign(static_cast<std::size_t>(trace.numVars()),
-                            AccessHistory());
-            } else {
-                flatVars.assign(
-                    static_cast<std::size_t>(trace.numVars()),
-                    FlatAccessHistory(k));
-            }
-        }
-
-        EngineResult result;
-        result.races = RaceSummary(trace.numVars(), cfg_.maxReports);
-
-        for (std::size_t i = 0; i < trace.size(); i++) {
-            const Event &e = trace[i];
-            ClockT &ct =
-                bank.threads[static_cast<std::size_t>(e.tid)];
-            const Clk c = ++local[static_cast<std::size_t>(e.tid)];
-            ct.increment(1);
-
-            if (e.isAccess()) {
-                if (cfg_.analysis) {
-                    if (cfg_.useEpochs) {
-                        analyzeEpoch(
-                            vars[static_cast<std::size_t>(e.var())],
-                            e, c, ct, k, result.races);
-                    } else {
-                        analyzeFlat(
-                            flatVars[static_cast<std::size_t>(
-                                e.var())],
-                            e, c, ct, result.races);
-                    }
-                }
-            } else {
-                detail::handleSyncEvent(e, bank, cfg_);
-            }
-
-            if (cfg_.onTimestamp) {
-                cfg_.onTimestamp(
-                    i, e,
-                    ct.toVector(static_cast<std::size_t>(k)));
-            }
-        }
-
-        result.events = trace.size();
-        if (cfg_.counters)
-            result.work = *cfg_.counters;
-        return result;
+        // HB keeps only epoch histories, no per-variable clocks —
+        // nothing here needs the run's scratch arena.
+        cfg_ = cfg;
     }
 
-  private:
-    /** FastTrack-style epoch checks (see access_history.hh). */
     void
-    analyzeEpoch(AccessHistory &v, const Event &e, Clk c,
-                 const ClockT &ct, Tid k, RaceSummary &races)
+    reset()
     {
-        const Epoch cur(e.tid, c);
-        if (e.isRead()) {
-            if (!v.lastWrite().coveredBy(ct)) {
-                races.record(e.var(), RaceKind::WriteRead,
-                             v.lastWrite(), cur);
-            }
-            v.recordRead(e.tid, c, ct, k);
+        vars_.clear();
+        flat_.clear();
+    }
+
+    void
+    reserveVars(VarId n, Tid threads_hint)
+    {
+        if (!cfg_->analysis)
+            return;
+        if (cfg_->useEpochs) {
+            vars_.assign(static_cast<std::size_t>(n),
+                         AccessHistory());
         } else {
+            flat_.assign(static_cast<std::size_t>(n),
+                         FlatAccessHistory(threads_hint));
+        }
+    }
+
+    void
+    ensureVar(VarId x, Tid threads_hint)
+    {
+        if (!cfg_->analysis)
+            return;
+        if (cfg_->useEpochs) {
+            if (vars_.size() <= static_cast<std::size_t>(x))
+                vars_.resize(static_cast<std::size_t>(x) + 1);
+        } else {
+            while (flat_.size() <= static_cast<std::size_t>(x))
+                flat_.emplace_back(threads_hint);
+        }
+    }
+
+    void
+    onRead(const Event &e, Clk c, ClockT &ct, Tid num_threads,
+           RaceSummary &races)
+    {
+        if (!cfg_->analysis)
+            return;
+        const Epoch cur(e.tid, c);
+        if (cfg_->useEpochs) {
+            AccessHistory &v =
+                vars_[static_cast<std::size_t>(e.var())];
+            // Same-epoch shortcut (epoch.hh): a prior write owned
+            // by this thread is covered by program order — skip the
+            // clock probe.
+            const Epoch w = v.lastWrite();
+            if (!w.ownedBy(e.tid) && !w.coveredBy(ct))
+                races.record(e.var(), RaceKind::WriteRead, w, cur);
+            v.recordRead(e.tid, c, ct, num_threads);
+        } else {
+            FlatAccessHistory &v =
+                flat_[static_cast<std::size_t>(e.var())];
+            v.forEachUncoveredWrite(ct, [&](Epoch prior) {
+                races.record(e.var(), RaceKind::WriteRead, prior,
+                             cur);
+            });
+            v.recordRead(e.tid, c);
+        }
+    }
+
+    void
+    onWrite(const Event &e, Clk c, ClockT &ct, Tid /*num_threads*/,
+            RaceSummary &races)
+    {
+        if (!cfg_->analysis)
+            return;
+        const Epoch cur(e.tid, c);
+        if (cfg_->useEpochs) {
+            AccessHistory &v =
+                vars_[static_cast<std::size_t>(e.var())];
+            // Same-epoch write shortcut: when the entire history
+            // (last write + reads) is owned by this thread, program
+            // order covers it — record the new write epoch and
+            // return without any clock probes or read scans.
+            if (v.lastWrite().ownedBy(e.tid) &&
+                v.readsOwnedBy(e.tid)) {
+                v.setLastWrite(cur);
+                v.clearReads();
+                return;
+            }
             if (!v.lastWrite().coveredBy(ct)) {
                 races.record(e.var(), RaceKind::WriteWrite,
                              v.lastWrite(), cur);
@@ -122,38 +143,32 @@ class HbEngine
             });
             v.setLastWrite(cur);
             v.clearReads();
-        }
-    }
-
-    /** DJIT+-style flat checks (epoch ablation). */
-    void
-    analyzeFlat(FlatAccessHistory &v, const Event &e, Clk c,
-                const ClockT &ct, RaceSummary &races)
-    {
-        const Epoch cur(e.tid, c);
-        if (e.isRead()) {
-            v.forEachUncoveredWrite(ct, [&](Epoch prior) {
-                races.record(e.var(), RaceKind::WriteRead, prior,
-                             cur);
-            });
-            v.recordRead(e.tid, c);
         } else {
+            FlatAccessHistory &v =
+                flat_[static_cast<std::size_t>(e.var())];
             v.forEachUncoveredWrite(ct, [&](Epoch prior) {
                 races.record(e.var(), RaceKind::WriteWrite, prior,
                              cur);
             });
             v.forEachUncoveredRead(ct, [&](Epoch prior) {
                 if (prior.tid != e.tid) {
-                    races.record(e.var(), RaceKind::ReadWrite, prior,
-                                 cur);
+                    races.record(e.var(), RaceKind::ReadWrite,
+                                 prior, cur);
                 }
             });
             v.recordWrite(e.tid, c);
         }
     }
 
-    EngineConfig cfg_;
+  private:
+    const EngineConfig *cfg_ = nullptr;
+    std::vector<AccessHistory> vars_;
+    std::vector<FlatAccessHistory> flat_;
 };
+
+/** Algorithm 1/3: the driver instantiated with the HB rules. */
+template <typename ClockT>
+using HbEngine = AnalysisDriver<ClockT, HbPolicy>;
 
 } // namespace tc
 

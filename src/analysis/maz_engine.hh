@@ -3,180 +3,177 @@
  * The Mazurkiewicz partial order (paper §5.2, Algorithm 5).
  *
  * MAZ strengthens HB with trace-orderings between every pair of
- * conflicting events. Per Algorithm 5 the engine keeps, per
+ * conflicting events. Per Algorithm 5 the policy keeps, per
  * variable x: the last-write clock LW_x, per-thread read clocks
  * R_{t,x} and the set LRDs_x of threads that read x since the last
  * write. A write joins LW_x and all R_{t',x} for t' in LRDs_x (only
  * the first read-to-write ordering needs explicit work; later ones
  * follow transitively via write-to-write orderings), then
- * monotone-copies into LW_x and clears LRDs_x.
+ * monotone-copies into LW_x and clears LRDs_x. Synchronization
+ * events are the driver's.
  *
  * The analysis phase counts *reversible* conflicting pairs — the
  * pairs a stateless model checker would try to reverse: a candidate
  * predecessor access races the current access iff its epoch is not
  * covered by the current thread's clock before the current event's
  * conflict edges are added.
+ *
+ * The R_{t,x} clocks live in a pooled store (a grow-only deque with
+ * stable addresses) instead of per-clock heap allocations: clocks
+ * are created once per (variable, thread) pair on the first read
+ * and never freed, so pooling removes the unique_ptr indirection
+ * and the allocator round trip per slot while packing the clocks
+ * densely in creation order.
  */
 
 #ifndef TC_ANALYSIS_MAZ_ENGINE_HH
 #define TC_ANALYSIS_MAZ_ENGINE_HH
 
 #include <algorithm>
-#include <memory>
+#include <deque>
 #include <vector>
 
-#include "analysis/engine_support.hh"
+#include "analysis/analysis_driver.hh"
 
 namespace tc {
 
-template <ClockLike ClockT>
-class MazEngine
+/** Access-event rules of MAZ (Algorithm 5). */
+template <typename ClockT>
+class MazPolicy
 {
   public:
-    explicit MazEngine(EngineConfig cfg = {}) : cfg_(std::move(cfg))
-    {}
-
-    const EngineConfig &config() const { return cfg_; }
-
-    EngineResult
-    run(const Trace &trace)
+    void
+    configure(const EngineConfig *cfg, ScratchArena *arena)
     {
-        detail::maybeValidate(trace, cfg_);
+        cfg_ = cfg;
+        arena_ = arena;
+    }
 
-        detail::ClockBank<ClockT> bank;
-        bank.reset(trace, cfg_);
+    void
+    reset()
+    {
+        vars_.clear();
+        pool_.clear();
+    }
 
-        const Tid k = trace.numThreads();
-        std::vector<Clk> local(static_cast<std::size_t>(k), 0);
+    void
+    reserveVars(VarId n, Tid /*threads_hint*/)
+    {
+        if (n <= 0)
+            return;
+        vars_.reserve(static_cast<std::size_t>(n));
+        ensureVar(n - 1, 0);
+    }
 
-        struct VarState
-        {
-            ClockT lastWriteClock;  ///< LW_x
-            Epoch lastWriteEpoch;
-            /** R_{t,x}, allocated on a thread's first read of x. */
-            std::vector<std::unique_ptr<ClockT>> readClocks;
-            /** LRDs_x: readers since the last write (duplicates
-             * excluded; scanned linearly — it stays small). */
-            std::vector<Tid> lrds;
-        };
-        std::vector<VarState> vars(
-            static_cast<std::size_t>(trace.numVars()));
-        for (VarState &v : vars)
-            detail::configureClock(v.lastWriteClock, cfg_,
-                                   &bank.arena);
+    void
+    ensureVar(VarId x, Tid /*threads_hint*/)
+    {
+        while (vars_.size() <= static_cast<std::size_t>(x)) {
+            vars_.emplace_back();
+            detail::configureClock(vars_.back().lastWriteClock,
+                                   *cfg_, arena_);
+        }
+    }
 
-        EngineResult result;
-        result.races = RaceSummary(trace.numVars(), cfg_.maxReports);
+    void
+    onRead(const Event &e, Clk c, ClockT &ct, Tid /*num_threads*/,
+           RaceSummary &races)
+    {
+        VarState &v = vars_[static_cast<std::size_t>(e.var())];
+        if (cfg_->analysis && !v.lastWriteEpoch.coveredBy(ct)) {
+            races.record(e.var(), RaceKind::WriteRead,
+                         v.lastWriteEpoch, Epoch(e.tid, c));
+        }
+        detail::joinClock(ct, v.lastWriteClock, *cfg_);
+        ClockT &r = readClock(v, e.tid);
+        r.monotoneCopy(ct);
+        if (std::find(v.lrds.begin(), v.lrds.end(), e.tid) ==
+            v.lrds.end()) {
+            v.lrds.push_back(e.tid);
+        }
+        if (cfg_->deepChecks)
+            detail::deepCheck(r);
+    }
 
-        for (std::size_t i = 0; i < trace.size(); i++) {
-            const Event &e = trace[i];
-            ClockT &ct =
-                bank.threads[static_cast<std::size_t>(e.tid)];
-            const Clk c = ++local[static_cast<std::size_t>(e.tid)];
-            ct.increment(1);
-
-            switch (e.op) {
-              case OpType::Read: {
-                VarState &v =
-                    vars[static_cast<std::size_t>(e.var())];
-                if (cfg_.analysis &&
-                    !v.lastWriteEpoch.coveredBy(ct)) {
-                    result.races.record(e.var(), RaceKind::WriteRead,
-                                        v.lastWriteEpoch,
-                                        Epoch(e.tid, c));
-                }
-                detail::joinClock(ct, v.lastWriteClock, cfg_);
-                ClockT &r = readClock(v, e.tid, &bank.arena);
-                r.monotoneCopy(ct);
-                if (std::find(v.lrds.begin(), v.lrds.end(), e.tid) ==
-                    v.lrds.end()) {
-                    v.lrds.push_back(e.tid);
-                }
-                if (cfg_.deepChecks) {
-                    detail::deepCheck(ct);
-                    detail::deepCheck(r);
-                }
-                break;
-              }
-              case OpType::Write: {
-                VarState &v =
-                    vars[static_cast<std::size_t>(e.var())];
-                if (cfg_.analysis) {
-                    // All checks precede this event's joins: the
-                    // question is whether the prior access and this
-                    // one are ordered *without* the direct edge.
-                    const Epoch cur(e.tid, c);
-                    if (!v.lastWriteEpoch.coveredBy(ct)) {
-                        result.races.record(e.var(),
-                                            RaceKind::WriteWrite,
-                                            v.lastWriteEpoch, cur);
-                    }
-                    for (Tid reader : v.lrds) {
-                        const Epoch re(
-                            reader,
-                            v.readClocks[static_cast<std::size_t>(
-                                             reader)]
-                                ->get(reader));
-                        if (!re.coveredBy(ct)) {
-                            result.races.record(
-                                e.var(), RaceKind::ReadWrite, re,
-                                cur);
-                        }
-                    }
-                }
-                detail::joinClock(ct, v.lastWriteClock, cfg_);
-                for (Tid reader : v.lrds) {
-                    detail::joinClock(
-                        ct,
-                        *v.readClocks[static_cast<std::size_t>(
-                            reader)],
-                        cfg_);
-                }
-                v.lastWriteClock.monotoneCopy(ct);
-                v.lastWriteEpoch = Epoch(e.tid, c);
-                v.lrds.clear();
-                if (cfg_.deepChecks) {
-                    detail::deepCheck(ct);
-                    detail::deepCheck(v.lastWriteClock);
-                }
-                break;
-              }
-              default:
-                detail::handleSyncEvent(e, bank, cfg_);
-                break;
+    void
+    onWrite(const Event &e, Clk c, ClockT &ct, Tid /*num_threads*/,
+            RaceSummary &races)
+    {
+        VarState &v = vars_[static_cast<std::size_t>(e.var())];
+        if (cfg_->analysis) {
+            // All checks precede this event's joins: the question
+            // is whether the prior access and this one are ordered
+            // *without* the direct edge.
+            const Epoch cur(e.tid, c);
+            if (!v.lastWriteEpoch.coveredBy(ct)) {
+                races.record(e.var(), RaceKind::WriteWrite,
+                             v.lastWriteEpoch, cur);
             }
-
-            if (cfg_.onTimestamp) {
-                cfg_.onTimestamp(
-                    i, e,
-                    ct.toVector(static_cast<std::size_t>(k)));
+            for (Tid reader : v.lrds) {
+                const ClockT &rc = readClockOf(v, reader);
+                const Epoch re(reader, rc.get(reader));
+                if (!re.coveredBy(ct)) {
+                    races.record(e.var(), RaceKind::ReadWrite, re,
+                                 cur);
+                }
             }
         }
-
-        result.events = trace.size();
-        if (cfg_.counters)
-            result.work = *cfg_.counters;
-        return result;
+        detail::joinClock(ct, v.lastWriteClock, *cfg_);
+        for (Tid reader : v.lrds)
+            detail::joinClock(ct, readClockOf(v, reader), *cfg_);
+        v.lastWriteClock.monotoneCopy(ct);
+        v.lastWriteEpoch = Epoch(e.tid, c);
+        v.lrds.clear();
+        if (cfg_->deepChecks)
+            detail::deepCheck(v.lastWriteClock);
     }
 
   private:
-    template <typename VarState>
-    ClockT &
-    readClock(VarState &v, Tid t, ScratchArena *arena)
+    struct VarState
     {
-        auto &slot_list = v.readClocks;
+        ClockT lastWriteClock; ///< LW_x
+        Epoch lastWriteEpoch;
+        /** tid → 1-based slot in pool_ (0 = no clock yet). */
+        std::vector<std::uint32_t> readSlots;
+        /** LRDs_x: readers since the last write (duplicates
+         * excluded; scanned linearly — it stays small). */
+        std::vector<Tid> lrds;
+    };
+
+    /** R_{t,x}, pool-allocated on a thread's first read of x. */
+    ClockT &
+    readClock(VarState &v, Tid t)
+    {
         const auto idx = static_cast<std::size_t>(t);
-        if (slot_list.size() <= idx)
-            slot_list.resize(idx + 1);
-        if (!slot_list[idx]) {
-            slot_list[idx] = std::make_unique<ClockT>();
-            detail::configureClock(*slot_list[idx], cfg_, arena);
+        if (v.readSlots.size() <= idx)
+            v.readSlots.resize(idx + 1, 0);
+        std::uint32_t &slot = v.readSlots[idx];
+        if (slot == 0) {
+            pool_.emplace_back();
+            detail::configureClock(pool_.back(), *cfg_, arena_);
+            slot = static_cast<std::uint32_t>(pool_.size());
         }
-        return *slot_list[idx];
+        return pool_[slot - 1];
     }
 
-    EngineConfig cfg_;
+    /** The existing R_{t,x} of a thread in LRDs_x. */
+    ClockT &
+    readClockOf(VarState &v, Tid t)
+    {
+        return pool_[v.readSlots[static_cast<std::size_t>(t)] - 1];
+    }
+
+    const EngineConfig *cfg_ = nullptr;
+    ScratchArena *arena_ = nullptr;
+    std::vector<VarState> vars_;
+    /** Pooled R_{t,x} store: deque growth never moves elements, so
+     * references handed out by readClock stay valid for the run. */
+    std::deque<ClockT> pool_;
 };
+
+/** Algorithm 5: the driver instantiated with the MAZ rules. */
+template <typename ClockT>
+using MazEngine = AnalysisDriver<ClockT, MazPolicy>;
 
 } // namespace tc
 

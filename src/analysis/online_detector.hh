@@ -2,14 +2,16 @@
  * @file
  * Online happens-before race detector — the paper's §8 future-work
  * direction ("incorporating tree clocks in an online analysis such
- * as ThreadSanitizer"). Unlike the batch engines, events are fed
- * one at a time as the monitored program executes, and the id
- * spaces (threads, locks, variables) grow on demand; race results
- * can be inspected at any point.
+ * as ThreadSanitizer"). Events are fed one at a time as the
+ * monitored program executes, id spaces (threads, locks, variables)
+ * grow on demand, and race results can be inspected at any point.
  *
- * The analysis semantics are identical to HbEngine with epochs
- * (tests feed traces event-by-event and demand equal results), so
- * swapping VectorClock for TreeClock changes only the cost of the
+ * Since the streaming-core refactor this is not a parallel
+ * implementation but literally the AnalysisDriver instantiated with
+ * the HB policy: feed() *is* the driver's event loop, so online and
+ * batch HB cannot drift apart (tests still feed traces
+ * event-by-event and demand results equal to HbEngine::run).
+ * Swapping VectorClock for TreeClock changes only the cost of the
  * join/copy operations — the drop-in property the paper's
  * conclusion argues makes tree clocks attractive for online tools.
  */
@@ -17,230 +19,13 @@
 #ifndef TC_ANALYSIS_ONLINE_DETECTOR_HH
 #define TC_ANALYSIS_ONLINE_DETECTOR_HH
 
-#include <vector>
-
-#include "analysis/access_history.hh"
-#include "analysis/engine_support.hh"
-#include "core/scratch_arena.hh"
+#include "analysis/hb_engine.hh"
 
 namespace tc {
 
 /** Streaming HB race detector over any ClockLike structure. */
-template <ClockLike ClockT>
-class OnlineRaceDetector
-{
-  public:
-    /**
-     * @param cfg Engine options; `analysis=false` tracks the
-     *        partial order only. Trace validation is always on:
-     *        feeding an ill-formed event aborts (the monitored
-     *        runtime must deliver a real execution).
-     */
-    explicit OnlineRaceDetector(EngineConfig cfg = {})
-        : cfg_(std::move(cfg)), races_(0, cfg_.maxReports)
-    {}
-
-    /** Clocks hold pointers into arena_; pin the detector. */
-    OnlineRaceDetector(const OnlineRaceDetector &) = delete;
-    OnlineRaceDetector &
-    operator=(const OnlineRaceDetector &) = delete;
-
-    /** Process one event. Ids may exceed anything seen before;
-     * state grows on demand. */
-    void
-    feed(const Event &e)
-    {
-        // Grow all id spaces before taking references: emplacing a
-        // fork/join target would otherwise reallocate threads_ from
-        // under `ct`.
-        ensureThread(e.tid);
-        if (e.isFork() || e.isJoin())
-            ensureThread(e.targetTid());
-        ClockT &ct = threads_[static_cast<std::size_t>(e.tid)];
-        const Clk c = ++local_[static_cast<std::size_t>(e.tid)];
-        ct.increment(1);
-        eventsProcessed_++;
-
-        switch (e.op) {
-          case OpType::Read:
-          case OpType::Write:
-            ensureVar(e.var());
-            if (cfg_.analysis)
-                analyze(e, c, ct);
-            break;
-          case OpType::Acquire: {
-            ensureLock(e.lock());
-            auto &lock =
-                locks_[static_cast<std::size_t>(e.lock())];
-            TC_CHECK(lock.holder == kNoTid,
-                     "online feed: acquire of a held lock");
-            lock.holder = e.tid;
-            detail::joinClock(ct, lock.clock, cfg_);
-            break;
-          }
-          case OpType::Release: {
-            ensureLock(e.lock());
-            auto &lock =
-                locks_[static_cast<std::size_t>(e.lock())];
-            TC_CHECK(lock.holder == e.tid,
-                     "online feed: release by a non-holder");
-            lock.holder = kNoTid;
-            lock.clock.monotoneCopy(ct);
-            break;
-          }
-          case OpType::Fork: {
-            const Tid child = e.targetTid();
-            TC_CHECK(child != e.tid &&
-                         local_[static_cast<std::size_t>(child)] ==
-                             0,
-                     "online feed: fork target already ran");
-            detail::joinClock(
-                threads_[static_cast<std::size_t>(child)], ct,
-                cfg_);
-            break;
-          }
-          case OpType::Join: {
-            const Tid child = e.targetTid();
-            detail::joinClock(
-                ct, threads_[static_cast<std::size_t>(child)],
-                cfg_);
-            break;
-          }
-        }
-    }
-
-    /** @name Convenience instrumentation hooks @{ */
-    void read(Tid t, VarId x) { feed(Event(t, OpType::Read, x)); }
-    void write(Tid t, VarId x) { feed(Event(t, OpType::Write, x)); }
-    void
-    acquire(Tid t, LockId l)
-    {
-        feed(Event(t, OpType::Acquire, l));
-    }
-    void
-    release(Tid t, LockId l)
-    {
-        feed(Event(t, OpType::Release, l));
-    }
-    void fork(Tid t, Tid u) { feed(Event(t, OpType::Fork, u)); }
-    void join(Tid t, Tid u) { feed(Event(t, OpType::Join, u)); }
-    /** @} */
-
-    /** Results so far (live; totals only grow). */
-    const RaceSummary &races() const { return races_; }
-    std::uint64_t eventsProcessed() const
-    {
-        return eventsProcessed_;
-    }
-    Tid threadsSeen() const
-    {
-        return static_cast<Tid>(threads_.size());
-    }
-
-    /** Current vector time of a thread (its view of the world). */
-    std::vector<Clk>
-    viewOf(Tid t) const
-    {
-        TC_CHECK(t >= 0 &&
-                     static_cast<std::size_t>(t) < threads_.size(),
-                 "unknown thread");
-        return threads_[static_cast<std::size_t>(t)].toVector(
-            threads_.size());
-    }
-
-  private:
-    struct LockState
-    {
-        ClockT clock;
-        Tid holder = kNoTid;
-    };
-
-    void
-    ensureThread(Tid t)
-    {
-        TC_CHECK(t >= 0, "negative thread id");
-        while (threads_.size() <= static_cast<std::size_t>(t)) {
-            threads_.emplace_back(
-                static_cast<Tid>(threads_.size()),
-                static_cast<std::size_t>(t) + 1);
-            detail::configureClock(threads_.back(), cfg_, &arena_);
-            local_.push_back(0);
-        }
-    }
-
-    void
-    ensureLock(LockId l)
-    {
-        TC_CHECK(l >= 0, "negative lock id");
-        while (locks_.size() <= static_cast<std::size_t>(l)) {
-            locks_.emplace_back();
-            detail::configureClock(locks_.back().clock, cfg_,
-                                   &arena_);
-        }
-    }
-
-    void
-    ensureVar(VarId x)
-    {
-        TC_CHECK(x >= 0, "negative variable id");
-        if (vars_.size() <= static_cast<std::size_t>(x))
-            vars_.resize(static_cast<std::size_t>(x) + 1);
-        races_.growVars(static_cast<VarId>(vars_.size()));
-    }
-
-    void
-    analyze(const Event &e, Clk c, const ClockT &ct)
-    {
-        AccessHistory &v =
-            vars_[static_cast<std::size_t>(e.var())];
-        const Epoch cur(e.tid, c);
-        if (e.isRead()) {
-            // Same-epoch shortcut (epoch.hh): a prior write owned
-            // by this thread is covered by program order — skip the
-            // clock probe. The dominant steady-state read pattern
-            // (thread re-reading data it wrote) stays O(1) with no
-            // clock access at all.
-            const Epoch w = v.lastWrite();
-            if (!w.ownedBy(e.tid) && !w.coveredBy(ct)) {
-                races_.record(e.var(), RaceKind::WriteRead, w, cur);
-            }
-            v.recordRead(e.tid, c, ct,
-                         static_cast<Tid>(threads_.size()));
-        } else {
-            // Same-epoch write shortcut: when the entire history
-            // (last write + reads) is owned by this thread, program
-            // order covers it — record the new write epoch and
-            // return without any clock probes or read scans.
-            if (v.lastWrite().ownedBy(e.tid) &&
-                v.readsOwnedBy(e.tid)) {
-                v.setLastWrite(cur);
-                v.clearReads();
-                return;
-            }
-            if (!v.lastWrite().coveredBy(ct)) {
-                races_.record(e.var(), RaceKind::WriteWrite,
-                              v.lastWrite(), cur);
-            }
-            v.forEachUncoveredRead(ct, [&](Epoch prior) {
-                races_.record(e.var(), RaceKind::ReadWrite, prior,
-                              cur);
-            });
-            v.setLastWrite(cur);
-            v.clearReads();
-        }
-    }
-
-    EngineConfig cfg_;
-    /** Traversal scratch shared by all of this detector's clocks;
-     * declared before them so it outlives every pointer. */
-    ScratchArena arena_;
-    std::vector<ClockT> threads_;
-    std::vector<Clk> local_;
-    std::vector<LockState> locks_;
-    std::vector<AccessHistory> vars_;
-    RaceSummary races_;
-    std::uint64_t eventsProcessed_ = 0;
-};
+template <typename ClockT>
+using OnlineRaceDetector = AnalysisDriver<ClockT, HbPolicy>;
 
 } // namespace tc
 

@@ -3,13 +3,13 @@
  * Schedulable-happens-before (paper §5.1, Algorithm 4).
  *
  * SHB strengthens HB with last-write-to-read orderings
- * (lw(r) ≤ r for every read r). Per Algorithm 4 the engine keeps a
+ * (lw(r) ≤ r for every read r). Per Algorithm 4 the policy keeps a
  * clock LW_x with the vector time of the latest write to each
  * variable: reads join it; writes store into it via
  * CopyCheckMonotone, whose O(1) monotone test fails exactly when the
  * write races its variable's last reads-or-write — the paper's key
  * observation bounding deep copies by the number of write-read
- * races.
+ * races. Synchronization events are the driver's.
  *
  * Race checks (the "+Analysis" phase) follow the SHB paper: a read
  * races the last write when the write's epoch is not covered before
@@ -23,119 +23,101 @@
 #include <vector>
 
 #include "analysis/access_history.hh"
-#include "analysis/engine_support.hh"
+#include "analysis/analysis_driver.hh"
 
 namespace tc {
 
-template <ClockLike ClockT>
-class ShbEngine
+/** Access-event rules of SHB (Algorithm 4). */
+template <typename ClockT>
+class ShbPolicy
 {
   public:
-    explicit ShbEngine(EngineConfig cfg = {}) : cfg_(std::move(cfg))
-    {}
-
-    const EngineConfig &config() const { return cfg_; }
-
-    EngineResult
-    run(const Trace &trace)
+    void
+    configure(const EngineConfig *cfg, ScratchArena *arena)
     {
-        detail::maybeValidate(trace, cfg_);
+        cfg_ = cfg;
+        arena_ = arena;
+    }
 
-        detail::ClockBank<ClockT> bank;
-        bank.reset(trace, cfg_);
+    void reset() { vars_.clear(); }
 
-        const Tid k = trace.numThreads();
-        std::vector<Clk> local(static_cast<std::size_t>(k), 0);
+    void
+    reserveVars(VarId n, Tid /*threads_hint*/)
+    {
+        if (n <= 0)
+            return;
+        vars_.reserve(static_cast<std::size_t>(n));
+        ensureVar(n - 1, 0);
+    }
 
-        struct VarState
-        {
-            ClockT lastWriteClock; ///< LW_x of Algorithm 4
-            AccessHistory history; ///< epochs for the race checks
-        };
-        std::vector<VarState> vars(
-            static_cast<std::size_t>(trace.numVars()));
-        for (VarState &v : vars)
-            detail::configureClock(v.lastWriteClock, cfg_,
-                                   &bank.arena);
-
-        EngineResult result;
-        result.races = RaceSummary(trace.numVars(), cfg_.maxReports);
-
-        for (std::size_t i = 0; i < trace.size(); i++) {
-            const Event &e = trace[i];
-            ClockT &ct =
-                bank.threads[static_cast<std::size_t>(e.tid)];
-            const Clk c = ++local[static_cast<std::size_t>(e.tid)];
-            ct.increment(1);
-
-            switch (e.op) {
-              case OpType::Read: {
-                VarState &v =
-                    vars[static_cast<std::size_t>(e.var())];
-                if (cfg_.analysis &&
-                    !v.history.lastWrite().coveredBy(ct)) {
-                    result.races.record(e.var(), RaceKind::WriteRead,
-                                        v.history.lastWrite(),
-                                        Epoch(e.tid, c));
-                }
-                detail::joinClock(ct, v.lastWriteClock, cfg_);
-                if (cfg_.analysis)
-                    v.history.recordRead(e.tid, c, ct, k);
-                if (cfg_.deepChecks)
-                    detail::deepCheck(ct);
-                break;
-              }
-              case OpType::Write: {
-                VarState &v =
-                    vars[static_cast<std::size_t>(e.var())];
-                if (cfg_.analysis) {
-                    const Epoch cur(e.tid, c);
-                    if (!v.history.lastWrite().coveredBy(ct)) {
-                        result.races.record(e.var(),
-                                            RaceKind::WriteWrite,
-                                            v.history.lastWrite(),
-                                            cur);
-                    }
-                    v.history.forEachUncoveredRead(
-                        ct, [&](Epoch prior) {
-                            result.races.record(e.var(),
-                                                RaceKind::ReadWrite,
-                                                prior, cur);
-                        });
-                }
-                if (cfg_.alwaysDeepCopy)
-                    v.lastWriteClock.deepCopy(ct);
-                else
-                    v.lastWriteClock.copyCheckMonotone(ct);
-                if (cfg_.analysis) {
-                    v.history.setLastWrite(Epoch(e.tid, c));
-                    v.history.clearReads();
-                }
-                if (cfg_.deepChecks)
-                    detail::deepCheck(v.lastWriteClock);
-                break;
-              }
-              default:
-                detail::handleSyncEvent(e, bank, cfg_);
-                break;
-            }
-
-            if (cfg_.onTimestamp) {
-                cfg_.onTimestamp(
-                    i, e,
-                    ct.toVector(static_cast<std::size_t>(k)));
-            }
+    void
+    ensureVar(VarId x, Tid /*threads_hint*/)
+    {
+        while (vars_.size() <= static_cast<std::size_t>(x)) {
+            vars_.emplace_back();
+            detail::configureClock(vars_.back().lastWriteClock,
+                                   *cfg_, arena_);
         }
+    }
 
-        result.events = trace.size();
-        if (cfg_.counters)
-            result.work = *cfg_.counters;
-        return result;
+    void
+    onRead(const Event &e, Clk c, ClockT &ct, Tid num_threads,
+           RaceSummary &races)
+    {
+        VarState &v = vars_[static_cast<std::size_t>(e.var())];
+        if (cfg_->analysis &&
+            !v.history.lastWrite().coveredBy(ct)) {
+            races.record(e.var(), RaceKind::WriteRead,
+                         v.history.lastWrite(), Epoch(e.tid, c));
+        }
+        detail::joinClock(ct, v.lastWriteClock, *cfg_);
+        if (cfg_->analysis)
+            v.history.recordRead(e.tid, c, ct, num_threads);
+    }
+
+    void
+    onWrite(const Event &e, Clk c, ClockT &ct, Tid /*num_threads*/,
+            RaceSummary &races)
+    {
+        VarState &v = vars_[static_cast<std::size_t>(e.var())];
+        if (cfg_->analysis) {
+            const Epoch cur(e.tid, c);
+            if (!v.history.lastWrite().coveredBy(ct)) {
+                races.record(e.var(), RaceKind::WriteWrite,
+                             v.history.lastWrite(), cur);
+            }
+            v.history.forEachUncoveredRead(ct, [&](Epoch prior) {
+                races.record(e.var(), RaceKind::ReadWrite, prior,
+                             cur);
+            });
+        }
+        if (cfg_->alwaysDeepCopy)
+            v.lastWriteClock.deepCopy(ct);
+        else
+            v.lastWriteClock.copyCheckMonotone(ct);
+        if (cfg_->analysis) {
+            v.history.setLastWrite(Epoch(e.tid, c));
+            v.history.clearReads();
+        }
+        if (cfg_->deepChecks)
+            detail::deepCheck(v.lastWriteClock);
     }
 
   private:
-    EngineConfig cfg_;
+    struct VarState
+    {
+        ClockT lastWriteClock; ///< LW_x of Algorithm 4
+        AccessHistory history; ///< epochs for the race checks
+    };
+
+    const EngineConfig *cfg_ = nullptr;
+    ScratchArena *arena_ = nullptr;
+    std::vector<VarState> vars_;
 };
+
+/** Algorithm 4: the driver instantiated with the SHB rules. */
+template <typename ClockT>
+using ShbEngine = AnalysisDriver<ClockT, ShbPolicy>;
 
 } // namespace tc
 

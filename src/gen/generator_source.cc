@@ -1,0 +1,19 @@
+#include "gen/generator_source.hh"
+
+namespace tc {
+
+std::unique_ptr<EventSource>
+makeRandomTraceSource(const RandomTraceParams &params)
+{
+    return std::make_unique<TraceSource>(
+        generateRandomTrace(params));
+}
+
+std::unique_ptr<EventSource>
+makeScenarioSource(Scenario scenario, const ScenarioParams &params)
+{
+    return std::make_unique<TraceSource>(
+        genScenario(scenario, params));
+}
+
+} // namespace tc

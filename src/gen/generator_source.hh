@@ -1,0 +1,34 @@
+/**
+ * @file
+ * EventSource adapters over the synthetic trace generators, so the
+ * streaming analysis core consumes generated workloads through the
+ * same interface as file-backed and materialized traces.
+ *
+ * The generators are stateful (LIFO lock discipline, fork/join
+ * bookkeeping), so a generated trace is synthesized once and owned
+ * by the returned source; its memory is bounded by the requested
+ * event count, which the caller chose.
+ */
+
+#ifndef TC_GEN_GENERATOR_SOURCE_HH
+#define TC_GEN_GENERATOR_SOURCE_HH
+
+#include <memory>
+
+#include "gen/random_trace.hh"
+#include "gen/synthetic.hh"
+#include "trace/event_source.hh"
+
+namespace tc {
+
+/** Stream a generateRandomTrace() workload. */
+std::unique_ptr<EventSource>
+makeRandomTraceSource(const RandomTraceParams &params);
+
+/** Stream one of the §6 scalability scenarios. */
+std::unique_ptr<EventSource>
+makeScenarioSource(Scenario scenario, const ScenarioParams &params);
+
+} // namespace tc
+
+#endif // TC_GEN_GENERATOR_SOURCE_HH

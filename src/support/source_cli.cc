@@ -1,0 +1,45 @@
+#include "support/source_cli.hh"
+
+#include "gen/generator_source.hh"
+
+namespace tc {
+
+void
+addTraceSourceFlags(ArgParser &args)
+{
+    args.addString("trace", "",
+                   "trace file to analyze (.tct/.tcb)");
+    args.addBool("generate", false, "generate a synthetic trace");
+    args.addInt("threads", 16, "threads for --generate");
+    args.addInt("locks", 16, "locks for --generate");
+    args.addInt("vars", 4096, "variables for --generate");
+    args.addInt("events", 500000, "events for --generate");
+    args.addDouble("sync-ratio", 0.1, "sync share for --generate");
+    args.addInt("seed", 1, "seed for --generate");
+}
+
+RandomTraceParams
+traceParamsFromFlags(const ArgParser &args)
+{
+    RandomTraceParams params;
+    params.threads = static_cast<Tid>(args.getInt("threads"));
+    params.locks = static_cast<LockId>(args.getInt("locks"));
+    params.vars = static_cast<VarId>(args.getInt("vars"));
+    params.events =
+        static_cast<std::uint64_t>(args.getInt("events"));
+    params.syncRatio = args.getDouble("sync-ratio");
+    params.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    return params;
+}
+
+std::unique_ptr<EventSource>
+makeEventSource(const ArgParser &args)
+{
+    if (!args.getString("trace").empty())
+        return openTraceFile(args.getString("trace"));
+    if (args.getBool("generate"))
+        return makeRandomTraceSource(traceParamsFromFlags(args));
+    return nullptr;
+}
+
+} // namespace tc

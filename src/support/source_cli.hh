@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared CLI plumbing for tools that analyze an event stream: one
+ * set of input flags (--trace / --generate and the generator knobs)
+ * and one factory that turns parsed flags into an EventSource, so
+ * every tool consumes trace files, synthetic workloads and future
+ * source kinds through the same interface.
+ */
+
+#ifndef TC_SUPPORT_SOURCE_CLI_HH
+#define TC_SUPPORT_SOURCE_CLI_HH
+
+#include <memory>
+
+#include "gen/random_trace.hh"
+#include "support/cli.hh"
+#include "trace/event_source.hh"
+
+namespace tc {
+
+/** Register --trace, --generate and the generator parameter flags
+ * shared by the trace-consuming tools. */
+void addTraceSourceFlags(ArgParser &args);
+
+/** The generator parameters the flags describe. */
+RandomTraceParams traceParamsFromFlags(const ArgParser &args);
+
+/**
+ * Build the EventSource the parsed flags describe:
+ *  --trace=FILE     a chunked streaming file reader (text/binary by
+ *                   extension; never materializes the event vector);
+ *  --generate       a generated synthetic workload.
+ * Returns a source in the failed() state on open/parse errors, and
+ * null only when neither input flag was given.
+ */
+std::unique_ptr<EventSource> makeEventSource(const ArgParser &args);
+
+} // namespace tc
+
+#endif // TC_SUPPORT_SOURCE_CLI_HH

@@ -1,0 +1,357 @@
+#include "trace/event_source.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "support/strings.hh"
+
+namespace tc {
+
+namespace {
+
+bool
+parseId(const std::string &text, std::int64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoll(text.c_str(), &end, 10);
+    return end != nullptr && *end == '\0' && out >= 0 &&
+           out <= std::numeric_limits<std::int32_t>::max();
+}
+
+bool
+parseOp(const std::string &text, OpType &out)
+{
+    if (text == "r") {
+        out = OpType::Read;
+    } else if (text == "w") {
+        out = OpType::Write;
+    } else if (text == "acq") {
+        out = OpType::Acquire;
+    } else if (text == "rel") {
+        out = OpType::Release;
+    } else if (text == "fork") {
+        out = OpType::Fork;
+    } else if (text == "join") {
+        out = OpType::Join;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Streaming reader over the text format: one line in memory at a
+ * time, header parsed eagerly so info() is valid upfront. */
+class TextEventSource final : public EventSource
+{
+  public:
+    explicit TextEventSource(std::istream &is)
+        : is_(&is), start_(is.tellg())
+    {
+        parseHeader();
+    }
+
+    /** Owning variant over an opened file stream. */
+    TextEventSource(std::unique_ptr<std::istream> owned)
+        : owned_(std::move(owned)), is_(owned_.get()),
+          start_(is_->tellg())
+    {
+        parseHeader();
+    }
+
+    SourceInfo info() const override { return info_; }
+
+    bool
+    next(Event &out) override
+    {
+        if (failed())
+            return false;
+        std::string line;
+        while (std::getline(*is_, line)) {
+            line_++;
+            const std::string text = trimString(line);
+            if (text.empty() || text[0] == '#')
+                continue;
+            return parseEventLine(text, out);
+        }
+        // getline fails on both EOF and I/O errors; only the
+        // former is a clean end of stream.
+        if (is_->bad())
+            fail(line_, "I/O error while reading trace");
+        return false;
+    }
+
+    bool
+    rewind() override
+    {
+        // Back to where the stream stood at construction (byte 0
+        // for files; borrowed streams may start mid-stream).
+        is_->clear();
+        if (!is_->seekg(start_))
+            return false;
+        line_ = 0;
+        clearError();
+        parseHeader();
+        return !failed();
+    }
+
+  private:
+    void
+    parseHeader()
+    {
+        std::string line;
+        while (std::getline(*is_, line)) {
+            line_++;
+            const std::string text = trimString(line);
+            if (text.empty() || text[0] == '#')
+                continue;
+            std::istringstream ls(text);
+            std::string kw_threads, kw_locks, kw_vars;
+            std::int64_t k = 0, nl = 0, nv = 0;
+            if (!(ls >> kw_threads >> k >> kw_locks >> nl >>
+                  kw_vars >> nv) ||
+                kw_threads != "threads" || kw_locks != "locks" ||
+                kw_vars != "vars" || k < 0 || nl < 0 || nv < 0) {
+                fail(line_,
+                     "expected header: threads <k> locks <nl> "
+                     "vars <nv>");
+                return;
+            }
+            info_.threads = static_cast<Tid>(k);
+            info_.locks = static_cast<LockId>(nl);
+            info_.vars = static_cast<VarId>(nv);
+            return;
+        }
+        fail(line_, "missing header line");
+    }
+
+    bool
+    parseEventLine(const std::string &text, Event &out)
+    {
+        std::istringstream ls(text);
+        std::string tid_text, op_text, target_text;
+        if (!(ls >> tid_text >> op_text >> target_text)) {
+            fail(line_, "expected: <tid> <op> <target>");
+            return false;
+        }
+        std::string extra;
+        if (ls >> extra) {
+            fail(line_, "trailing tokens");
+            return false;
+        }
+        std::int64_t tid = 0, target = 0;
+        if (!parseId(tid_text, tid) ||
+            !parseId(target_text, target)) {
+            fail(line_, "ids must be non-negative integers");
+            return false;
+        }
+        OpType op;
+        if (!parseOp(op_text, op)) {
+            fail(line_,
+                 strFormat("unknown op '%s'", op_text.c_str()));
+            return false;
+        }
+        out = Event(static_cast<Tid>(tid), op,
+                    static_cast<std::uint32_t>(target));
+        return true;
+    }
+
+    std::unique_ptr<std::istream> owned_;
+    std::istream *is_;
+    std::istream::pos_type start_;
+    SourceInfo info_;
+    std::size_t line_ = 0;
+};
+
+constexpr char kMagic[6] = {'T', 'C', 'T', 'B', '1', '\0'};
+/** On-wire bytes per event: int32 tid, uint32 target, uint8 op. */
+constexpr std::size_t kEventBytes = 9;
+
+/** Streaming reader over the binary format: refills a fixed window
+ * of raw event records per bulk read, so memory use is O(window)
+ * regardless of file size. */
+class BinaryEventSource final : public EventSource
+{
+  public:
+    BinaryEventSource(std::istream &is, std::size_t window)
+        : is_(&is), start_(is.tellg()),
+          window_(window == 0 ? 1 : window)
+    {
+        parseHeader();
+    }
+
+    BinaryEventSource(std::unique_ptr<std::istream> owned,
+                      std::size_t window)
+        : owned_(std::move(owned)), is_(owned_.get()),
+          start_(is_->tellg()), window_(window == 0 ? 1 : window)
+    {
+        parseHeader();
+    }
+
+    SourceInfo info() const override { return info_; }
+
+    bool
+    next(Event &out) override
+    {
+        if (failed())
+            return false;
+        if (bufPos_ >= bufCount_ && !refill())
+            return false;
+        const unsigned char *p =
+            buf_.data() + bufPos_ * kEventBytes;
+        std::int32_t tid;
+        std::uint32_t target;
+        std::memcpy(&tid, p, sizeof(tid));
+        std::memcpy(&target, p + 4, sizeof(target));
+        const std::uint8_t op = p[8];
+        bufPos_++;
+        delivered_++;
+        if (op > static_cast<std::uint8_t>(OpType::Join)) {
+            fail(0, "invalid op code");
+            return false;
+        }
+        // Ids are int32 in the event model; reject records a valid
+        // writer cannot have produced before they reach consumers.
+        if (tid < 0 ||
+            target > static_cast<std::uint32_t>(
+                         std::numeric_limits<std::int32_t>::max())) {
+            fail(0, "event id out of range");
+            return false;
+        }
+        out = Event(static_cast<Tid>(tid),
+                    static_cast<OpType>(op), target);
+        return true;
+    }
+
+    bool
+    rewind() override
+    {
+        is_->clear();
+        if (!is_->seekg(start_))
+            return false;
+        delivered_ = 0;
+        bufPos_ = bufCount_ = 0;
+        clearError();
+        parseHeader();
+        return !failed();
+    }
+
+  private:
+    void
+    parseHeader()
+    {
+        char magic[sizeof(kMagic)];
+        if (!is_->read(magic, sizeof(magic)) ||
+            std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+            fail(0, "bad magic (not a treeclock binary trace)");
+            return;
+        }
+        std::uint32_t header[3];
+        std::uint64_t n = 0;
+        if (!is_->read(reinterpret_cast<char *>(header),
+                       sizeof(header)) ||
+            !is_->read(reinterpret_cast<char *>(&n), sizeof(n))) {
+            fail(0, "truncated header");
+            return;
+        }
+        info_.threads = static_cast<Tid>(header[0]);
+        info_.locks = static_cast<LockId>(header[1]);
+        info_.vars = static_cast<VarId>(header[2]);
+        info_.events = n;
+    }
+
+    /** Bulk-read the next window of raw records. */
+    bool
+    refill()
+    {
+        if (delivered_ >= info_.events)
+            return false;
+        const std::uint64_t remaining = info_.events - delivered_;
+        const std::size_t want = static_cast<std::size_t>(
+            remaining < window_ ? remaining : window_);
+        buf_.resize(want * kEventBytes);
+        is_->read(reinterpret_cast<char *>(buf_.data()),
+                  static_cast<std::streamsize>(buf_.size()));
+        const auto got = static_cast<std::size_t>(is_->gcount());
+        if (got < buf_.size() && got % kEventBytes != 0) {
+            fail(0, strFormat(
+                        "truncated event stream at event %llu",
+                        static_cast<unsigned long long>(
+                            delivered_ + got / kEventBytes)));
+            return false;
+        }
+        bufCount_ = got / kEventBytes;
+        bufPos_ = 0;
+        if (bufCount_ == 0) {
+            fail(0, strFormat(
+                        "truncated event stream at event %llu",
+                        static_cast<unsigned long long>(
+                            delivered_)));
+            return false;
+        }
+        return true;
+    }
+
+    std::unique_ptr<std::istream> owned_;
+    std::istream *is_;
+    std::istream::pos_type start_;
+    SourceInfo info_;
+    std::size_t window_;
+    std::vector<unsigned char> buf_;
+    std::size_t bufPos_ = 0;
+    std::size_t bufCount_ = 0;
+    std::uint64_t delivered_ = 0;
+};
+
+/** A source that failed before its stream existed (bad path). */
+class FailedSource final : public EventSource
+{
+  public:
+    explicit FailedSource(std::string message)
+    {
+        fail(0, std::move(message));
+    }
+    SourceInfo info() const override { return {}; }
+    bool next(Event &) override { return false; }
+    bool rewind() override { return false; }
+};
+
+} // namespace
+
+std::unique_ptr<EventSource>
+makeTextEventSource(std::istream &is)
+{
+    return std::make_unique<TextEventSource>(is);
+}
+
+std::unique_ptr<EventSource>
+makeBinaryEventSource(std::istream &is, std::size_t window)
+{
+    return std::make_unique<BinaryEventSource>(is, window);
+}
+
+std::unique_ptr<EventSource>
+openTraceFile(const std::string &path, std::size_t window)
+{
+    const bool binary =
+        path.size() >= 4 &&
+        path.compare(path.size() - 4, 4, ".tcb") == 0;
+    auto is = std::make_unique<std::ifstream>(
+        path, binary ? std::ios::binary : std::ios::in);
+    if (!*is) {
+        return std::make_unique<FailedSource>(
+            strFormat("cannot open '%s'", path.c_str()));
+    }
+    if (binary) {
+        return std::make_unique<BinaryEventSource>(std::move(is),
+                                                   window);
+    }
+    return std::make_unique<TextEventSource>(std::move(is));
+}
+
+} // namespace tc

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Event streams: the input side of the streaming analysis core.
+ *
+ * An EventSource produces the events of one execution in trace
+ * order, one at a time, together with the id-space bounds declared
+ * by its header. Every analysis consumes this interface through
+ * `AnalysisDriver::run(EventSource&)`, so any engine × any clock can
+ * analyze traces far larger than memory: the file-backed sources
+ * below never hold more than a fixed window of events.
+ *
+ * Implementations:
+ *  - TraceSource          — view over (or owner of) a materialized
+ *                           Trace; the batch path.
+ *  - text/binary readers  — chunked streaming readers over the .tct
+ *                           and .tcb formats (see trace_io.hh); the
+ *                           whole-file loaders in trace_io are thin
+ *                           drains of these.
+ *  - generator sources    — src/gen/generator_source.hh wraps the
+ *                           synthetic generators.
+ */
+
+#ifndef TC_TRACE_EVENT_SOURCE_HH
+#define TC_TRACE_EVENT_SOURCE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "trace/trace.hh"
+
+namespace tc {
+
+/** Sentinel for "event count not known before the end of stream". */
+inline constexpr std::uint64_t kUnknownEventCount = ~0ull;
+
+/** Static facts about a stream, known before the first event. */
+struct SourceInfo
+{
+    Tid threads = 0;
+    LockId locks = 0;
+    VarId vars = 0;
+    /** Total events when known upfront (materialized traces, binary
+     * files); kUnknownEventCount otherwise (text streams). */
+    std::uint64_t events = kUnknownEventCount;
+
+    bool
+    eventCountKnown() const
+    {
+        return events != kUnknownEventCount;
+    }
+};
+
+/**
+ * A pull-based stream of trace events.
+ *
+ * Usage: check failed() after construction (a source that could not
+ * open or parse its header starts failed), then call next() until it
+ * returns false, then check failed() again to distinguish a clean
+ * end of stream from a mid-stream error.
+ */
+class EventSource
+{
+  public:
+    virtual ~EventSource() = default;
+
+    /** Declared id-space bounds (and event count when known). Ids in
+     * the stream may still exceed these for hand-edited text files;
+     * consumers grow on demand. */
+    virtual SourceInfo info() const = 0;
+
+    /** Produce the next event. Returns false at end of stream or on
+     * error (check failed()). */
+    virtual bool next(Event &out) = 0;
+
+    /** Rewind to the first event. Returns false when the underlying
+     * stream cannot seek. */
+    virtual bool rewind() = 0;
+
+    bool failed() const { return !error_.empty(); }
+    const std::string &error() const { return error_; }
+    /** 1-based line of the first error (text sources; 0 otherwise). */
+    std::size_t errorLine() const { return errorLine_; }
+
+  protected:
+    void
+    fail(std::size_t line, std::string message)
+    {
+        errorLine_ = line;
+        error_ = std::move(message);
+    }
+
+    void
+    clearError()
+    {
+        errorLine_ = 0;
+        error_.clear();
+    }
+
+  private:
+    std::string error_;
+    std::size_t errorLine_ = 0;
+};
+
+/**
+ * EventSource over a materialized Trace — a view when constructed
+ * from a reference (the trace must outlive the source), owning when
+ * constructed from an rvalue (generators hand their product here).
+ */
+class TraceSource final : public EventSource
+{
+  public:
+    explicit TraceSource(const Trace &trace) : trace_(&trace) {}
+    explicit TraceSource(Trace &&trace)
+        : owned_(std::make_unique<Trace>(std::move(trace))),
+          trace_(owned_.get())
+    {}
+
+    SourceInfo
+    info() const override
+    {
+        return {trace_->numThreads(), trace_->numLocks(),
+                trace_->numVars(), trace_->size()};
+    }
+
+    bool
+    next(Event &out) override
+    {
+        if (pos_ >= trace_->size())
+            return false;
+        out = (*trace_)[pos_++];
+        return true;
+    }
+
+    bool
+    rewind() override
+    {
+        pos_ = 0;
+        return true;
+    }
+
+    const Trace &trace() const { return *trace_; }
+
+  private:
+    std::unique_ptr<Trace> owned_;
+    const Trace *trace_;
+    std::size_t pos_ = 0;
+};
+
+/** Default event window of the chunked binary reader (events held
+ * in memory at any time, not a file-size limit). */
+inline constexpr std::size_t kDefaultSourceWindow = 4096;
+
+/** Streaming reader over the text format, borrowing @p is. Holds
+ * one line at a time. */
+std::unique_ptr<EventSource> makeTextEventSource(std::istream &is);
+
+/** Streaming reader over the binary format, borrowing @p is. Holds
+ * at most @p window events at a time. */
+std::unique_ptr<EventSource>
+makeBinaryEventSource(std::istream &is,
+                      std::size_t window = kDefaultSourceWindow);
+
+/**
+ * Open a trace file as a chunked streaming source; format chosen by
+ * extension (".tcb" binary, anything else text), matching
+ * loadTrace(). The returned source owns the file stream. On open or
+ * header failure the source is returned in the failed() state (never
+ * null).
+ */
+std::unique_ptr<EventSource>
+openTraceFile(const std::string &path,
+              std::size_t window = kDefaultSourceWindow);
+
+} // namespace tc
+
+#endif // TC_TRACE_EVENT_SOURCE_HH

@@ -1,18 +1,15 @@
 #include "trace/trace_io.hh"
 
-#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <sstream>
 
 #include "support/strings.hh"
+#include "trace/event_source.hh"
 
 namespace tc {
 
 namespace {
-
-constexpr char kMagic[6] = {'T', 'C', 'T', 'B', '1', '\0'};
 
 ParseResult
 parseFailure(std::size_t line, std::string msg)
@@ -24,14 +21,62 @@ parseFailure(std::size_t line, std::string msg)
     return r;
 }
 
-bool
-parseId(const std::string &text, std::int64_t &out)
+/** Materialize a stream: the whole-file loaders are this thin drain
+ * of the chunked sources in event_source.cc. */
+ParseResult
+drainSource(EventSource &source)
 {
-    if (text.empty())
-        return false;
-    char *end = nullptr;
-    out = std::strtoll(text.c_str(), &end, 10);
-    return end != nullptr && *end == '\0' && out >= 0;
+    if (source.failed()) {
+        return parseFailure(source.errorLine(), source.error());
+    }
+    ParseResult result;
+    const SourceInfo si = source.info();
+    result.trace = Trace(si.threads, si.locks, si.vars);
+    if (si.eventCountKnown())
+        result.trace.reserve(si.events);
+    Event e;
+    while (source.next(e))
+        result.trace.push(e);
+    if (source.failed())
+        return parseFailure(source.errorLine(), source.error());
+    return result;
+}
+
+void
+writeBinaryHeader(std::ostream &os, Tid threads, LockId locks,
+                  VarId vars, std::uint64_t n)
+{
+    constexpr char magic[6] = {'T', 'C', 'T', 'B', '1', '\0'};
+    os.write(magic, sizeof(magic));
+    const std::uint32_t header[3] = {
+        static_cast<std::uint32_t>(threads),
+        static_cast<std::uint32_t>(locks),
+        static_cast<std::uint32_t>(vars),
+    };
+    os.write(reinterpret_cast<const char *>(header),
+             sizeof(header));
+    os.write(reinterpret_cast<const char *>(&n), sizeof(n));
+}
+
+void
+writeBinaryEvent(std::ostream &os, const Event &e)
+{
+    const std::int32_t tid = e.tid;
+    const std::uint32_t target = e.target;
+    const std::uint8_t op = static_cast<std::uint8_t>(e.op);
+    os.write(reinterpret_cast<const char *>(&tid), sizeof(tid));
+    os.write(reinterpret_cast<const char *>(&target),
+             sizeof(target));
+    os.write(reinterpret_cast<const char *>(&op), sizeof(op));
+}
+
+void
+writeTextHeader(std::ostream &os, Tid threads, LockId locks,
+                VarId vars)
+{
+    os << "# treeclock trace v1\n";
+    os << "threads " << threads << " locks " << locks << " vars "
+       << vars << "\n";
 }
 
 } // namespace
@@ -39,149 +84,33 @@ parseId(const std::string &text, std::int64_t &out)
 void
 writeTraceText(const Trace &trace, std::ostream &os)
 {
-    os << "# treeclock trace v1\n";
-    os << "threads " << trace.numThreads() << " locks "
-       << trace.numLocks() << " vars " << trace.numVars() << "\n";
+    writeTextHeader(os, trace.numThreads(), trace.numLocks(),
+                    trace.numVars());
     for (const Event &e : trace)
-        os << e.tid << ' ' << opName(e.op) << ' ' << e.target << '\n';
+        os << e.tid << ' ' << opName(e.op) << ' ' << e.target
+           << '\n';
 }
 
 ParseResult
 readTraceText(std::istream &is)
 {
-    ParseResult result;
-    std::string line;
-    std::size_t lineno = 0;
-    bool have_header = false;
-
-    while (std::getline(is, line)) {
-        lineno++;
-        const std::string text = trimString(line);
-        if (text.empty() || text[0] == '#')
-            continue;
-
-        std::istringstream ls(text);
-        if (!have_header) {
-            std::string kw_threads, kw_locks, kw_vars;
-            std::int64_t k = 0, nl = 0, nv = 0;
-            if (!(ls >> kw_threads >> k >> kw_locks >> nl >> kw_vars >>
-                  nv) ||
-                kw_threads != "threads" || kw_locks != "locks" ||
-                kw_vars != "vars" || k < 0 || nl < 0 || nv < 0) {
-                return parseFailure(
-                    lineno, "expected header: threads <k> locks <nl> "
-                            "vars <nv>");
-            }
-            result.trace = Trace(static_cast<Tid>(k),
-                                 static_cast<LockId>(nl),
-                                 static_cast<VarId>(nv));
-            have_header = true;
-            continue;
-        }
-
-        std::string tid_text, op_text, target_text;
-        if (!(ls >> tid_text >> op_text >> target_text)) {
-            return parseFailure(lineno,
-                                "expected: <tid> <op> <target>");
-        }
-        std::string extra;
-        if (ls >> extra)
-            return parseFailure(lineno, "trailing tokens");
-
-        std::int64_t tid = 0, target = 0;
-        if (!parseId(tid_text, tid) || !parseId(target_text, target))
-            return parseFailure(lineno, "ids must be non-negative "
-                                        "integers");
-
-        OpType op;
-        if (op_text == "r") {
-            op = OpType::Read;
-        } else if (op_text == "w") {
-            op = OpType::Write;
-        } else if (op_text == "acq") {
-            op = OpType::Acquire;
-        } else if (op_text == "rel") {
-            op = OpType::Release;
-        } else if (op_text == "fork") {
-            op = OpType::Fork;
-        } else if (op_text == "join") {
-            op = OpType::Join;
-        } else {
-            return parseFailure(
-                lineno, strFormat("unknown op '%s'", op_text.c_str()));
-        }
-        result.trace.push(Event(static_cast<Tid>(tid), op,
-                                static_cast<std::uint32_t>(target)));
-    }
-
-    if (!have_header)
-        return parseFailure(lineno, "missing header line");
-    return result;
+    return drainSource(*makeTextEventSource(is));
 }
 
 bool
 writeTraceBinary(const Trace &trace, std::ostream &os)
 {
-    os.write(kMagic, sizeof(kMagic));
-    const std::uint32_t header[3] = {
-        static_cast<std::uint32_t>(trace.numThreads()),
-        static_cast<std::uint32_t>(trace.numLocks()),
-        static_cast<std::uint32_t>(trace.numVars()),
-    };
-    const std::uint64_t n = trace.size();
-    os.write(reinterpret_cast<const char *>(header), sizeof(header));
-    os.write(reinterpret_cast<const char *>(&n), sizeof(n));
-    for (const Event &e : trace) {
-        const std::int32_t tid = e.tid;
-        const std::uint32_t target = e.target;
-        const std::uint8_t op = static_cast<std::uint8_t>(e.op);
-        os.write(reinterpret_cast<const char *>(&tid), sizeof(tid));
-        os.write(reinterpret_cast<const char *>(&target),
-                 sizeof(target));
-        os.write(reinterpret_cast<const char *>(&op), sizeof(op));
-    }
+    writeBinaryHeader(os, trace.numThreads(), trace.numLocks(),
+                      trace.numVars(), trace.size());
+    for (const Event &e : trace)
+        writeBinaryEvent(os, e);
     return static_cast<bool>(os);
 }
 
 ParseResult
 readTraceBinary(std::istream &is)
 {
-    char magic[sizeof(kMagic)];
-    if (!is.read(magic, sizeof(magic)) ||
-        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-        return parseFailure(0, "bad magic (not a treeclock binary "
-                               "trace)");
-    }
-    std::uint32_t header[3];
-    std::uint64_t n = 0;
-    if (!is.read(reinterpret_cast<char *>(header), sizeof(header)) ||
-        !is.read(reinterpret_cast<char *>(&n), sizeof(n))) {
-        return parseFailure(0, "truncated header");
-    }
-
-    ParseResult result;
-    result.trace = Trace(static_cast<Tid>(header[0]),
-                         static_cast<LockId>(header[1]),
-                         static_cast<VarId>(header[2]));
-    result.trace.reserve(n);
-    for (std::uint64_t i = 0; i < n; i++) {
-        std::int32_t tid;
-        std::uint32_t target;
-        std::uint8_t op;
-        if (!is.read(reinterpret_cast<char *>(&tid), sizeof(tid)) ||
-            !is.read(reinterpret_cast<char *>(&target),
-                     sizeof(target)) ||
-            !is.read(reinterpret_cast<char *>(&op), sizeof(op))) {
-            return parseFailure(0, strFormat(
-                "truncated event stream at event %llu",
-                static_cast<unsigned long long>(i)));
-        }
-        if (op > static_cast<std::uint8_t>(OpType::Join))
-            return parseFailure(0, "invalid op code");
-        result.trace.push(Event(static_cast<Tid>(tid),
-                                static_cast<OpType>(op), target));
-    }
-    return result;
+    return drainSource(*makeBinaryEventSource(is));
 }
 
 bool
@@ -201,13 +130,52 @@ saveTrace(const Trace &trace, const std::string &path)
 ParseResult
 loadTrace(const std::string &path)
 {
+    const auto source = openTraceFile(path);
+    return drainSource(*source);
+}
+
+bool
+saveTraceStream(EventSource &source, const std::string &path)
+{
     const bool binary = path.size() >= 4 &&
                         path.compare(path.size() - 4, 4, ".tcb") == 0;
-    std::ifstream is(path, binary ? std::ios::binary : std::ios::in);
-    if (!is)
-        return parseFailure(0, strFormat("cannot open '%s'",
-                                         path.c_str()));
-    return binary ? readTraceBinary(is) : readTraceText(is);
+    std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
+    if (!os)
+        return false;
+
+    const SourceInfo si = source.info();
+    std::streampos count_pos{};
+    if (binary) {
+        // The count slot is patched after the drain when the source
+        // cannot announce it upfront (text inputs); it is the last
+        // header field, so its offset is measured, not assumed.
+        writeBinaryHeader(os, si.threads, si.locks, si.vars,
+                          si.eventCountKnown() ? si.events : 0);
+        count_pos =
+            os.tellp() -
+            static_cast<std::streamoff>(sizeof(std::uint64_t));
+    } else {
+        writeTextHeader(os, si.threads, si.locks, si.vars);
+    }
+
+    std::uint64_t n = 0;
+    Event e;
+    while (source.next(e)) {
+        if (binary) {
+            writeBinaryEvent(os, e);
+        } else {
+            os << e.tid << ' ' << opName(e.op) << ' ' << e.target
+               << '\n';
+        }
+        n++;
+    }
+    if (source.failed() || !os)
+        return false;
+    if (binary && (!si.eventCountKnown() || si.events != n)) {
+        os.seekp(count_pos);
+        os.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    }
+    return static_cast<bool>(os);
 }
 
 } // namespace tc

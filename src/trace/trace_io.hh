@@ -24,6 +24,8 @@
 
 namespace tc {
 
+class EventSource;
+
 /** Result of a parse attempt. */
 struct ParseResult
 {
@@ -47,6 +49,13 @@ ParseResult readTraceBinary(std::istream &is);
  * (".tcb" binary, anything else text). */
 bool saveTrace(const Trace &trace, const std::string &path);
 ParseResult loadTrace(const std::string &path);
+
+/**
+ * Drain @p source into @p path without materializing a Trace
+ * (streaming format conversion); format by extension as above.
+ * Returns false on I/O or stream error.
+ */
+bool saveTraceStream(EventSource &source, const std::string &path);
 
 } // namespace tc
 

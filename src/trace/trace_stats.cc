@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "support/assert.hh"
+#include "trace/event_source.hh"
+
 namespace tc {
 
 double
@@ -23,56 +26,82 @@ TraceStats::rwPercent() const
            static_cast<double>(events);
 }
 
+void
+StatsAccumulator::mark(std::vector<bool> &seen, std::size_t i)
+{
+    if (seen.size() <= i)
+        seen.resize(i + 1, false);
+    seen[i] = true;
+}
+
+void
+StatsAccumulator::add(const Event &e)
+{
+    // The streaming sources reject out-of-range ids before they
+    // get here; this guards hand-built events from turning the
+    // grow-on-demand resize below into an out-of-bounds write.
+    TC_CHECK(e.tid >= 0 &&
+                 static_cast<std::int32_t>(e.target) >= 0,
+             "stats: negative event id");
+    partial_.events++;
+    mark(threadSeen_, static_cast<std::size_t>(e.tid));
+    switch (e.op) {
+      case OpType::Read:
+        partial_.reads++;
+        mark(varSeen_, static_cast<std::size_t>(e.var()));
+        break;
+      case OpType::Write:
+        partial_.writes++;
+        mark(varSeen_, static_cast<std::size_t>(e.var()));
+        break;
+      case OpType::Acquire:
+        partial_.acquires++;
+        mark(lockSeen_, static_cast<std::size_t>(e.lock()));
+        break;
+      case OpType::Release:
+        partial_.releases++;
+        mark(lockSeen_, static_cast<std::size_t>(e.lock()));
+        break;
+      case OpType::Fork:
+        partial_.forks++;
+        mark(threadSeen_, static_cast<std::size_t>(e.targetTid()));
+        break;
+      case OpType::Join:
+        partial_.joins++;
+        break;
+    }
+}
+
+TraceStats
+StatsAccumulator::finish() const
+{
+    TraceStats s = partial_;
+    s.threads = static_cast<Tid>(std::count(
+        threadSeen_.begin(), threadSeen_.end(), true));
+    s.variables = static_cast<std::uint64_t>(
+        std::count(varSeen_.begin(), varSeen_.end(), true));
+    s.locks = static_cast<std::uint64_t>(
+        std::count(lockSeen_.begin(), lockSeen_.end(), true));
+    return s;
+}
+
 TraceStats
 computeStats(const Trace &trace)
 {
-    TraceStats s;
-    s.events = trace.size();
+    StatsAccumulator acc;
+    for (const Event &e : trace)
+        acc.add(e);
+    return acc.finish();
+}
 
-    std::vector<bool> thread_seen(
-        static_cast<std::size_t>(trace.numThreads()), false);
-    std::vector<bool> var_seen(
-        static_cast<std::size_t>(trace.numVars()), false);
-    std::vector<bool> lock_seen(
-        static_cast<std::size_t>(trace.numLocks()), false);
-
-    for (const Event &e : trace) {
-        thread_seen[static_cast<std::size_t>(e.tid)] = true;
-        switch (e.op) {
-          case OpType::Read:
-            s.reads++;
-            var_seen[static_cast<std::size_t>(e.var())] = true;
-            break;
-          case OpType::Write:
-            s.writes++;
-            var_seen[static_cast<std::size_t>(e.var())] = true;
-            break;
-          case OpType::Acquire:
-            s.acquires++;
-            lock_seen[static_cast<std::size_t>(e.lock())] = true;
-            break;
-          case OpType::Release:
-            s.releases++;
-            lock_seen[static_cast<std::size_t>(e.lock())] = true;
-            break;
-          case OpType::Fork:
-            s.forks++;
-            thread_seen[static_cast<std::size_t>(e.targetTid())] =
-                true;
-            break;
-          case OpType::Join:
-            s.joins++;
-            break;
-        }
-    }
-
-    s.threads = static_cast<Tid>(
-        std::count(thread_seen.begin(), thread_seen.end(), true));
-    s.variables = static_cast<std::uint64_t>(
-        std::count(var_seen.begin(), var_seen.end(), true));
-    s.locks = static_cast<std::uint64_t>(
-        std::count(lock_seen.begin(), lock_seen.end(), true));
-    return s;
+TraceStats
+computeStats(EventSource &source)
+{
+    StatsAccumulator acc;
+    Event e;
+    while (source.next(e))
+        acc.add(e);
+    return acc.finish();
 }
 
 CorpusStats

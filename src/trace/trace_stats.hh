@@ -41,8 +41,33 @@ struct TraceStats
     double rwPercent() const;
 };
 
+/**
+ * Incremental statistics over an event stream: feed events one at a
+ * time, then finish(). Memory is O(distinct ids), independent of the
+ * event count — usable on out-of-core EventSource streams.
+ */
+class StatsAccumulator
+{
+  public:
+    void add(const Event &e);
+    /** Stats over everything added so far. */
+    TraceStats finish() const;
+
+  private:
+    void mark(std::vector<bool> &seen, std::size_t i);
+
+    TraceStats partial_;
+    std::vector<bool> threadSeen_;
+    std::vector<bool> varSeen_;
+    std::vector<bool> lockSeen_;
+};
+
 /** Compute statistics for a single trace. */
 TraceStats computeStats(const Trace &trace);
+
+class EventSource;
+/** Compute statistics by draining @p source (never materializes). */
+TraceStats computeStats(EventSource &source);
 
 /** Aggregate min/max/mean over a set of traces (Table 1). */
 struct CorpusStats
