@@ -51,8 +51,8 @@ std::uint64_t heapAllocCount() noexcept;
  * opt in via addJsonFlag()/maybeWriteJson() and mirror their table
  * through a reporter so perf PRs can diff BENCH_baseline.json
  * mechanically instead of scraping stdout (currently wired into
- * bench_fig7_sync_sweep and bench_micro_clock; extend per harness
- * as baselines are added).
+ * bench_fig7_sync_sweep, bench_micro_clock and bench_streaming;
+ * extend per harness as baselines are added).
  */
 class JsonReporter
 {

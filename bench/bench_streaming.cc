@@ -4,10 +4,16 @@
  * (a) batch — materialized Trace through run(Trace),
  * (b) via an in-memory TraceSource (virtual dispatch per event),
  * (c) out-of-core — the chunked binary file reader, which never
- *     holds more than a fixed window of events.
+ *     holds more than a fixed window of events,
+ * (d) prefetch — (c) decorated with the background reader thread
+ *     (decode of window N+1 overlaps analysis of window N),
+ * (e) shard_merge — a K-shard capture K-way-merged back into the
+ *     total order,
+ * (f) shard_prefetch — (e) behind the prefetch decorator.
  *
  * Reports events/s per (mode, clock), quantifying what "streaming
- * SHB/MAZ by default" costs over the batch loop.
+ * SHB/MAZ by default" costs over the batch loop and how much of
+ * the file-stream overhead the async prefetch hides.
  *
  *   ./bench_streaming --events=2000000 --po=shb --json=out.json
  */
@@ -19,6 +25,8 @@
 
 #include "bench_common.hh"
 #include "support/table.hh"
+#include "trace/prefetch_source.hh"
+#include "trace/shard.hh"
 #include "trace/trace_io.hh"
 
 using namespace tc;
@@ -64,11 +72,24 @@ main(int argc, char **argv)
     args.addString("po", "hb", "partial order: hb | shb | maz");
     args.addString("file", "/tmp/tc_bench_streaming.tcb",
                    "scratch trace file for the out-of-core mode");
+    args.addInt("shards", static_cast<std::int64_t>(
+                              kDefaultShardCount),
+                "shard count for the shard_merge modes");
+    args.addInt("window", static_cast<std::int64_t>(
+                              kDefaultSourceWindow),
+                "reader/prefetch window (events)");
     if (!args.parse(argc, argv))
         return 1;
 
     const double scale = args.getDouble("scale");
     const int reps = static_cast<int>(args.getInt("reps"));
+    const std::int64_t window_raw = args.getInt("window");
+    if (window_raw < 1 || window_raw > (1 << 24)) {
+        std::fprintf(stderr,
+                     "error: --window must be in 1..%d\n", 1 << 24);
+        return 1;
+    }
+    const auto window = static_cast<std::size_t>(window_raw);
     const std::string po_name = args.getString("po");
     const Po po = po_name == "maz"   ? Po::MAZ
                   : po_name == "shb" ? Po::SHB
@@ -88,6 +109,23 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: cannot write '%s'\n",
                      path.c_str());
         return 1;
+    }
+    const std::int64_t shards_raw = args.getInt("shards");
+    if (shards_raw < 1 || shards_raw > 256) {
+        std::fprintf(stderr,
+                     "error: --shards must be in 1..256\n");
+        return 1;
+    }
+    const auto shards = static_cast<std::uint32_t>(shards_raw);
+    const std::string shard_prefix = path + ".shards";
+    {
+        TraceSource shard_feed(trace);
+        std::string error;
+        if (splitTraceStream(shard_feed, shard_prefix, shards,
+                             &error) == kUnknownEventCount) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
     }
 
     const double n = static_cast<double>(trace.size());
@@ -112,14 +150,27 @@ main(int argc, char **argv)
         TraceSource mem(trace);
         report("trace_source", clock,
                timePoSource<ClockT>(po, mem, reps));
-        const auto file = openTraceFile(path);
+        const auto file = openTraceFile(path, window);
         report("file_stream", clock,
                timePoSource<ClockT>(po, *file, reps));
+        const auto prefetched = makePrefetchSource(
+            openTraceFile(path, window), window);
+        report("prefetch", clock,
+               timePoSource<ClockT>(po, *prefetched, reps));
+        const auto merged = openShardSet(shard_prefix, window);
+        report("shard_merge", clock,
+               timePoSource<ClockT>(po, *merged, reps));
+        const auto merged_prefetched = makePrefetchSource(
+            openShardSet(shard_prefix, window), window);
+        report("shard_prefetch", clock,
+               timePoSource<ClockT>(po, *merged_prefetched, reps));
     };
     runClock.template operator()<TreeClock>("TC");
     runClock.template operator()<VectorClock>("VC");
 
     table.print(std::cout);
     std::remove(path.c_str());
+    for (std::uint32_t i = 0; i < shards; i++)
+        std::remove(shardPath(shard_prefix, i).c_str());
     return maybeWriteJson(args, json) ? 0 : 1;
 }

@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 cmake+ctest flow, twice.
+# CI entry point: the tier-1 cmake+ctest flow under three build
+# configurations, then a bench smoke job.
 #
 #   Job 1 — Release with -Werror: the measured configuration must
 #           build warning-clean.
 #   Job 2 — ASan + UBSan: the full test suite under both sanitizers
 #           (catches scratch-arena lifetime bugs, OOB link-array
 #           indexing, signed-overflow in the traversals).
+#   Job 3 — TSan: the suites that spawn threads (the prefetch
+#           reader thread, the pipeline + shard stacks on top of
+#           it, and the scratch-arena multithreaded regression)
+#           under ThreadSanitizer. Scoped to those suites because
+#           the rest of the codebase is single-threaded and TSan
+#           slows it ~10x for no additional coverage.
+#   Job 4 — bench smoke: allocation regressions against the
+#           committed baseline.
 #
 # Usage: ci/run.sh [jobs]   (defaults to nproc)
 set -euo pipefail
@@ -28,7 +37,15 @@ run_job "ASan/UBSan" build-ci-asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTC_WERROR=ON \
     -DTC_SANITIZE=ON
 
-# Job 3 — bench smoke: the steady-state join/copy micro-benchmarks
+echo "=== TSan (threaded suites) ==="
+cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTC_WERROR=ON -DTC_TSAN=ON
+cmake --build build-ci-tsan -j "${JOBS}" --target \
+    test_prefetch test_pipeline test_shard test_tree_clock_scratch
+ctest --test-dir build-ci-tsan --output-on-failure -j "${JOBS}" \
+    -R 'test_prefetch|test_pipeline|test_shard|test_tree_clock_scratch'
+
+# Job 4 — bench smoke: the steady-state join/copy micro-benchmarks
 # must stay allocation-free and must not regress against the
 # committed BENCH_baseline.json (timings are ignored; allocation
 # counts are deterministic). Skipped when google-benchmark was not

@@ -1,29 +1,34 @@
 /**
  * @file
  * A command-line dynamic race detector — the paper's headline
- * application. Consumes any EventSource: a trace file (text .tct or
- * binary .tcb) or a generated synthetic workload; computes HB, SHB
- * or MAZ with tree or vector clocks and reports the races.
+ * application. Consumes any EventSource: a trace file (text .tct,
+ * binary .tcb, or a sharded capture .tcs — see trace/shard.hh) or a
+ * generated synthetic workload, and computes any set of partial
+ * orders (HB, SHB, MAZ) with any set of clock structures (tree,
+ * vector) in ONE pass over the input: the requested (po × clock)
+ * combinations run as consumers of a shared AnalysisPipeline, so
+ * the trace is read and decoded once no matter how many analyses
+ * ride on it.
  *
  * By default file inputs are materialized once so the trace can be
  * validated and summarized before the timed analysis. With --stream
  * the file is consumed through the chunked readers instead: the
  * full event vector is never built, so traces larger than memory
- * analyze in O(window) input memory.
+ * analyze in O(window) input memory; --prefetch moves decode + I/O
+ * to a background thread that stays one window ahead.
  *
  * Examples:
  *   ./race_detector --generate --threads=16 --events=1000000
  *   ./race_detector --trace=run.tct --po=shb --clock=vc
- *   ./race_detector --trace=huge.tcb --stream
+ *   ./race_detector --trace=huge.tcb --stream --prefetch
+ *   ./race_detector --trace=run.tcb --po=hb,shb,maz --clock=tc,vc
+ *   ./race_detector --trace=cap.0.tcs --stream   # sharded capture
  */
 
 #include <cstdio>
+#include <vector>
 
-#include "analysis/hb_engine.hh"
-#include "analysis/maz_engine.hh"
-#include "analysis/shb_engine.hh"
-#include "core/tree_clock.hh"
-#include "core/vector_clock.hh"
+#include "analysis/pipeline.hh"
 #include "support/source_cli.hh"
 #include "support/strings.hh"
 #include "support/timer.hh"
@@ -34,71 +39,33 @@ using namespace tc;
 
 namespace {
 
-template <template <typename> class Engine, typename ClockT>
-int
-detect(EventSource &source, std::size_t max_reports)
+void
+printReport(const AnalysisReport &report)
 {
-    WorkCounters work;
-    EngineConfig cfg;
-    cfg.counters = &work;
-    cfg.maxReports = max_reports;
-    // Well-formedness was either checked on the materialized trace
-    // below or is enforced event-by-event by the driver's feed.
-    cfg.validate = false;
-    Engine<ClockT> engine(cfg);
-
-    Timer timer;
-    const EngineResult result = engine.run(source);
-    const double seconds = timer.seconds();
-    if (source.failed()) {
-        std::fprintf(stderr, "error: %s (line %zu)\n",
-                     source.error().c_str(), source.errorLine());
-        return 1;
-    }
-
-    std::printf("analysis time   : %.3f s (%s events/s)\n", seconds,
-                humanCount(static_cast<std::uint64_t>(
-                               static_cast<double>(result.events) /
-                               seconds))
-                    .c_str());
+    const EngineResult &r = report.result;
+    std::printf("--- %s ---\n", report.name.c_str());
     std::printf("races           : %llu  (w-w %llu, w-r %llu, "
                 "r-w %llu)\n",
-                static_cast<unsigned long long>(result.races.total()),
+                static_cast<unsigned long long>(r.races.total()),
                 static_cast<unsigned long long>(
-                    result.races.writeWrite()),
+                    r.races.writeWrite()),
                 static_cast<unsigned long long>(
-                    result.races.writeRead()),
+                    r.races.writeRead()),
                 static_cast<unsigned long long>(
-                    result.races.readWrite()));
+                    r.races.readWrite()));
     std::printf("racy variables  : %llu\n",
                 static_cast<unsigned long long>(
-                    result.races.racyVarCount()));
+                    r.races.racyVarCount()));
     std::printf("clock work      : %llu entries touched, %llu "
                 "entries changed\n",
-                static_cast<unsigned long long>(work.dsWork),
-                static_cast<unsigned long long>(work.vtWork));
-    if (!result.races.reports().empty()) {
+                static_cast<unsigned long long>(r.work.dsWork),
+                static_cast<unsigned long long>(r.work.vtWork));
+    if (!r.races.reports().empty()) {
         std::printf("first %zu race reports:\n",
-                    result.races.reports().size());
-        for (const RacePair &race : result.races.reports())
+                    r.races.reports().size());
+        for (const RacePair &race : r.races.reports())
             std::printf("  %s\n", race.toString().c_str());
     }
-    return result.races.total() > 0 ? 2 : 0;
-}
-
-template <typename ClockT>
-int
-dispatchPo(const std::string &po, EventSource &source,
-           std::size_t max_reports)
-{
-    if (po == "hb")
-        return detect<HbEngine, ClockT>(source, max_reports);
-    if (po == "shb")
-        return detect<ShbEngine, ClockT>(source, max_reports);
-    if (po == "maz")
-        return detect<MazEngine, ClockT>(source, max_reports);
-    std::fprintf(stderr, "error: unknown --po '%s'\n", po.c_str());
-    return 1;
 }
 
 } // namespace
@@ -107,15 +74,20 @@ int
 main(int argc, char **argv)
 {
     ArgParser args("dynamic race detector (HB/SHB/MAZ, tree or "
-                   "vector clocks)");
+                   "vector clocks; one input pass for any number "
+                   "of analyses)");
     addTraceSourceFlags(args);
     args.addBool("stream", false,
                  "consume --trace through the chunked reader "
                  "(out-of-core; whole-trace validation is skipped "
                  "— only lock/fork discipline is checked "
                  "event-by-event, and violating it aborts)");
-    args.addString("po", "hb", "partial order: hb | shb | maz");
-    args.addString("clock", "tc", "clock data structure: tc | vc");
+    args.addString("po", "hb",
+                   "partial orders, comma-separated: hb | shb | "
+                   "maz");
+    args.addString("clock", "tc",
+                   "clock data structures, comma-separated: tc | "
+                   "vc");
     args.addInt("max-reports", 10, "race reports to keep");
     if (!args.parse(argc, argv))
         return 1;
@@ -129,6 +101,14 @@ main(int argc, char **argv)
     }
 
     const bool stream = args.getBool("stream");
+    if (args.getBool("prefetch") && !stream) {
+        // The default path materializes the whole trace before
+        // analysis; silently ignoring the flag would let users
+        // believe background decode was measured.
+        std::fprintf(stderr,
+                     "error: --prefetch requires --stream\n");
+        return 1;
+    }
     if (stream && !has_trace) {
         // Generated workloads are materialized by construction, so
         // streaming them would only skip validation while keeping
@@ -193,16 +173,69 @@ main(int argc, char **argv)
                         static_cast<std::uint64_t>(si.locks))
                         .c_str());
     }
-    std::printf("configuration   : %s with %s clocks%s\n",
-                args.getString("po").c_str(),
-                args.getString("clock") == "tc" ? "tree" : "vector",
+
+    // One consumer per requested (po × clock); all of them drain
+    // the single source pass below.
+    AnalysisPipeline pipeline;
+    EngineConfig cfg;
+    cfg.maxReports =
+        static_cast<std::size_t>(args.getInt("max-reports"));
+    for (const std::string &po_raw :
+         splitString(args.getString("po"), ',')) {
+        const std::string po = trimString(po_raw);
+        if (po.empty())
+            continue;
+        for (const std::string &clock_raw :
+             splitString(args.getString("clock"), ',')) {
+            const std::string clock = trimString(clock_raw);
+            if (clock.empty())
+                continue;
+            auto consumer = makeAnalysisConsumer(po, clock, cfg);
+            if (consumer == nullptr) {
+                std::fprintf(stderr,
+                             "error: unknown analysis '%s/%s' "
+                             "(po: hb|shb|maz, clock: tc|vc)\n",
+                             po.c_str(), clock.c_str());
+                return 1;
+            }
+            pipeline.add(std::move(consumer));
+        }
+    }
+    if (pipeline.empty()) {
+        std::fprintf(stderr, "error: no analyses requested\n");
+        return 1;
+    }
+    std::printf("configuration   : %zu analyses (po=%s × "
+                "clock=%s)%s\n",
+                pipeline.size(), args.getString("po").c_str(),
+                args.getString("clock").c_str(),
                 stream ? " (streaming)" : "");
 
-    const auto max_reports =
-        static_cast<std::size_t>(args.getInt("max-reports"));
-    return args.getString("clock") == "tc"
-               ? dispatchPo<TreeClock>(args.getString("po"),
-                                       *source, max_reports)
-               : dispatchPo<VectorClock>(args.getString("po"),
-                                         *source, max_reports);
+    Timer timer;
+    const std::vector<AnalysisReport> reports =
+        pipeline.run(*source);
+    const double seconds = timer.seconds();
+    if (source->failed()) {
+        std::fprintf(stderr, "error: %s (line %zu)\n",
+                     source->error().c_str(),
+                     source->errorLine());
+        return 1;
+    }
+
+    const std::uint64_t events =
+        reports.empty() ? 0 : reports.front().result.events;
+    std::printf("analysis time   : %.3f s (%s events/s through "
+                "%zu analyses)\n",
+                seconds,
+                humanCount(static_cast<std::uint64_t>(
+                               static_cast<double>(events) /
+                               seconds))
+                    .c_str(),
+                reports.size());
+    std::uint64_t total_races = 0;
+    for (const AnalysisReport &report : reports) {
+        printReport(report);
+        total_races += report.result.races.total();
+    }
+    return total_races > 0 ? 2 : 0;
 }

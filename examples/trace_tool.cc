@@ -6,16 +6,20 @@
  *   trace_tool stats    run.tct
  *   trace_tool validate run.tct
  *   trace_tool convert  run.tct run.tcb       (format by extension)
+ *   trace_tool split    run.tct cap --shards=4   (cap.0.tcs ...)
+ *   trace_tool merge    cap out.tcb           (any .tcs member or
+ *                                              the set prefix)
  *   trace_tool slice    run.tct out.tct --vars=3,17,42
  *   trace_tool project  run.tct out.tct --threads=0,1
  *   trace_tool prefix   run.tct out.tct --events=100000
  *   trace_tool compact  run.tct out.tct
  *   trace_tool generate out.tcb --threads=16 --events=1000000
  *
- * stats and convert consume the chunked streaming readers and never
- * materialize the trace, so they work on files larger than memory;
- * the structural commands (slice/project/prefix/compact/validate)
- * still load the full event vector.
+ * stats, convert, split and merge consume the chunked streaming
+ * readers and never materialize the trace, so they work on files
+ * larger than memory; the structural commands
+ * (slice/project/prefix/compact/validate) still load the full
+ * event vector.
  */
 
 #include <sys/stat.h>
@@ -30,6 +34,7 @@
 #include "support/cli.hh"
 #include "support/strings.hh"
 #include "trace/event_source.hh"
+#include "trace/shard.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_ops.hh"
 #include "trace/trace_stats.hh"
@@ -90,6 +95,51 @@ sameFile(const std::string &a, const std::string &b)
            sa.st_dev == sb.st_dev && sa.st_ino == sb.st_ino;
 }
 
+/** True when @p path names (by inode) any of @p inputs — the
+ * overwrite guard for commands whose output files could alias the
+ * files they are still reading. */
+bool
+aliasesAny(const std::string &path,
+           const std::vector<std::string> &inputs)
+{
+    for (const std::string &in : inputs) {
+        if (sameFile(in, path))
+            return true;
+    }
+    return false;
+}
+
+/** Every member file of the shard set @p path belongs to (plus
+ * @p path itself) — the full input list for the overwrite guards.
+ * Non-shard paths contribute just themselves. */
+std::vector<std::string>
+inputFilesOf(const std::string &path)
+{
+    std::vector<std::string> files{path};
+    std::string prefix;
+    std::uint32_t index = 0;
+    if (parseShardPath(path, prefix, index)) {
+        const std::uint32_t count = shardSetCount(prefix);
+        for (std::uint32_t i = 0; i < count; i++)
+            files.push_back(shardPath(prefix, i));
+    }
+    return files;
+}
+
+/** Shard sets are written by `split` only; saveTrace[Stream]
+ * refuse `.tcs` paths, so reject them upfront with a message that
+ * says what to use instead. */
+bool
+isShardOutput(const std::string &path)
+{
+    if (!isShardPath(path))
+        return false;
+    std::fprintf(stderr,
+                 "error: cannot write a single .tcs file; use "
+                 "'trace_tool split' to produce a shard set\n");
+    return true;
+}
+
 /** Die if a drained source ended on a mid-stream error. */
 void
 checkDrained(const EventSource &source, const std::string &path)
@@ -140,8 +190,11 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(
-        "trace toolbox: stats | validate | convert | slice | "
-        "project | prefix | compact | generate");
+        "trace toolbox: stats | validate | convert | split | "
+        "merge | slice | project | prefix | compact | generate");
+    args.addInt("shards", static_cast<std::int64_t>(
+                              kDefaultShardCount),
+                "shard count (split)");
     args.addString("vars", "", "comma-separated variable ids (slice)");
     args.addString("threads-list", "",
                    "comma-separated thread ids (project)");
@@ -184,14 +237,17 @@ main(int argc, char **argv)
     }
     if (cmd == "convert" && pos.size() == 3) {
         // Streaming: events flow reader → writer one window at a
-        // time. In-place conversion would truncate the file the
-        // reader is still consuming; compare inodes, not path
-        // spellings.
-        if (sameFile(pos[1], pos[2])) {
-            std::fprintf(stderr, "error: convert input and output "
-                                 "must be different files\n");
+        // time. In-place conversion would truncate a file the
+        // reader is still consuming — the named input or, when it
+        // is a shard member, any file of its set; compare inodes,
+        // not path spellings.
+        if (aliasesAny(pos[2], inputFilesOf(pos[1]))) {
+            std::fprintf(stderr, "error: convert output would "
+                                 "overwrite its input\n");
             return 1;
         }
+        if (isShardOutput(pos[2]))
+            return 1;
         const auto source = openOrDie(pos[1]);
         // Probe writability first (append mode, no truncation) so
         // the failure cleanup below never deletes a pre-existing
@@ -206,6 +262,99 @@ main(int argc, char **argv)
             // parse as a valid (possibly empty) trace.
             std::remove(pos[2].c_str());
             checkDrained(*source, pos[1]);
+            std::fprintf(stderr, "error: cannot write '%s'\n",
+                         pos[2].c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", pos[2].c_str());
+        return 0;
+    }
+    if (cmd == "split" && pos.size() == 3) {
+        // Streaming: route events into per-thread shard files with
+        // global sequence numbers (trace/shard.hh); memory stays
+        // O(window) however large the input is.
+        // The merge reader scans all K shard heads per event and
+        // holds K windows; both are sized for capture-like K, so
+        // cap the split width accordingly.
+        const std::int64_t shards_raw = args.getInt("shards");
+        if (shards_raw < 1 || shards_raw > 256) {
+            std::fprintf(stderr,
+                         "error: --shards must be in 1..256\n");
+            return 1;
+        }
+        const auto shards = static_cast<std::uint32_t>(shards_raw);
+        // ShardWriter truncates its output files; writing over the
+        // input — the named file or, when it is a shard set, ANY
+        // member of that set (symlinks included) — would destroy
+        // what the reader is still consuming. Same hazard convert
+        // guards against, compared by inode.
+        const std::vector<std::string> inputs =
+            inputFilesOf(pos[1]);
+        for (std::uint32_t i = 0; i < shards; i++) {
+            if (aliasesAny(shardPath(pos[2], i), inputs)) {
+                std::fprintf(stderr,
+                             "error: split output would "
+                             "overwrite its input\n");
+                return 1;
+            }
+        }
+        const auto source = openOrDie(pos[1]);
+        std::string error;
+        const std::uint64_t written =
+            splitTraceStream(*source, pos[2], shards, &error);
+        if (written == kUnknownEventCount) {
+            checkDrained(*source, pos[1]);
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("wrote %s.{0..%u}.tcs (%s events)\n",
+                    pos[2].c_str(), shards - 1,
+                    humanCount(written).c_str());
+        return 0;
+    }
+    if (cmd == "merge" && pos.size() == 3) {
+        // Streaming K-way merge back into the canonical total
+        // order; accepts the set prefix or any .tcs member.
+        std::string prefix = pos[1];
+        std::uint32_t index = 0;
+        const bool named_member =
+            parseShardPath(pos[1], prefix, index);
+        // The output must not alias ANY member of the set being
+        // merged — whatever the output path is spelled or
+        // symlinked as — or saveTraceStream's truncating open
+        // destroys a shard mid-read; compared by inode, like
+        // convert.
+        if (aliasesAny(pos[2],
+                       inputFilesOf(shardPath(prefix, 0)))) {
+            std::fprintf(stderr,
+                         "error: merge output aliases a member "
+                         "of the input shard set\n");
+            return 1;
+        }
+        if (isShardOutput(pos[2]))
+            return 1;
+        // A named member goes through openShardMember so the
+        // stale-member check applies (merging "cap.7.tcs" must not
+        // silently produce a merge of a narrower re-split that
+        // excludes it).
+        auto source = named_member ? openShardMember(pos[1])
+                                   : openShardSet(prefix);
+        if (source->failed()) {
+            std::fprintf(stderr, "error: %s\n",
+                         source->error().c_str());
+            return 1;
+        }
+        // Probe only after the set opened: the append-mode probe
+        // creates a missing output file, which must not be left
+        // behind when the input was bad all along.
+        if (!std::ofstream(pos[2], std::ios::app)) {
+            std::fprintf(stderr, "error: cannot write '%s'\n",
+                         pos[2].c_str());
+            return 1;
+        }
+        if (!saveTraceStream(*source, pos[2])) {
+            std::remove(pos[2].c_str());
+            checkDrained(*source, prefix);
             std::fprintf(stderr, "error: cannot write '%s'\n",
                          pos[2].c_str());
             return 1;

@@ -38,6 +38,11 @@
 
 namespace tc {
 
+/** Events pulled per EventSource::read() call in the stream-drain
+ * loops (a few KB of stack; small enough to stay cache-resident
+ * under the analysis' own working set). */
+inline constexpr std::size_t kDrainBatch = 256;
+
 template <ClockLike ClockT, template <typename> class PolicyT>
 class AnalysisDriver
 {
@@ -55,6 +60,21 @@ class AnalysisDriver
     AnalysisDriver &operator=(const AnalysisDriver &) = delete;
 
     const EngineConfig &config() const { return cfg_; }
+
+    /**
+     * Start a fresh run: drop all per-run state (the scratch arena
+     * is retained) and pre-size the id spaces @p si declares. This
+     * is run() decomposed — begin(), a feed() per event, result() —
+     * for callers that interleave several drivers over one event
+     * stream (AnalysisPipeline) instead of letting one driver drain
+     * the source by itself.
+     */
+    void
+    begin(const SourceInfo &si)
+    {
+        resetState();
+        reserve(si);
+    }
 
     /**
      * Process one event. Ids may exceed anything seen before; state
@@ -146,9 +166,8 @@ class AnalysisDriver
     run(const Trace &trace)
     {
         detail::maybeValidate(trace, cfg_);
-        resetState();
-        reserve({trace.numThreads(), trace.numLocks(),
-                 trace.numVars(), trace.size()});
+        begin({trace.numThreads(), trace.numLocks(),
+               trace.numVars(), trace.size()});
         for (std::size_t i = 0; i < trace.size(); i++)
             feed(trace[i]);
         return result();
@@ -175,11 +194,15 @@ class AnalysisDriver
     EngineResult
     run(EventSource &source)
     {
-        resetState();
-        reserve(source.info());
-        Event e;
-        while (source.next(e))
-            feed(e);
+        begin(source.info());
+        // Pull in batches: one virtual call per chunk instead of
+        // per event (buffered sources hand whole windows over).
+        Event buf[kDrainBatch];
+        std::size_t n;
+        while ((n = source.read(buf, kDrainBatch)) != 0) {
+            for (std::size_t i = 0; i < n; i++)
+                feed(buf[i]);
+        }
         return result();
     }
 

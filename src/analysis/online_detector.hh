@@ -6,14 +6,14 @@
  * monitored program executes, id spaces (threads, locks, variables)
  * grow on demand, and race results can be inspected at any point.
  *
- * Since the streaming-core refactor this is not a parallel
- * implementation but literally the AnalysisDriver instantiated with
- * the HB policy: feed() *is* the driver's event loop, so online and
- * batch HB cannot drift apart (tests still feed traces
- * event-by-event and demand results equal to HbEngine::run).
- * Swapping VectorClock for TreeClock changes only the cost of the
- * join/copy operations — the drop-in property the paper's
- * conclusion argues makes tree clocks attractive for online tools.
+ * OnlineRaceDetector is an alias, not a class: the AnalysisDriver
+ * instantiated with the HB policy. feed() *is* the driver's event
+ * loop, so online use, batch runs and streamed runs share one
+ * implementation and cannot drift apart (the streaming-equivalence
+ * suite demands identical results from all three). Swapping
+ * VectorClock for TreeClock changes only the cost of the join/copy
+ * operations — the drop-in property the paper's conclusion argues
+ * makes tree clocks attractive for online tools.
  */
 
 #ifndef TC_ANALYSIS_ONLINE_DETECTOR_HH

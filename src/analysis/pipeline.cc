@@ -1,0 +1,48 @@
+#include "analysis/pipeline.hh"
+
+#include "analysis/hb_engine.hh"
+#include "analysis/maz_engine.hh"
+#include "analysis/shb_engine.hh"
+#include "core/tree_clock.hh"
+#include "core/vector_clock.hh"
+
+namespace tc {
+
+namespace {
+
+template <typename ClockT>
+std::unique_ptr<AnalysisConsumer>
+makeForClock(const std::string &po, std::string name,
+             const EngineConfig &cfg)
+{
+    if (po == "hb") {
+        return std::make_unique<DriverConsumer<ClockT, HbPolicy>>(
+            std::move(name), cfg);
+    }
+    if (po == "shb") {
+        return std::make_unique<DriverConsumer<ClockT, ShbPolicy>>(
+            std::move(name), cfg);
+    }
+    if (po == "maz") {
+        return std::make_unique<DriverConsumer<ClockT, MazPolicy>>(
+            std::move(name), cfg);
+    }
+    return nullptr;
+}
+
+} // namespace
+
+std::unique_ptr<AnalysisConsumer>
+makeAnalysisConsumer(const std::string &po,
+                     const std::string &clock,
+                     const EngineConfig &cfg)
+{
+    std::string name = po + "/" + clock;
+    if (clock == "tc")
+        return makeForClock<TreeClock>(po, std::move(name), cfg);
+    if (clock == "vc")
+        return makeForClock<VectorClock>(po, std::move(name), cfg);
+    return nullptr;
+}
+
+} // namespace tc

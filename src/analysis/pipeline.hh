@@ -1,0 +1,182 @@
+/**
+ * @file
+ * One-pass multi-analysis fan-out.
+ *
+ * Decoding a trace costs as much as analyzing it (bench_streaming),
+ * so running HB, SHB and MAZ as three separate drains of the same
+ * file pays the I/O and decode three times. AnalysisPipeline drains
+ * one EventSource exactly once and feeds every event to N consumers
+ * — each an AnalysisDriver of some (partial order × clock) choice —
+ * producing the same per-driver results as N separate runs would
+ * (the pipeline test suite pins this).
+ *
+ * AnalysisConsumer is the type-erased face of the driver: begin()
+ * maps to AnalysisDriver::begin(), consume() to feed(), result() to
+ * result(). DriverConsumer adapts any driver instantiation; custom
+ * consumers (statistics, timestamp dumpers, ...) just implement the
+ * interface.
+ */
+
+#ifndef TC_ANALYSIS_PIPELINE_HH
+#define TC_ANALYSIS_PIPELINE_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analysis_driver.hh"
+
+namespace tc {
+
+/** One consumer of the shared event stream. */
+class AnalysisConsumer
+{
+  public:
+    virtual ~AnalysisConsumer() = default;
+
+    /** Label for reports ("hb/tc", "maz/vc", ...). */
+    virtual const std::string &name() const = 0;
+
+    /** A new stream starts; pre-size for its declared id spaces. */
+    virtual void begin(const SourceInfo &si) = 0;
+
+    /** One event, in stream order. */
+    virtual void consume(const Event &e) = 0;
+
+    /** Results accumulated so far (valid mid-stream and after). */
+    virtual EngineResult result() const = 0;
+};
+
+/**
+ * AnalysisConsumer over an AnalysisDriver instantiation. Owns its
+ * WorkCounters when the given config has no sink, so per-driver
+ * work is always separated even when many consumers share one
+ * stream.
+ */
+template <ClockLike ClockT, template <typename> class PolicyT>
+class DriverConsumer final : public AnalysisConsumer
+{
+  public:
+    explicit DriverConsumer(std::string name,
+                            EngineConfig cfg = {})
+        : name_(std::move(name)), driver_(patchConfig(
+              std::move(cfg), &work_, ownsCounters_))
+    {}
+
+    const std::string &name() const override { return name_; }
+
+    void
+    begin(const SourceInfo &si) override
+    {
+        // The driver treats counters as a caller-owned sink and
+        // never clears them; ours must cover one run, not the
+        // consumer's lifetime. Caller-provided sinks keep the
+        // driver's accumulate-across-runs semantics.
+        if (ownsCounters_)
+            work_ = WorkCounters{};
+        driver_.begin(si);
+    }
+
+    void consume(const Event &e) override { driver_.feed(e); }
+    EngineResult result() const override
+    {
+        return driver_.result();
+    }
+
+    AnalysisDriver<ClockT, PolicyT> &driver() { return driver_; }
+
+  private:
+    static EngineConfig
+    patchConfig(EngineConfig cfg, WorkCounters *own, bool &owns)
+    {
+        owns = cfg.counters == nullptr;
+        if (owns)
+            cfg.counters = own;
+        // Whole-trace validation needs the materialized event
+        // vector; the pipeline only ever sees a stream.
+        cfg.validate = false;
+        return cfg;
+    }
+
+    std::string name_;
+    WorkCounters work_;
+    bool ownsCounters_ = false;
+    AnalysisDriver<ClockT, PolicyT> driver_;
+};
+
+/** Per-consumer outcome of one pipeline pass. */
+struct AnalysisReport
+{
+    std::string name;
+    EngineResult result;
+};
+
+/**
+ * The fan-out itself: any number of consumers, one stream drain.
+ * Reusable — each run() begins every consumer anew.
+ */
+class AnalysisPipeline
+{
+  public:
+    /** Returns the pipeline for chained add().add().run(...). */
+    AnalysisPipeline &
+    add(std::unique_ptr<AnalysisConsumer> consumer)
+    {
+        consumers_.push_back(std::move(consumer));
+        return *this;
+    }
+
+    std::size_t size() const { return consumers_.size(); }
+    bool empty() const { return consumers_.empty(); }
+
+    /**
+     * Drain @p source from its current position through every
+     * consumer in one pass. As with AnalysisDriver::run, a source
+     * failing mid-stream stops the drain and the reports cover the
+     * consumed prefix — check source.failed() afterwards.
+     */
+    std::vector<AnalysisReport>
+    run(EventSource &source)
+    {
+        const SourceInfo si = source.info();
+        for (auto &c : consumers_)
+            c->begin(si);
+        Event buf[kDrainBatch];
+        std::size_t n;
+        while ((n = source.read(buf, kDrainBatch)) != 0) {
+            // Batch-major order: each consumer's clock bank stays
+            // cache-hot for the whole batch instead of being
+            // evicted N-1 times per event. Consumers are
+            // independent, so each still sees events in stream
+            // order — the per-event interleaving is unobservable.
+            for (auto &c : consumers_) {
+                for (std::size_t i = 0; i < n; i++)
+                    c->consume(buf[i]);
+            }
+        }
+        std::vector<AnalysisReport> reports;
+        reports.reserve(consumers_.size());
+        for (const auto &c : consumers_)
+            reports.push_back({c->name(), c->result()});
+        return reports;
+    }
+
+  private:
+    std::vector<std::unique_ptr<AnalysisConsumer>> consumers_;
+};
+
+/**
+ * Consumer for the (partial order, clock) pair named by strings
+ * (po: "hb" | "shb" | "maz", clock: "tc" | "vc") — the CLI face of
+ * the fan-out. Returns null for unknown names. The consumer is
+ * named "<po>/<clock>".
+ */
+std::unique_ptr<AnalysisConsumer>
+makeAnalysisConsumer(const std::string &po,
+                     const std::string &clock,
+                     const EngineConfig &cfg = {});
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_PIPELINE_HH

@@ -1,6 +1,7 @@
 #include "support/source_cli.hh"
 
 #include "gen/generator_source.hh"
+#include "trace/prefetch_source.hh"
 
 namespace tc {
 
@@ -8,7 +9,11 @@ void
 addTraceSourceFlags(ArgParser &args)
 {
     args.addString("trace", "",
-                   "trace file to analyze (.tct/.tcb)");
+                   "trace file to analyze (.tct/.tcb, or any "
+                   ".tcs member of a sharded capture)");
+    args.addBool("prefetch", false,
+                 "decode --trace on a background reader thread "
+                 "(double-buffered windows)");
     args.addBool("generate", false, "generate a synthetic trace");
     args.addInt("threads", 16, "threads for --generate");
     args.addInt("locks", 16, "locks for --generate");
@@ -35,8 +40,14 @@ traceParamsFromFlags(const ArgParser &args)
 std::unique_ptr<EventSource>
 makeEventSource(const ArgParser &args)
 {
-    if (!args.getString("trace").empty())
-        return openTraceFile(args.getString("trace"));
+    if (!args.getString("trace").empty()) {
+        auto source = openTraceFile(args.getString("trace"));
+        // Prefetch pays off where there is decode + I/O to hide;
+        // generated sources below have neither.
+        if (args.getBool("prefetch") && !source->failed())
+            source = makePrefetchSource(std::move(source));
+        return source;
+    }
     if (args.getBool("generate"))
         return makeRandomTraceSource(traceParamsFromFlags(args));
     return nullptr;

@@ -27,8 +27,10 @@ RandomTraceParams traceParamsFromFlags(const ArgParser &args);
 
 /**
  * Build the EventSource the parsed flags describe:
- *  --trace=FILE     a chunked streaming file reader (text/binary by
- *                   extension; never materializes the event vector);
+ *  --trace=FILE     a chunked streaming file reader (text/binary/
+ *                   shard set by extension; never materializes the
+ *                   event vector), wrapped in an asynchronous
+ *                   double-buffering decorator under --prefetch;
  *  --generate       a generated synthetic workload.
  * Returns a source in the failed() state on open/parse errors, and
  * null only when neither input flag was given.

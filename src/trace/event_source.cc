@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "support/strings.hh"
+#include "trace/shard.hh"
 
 namespace tc {
 
@@ -336,15 +337,23 @@ makeBinaryEventSource(std::istream &is, std::size_t window)
 }
 
 std::unique_ptr<EventSource>
+makeFailedSource(std::string message)
+{
+    return std::make_unique<FailedSource>(std::move(message));
+}
+
+std::unique_ptr<EventSource>
 openTraceFile(const std::string &path, std::size_t window)
 {
+    if (isShardPath(path))
+        return openShardMember(path, window);
     const bool binary =
         path.size() >= 4 &&
         path.compare(path.size() - 4, 4, ".tcb") == 0;
     auto is = std::make_unique<std::ifstream>(
         path, binary ? std::ios::binary : std::ios::in);
     if (!*is) {
-        return std::make_unique<FailedSource>(
+        return makeFailedSource(
             strFormat("cannot open '%s'", path.c_str()));
     }
     if (binary) {

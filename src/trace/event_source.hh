@@ -16,6 +16,12 @@
  *                           and .tcb formats (see trace_io.hh); the
  *                           whole-file loaders in trace_io are thin
  *                           drains of these.
+ *  - shard merge          — trace/shard.hh K-way-merges a sharded
+ *                           capture (.tcs set) back into the total
+ *                           order.
+ *  - prefetch decorator   — trace/prefetch_source.hh wraps any
+ *                           source with a background reader thread
+ *                           (double-buffered windows).
  *  - generator sources    — src/gen/generator_source.hh wraps the
  *                           synthetic generators.
  */
@@ -74,6 +80,24 @@ class EventSource
     /** Produce the next event. Returns false at end of stream or on
      * error (check failed()). */
     virtual bool next(Event &out) = 0;
+
+    /**
+     * Produce up to @p max events into @p out; returns how many
+     * were produced, 0 at end of stream or on error (check
+     * failed()). Semantically identical to calling next() in a
+     * loop — that is the default implementation — but overridable
+     * so buffered sources (prefetch, in particular) can hand out
+     * whole windows without a virtual call per event. Hot drains
+     * (AnalysisDriver::run, AnalysisPipeline) pull through this.
+     */
+    virtual std::size_t
+    read(Event *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            n++;
+        return n;
+    }
 
     /** Rewind to the first event. Returns false when the underlying
      * stream cannot seek. */
@@ -165,14 +189,20 @@ makeBinaryEventSource(std::istream &is,
 
 /**
  * Open a trace file as a chunked streaming source; format chosen by
- * extension (".tcb" binary, anything else text), matching
- * loadTrace(). The returned source owns the file stream. On open or
- * header failure the source is returned in the failed() state (never
- * null).
+ * extension: ".tcb" binary, ".tcs" a shard-set member (the whole
+ * set opens, merged back into capture order — see trace/shard.hh),
+ * anything else text, matching loadTrace(). The returned source
+ * owns the file stream(s). On open or header failure the source is
+ * returned in the failed() state (never null).
  */
 std::unique_ptr<EventSource>
 openTraceFile(const std::string &path,
               std::size_t window = kDefaultSourceWindow);
+
+/** A source that is born failed() with @p message — for factories
+ * that must report "could not even open the input" through the
+ * EventSource error channel. */
+std::unique_ptr<EventSource> makeFailedSource(std::string message);
 
 } // namespace tc
 

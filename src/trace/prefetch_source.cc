@@ -1,0 +1,239 @@
+#include "trace/prefetch_source.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tc {
+
+namespace {
+
+/**
+ * The decorator. One background thread pulls from the inner source
+ * into buffers of `window` events; the consumer swaps filled
+ * buffers in through a bounded queue of `depth`. All coordination
+ * goes through one mutex — the lock is taken once per *window*, not
+ * per event, so the synchronization cost is amortized to nothing
+ * against the decode work it hides.
+ */
+class PrefetchEventSource final : public EventSource
+{
+  public:
+    PrefetchEventSource(std::unique_ptr<EventSource> inner,
+                        std::size_t window, std::size_t depth)
+        : inner_(std::move(inner)),
+          window_(window == 0 ? 1 : window),
+          depth_(depth == 0 ? 1 : depth)
+    {
+        info_ = inner_->info();
+        if (inner_->failed()) {
+            fail(inner_->errorLine(), inner_->error());
+            return;
+        }
+        start();
+    }
+
+    ~PrefetchEventSource() override { stop(); }
+
+    SourceInfo info() const override { return info_; }
+
+    bool
+    next(Event &out) override
+    {
+        if (failed())
+            return false;
+        if (pos_ >= current_.size() && !swapIn())
+            return false;
+        out = current_[pos_++];
+        return true;
+    }
+
+    /** Bulk hand-off: this is where the decorator earns its keep —
+     * the consumer takes an entire prefetched window with one
+     * virtual call and a memcpy-grade copy. */
+    std::size_t
+    read(Event *out, std::size_t max) override
+    {
+        if (failed())
+            return 0;
+        std::size_t produced = 0;
+        while (produced < max) {
+            if (pos_ >= current_.size() && !swapIn())
+                break;
+            const std::size_t take =
+                std::min(max - produced, current_.size() - pos_);
+            std::copy_n(current_.data() + pos_, take,
+                        out + produced);
+            pos_ += take;
+            produced += take;
+        }
+        return produced;
+    }
+
+    bool
+    rewind() override
+    {
+        stop();
+        current_.clear();
+        pos_ = 0;
+        // Clear our error only once the inner source actually
+        // rewound: a failed rewind must leave the source unable to
+        // produce (stop() left done_ set, so next() returns false
+        // instead of waiting for a reader that is not running).
+        if (!inner_->rewind())
+            return false;
+        if (inner_->failed()) {
+            fail(inner_->errorLine(), inner_->error());
+            return false;
+        }
+        clearError();
+        start();
+        return true;
+    }
+
+  private:
+    void
+    start()
+    {
+        done_ = false;
+        reader_ = std::thread([this] { readerLoop(); });
+    }
+
+    /** Join the reader and reset the queue so start() can run
+     * again (rewind) or the object can die (destructor). */
+    void
+    stop()
+    {
+        if (!reader_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopRequested_ = true;
+        }
+        spaceAvailable_.notify_all();
+        reader_.join();
+        full_.clear();
+        spare_.clear();
+        done_ = true; // no producer running — swapIn must not wait
+        stopRequested_ = false;
+        innerError_.clear();
+        innerErrorLine_ = 0;
+    }
+
+    /**
+     * Consumer side: recycle the drained buffer, block until the
+     * reader publishes the next one (or the end). Returns false at
+     * end of stream, after propagating any inner-source error.
+     */
+    bool
+    swapIn()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        dataAvailable_.wait(
+            lock, [this] { return !full_.empty() || done_; });
+        if (full_.empty()) {
+            if (!innerError_.empty())
+                fail(innerErrorLine_, innerError_);
+            return false;
+        }
+        // Hand the drained buffer's capacity back to the reader.
+        spare_.push_back(std::move(current_));
+        current_ = std::move(full_.front());
+        full_.pop_front();
+        pos_ = 0;
+        spaceAvailable_.notify_one();
+        return true;
+    }
+
+    /** Reader thread: decode up to `window` events per buffer,
+     * publish, block while `depth` buffers are already waiting. */
+    void
+    readerLoop()
+    {
+        for (;;) {
+            std::vector<Event> buf;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                spaceAvailable_.wait(lock, [this] {
+                    return stopRequested_ ||
+                           full_.size() < depth_;
+                });
+                if (stopRequested_)
+                    return;
+                if (!spare_.empty()) {
+                    buf = std::move(spare_.back());
+                    spare_.pop_back();
+                }
+            }
+            buf.resize(window_);
+            // read() may return short without being at the end
+            // ("up to max"); only a zero-length read means the
+            // stream is done.
+            std::size_t filled = 0;
+            while (filled < window_) {
+                const std::size_t got = inner_->read(
+                    buf.data() + filled, window_ - filled);
+                if (got == 0)
+                    break;
+                filled += got;
+            }
+            buf.resize(filled);
+            const bool end = filled < window_;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!buf.empty())
+                    full_.push_back(std::move(buf));
+                if (end) {
+                    done_ = true;
+                    if (inner_->failed()) {
+                        innerError_ = inner_->error();
+                        innerErrorLine_ = inner_->errorLine();
+                    }
+                }
+            }
+            dataAvailable_.notify_one();
+            if (end)
+                return;
+        }
+    }
+
+    std::unique_ptr<EventSource> inner_;
+    SourceInfo info_;
+    std::size_t window_;
+    std::size_t depth_;
+
+    /** Consumer-only state: the buffer being drained. */
+    std::vector<Event> current_;
+    std::size_t pos_ = 0;
+
+    /** Shared state, all guarded by mutex_. */
+    std::mutex mutex_;
+    std::condition_variable dataAvailable_;
+    std::condition_variable spaceAvailable_;
+    std::deque<std::vector<Event>> full_;
+    std::vector<std::vector<Event>> spare_;
+    /** "No producer will publish more" — true whenever no reader
+     * thread is running, so a consumer can never wait forever. */
+    bool done_ = true;
+    bool stopRequested_ = false;
+    std::string innerError_;
+    std::size_t innerErrorLine_ = 0;
+
+    std::thread reader_;
+};
+
+} // namespace
+
+std::unique_ptr<EventSource>
+makePrefetchSource(std::unique_ptr<EventSource> inner,
+                   std::size_t window, std::size_t depth)
+{
+    return std::make_unique<PrefetchEventSource>(std::move(inner),
+                                                 window, depth);
+}
+
+} // namespace tc

@@ -1,0 +1,593 @@
+#include "trace/shard.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "support/strings.hh"
+
+namespace tc {
+
+namespace {
+
+constexpr char kShardMagic[6] = {'T', 'C', 'S', 'H', '1', '\0'};
+
+/** Fixed-width header: magic, then shardIndex, shardCount, threads,
+ * locks, vars (u32 each), then shardEvents, totalEvents (u64 each).
+ * The two counts are written as kUnknownEventCount placeholders and
+ * patched by ShardWriter::finalize(), so readers can tell a crashed
+ * capture from a finalized one. */
+constexpr std::size_t kCountsOffset =
+    sizeof(kShardMagic) + 5 * sizeof(std::uint32_t);
+constexpr std::size_t kShardHeaderBytes =
+    kCountsOffset + 2 * sizeof(std::uint64_t);
+
+/** On-wire bytes per shard record: u64 global sequence number, then
+ * the binary event encoding (i32 tid, u32 target, u8 op). */
+constexpr std::size_t kShardRecordBytes = 17;
+
+struct ShardHeader
+{
+    std::uint32_t index = 0;
+    std::uint32_t count = 0;
+    std::uint32_t threads = 0;
+    std::uint32_t locks = 0;
+    std::uint32_t vars = 0;
+    std::uint64_t shardEvents = 0;
+    std::uint64_t totalEvents = 0;
+};
+
+void
+writeShardHeader(std::ostream &os, const ShardHeader &h)
+{
+    os.write(kShardMagic, sizeof(kShardMagic));
+    const std::uint32_t words[5] = {h.index, h.count, h.threads,
+                                    h.locks, h.vars};
+    os.write(reinterpret_cast<const char *>(words), sizeof(words));
+    const std::uint64_t counts[2] = {h.shardEvents, h.totalEvents};
+    os.write(reinterpret_cast<const char *>(counts),
+             sizeof(counts));
+}
+
+bool
+readShardHeader(std::istream &is, ShardHeader &h)
+{
+    char magic[sizeof(kShardMagic)];
+    if (!is.read(magic, sizeof(magic)) ||
+        std::memcmp(magic, kShardMagic, sizeof(kShardMagic)) != 0)
+        return false;
+    std::uint32_t words[5];
+    std::uint64_t counts[2];
+    if (!is.read(reinterpret_cast<char *>(words), sizeof(words)) ||
+        !is.read(reinterpret_cast<char *>(counts), sizeof(counts)))
+        return false;
+    h.index = words[0];
+    h.count = words[1];
+    h.threads = words[2];
+    h.locks = words[3];
+    h.vars = words[4];
+    h.shardEvents = counts[0];
+    h.totalEvents = counts[1];
+    return true;
+}
+
+/**
+ * Windowed reader over one shard file. Not an EventSource itself —
+ * it surfaces (seq, event) heads for the merger and keeps at most
+ * `window` raw records in memory, mirroring BinaryEventSource.
+ */
+class ShardReader
+{
+  public:
+    ShardReader(std::string path, std::size_t window)
+        : path_(std::move(path)), window_(window == 0 ? 1 : window)
+    {
+        open();
+    }
+
+    bool ok() const { return error_.empty(); }
+    const std::string &error() const { return error_; }
+    const ShardHeader &header() const { return header_; }
+    const std::string &path() const { return path_; }
+
+    /** A head is loaded and neither exhausted nor failed. */
+    bool hasHead() const { return hasHead_; }
+    std::uint64_t headSeq() const { return headSeq_; }
+    const Event &headEvent() const { return headEvent_; }
+
+    /** Load the next record into the head slot. After this returns
+     * false, ok() distinguishes clean exhaustion from corruption. */
+    bool
+    advance()
+    {
+        hasHead_ = false;
+        if (!ok())
+            return false;
+        if (bufPos_ >= bufCount_ && !refill())
+            return false;
+        const unsigned char *p =
+            buf_.data() + bufPos_ * kShardRecordBytes;
+        std::uint64_t seq;
+        std::int32_t tid;
+        std::uint32_t target;
+        std::memcpy(&seq, p, sizeof(seq));
+        std::memcpy(&tid, p + 8, sizeof(tid));
+        std::memcpy(&target, p + 12, sizeof(target));
+        const std::uint8_t op = p[16];
+        bufPos_++;
+        delivered_++;
+        if (op > static_cast<std::uint8_t>(OpType::Join) ||
+            tid < 0 ||
+            target > static_cast<std::uint32_t>(
+                         std::numeric_limits<std::int32_t>::max())) {
+            setError(strFormat("%s: corrupt record at event %llu",
+                               path_.c_str(),
+                               static_cast<unsigned long long>(
+                                   delivered_ - 1)));
+            return false;
+        }
+        if (delivered_ > 1 && seq <= lastSeq_) {
+            setError(strFormat(
+                "%s: sequence numbers not increasing at event %llu",
+                path_.c_str(),
+                static_cast<unsigned long long>(delivered_ - 1)));
+            return false;
+        }
+        lastSeq_ = seq;
+        headSeq_ = seq;
+        headEvent_ = Event(static_cast<Tid>(tid),
+                           static_cast<OpType>(op), target);
+        hasHead_ = true;
+        return true;
+    }
+
+    bool
+    rewind()
+    {
+        is_.clear();
+        if (!is_.seekg(static_cast<std::streamoff>(
+                kShardHeaderBytes)))
+            return false;
+        delivered_ = 0;
+        bufPos_ = bufCount_ = 0;
+        hasHead_ = false;
+        error_.clear();
+        return true;
+    }
+
+  private:
+    void
+    open()
+    {
+        is_.open(path_, std::ios::binary);
+        if (!is_) {
+            setError(strFormat("cannot open '%s'", path_.c_str()));
+            return;
+        }
+        if (!readShardHeader(is_, header_)) {
+            setError(strFormat("%s: bad shard header",
+                               path_.c_str()));
+            return;
+        }
+        if (header_.shardEvents == kUnknownEventCount ||
+            header_.totalEvents == kUnknownEventCount) {
+            setError(strFormat(
+                "%s: shard was never finalized (crashed capture?)",
+                path_.c_str()));
+            return;
+        }
+        if (header_.count == 0 ||
+            header_.index >= header_.count) {
+            setError(strFormat("%s: invalid shard index %u of %u",
+                               path_.c_str(), header_.index,
+                               header_.count));
+        }
+    }
+
+    bool
+    refill()
+    {
+        if (delivered_ >= header_.shardEvents)
+            return false;
+        const std::uint64_t remaining =
+            header_.shardEvents - delivered_;
+        const std::size_t want = static_cast<std::size_t>(
+            remaining < window_ ? remaining : window_);
+        buf_.resize(want * kShardRecordBytes);
+        is_.read(reinterpret_cast<char *>(buf_.data()),
+                 static_cast<std::streamsize>(buf_.size()));
+        const auto got = static_cast<std::size_t>(is_.gcount());
+        bufCount_ = got / kShardRecordBytes;
+        bufPos_ = 0;
+        if (bufCount_ == 0 || got % kShardRecordBytes != 0) {
+            setError(strFormat(
+                "%s: truncated shard at event %llu", path_.c_str(),
+                static_cast<unsigned long long>(
+                    delivered_ + bufCount_)));
+            return false;
+        }
+        return true;
+    }
+
+    void setError(std::string msg) { error_ = std::move(msg); }
+
+    std::string path_;
+    std::string error_;
+    std::ifstream is_;
+    ShardHeader header_;
+    std::size_t window_;
+    std::vector<unsigned char> buf_;
+    std::size_t bufPos_ = 0;
+    std::size_t bufCount_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t lastSeq_ = 0;
+    std::uint64_t headSeq_ = 0;
+    Event headEvent_;
+    bool hasHead_ = false;
+};
+
+/**
+ * K-way merge of shard readers on global sequence numbers. With
+ * capture-sized K a linear min scan beats a heap (no allocation, no
+ * pointer chasing); each next() is one scan over ≤ K loaded heads.
+ */
+class MergingEventSource final : public EventSource
+{
+  public:
+    MergingEventSource(const std::string &prefix,
+                       std::size_t window)
+    {
+        // Shard 0 names the set: its header carries the count.
+        readers_.push_back(std::make_unique<ShardReader>(
+            shardPath(prefix, 0), window));
+        if (!checkReader(*readers_[0]))
+            return;
+        const ShardHeader &first = readers_[0]->header();
+        for (std::uint32_t i = 1; i < first.count; i++) {
+            readers_.push_back(std::make_unique<ShardReader>(
+                shardPath(prefix, i), window));
+            if (!checkReader(*readers_.back()))
+                return;
+        }
+        std::uint64_t sum = 0;
+        for (const auto &r : readers_) {
+            const ShardHeader &h = r->header();
+            if (h.count != first.count ||
+                h.threads != first.threads ||
+                h.locks != first.locks || h.vars != first.vars ||
+                h.totalEvents != first.totalEvents ||
+                h.index != static_cast<std::uint32_t>(
+                               &r - readers_.data())) {
+                rejectSet(strFormat(
+                    "%s: header disagrees with its shard set",
+                    r->path().c_str()));
+                return;
+            }
+            sum += h.shardEvents;
+        }
+        if (sum != first.totalEvents) {
+            rejectSet(strFormat(
+                "shard set '%s': per-shard counts sum to %llu "
+                "but total is %llu",
+                prefix.c_str(),
+                static_cast<unsigned long long>(sum),
+                static_cast<unsigned long long>(
+                    first.totalEvents)));
+            return;
+        }
+        info_.threads = static_cast<Tid>(first.threads);
+        info_.locks = static_cast<LockId>(first.locks);
+        info_.vars = static_cast<VarId>(first.vars);
+        info_.events = first.totalEvents;
+        loadHeads();
+    }
+
+    SourceInfo info() const override { return info_; }
+
+    /** Declared size of the set (0 when construction failed before
+     * shard 0's header was read). */
+    std::uint32_t
+    shardCount() const
+    {
+        return readers_.empty() || !readers_[0]->ok()
+                   ? 0
+                   : readers_[0]->header().count;
+    }
+
+    bool
+    next(Event &out) override
+    {
+        if (failed())
+            return false;
+        if (!pendingError_.empty()) {
+            // A reader broke while advancing past the previously
+            // delivered event; that event was still valid, so the
+            // failure surfaces here, one call later.
+            fail(0, pendingError_);
+            return false;
+        }
+        ShardReader *min = nullptr;
+        for (const auto &r : readers_) {
+            if (r->hasHead() &&
+                (min == nullptr || r->headSeq() < min->headSeq()))
+                min = r.get();
+        }
+        if (min == nullptr)
+            return false; // every shard cleanly exhausted
+        out = min->headEvent();
+        min->advance();
+        if (!min->ok())
+            pendingError_ = min->error();
+        return true;
+    }
+
+    bool
+    rewind() override
+    {
+        // A set rejected at open time (crashed capture, header
+        // disagreement, ...) stays rejected: clearing those errors
+        // would stream the very data the checks refused, since
+        // they only run at construction.
+        if (rejected_)
+            return false;
+        for (const auto &r : readers_) {
+            if (!r->rewind()) {
+                // A partial rewind leaves rewound and mid-stream
+                // readers mixed; fail the source so a caller that
+                // ignores our return value cannot keep draining a
+                // scrambled order.
+                fail(0, strFormat("%s: rewind failed",
+                                  r->path().c_str()));
+                return false;
+            }
+        }
+        clearError();
+        pendingError_.clear();
+        loadHeads();
+        return !failed();
+    }
+
+  private:
+    bool
+    checkReader(const ShardReader &r)
+    {
+        if (r.ok())
+            return true;
+        rejectSet(r.error());
+        return false;
+    }
+
+    /** A construction-time failure; unlike mid-stream I/O errors
+     * it survives rewind(). */
+    void
+    rejectSet(std::string message)
+    {
+        rejected_ = true;
+        fail(0, std::move(message));
+    }
+
+    void
+    loadHeads()
+    {
+        for (const auto &r : readers_) {
+            r->advance();
+            if (!r->ok()) {
+                fail(0, r->error());
+                return;
+            }
+        }
+    }
+
+    std::vector<std::unique_ptr<ShardReader>> readers_;
+    SourceInfo info_;
+    std::string pendingError_;
+    bool rejected_ = false;
+};
+
+} // namespace
+
+std::string
+shardPath(const std::string &prefix, std::uint32_t index)
+{
+    return strFormat("%s.%u.tcs", prefix.c_str(), index);
+}
+
+bool
+isShardPath(const std::string &path)
+{
+    return path.size() >= 4 &&
+           path.compare(path.size() - 4, 4, ".tcs") == 0;
+}
+
+std::uint32_t
+shardSetCount(const std::string &prefix)
+{
+    std::ifstream is(shardPath(prefix, 0), std::ios::binary);
+    ShardHeader h;
+    if (!is || !readShardHeader(is, h))
+        return 0;
+    return h.count;
+}
+
+bool
+parseShardPath(const std::string &path, std::string &prefix,
+               std::uint32_t &index)
+{
+    if (!isShardPath(path))
+        return false;
+    const std::size_t digits_end = path.size() - 4;
+    std::size_t digits_begin = digits_end;
+    while (digits_begin > 0 &&
+           std::isdigit(static_cast<unsigned char>(
+               path[digits_begin - 1])))
+        digits_begin--;
+    if (digits_begin == digits_end || digits_begin < 2 ||
+        path[digits_begin - 1] != '.')
+        return false;
+    const std::size_t digits = digits_end - digits_begin;
+    // Only the canonical shardPath() spelling decomposes: leading
+    // zeros ("cap.00.tcs") or overflowing indices would parse to
+    // an index naming a *different* file than the one given,
+    // defeating the stale-member check in openShardMember().
+    if (digits > 9 ||
+        (digits > 1 && path[digits_begin] == '0'))
+        return false;
+    prefix = path.substr(0, digits_begin - 1);
+    index = static_cast<std::uint32_t>(std::strtoul(
+        path.substr(digits_begin, digits_end - digits_begin)
+            .c_str(),
+        nullptr, 10));
+    return true;
+}
+
+ShardWriter::ShardWriter(const std::string &prefix,
+                         std::uint32_t shards,
+                         const SourceInfo &info)
+{
+    if (shards == 0)
+        shards = 1;
+    ShardHeader h;
+    h.count = shards;
+    h.threads = static_cast<std::uint32_t>(info.threads);
+    h.locks = static_cast<std::uint32_t>(info.locks);
+    h.vars = static_cast<std::uint32_t>(info.vars);
+    h.shardEvents = kUnknownEventCount;
+    h.totalEvents = kUnknownEventCount;
+    shards_.resize(shards);
+    for (std::uint32_t i = 0; i < shards; i++) {
+        const std::string path = shardPath(prefix, i);
+        shards_[i].os.open(path, std::ios::binary);
+        if (!shards_[i].os) {
+            failed_ = true;
+            error_ = strFormat("cannot write '%s'", path.c_str());
+            return;
+        }
+        h.index = i;
+        writeShardHeader(shards_[i].os, h);
+    }
+}
+
+ShardWriter::~ShardWriter() = default;
+
+bool
+ShardWriter::append(const Event &e)
+{
+    if (finalized_) {
+        // finalize() left the put positions on the header counts;
+        // writing a record now would corrupt the files.
+        failed_ = true;
+        error_ = "append after finalize";
+        return false;
+    }
+    if (failed_)
+        return false;
+    Shard &shard =
+        shards_[static_cast<std::size_t>(e.tid) % shards_.size()];
+    const std::uint64_t seq = nextSeq_++;
+    const std::int32_t tid = e.tid;
+    const std::uint32_t target = e.target;
+    const std::uint8_t op = static_cast<std::uint8_t>(e.op);
+    shard.os.write(reinterpret_cast<const char *>(&seq),
+                   sizeof(seq));
+    shard.os.write(reinterpret_cast<const char *>(&tid),
+                   sizeof(tid));
+    shard.os.write(reinterpret_cast<const char *>(&target),
+                   sizeof(target));
+    shard.os.write(reinterpret_cast<const char *>(&op),
+                   sizeof(op));
+    shard.events++;
+    if (!shard.os) {
+        failed_ = true;
+        error_ = "I/O error while writing shard";
+        return false;
+    }
+    return true;
+}
+
+bool
+ShardWriter::finalize()
+{
+    if (failed_ || finalized_)
+        return !failed_ && finalized_;
+    for (Shard &shard : shards_) {
+        const std::uint64_t counts[2] = {shard.events, nextSeq_};
+        shard.os.seekp(
+            static_cast<std::streamoff>(kCountsOffset));
+        shard.os.write(reinterpret_cast<const char *>(counts),
+                       sizeof(counts));
+        shard.os.flush();
+        if (!shard.os) {
+            failed_ = true;
+            error_ = "I/O error while finalizing shard";
+            return false;
+        }
+    }
+    finalized_ = true;
+    return true;
+}
+
+std::uint64_t
+splitTraceStream(EventSource &source, const std::string &prefix,
+                 std::uint32_t shards, std::string *error)
+{
+    ShardWriter writer(prefix, shards, source.info());
+    Event buf[256];
+    std::size_t n;
+    while (!writer.failed() &&
+           (n = source.read(buf, sizeof(buf) / sizeof(buf[0]))) !=
+               0) {
+        for (std::size_t i = 0; i < n; i++)
+            writer.append(buf[i]);
+    }
+    if (!source.failed() && !writer.failed() &&
+        writer.finalize())
+        return writer.eventsWritten();
+    if (error != nullptr) {
+        *error = source.failed() ? source.error()
+                                 : writer.error();
+    }
+    // Never leave unfinalized sentinel shards behind: they shadow
+    // (and may have truncated) whatever set previously lived at
+    // this prefix, and readers misreport them as a crashed
+    // capture.
+    for (std::uint32_t i = 0; i < writer.shardCount(); i++)
+        std::remove(shardPath(prefix, i).c_str());
+    return kUnknownEventCount;
+}
+
+std::unique_ptr<EventSource>
+openShardSet(const std::string &prefix, std::size_t window)
+{
+    return std::make_unique<MergingEventSource>(prefix, window);
+}
+
+std::unique_ptr<EventSource>
+openShardMember(const std::string &path, std::size_t window)
+{
+    std::string prefix;
+    std::uint32_t index = 0;
+    if (!parseShardPath(path, prefix, index)) {
+        return makeFailedSource(
+            strFormat("'%s' is not a shard-set member "
+                      "(want <prefix>.<index>.tcs)",
+                      path.c_str()));
+    }
+    auto merged =
+        std::make_unique<MergingEventSource>(prefix, window);
+    // The named member must belong to the set that shard 0's
+    // header describes — a stale higher-numbered file from an
+    // earlier, wider split would otherwise be silently *excluded*
+    // from the very stream the user named it to select.
+    if (!merged->failed() && index >= merged->shardCount()) {
+        return makeFailedSource(strFormat(
+            "'%s' is not a member of its shard set (set has %u "
+            "shards; stale file from an earlier split?)",
+            path.c_str(), merged->shardCount()));
+    }
+    return merged;
+}
+
+} // namespace tc

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Sharded trace capture: per-thread shard files that K-way-merge
+ * back into the canonical total order.
+ *
+ * A production tracer wants one log per capturing thread (no global
+ * lock on the event log), but every analysis in this repository
+ * consumes the one total order the execution actually had. The shard
+ * format keeps both: `split` routes each event to the shard file of
+ * its thread (tid mod K) and stamps it with its *global* sequence
+ * number, so a later K-way merge on those sequence numbers restores
+ * the original interleaving exactly.
+ *
+ * Shard set on disk: `<prefix>.0.tcs`, ..., `<prefix>.K-1.tcs`.
+ * Every shard header carries the shard count, so any one member
+ * names the whole set. Shard records are strictly increasing in
+ * sequence number within a shard; across the set the numbers are the
+ * events' positions in the captured total order (they need not be
+ * dense — merging a projection of a set is well defined).
+ *
+ * Layers on top:
+ *  - ShardWriter          — routes an event stream into K shard
+ *                           files (the capture side).
+ *  - MergingEventSource   — an EventSource that merges K shard
+ *                           readers back into sequence order (the
+ *                           analysis side); openTraceFile() opens
+ *                           any `.tcs` member as the merged set, so
+ *                           every tool that reads traces reads
+ *                           shard sets too.
+ *  - trace_tool split/merge — the CLI over both.
+ */
+
+#ifndef TC_TRACE_SHARD_HH
+#define TC_TRACE_SHARD_HH
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/event_source.hh"
+
+namespace tc {
+
+/** Default shard count of `trace_tool split` (capture threads on a
+ * typical production host, not a correctness knob). */
+inline constexpr std::uint32_t kDefaultShardCount = 4;
+
+/** Path of shard @p index of the set named by @p prefix. */
+std::string shardPath(const std::string &prefix,
+                      std::uint32_t index);
+
+/** True when @p path carries the shard-set extension (`.tcs`) —
+ * the one predicate behind every extension dispatch, so readers
+ * and writers cannot disagree on what counts as a shard file. */
+bool isShardPath(const std::string &path);
+
+/** True when @p path names a shard-set member (`<prefix>.<i>.tcs`);
+ * on success @p prefix and @p index receive the decomposition. */
+bool parseShardPath(const std::string &path, std::string &prefix,
+                    std::uint32_t &index);
+
+/** Shard count declared by shard 0 of the set at @p prefix, or 0
+ * when that header is missing or unreadable. Lets tools enumerate
+ * the set's member files (e.g. for overwrite guards) without
+ * opening the whole set. */
+std::uint32_t shardSetCount(const std::string &prefix);
+
+/**
+ * Capture side of the shard format: routes events to K shard files
+ * by thread id and stamps each with the next global sequence
+ * number. Headers carry sentinel counts until finalize() patches in
+ * the real ones — a writer that is destroyed without a successful
+ * finalize() leaves the sentinel behind, which readers reject, so a
+ * crashed capture can not be mistaken for a (possibly empty)
+ * complete one.
+ */
+class ShardWriter
+{
+  public:
+    /** Open `<prefix>.<i>.tcs` for i in [0, shards); id-space
+     * bounds come from @p info (event count is ignored — the
+     * writer counts for itself). Check failed() before appending. */
+    ShardWriter(const std::string &prefix, std::uint32_t shards,
+                const SourceInfo &info);
+    ~ShardWriter();
+
+    ShardWriter(const ShardWriter &) = delete;
+    ShardWriter &operator=(const ShardWriter &) = delete;
+
+    /** Route one event to its shard; sequence numbers are assigned
+     * in call order. Returns false once the writer has failed. */
+    bool append(const Event &e);
+
+    /** Patch every shard header with the final per-shard and total
+     * event counts and flush. Returns false on I/O failure. */
+    bool finalize();
+
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+    std::uint64_t eventsWritten() const { return nextSeq_; }
+    std::uint32_t shardCount() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+
+  private:
+    struct Shard
+    {
+        std::ofstream os;
+        std::uint64_t events = 0;
+    };
+
+    std::vector<Shard> shards_;
+    std::uint64_t nextSeq_ = 0;
+    bool failed_ = false;
+    bool finalized_ = false;
+    std::string error_;
+};
+
+/**
+ * Drain @p source into a K-shard set at @p prefix (capture
+ * simulation / re-sharding of an existing trace). Returns the
+ * number of events written, or kUnknownEventCount on failure (check
+ * source.failed() to tell a reader error from a writer error).
+ */
+std::uint64_t splitTraceStream(EventSource &source,
+                               const std::string &prefix,
+                               std::uint32_t shards,
+                               std::string *error = nullptr);
+
+/**
+ * Open the shard set named by @p prefix as one EventSource that
+ * yields the canonical total order (a K-way merge on global
+ * sequence numbers). Each underlying reader holds at most
+ * @p window records in memory. Never null; open/header/consistency
+ * failures surface through the failed() state.
+ */
+std::unique_ptr<EventSource>
+openShardSet(const std::string &prefix,
+             std::size_t window = kDefaultSourceWindow);
+
+/**
+ * Open the shard set that member file @p path belongs to (the
+ * `openTraceFile` path for `.tcs` inputs). Fails when @p path does
+ * not parse as `<prefix>.<index>.tcs` or when its index lies
+ * outside the set declared by the headers — a stale member from an
+ * earlier, wider split must not silently open a set that excludes
+ * it.
+ */
+std::unique_ptr<EventSource>
+openShardMember(const std::string &path,
+                std::size_t window = kDefaultSourceWindow);
+
+} // namespace tc
+
+#endif // TC_TRACE_SHARD_HH

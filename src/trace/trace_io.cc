@@ -6,6 +6,7 @@
 
 #include "support/strings.hh"
 #include "trace/event_source.hh"
+#include "trace/shard.hh"
 
 namespace tc {
 
@@ -116,6 +117,10 @@ readTraceBinary(std::istream &is)
 bool
 saveTrace(const Trace &trace, const std::string &path)
 {
+    // Shard sets are written only by trace/shard.hh; falling back
+    // to the text format would produce a .tcs no reader accepts.
+    if (isShardPath(path))
+        return false;
     const bool binary = path.size() >= 4 &&
                         path.compare(path.size() - 4, 4, ".tcb") == 0;
     std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
@@ -137,6 +142,8 @@ loadTrace(const std::string &path)
 bool
 saveTraceStream(EventSource &source, const std::string &path)
 {
+    if (isShardPath(path))
+        return false;
     const bool binary = path.size() >= 4 &&
                         path.compare(path.size() - 4, 4, ".tcb") == 0;
     std::ofstream os(path, binary ? std::ios::binary : std::ios::out);

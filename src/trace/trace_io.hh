@@ -46,7 +46,9 @@ bool writeTraceBinary(const Trace &trace, std::ostream &os);
 ParseResult readTraceBinary(std::istream &is);
 
 /** Convenience file wrappers; format chosen by extension
- * (".tcb" binary, anything else text). */
+ * (".tcb" binary, anything else text — except ".tcs", which names
+ * shard sets that only trace/shard.hh writes; saving to one is
+ * refused). */
 bool saveTrace(const Trace &trace, const std::string &path);
 ParseResult loadTrace(const std::string &path);
 

@@ -14,6 +14,7 @@
 
 #include "gen/generator_source.hh"
 #include "gen/random_trace.hh"
+#include "test_helpers.hh"
 #include "trace/event_source.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_stats.hh"
@@ -41,15 +42,7 @@ expectSameEvents(const Trace &expected, EventSource &source)
     EXPECT_EQ(si.threads, expected.numThreads());
     EXPECT_EQ(si.locks, expected.numLocks());
     EXPECT_EQ(si.vars, expected.numVars());
-    Event e;
-    std::size_t i = 0;
-    while (source.next(e)) {
-        ASSERT_LT(i, expected.size());
-        EXPECT_EQ(e, expected[i]) << "event " << i;
-        i++;
-    }
-    EXPECT_FALSE(source.failed()) << source.error();
-    EXPECT_EQ(i, expected.size());
+    test::expectSameEvents(expected, source);
 }
 
 class EventSourceFiles : public ::testing::Test

@@ -1,11 +1,14 @@
 /**
  * @file
  * Shared helpers for the engine test suites: timestamp collection,
- * parameterized random-trace cases, and engine aliases.
+ * parameterized random-trace cases, engine aliases, and the
+ * stream-equality assertion the EventSource suites build on.
  */
 
 #ifndef TC_TESTS_TEST_HELPERS_HH
 #define TC_TESTS_TEST_HELPERS_HH
+
+#include <gtest/gtest.h>
 
 #include <ostream>
 #include <string>
@@ -17,9 +20,28 @@
 #include "core/tree_clock.hh"
 #include "core/vector_clock.hh"
 #include "gen/random_trace.hh"
+#include "trace/event_source.hh"
 
 namespace tc {
 namespace test {
+
+/** Drain @p source and require exactly @p expected's events, in
+ * order, ending cleanly (no failed() state). */
+inline void
+expectSameEvents(const Trace &expected, EventSource &source,
+                 const std::string &label = "")
+{
+    Event e;
+    std::size_t i = 0;
+    while (source.next(e)) {
+        ASSERT_LT(i, expected.size()) << label;
+        ASSERT_EQ(e, expected[i]) << label << " event " << i;
+        i++;
+    }
+    EXPECT_FALSE(source.failed())
+        << label << ": " << source.error();
+    EXPECT_EQ(i, expected.size()) << label;
+}
 
 /** Run an engine, collecting the per-event vector timestamps. */
 template <template <typename> class Engine, typename ClockT>

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * AnalysisPipeline fan-out tests: draining one EventSource through
+ * N (partial order × clock) consumers in a single pass must give
+ * each consumer exactly the result a dedicated run would — races,
+ * reports and work counters — including through the full sharded +
+ * prefetched stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/pipeline.hh"
+#include "test_helpers.hh"
+#include "trace/prefetch_source.hh"
+#include "trace/shard.hh"
+#include "trace/trace_io.hh"
+
+namespace tc {
+namespace {
+
+using test::runEngine;
+using test::SweepCase;
+
+void
+expectSameRaces(const RaceSummary &a, const RaceSummary &b,
+                const std::string &label)
+{
+    EXPECT_EQ(a.total(), b.total()) << label;
+    EXPECT_EQ(a.writeWrite(), b.writeWrite()) << label;
+    EXPECT_EQ(a.writeRead(), b.writeRead()) << label;
+    EXPECT_EQ(a.readWrite(), b.readWrite()) << label;
+    EXPECT_EQ(a.racyVarCount(), b.racyVarCount()) << label;
+    ASSERT_EQ(a.reports().size(), b.reports().size()) << label;
+    for (std::size_t i = 0; i < a.reports().size(); i++) {
+        EXPECT_EQ(a.reports()[i].var, b.reports()[i].var)
+            << label << " report " << i;
+        EXPECT_EQ(a.reports()[i].kind, b.reports()[i].kind)
+            << label << " report " << i;
+        EXPECT_EQ(a.reports()[i].prior, b.reports()[i].prior)
+            << label << " report " << i;
+        EXPECT_EQ(a.reports()[i].current, b.reports()[i].current)
+            << label << " report " << i;
+    }
+}
+
+/** The separate-run reference for one named analysis, with its own
+ * work-counter sink (the pipeline consumers each own one too). */
+EngineResult
+referenceRun(const std::string &po, const std::string &clock,
+             const Trace &trace)
+{
+    WorkCounters work;
+    EngineConfig cfg;
+    cfg.counters = &work;
+    if (clock == "tc") {
+        if (po == "hb")
+            return runEngine<HbEngine, TreeClock>(trace, cfg);
+        if (po == "shb")
+            return runEngine<ShbEngine, TreeClock>(trace, cfg);
+        return runEngine<MazEngine, TreeClock>(trace, cfg);
+    }
+    if (po == "hb")
+        return runEngine<HbEngine, VectorClock>(trace, cfg);
+    if (po == "shb")
+        return runEngine<ShbEngine, VectorClock>(trace, cfg);
+    return runEngine<MazEngine, VectorClock>(trace, cfg);
+}
+
+AnalysisPipeline
+fullPipeline()
+{
+    AnalysisPipeline pipeline;
+    for (const char *po : {"hb", "shb", "maz"}) {
+        for (const char *clock : {"tc", "vc"})
+            pipeline.add(makeAnalysisConsumer(po, clock));
+    }
+    return pipeline;
+}
+
+class PipelineSweep : public ::testing::TestWithParam<SweepCase>
+{
+  protected:
+    Trace trace_ = generateRandomTrace(GetParam().params);
+};
+
+TEST_P(PipelineSweep, OnePassEqualsSixSeparateRuns)
+{
+    AnalysisPipeline pipeline = fullPipeline();
+    ASSERT_EQ(pipeline.size(), 6u);
+    TraceSource source(trace_);
+    const auto reports = pipeline.run(source);
+    ASSERT_EQ(reports.size(), 6u);
+    for (const AnalysisReport &report : reports) {
+        const auto slash = report.name.find('/');
+        const EngineResult expected =
+            referenceRun(report.name.substr(0, slash),
+                         report.name.substr(slash + 1), trace_);
+        EXPECT_EQ(expected.events, report.result.events)
+            << report.name;
+        expectSameRaces(expected.races, report.result.races,
+                        report.name);
+        // Per-consumer counters: the fan-out must not blur the
+        // Theorem 1 work accounting between drivers.
+        EXPECT_EQ(expected.work.joins, report.result.work.joins)
+            << report.name;
+        EXPECT_EQ(expected.work.copies, report.result.work.copies)
+            << report.name;
+        EXPECT_EQ(expected.work.vtWork, report.result.work.vtWork)
+            << report.name;
+    }
+}
+
+TEST_P(PipelineSweep, FullStackShardedPrefetchedFanOut)
+{
+    // The acceptance demo: sharded capture → K-way merge →
+    // background prefetch → six analyses, one pass, results
+    // identical to six dedicated batch runs.
+    const std::string prefix =
+        "/tmp/tc_pipeline_" + GetParam().label;
+    {
+        TraceSource source(trace_);
+        std::string error;
+        ASSERT_EQ(splitTraceStream(source, prefix, 4, &error),
+                  trace_.size())
+            << error;
+    }
+    auto source = makePrefetchSource(openShardSet(prefix, 64), 64);
+    ASSERT_FALSE(source->failed()) << source->error();
+
+    AnalysisPipeline pipeline = fullPipeline();
+    const auto reports = pipeline.run(*source);
+    ASSERT_FALSE(source->failed()) << source->error();
+    ASSERT_EQ(reports.size(), 6u);
+    for (const AnalysisReport &report : reports) {
+        const auto slash = report.name.find('/');
+        const EngineResult expected =
+            referenceRun(report.name.substr(0, slash),
+                         report.name.substr(slash + 1), trace_);
+        EXPECT_EQ(expected.events, report.result.events)
+            << report.name;
+        expectSameRaces(expected.races, report.result.races,
+                        report.name);
+    }
+    for (std::uint32_t i = 0; i < 4; i++)
+        std::remove(shardPath(prefix, i).c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineSweep,
+    ::testing::ValuesIn(test::standardSweep()),
+    [](const ::testing::TestParamInfo<SweepCase> &info) {
+        return info.param.label;
+    });
+
+TEST(Pipeline, IsReusableAcrossRuns)
+{
+    Trace racy;
+    racy.write(0, 0);
+    racy.write(1, 0);
+    Trace clean;
+    clean.write(0, 0);
+
+    AnalysisPipeline pipeline;
+    pipeline.add(makeAnalysisConsumer("hb", "tc"));
+    TraceSource first(racy);
+    TraceSource second(clean);
+    TraceSource third(racy);
+    const auto r1 = pipeline.run(first);
+    EXPECT_EQ(r1[0].result.races.total(), 1u);
+    EXPECT_EQ(pipeline.run(second)[0].result.races.total(), 0u);
+    const auto r3 = pipeline.run(third);
+    EXPECT_EQ(r3[0].result.races.total(), 1u);
+    // Owned work counters cover one run each, not the consumer's
+    // lifetime: identical input, identical work.
+    EXPECT_EQ(r1[0].result.work.dsWork, r3[0].result.work.dsWork);
+    EXPECT_EQ(r1[0].result.work.joins, r3[0].result.work.joins);
+    EXPECT_EQ(r1[0].result.work.increments,
+              r3[0].result.work.increments);
+}
+
+TEST(Pipeline, HonorsPerConsumerConfig)
+{
+    Trace racy;
+    for (Tid t = 0; t < 6; t++)
+        racy.write(t, 0); // 5 pairwise-unordered write races
+    EngineConfig capped;
+    capped.maxReports = 2;
+    AnalysisPipeline pipeline;
+    pipeline.add(makeAnalysisConsumer("hb", "tc", capped))
+        .add(makeAnalysisConsumer("hb", "vc"));
+    TraceSource source(racy);
+    const auto reports = pipeline.run(source);
+    EXPECT_EQ(reports[0].result.races.reports().size(), 2u);
+    EXPECT_EQ(reports[0].result.races.total(), 5u);
+    EXPECT_EQ(reports[1].result.races.reports().size(), 5u);
+}
+
+TEST(Pipeline, UnknownNamesReturnNull)
+{
+    EXPECT_EQ(makeAnalysisConsumer("wcp", "tc"), nullptr);
+    EXPECT_EQ(makeAnalysisConsumer("hb", "sparse"), nullptr);
+    EXPECT_EQ(makeAnalysisConsumer("", ""), nullptr);
+}
+
+TEST(Pipeline, ConsumerNamesFollowPoSlashClock)
+{
+    const auto consumer = makeAnalysisConsumer("shb", "vc");
+    ASSERT_NE(consumer, nullptr);
+    EXPECT_EQ(consumer->name(), "shb/vc");
+}
+
+} // namespace
+} // namespace tc

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * PrefetchEventSource equivalence: decorating any source with the
+ * background reader must change *when* decoding happens, never what
+ * the analysis sees — identical event streams, identical engine
+ * results for every policy × clock, identical error behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "gen/generator_source.hh"
+#include "test_helpers.hh"
+#include "trace/event_source.hh"
+#include "trace/prefetch_source.hh"
+#include "trace/shard.hh"
+#include "trace/trace_io.hh"
+
+namespace tc {
+namespace {
+
+using test::expectSameEvents;
+using test::runEngine;
+
+Trace
+sampleTrace(std::uint64_t events = 4000)
+{
+    RandomTraceParams params;
+    params.threads = 8;
+    params.locks = 4;
+    params.vars = 64;
+    params.events = events;
+    params.forkJoin = true;
+    params.seed = 777;
+    return generateRandomTrace(params);
+}
+
+class PrefetchFiles : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        trace_ = sampleTrace();
+        ASSERT_TRUE(saveTrace(trace_, binPath_));
+        ASSERT_TRUE(saveTrace(trace_, textPath_));
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(binPath_.c_str());
+        std::remove(textPath_.c_str());
+    }
+
+    Trace trace_;
+    std::string binPath_ = "/tmp/tc_prefetch_test.tcb";
+    std::string textPath_ = "/tmp/tc_prefetch_test.tct";
+};
+
+TEST_F(PrefetchFiles, StreamIdenticalAcrossWindowsAndDepths)
+{
+    for (const std::size_t window : {1ul, 3ul, 64ul, 8192ul}) {
+        for (const std::size_t depth : {1ul, 2ul, 4ul}) {
+            auto source = makePrefetchSource(
+                openTraceFile(binPath_, window), window, depth);
+            ASSERT_FALSE(source->failed()) << source->error();
+            const SourceInfo si = source->info();
+            EXPECT_EQ(si.threads, trace_.numThreads());
+            EXPECT_EQ(si.events, trace_.size());
+            expectSameEvents(
+                trace_, *source,
+                "window=" + std::to_string(window) +
+                    " depth=" + std::to_string(depth));
+        }
+    }
+}
+
+/** The satellite contract: engine results through the prefetch
+ * decorator equal the synchronous reader's for all 3 policies × 2
+ * clocks. */
+template <template <typename> class Engine, typename ClockT>
+void
+checkEngineEquivalence(const Trace &trace, const std::string &path,
+                       const char *label)
+{
+    const EngineResult batch = runEngine<Engine, ClockT>(trace);
+
+    auto prefetched =
+        makePrefetchSource(openTraceFile(path, 128), 128);
+    ASSERT_FALSE(prefetched->failed()) << prefetched->error();
+    WorkCounters work;
+    EngineConfig cfg;
+    cfg.counters = &work;
+    cfg.validate = false;
+    Engine<ClockT> engine(cfg);
+    const EngineResult streamed = engine.run(*prefetched);
+    ASSERT_FALSE(prefetched->failed()) << prefetched->error();
+
+    EXPECT_EQ(batch.events, streamed.events) << label;
+    EXPECT_EQ(batch.races.total(), streamed.races.total())
+        << label;
+    EXPECT_EQ(batch.races.writeWrite(),
+              streamed.races.writeWrite())
+        << label;
+    EXPECT_EQ(batch.races.writeRead(), streamed.races.writeRead())
+        << label;
+    EXPECT_EQ(batch.races.readWrite(), streamed.races.readWrite())
+        << label;
+    EXPECT_EQ(batch.races.racyVarCount(),
+              streamed.races.racyVarCount())
+        << label;
+    ASSERT_EQ(batch.races.reports().size(),
+              streamed.races.reports().size())
+        << label;
+    for (std::size_t i = 0; i < batch.races.reports().size();
+         i++) {
+        EXPECT_EQ(batch.races.reports()[i].prior,
+                  streamed.races.reports()[i].prior)
+            << label << " report " << i;
+        EXPECT_EQ(batch.races.reports()[i].current,
+                  streamed.races.reports()[i].current)
+            << label << " report " << i;
+    }
+}
+
+TEST_F(PrefetchFiles, HbResultsMatchBatch)
+{
+    checkEngineEquivalence<HbEngine, TreeClock>(trace_, binPath_,
+                                                "hb/tc");
+    checkEngineEquivalence<HbEngine, VectorClock>(trace_, binPath_,
+                                                  "hb/vc");
+}
+
+TEST_F(PrefetchFiles, ShbResultsMatchBatch)
+{
+    checkEngineEquivalence<ShbEngine, TreeClock>(trace_, binPath_,
+                                                 "shb/tc");
+    checkEngineEquivalence<ShbEngine, VectorClock>(
+        trace_, binPath_, "shb/vc");
+}
+
+TEST_F(PrefetchFiles, MazResultsMatchBatch)
+{
+    checkEngineEquivalence<MazEngine, TreeClock>(trace_, binPath_,
+                                                 "maz/tc");
+    checkEngineEquivalence<MazEngine, VectorClock>(
+        trace_, binPath_, "maz/vc");
+}
+
+TEST_F(PrefetchFiles, TextReaderPrefetchesToo)
+{
+    auto source = makePrefetchSource(openTraceFile(textPath_), 64);
+    ASSERT_FALSE(source->failed()) << source->error();
+    expectSameEvents(trace_, *source, "text");
+}
+
+TEST_F(PrefetchFiles, RewindRestartsTheDecoratedStream)
+{
+    auto source =
+        makePrefetchSource(openTraceFile(binPath_, 32), 32);
+    Event e;
+    for (int i = 0; i < 500; i++)
+        ASSERT_TRUE(source->next(e));
+    ASSERT_TRUE(source->rewind());
+    expectSameEvents(trace_, *source, "after rewind");
+    // And again, immediately after a full drain.
+    ASSERT_TRUE(source->rewind());
+    expectSameEvents(trace_, *source, "second rewind");
+}
+
+TEST_F(PrefetchFiles, WrapsShardSetsAndGenerators)
+{
+    const std::string prefix = "/tmp/tc_prefetch_shards";
+    {
+        auto file = openTraceFile(binPath_);
+        std::string error;
+        ASSERT_EQ(splitTraceStream(*file, prefix, 3, &error),
+                  trace_.size())
+            << error;
+    }
+    auto sharded =
+        makePrefetchSource(openShardSet(prefix, 64), 64);
+    expectSameEvents(trace_, *sharded, "sharded");
+    for (std::uint32_t i = 0; i < 3; i++)
+        std::remove(shardPath(prefix, i).c_str());
+
+    RandomTraceParams params;
+    params.threads = 4;
+    params.events = 1000;
+    params.seed = 31;
+    const Trace direct = generateRandomTrace(params);
+    auto generated =
+        makePrefetchSource(makeRandomTraceSource(params), 128);
+    expectSameEvents(direct, *generated, "generator");
+}
+
+TEST(PrefetchErrors, FailedInnerSourceStaysFailed)
+{
+    auto source = makePrefetchSource(
+        openTraceFile("/tmp/definitely_missing_prefetch.tct"));
+    EXPECT_TRUE(source->failed());
+    Event e;
+    EXPECT_FALSE(source->next(e));
+    // A failed rewind must leave the source unable to produce —
+    // next() returns false instead of waiting on a reader thread
+    // that is not running.
+    EXPECT_FALSE(source->rewind());
+    EXPECT_FALSE(source->next(e));
+}
+
+TEST(PrefetchErrors, MidStreamErrorArrivesAfterThePrefix)
+{
+    // Same contract as the undecorated reader: the consumed prefix
+    // is delivered, then next() returns false with failed() set
+    // and the inner source's message.
+    const Trace t = sampleTrace(800);
+    const std::string path = "/tmp/tc_prefetch_trunc.tcb";
+    ASSERT_TRUE(saveTrace(t, path));
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        in.close();
+        data.resize(data.size() - 5); // cut into the last event
+        std::ofstream(path, std::ios::binary) << data;
+    }
+
+    std::size_t direct_delivered = 0;
+    std::string direct_error;
+    {
+        auto direct = openTraceFile(path, 64);
+        Event e;
+        while (direct->next(e))
+            direct_delivered++;
+        ASSERT_TRUE(direct->failed());
+        direct_error = direct->error();
+    }
+
+    auto source =
+        makePrefetchSource(openTraceFile(path, 64), 64);
+    Event e;
+    std::size_t delivered = 0;
+    while (source->next(e))
+        delivered++;
+    EXPECT_TRUE(source->failed());
+    EXPECT_EQ(delivered, direct_delivered);
+    EXPECT_EQ(source->error(), direct_error);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tc

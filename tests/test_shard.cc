@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Shard capture tests: split → merge must reproduce the original
+ * trace exactly — any shard count, any reader window — and the
+ * readers must reject unfinalized or inconsistent shard sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "gen/random_trace.hh"
+#include "support/rng.hh"
+#include "test_helpers.hh"
+#include "trace/event_source.hh"
+#include "trace/shard.hh"
+#include "trace/trace_io.hh"
+
+namespace tc {
+namespace {
+
+using test::expectSameEvents;
+
+Trace
+sampleTrace(std::uint64_t events, std::uint64_t seed = 99)
+{
+    RandomTraceParams params;
+    params.threads = 7;
+    params.locks = 3;
+    params.vars = 32;
+    params.events = events;
+    params.forkJoin = true;
+    params.seed = seed;
+    return generateRandomTrace(params);
+}
+
+/** Split @p trace into @p shards files under @p prefix. */
+void
+split(const Trace &trace, const std::string &prefix,
+      std::uint32_t shards)
+{
+    TraceSource source(trace);
+    std::string error;
+    const std::uint64_t written =
+        splitTraceStream(source, prefix, shards, &error);
+    ASSERT_EQ(written, trace.size()) << error;
+}
+
+void
+removeShards(const std::string &prefix, std::uint32_t shards)
+{
+    for (std::uint32_t i = 0; i < shards; i++)
+        std::remove(shardPath(prefix, i).c_str());
+}
+
+TEST(ShardPaths, RoundTripAndRejects)
+{
+    EXPECT_EQ(shardPath("/tmp/cap", 3), "/tmp/cap.3.tcs");
+    std::string prefix;
+    std::uint32_t index = 0;
+    ASSERT_TRUE(parseShardPath("/tmp/cap.3.tcs", prefix, index));
+    EXPECT_EQ(prefix, "/tmp/cap");
+    EXPECT_EQ(index, 3u);
+    EXPECT_FALSE(parseShardPath("/tmp/cap.tcs", prefix, index));
+    EXPECT_FALSE(parseShardPath("/tmp/cap.3.tcb", prefix, index));
+    EXPECT_FALSE(parseShardPath("3.tcs", prefix, index));
+    // Only the canonical shardPath() spelling: "cap.00.tcs" would
+    // decompose to index 0 and name a different file.
+    EXPECT_FALSE(parseShardPath("/tmp/cap.00.tcs", prefix, index));
+    EXPECT_FALSE(parseShardPath("/tmp/cap.01.tcs", prefix, index));
+    EXPECT_FALSE(parseShardPath("/tmp/cap.9999999999.tcs", prefix,
+                                index));
+}
+
+TEST(ShardRoundTrip, RandomizedShardCountsAndWindows)
+{
+    // The tentpole contract: split → merge == original, for shard
+    // counts around/above/below the thread count and windows that
+    // do and don't divide the per-shard event counts.
+    Rng rng(20260730);
+    const Trace trace = sampleTrace(3000);
+    const std::string prefix = "/tmp/tc_shard_rt";
+    for (int round = 0; round < 12; round++) {
+        const auto shards =
+            static_cast<std::uint32_t>(rng.range(1, 16));
+        const auto window =
+            static_cast<std::size_t>(rng.range(1, 200));
+        split(trace, prefix, shards);
+        auto merged = openShardSet(prefix, window);
+        ASSERT_FALSE(merged->failed()) << merged->error();
+        const SourceInfo si = merged->info();
+        EXPECT_EQ(si.threads, trace.numThreads());
+        EXPECT_EQ(si.locks, trace.numLocks());
+        EXPECT_EQ(si.vars, trace.numVars());
+        ASSERT_TRUE(si.eventCountKnown());
+        EXPECT_EQ(si.events, trace.size());
+        expectSameEvents(
+            trace, *merged,
+            "shards=" + std::to_string(shards) +
+                " window=" + std::to_string(window));
+        removeShards(prefix, shards);
+    }
+}
+
+TEST(ShardRoundTrip, MoreShardsThanThreadsLeavesEmptyShards)
+{
+    const Trace trace = sampleTrace(400);
+    const std::string prefix = "/tmp/tc_shard_sparse";
+    split(trace, prefix, 32); // > 7 threads: many shards stay empty
+    auto merged = openShardSet(prefix);
+    ASSERT_FALSE(merged->failed()) << merged->error();
+    expectSameEvents(trace, *merged, "sparse");
+    removeShards(prefix, 32);
+}
+
+TEST(ShardRoundTrip, SingleShardIsStillATotalOrder)
+{
+    const Trace trace = sampleTrace(500);
+    const std::string prefix = "/tmp/tc_shard_one";
+    split(trace, prefix, 1);
+    auto merged = openShardSet(prefix);
+    expectSameEvents(trace, *merged, "one shard");
+    removeShards(prefix, 1);
+}
+
+TEST(ShardRoundTrip, EmptyTraceRoundTrips)
+{
+    const Trace trace(4, 2, 8);
+    const std::string prefix = "/tmp/tc_shard_empty";
+    split(trace, prefix, 3);
+    auto merged = openShardSet(prefix);
+    ASSERT_FALSE(merged->failed()) << merged->error();
+    Event e;
+    EXPECT_FALSE(merged->next(e));
+    EXPECT_FALSE(merged->failed());
+    removeShards(prefix, 3);
+}
+
+TEST(ShardRoundTrip, RewindRestartsTheMerge)
+{
+    const Trace trace = sampleTrace(1000);
+    const std::string prefix = "/tmp/tc_shard_rewind";
+    split(trace, prefix, 4);
+    auto merged = openShardSet(prefix, 16);
+    Event e;
+    for (int i = 0; i < 250; i++)
+        ASSERT_TRUE(merged->next(e));
+    ASSERT_TRUE(merged->rewind());
+    expectSameEvents(trace, *merged, "after rewind");
+    removeShards(prefix, 4);
+}
+
+TEST(ShardRoundTrip, OpenTraceFileAcceptsAnyMember)
+{
+    // Every trace-consuming tool reads shard sets through the
+    // normal openTraceFile path, via any member's file name.
+    const Trace trace = sampleTrace(600);
+    const std::string prefix = "/tmp/tc_shard_open";
+    split(trace, prefix, 3);
+    for (std::uint32_t i = 0; i < 3; i++) {
+        auto source = openTraceFile(shardPath(prefix, i));
+        ASSERT_FALSE(source->failed()) << source->error();
+        expectSameEvents(trace, *source,
+                         "member " + std::to_string(i));
+    }
+    removeShards(prefix, 3);
+}
+
+TEST(ShardErrors, StaleMemberFromWiderSplitIsRejected)
+{
+    // Split 3-wide, then re-split 2-wide onto the same prefix:
+    // shard 2 is now a stale leftover. Opening the set by that
+    // member must fail instead of silently analyzing the 2-shard
+    // set that excludes the named file.
+    const Trace trace = sampleTrace(300);
+    const std::string prefix = "/tmp/tc_shard_stale";
+    split(trace, prefix, 3);
+    split(trace, prefix, 2);
+    auto by_stale = openTraceFile(shardPath(prefix, 2));
+    EXPECT_TRUE(by_stale->failed());
+    EXPECT_NE(by_stale->error().find("stale"), std::string::npos)
+        << by_stale->error();
+    auto by_live = openTraceFile(shardPath(prefix, 1));
+    ASSERT_FALSE(by_live->failed()) << by_live->error();
+    expectSameEvents(trace, *by_live, "live member");
+    removeShards(prefix, 3);
+}
+
+TEST(ShardErrors, UnfinalizedCaptureIsRejected)
+{
+    const Trace trace = sampleTrace(100);
+    const std::string prefix = "/tmp/tc_shard_crash";
+    {
+        TraceSource source(trace);
+        ShardWriter writer(prefix, 2, source.info());
+        Event e;
+        while (source.next(e))
+            writer.append(e);
+        // No finalize(): simulates a capture that died mid-run.
+    }
+    auto merged = openShardSet(prefix);
+    EXPECT_TRUE(merged->failed());
+    EXPECT_NE(merged->error().find("finalized"),
+              std::string::npos)
+        << merged->error();
+    // rewind() must not resurrect a rejected set: the consistency
+    // checks only run at construction.
+    EXPECT_FALSE(merged->rewind());
+    EXPECT_TRUE(merged->failed());
+    Event e;
+    EXPECT_FALSE(merged->next(e));
+    removeShards(prefix, 2);
+}
+
+TEST(ShardErrors, MissingMemberIsRejected)
+{
+    const Trace trace = sampleTrace(100);
+    const std::string prefix = "/tmp/tc_shard_missing";
+    split(trace, prefix, 3);
+    std::remove(shardPath(prefix, 1).c_str());
+    auto merged = openShardSet(prefix);
+    EXPECT_TRUE(merged->failed());
+    removeShards(prefix, 3);
+}
+
+TEST(ShardErrors, ForeignMemberIsRejected)
+{
+    // A shard spliced in from a different capture (here: one with
+    // another shard count) must fail the consistency check instead
+    // of silently merging garbage.
+    const Trace trace = sampleTrace(200);
+    const std::string a = "/tmp/tc_shard_seta";
+    const std::string b = "/tmp/tc_shard_setb";
+    split(trace, a, 2);
+    split(trace, b, 3);
+    {
+        std::ifstream in(shardPath(b, 1), std::ios::binary);
+        std::ofstream out(shardPath(a, 1), std::ios::binary);
+        out << in.rdbuf();
+    }
+    auto merged = openShardSet(a);
+    EXPECT_TRUE(merged->failed());
+    removeShards(a, 2);
+    removeShards(b, 3);
+}
+
+TEST(ShardErrors, TruncatedShardFailsAfterConsumedPrefix)
+{
+    const Trace trace = sampleTrace(600);
+    const std::string prefix = "/tmp/tc_shard_trunc";
+    split(trace, prefix, 2);
+    // Cut into the last record of shard 0's payload.
+    const std::string victim = shardPath(prefix, 0);
+    std::ifstream in(victim, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    data.resize(data.size() - 5);
+    std::ofstream(victim, std::ios::binary) << data;
+
+    auto merged = openShardSet(prefix, 32);
+    ASSERT_FALSE(merged->failed()) << merged->error();
+    Event e;
+    std::size_t delivered = 0;
+    while (merged->next(e))
+        delivered++;
+    EXPECT_TRUE(merged->failed());
+    EXPECT_LT(delivered, trace.size());
+    removeShards(prefix, 2);
+}
+
+} // namespace
+} // namespace tc

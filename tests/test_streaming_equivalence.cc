@@ -3,9 +3,8 @@
  * Streaming-vs-batch equivalence: the same trace fed event-by-event
  * through AnalysisDriver::feed() and whole through run() must
  * produce identical EngineResults for all three policies × both
- * clock backends — the contract that makes OnlineRaceDetector "the
- * HB policy instantiated" rather than a parallel implementation,
- * and out-of-core runs trustworthy.
+ * clock backends — the contract that lets OnlineRaceDetector be a
+ * plain alias of the driver, and out-of-core runs trustworthy.
  */
 
 #include <gtest/gtest.h>
