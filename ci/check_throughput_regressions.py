@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Fail when streaming/fan-out throughput dropped past tolerance.
+
+Usage:
+    ci/check_throughput_regressions.py BENCH_baseline.json \
+        current.json [--harness=bench_streaming] [--tolerance=0.25]
+
+`current.json` is a JsonReporter harness report (raw output or a
+BENCH_baseline.json-style merged document). For every entry present
+in both current and the baseline's section for the given harness,
+the current events_per_s must not fall more than `tolerance` below
+the baseline's. The default 25% is deliberately loose: wall-clock
+throughput is machine- and load-dependent (unlike the allocation
+gate, which stays exact), so this gate only catches real
+regressions — a serialized fan-out, a copy re-introduced on the
+zero-copy hand-off path — not scheduler noise. Entries present only
+on one side are reported but never fail the gate, so adding or
+retiring bench modes doesn't break CI.
+
+Improvements are not rewarded either: regenerate the baseline in
+the PR that earns them (see ROADMAP bench policy).
+"""
+
+import json
+import sys
+
+METRIC = "events_per_s"
+
+
+def parse_args(argv):
+    harness = "bench_streaming"
+    tolerance = 0.25
+    paths = []
+    for arg in argv:
+        if arg.startswith("--harness="):
+            harness = arg.split("=", 1)[1]
+        elif arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2 or not 0 < tolerance < 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    return paths[0], paths[1], harness, tolerance
+
+
+def entries(report: dict, harness: str) -> dict:
+    """name -> events_per_s for one harness report."""
+    if harness in report:  # merged baseline document
+        report = report[harness]
+    return {
+        b["name"]: b[METRIC]
+        for b in report.get("benchmarks", [])
+        if METRIC in b
+    }
+
+
+def main() -> int:
+    base_path, cur_path, harness, tolerance = parse_args(
+        sys.argv[1:])
+    with open(base_path) as f:
+        baseline = entries(json.load(f), harness)
+    with open(cur_path) as f:
+        current = entries(json.load(f), harness)
+    if not baseline:
+        print(f"error: no {METRIC} entries for harness "
+              f"'{harness}' in {base_path}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"error: no {METRIC} entries for harness "
+              f"'{harness}' in {cur_path}", file=sys.stderr)
+        return 2
+
+    failures = []
+    compared = 0
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"note: '{name}' only in baseline (skipped)")
+            continue
+        compared += 1
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            drop = 100.0 * (1.0 - cur / base)
+            failures.append(
+                f"{name}: {cur:,.0f} events/s is {drop:.1f}% "
+                f"below baseline {base:,.0f} "
+                f"(tolerance {tolerance:.0%})")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: '{name}' only in current report (skipped)")
+
+    if compared == 0:
+        print("error: baseline and current share no entries",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print("throughput regressions detected:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"throughput check OK: {compared} entries compared, "
+          f"0 regressions (tolerance {tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

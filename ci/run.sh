@@ -6,15 +6,19 @@
 #           build warning-clean.
 #   Job 2 — ASan + UBSan: the full test suite under both sanitizers
 #           (catches scratch-arena lifetime bugs, OOB link-array
-#           indexing, signed-overflow in the traversals).
-#   Job 3 — TSan: the suites that spawn threads (the prefetch
-#           reader thread, the pipeline + shard stacks on top of
-#           it, and the scratch-arena multithreaded regression)
-#           under ThreadSanitizer. Scoped to those suites because
-#           the rest of the codebase is single-threaded and TSan
-#           slows it ~10x for no additional coverage.
-#   Job 4 — bench smoke: allocation regressions against the
-#           committed baseline.
+#           indexing, signed-overflow in the traversals, and leaks
+#           on the pipeline fault paths).
+#   Job 3 — TSan: the `threaded` ctest label — every suite that
+#           spawns threads (prefetch reader, window-bus ring,
+#           pipeline worker pool, scratch-arena regression) —
+#           under ThreadSanitizer. CMakeLists.txt owns the list
+#           (TC_THREADED_TESTS), so new threaded suites are covered
+#           by adding them there, not by editing CI regexes. Scoped
+#           because the rest of the codebase is single-threaded and
+#           TSan slows it ~10x for no additional coverage.
+#   Job 4 — bench smoke: allocation regressions (exact) and
+#           streaming/fan-out throughput regressions (25%
+#           tolerance) against the committed BENCH_baseline.json.
 #
 # Usage: ci/run.sh [jobs]   (defaults to nproc)
 set -euo pipefail
@@ -37,28 +41,50 @@ run_job "ASan/UBSan" build-ci-asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTC_WERROR=ON \
     -DTC_SANITIZE=ON
 
-echo "=== TSan (threaded suites) ==="
+echo "=== TSan (threaded label) ==="
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTC_WERROR=ON -DTC_TSAN=ON
-cmake --build build-ci-tsan -j "${JOBS}" --target \
-    test_prefetch test_pipeline test_shard test_tree_clock_scratch
+cmake --build build-ci-tsan -j "${JOBS}" --target threaded_tests
 ctest --test-dir build-ci-tsan --output-on-failure -j "${JOBS}" \
-    -R 'test_prefetch|test_pipeline|test_shard|test_tree_clock_scratch'
+    -L threaded
 
-# Job 4 — bench smoke: the steady-state join/copy micro-benchmarks
-# must stay allocation-free and must not regress against the
-# committed BENCH_baseline.json (timings are ignored; allocation
-# counts are deterministic). Skipped when google-benchmark was not
-# found at configure time.
+# Job 4 — bench smoke. Two gates against BENCH_baseline.json:
+#  * allocations (exact): the steady-state join/copy
+#    micro-benchmarks must stay allocation-free and no benchmark
+#    may allocate more than the baseline (counts are
+#    deterministic);
+#  * throughput (25% tolerance): bench_streaming events/s — the
+#    streaming modes and the fan-out cross product — must not
+#    collapse; the loose threshold absorbs machine noise while
+#    catching a serialized pool or a re-introduced copy.
+# Both reports are merged into one document with merge_bench_json
+# (the same layout as the committed baseline) so the checkers diff
+# key by key. bench_micro_clock is skipped when google-benchmark
+# was not found at configure time.
+echo "=== bench smoke (alloc + throughput regressions) ==="
+# Same workload the committed baseline was generated with (events,
+# po) — throughput entries only compare meaningfully like-for-like.
+./build-ci-werror/bench_streaming --events=2000000 --po=shb \
+    --reps=2 --json=/tmp/tc-bench-streaming.json > /dev/null
 if [[ -x build-ci-werror/bench_micro_clock ]]; then
-    echo "=== bench smoke (alloc regressions) ==="
     ./build-ci-werror/bench_micro_clock \
         --benchmark_filter='BM_JoinVacuous|BM_SyncRoundTrip|BM_MonotoneCopy' \
-        --json /tmp/tc-bench-smoke.json > /dev/null
+        --json /tmp/tc-bench-micro.json > /dev/null
+    python3 ci/merge_bench_json.py /tmp/tc-bench-ci.json \
+        bench_micro_clock=/tmp/tc-bench-micro.json \
+        bench_streaming=/tmp/tc-bench-streaming.json
     python3 ci/check_alloc_regressions.py BENCH_baseline.json \
-        /tmp/tc-bench-smoke.json
+        /tmp/tc-bench-ci.json
 else
-    echo "=== bench smoke skipped (no google-benchmark) ==="
+    echo "--- alloc gate skipped (no google-benchmark) ---"
+    python3 ci/merge_bench_json.py /tmp/tc-bench-ci.json \
+        bench_streaming=/tmp/tc-bench-streaming.json
 fi
+# TC_THROUGHPUT_TOLERANCE widens the gate for hosts that differ
+# structurally from the baseline machine (the committed baseline is
+# floored over several runs on the reference box; see ROADMAP).
+python3 ci/check_throughput_regressions.py BENCH_baseline.json \
+    /tmp/tc-bench-ci.json \
+    --tolerance="${TC_THROUGHPUT_TOLERANCE:-0.25}"
 
 echo "=== CI OK ==="

@@ -23,8 +23,17 @@
  *   ./race_detector --trace=huge.tcb --stream --prefetch
  *   ./race_detector --trace=run.tcb --po=hb,shb,maz --clock=tc,vc
  *   ./race_detector --trace=cap.0.tcs --stream   # sharded capture
+ *
+ * With --parallel[=K] the fan-out runs on a worker pool (one worker
+ * per analysis, or K workers round-robin over the analyses), all
+ * borrowing the same zero-copy decode windows — results are
+ * identical to the sequential pass:
+ *
+ *   ./race_detector --trace=huge.tcb --stream --prefetch \
+ *       --po=hb,shb,maz --clock=tc,vc --parallel
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -88,6 +97,7 @@ main(int argc, char **argv)
     args.addString("clock", "tc",
                    "clock data structures, comma-separated: tc | "
                    "vc");
+    addParallelFlag(args);
     args.addInt("max-reports", 10, "race reports to keep");
     if (!args.parse(argc, argv))
         return 1;
@@ -115,6 +125,15 @@ main(int argc, char **argv)
         // O(events) memory — refuse rather than mislead.
         std::fprintf(stderr,
                      "error: --stream requires --trace=FILE\n");
+        return 1;
+    }
+    // -1 is the bare-flag sentinel (one worker per analysis);
+    // any other negative is a typo, not a request.
+    if (args.getInt("parallel") < -1) {
+        std::fprintf(stderr,
+                     "error: --parallel expects a non-negative "
+                     "worker count (bare --parallel = one per "
+                     "analysis)\n");
         return 1;
     }
     std::unique_ptr<EventSource> source;
@@ -205,15 +224,28 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: no analyses requested\n");
         return 1;
     }
+    const std::size_t parallel = parallelWorkersFromFlags(args);
+    const std::size_t pool_size =
+        parallel == 0 ? 0
+                      : std::min(parallel == kParallelAuto
+                                     ? pipeline.size()
+                                     : parallel,
+                                 pipeline.size());
     std::printf("configuration   : %zu analyses (po=%s × "
-                "clock=%s)%s\n",
+                "clock=%s)%s",
                 pipeline.size(), args.getString("po").c_str(),
                 args.getString("clock").c_str(),
                 stream ? " (streaming)" : "");
+    if (pool_size > 1)
+        std::printf(" (%zu workers)", pool_size);
+    std::printf("\n");
 
     Timer timer;
+    ParallelOptions popt;
+    popt.workers = pool_size;
     const std::vector<AnalysisReport> reports =
-        pipeline.run(*source);
+        pool_size > 1 ? pipeline.run(*source, popt)
+                      : pipeline.run(*source);
     const double seconds = timer.seconds();
     if (source->failed()) {
         std::fprintf(stderr, "error: %s (line %zu)\n",

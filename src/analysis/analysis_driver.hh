@@ -38,11 +38,6 @@
 
 namespace tc {
 
-/** Events pulled per EventSource::read() call in the stream-drain
- * loops (a few KB of stack; small enough to stay cache-resident
- * under the analysis' own working set). */
-inline constexpr std::size_t kDrainBatch = 256;
-
 template <ClockLike ClockT, template <typename> class PolicyT>
 class AnalysisDriver
 {
@@ -195,13 +190,17 @@ class AnalysisDriver
     run(EventSource &source)
     {
         begin(source.info());
-        // Pull in batches: one virtual call per chunk instead of
-        // per event (buffered sources hand whole windows over).
-        Event buf[kDrainBatch];
-        std::size_t n;
-        while ((n = source.read(buf, kDrainBatch)) != 0) {
-            for (std::size_t i = 0; i < n; i++)
-                feed(buf[i]);
+        // Pull whole windows: one virtual call per window, and
+        // zero-copy where the source can manage it (a view into a
+        // materialized trace, a swapped-out prefetch buffer — see
+        // EventSource::readWindow).
+        std::vector<Event> storage;
+        EventWindow window;
+        while (!(window = source.readWindow(
+                     storage, kDefaultSourceWindow))
+                    .empty()) {
+            for (const Event &e : window)
+                feed(e);
         }
         return result();
     }

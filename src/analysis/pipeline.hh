@@ -15,6 +15,15 @@
  * result(). DriverConsumer adapts any driver instantiation; custom
  * consumers (statistics, timestamp dumpers, ...) just implement the
  * interface.
+ *
+ * Two execution modes, one semantics: run(source) interleaves the
+ * consumers on the calling thread, run(source, ParallelOptions)
+ * spreads them over a worker pool that borrows shared zero-copy
+ * EventWindows through a WindowBus (see window_bus.hh) — each
+ * consumer still sees the full stream in order with its own clock
+ * bank and scratch arena, so reports, race summaries and work
+ * counters are identical between the two modes and to N dedicated
+ * runs (the pipeline test suite pins all three ways).
  */
 
 #ifndef TC_ANALYSIS_PIPELINE_HH
@@ -26,6 +35,7 @@
 #include <vector>
 
 #include "analysis/analysis_driver.hh"
+#include "analysis/window_bus.hh"
 
 namespace tc {
 
@@ -112,6 +122,22 @@ struct AnalysisReport
     EngineResult result;
 };
 
+/** Knobs of the parallel fan-out (AnalysisPipeline::run overload). */
+struct ParallelOptions
+{
+    /** Worker threads; 0 = one per consumer. Always capped at the
+     * consumer count; an effective count of 1 falls back to the
+     * sequential drain (identical results either way). */
+    std::size_t workers = 0;
+    /** Events per published window. Matching the source's decode
+     * window (the default) lets prefetched buffers change hands by
+     * swap instead of copy. */
+    std::size_t window = kDefaultSourceWindow;
+    /** Windows in flight behind the ring (producer lead over the
+     * slowest consumer). */
+    std::size_t depth = kDefaultWindowRingDepth;
+};
+
 /**
  * The fan-out itself: any number of consumers, one stream drain.
  * Reusable — each run() begins every consumer anew.
@@ -132,9 +158,11 @@ class AnalysisPipeline
 
     /**
      * Drain @p source from its current position through every
-     * consumer in one pass. As with AnalysisDriver::run, a source
-     * failing mid-stream stops the drain and the reports cover the
-     * consumed prefix — check source.failed() afterwards.
+     * consumer in one pass on the calling thread. As with
+     * AnalysisDriver::run, a source failing mid-stream stops the
+     * drain and the reports cover the consumed prefix — check
+     * source.failed() afterwards. A consumer throwing propagates
+     * out of the drain.
      */
     std::vector<AnalysisReport>
     run(EventSource &source)
@@ -142,27 +170,56 @@ class AnalysisPipeline
         const SourceInfo si = source.info();
         for (auto &c : consumers_)
             c->begin(si);
-        Event buf[kDrainBatch];
-        std::size_t n;
-        while ((n = source.read(buf, kDrainBatch)) != 0) {
-            // Batch-major order: each consumer's clock bank stays
-            // cache-hot for the whole batch instead of being
+        std::vector<Event> storage;
+        EventWindow window;
+        while (!(window = source.readWindow(
+                     storage, kDefaultSourceWindow))
+                    .empty()) {
+            // Window-major order: each consumer's clock bank stays
+            // cache-hot for the whole window instead of being
             // evicted N-1 times per event. Consumers are
             // independent, so each still sees events in stream
             // order — the per-event interleaving is unobservable.
             for (auto &c : consumers_) {
-                for (std::size_t i = 0; i < n; i++)
-                    c->consume(buf[i]);
+                for (const Event &e : window)
+                    c->consume(e);
             }
         }
-        std::vector<AnalysisReport> reports;
-        reports.reserve(consumers_.size());
-        for (const auto &c : consumers_)
-            reports.push_back({c->name(), c->result()});
-        return reports;
+        return reports();
     }
 
+    /**
+     * The same drain spread over a worker pool: the calling thread
+     * publishes zero-copy windows into a WindowBus and each worker
+     * runs its share of the consumers over every window (consumer
+     * i belongs to worker i mod K), so the N-analysis cross product
+     * scales across cores while every consumer still observes the
+     * exact stream order. Results are identical to the sequential
+     * overload; an effective worker count of 1 *is* the sequential
+     * overload.
+     *
+     * A consumer throwing on any worker stops the pool and the
+     * producer, and the first such exception is rethrown here after
+     * every worker has joined (no window or thread outlives the
+     * call). Consumers must not share mutable state (a shared
+     * EngineConfig::counters sink would race — DriverConsumers own
+     * their counters by default).
+     */
+    std::vector<AnalysisReport> run(EventSource &source,
+                                    const ParallelOptions &options);
+
   private:
+    /** Snapshot every consumer's result, in add() order. */
+    std::vector<AnalysisReport>
+    reports() const
+    {
+        std::vector<AnalysisReport> out;
+        out.reserve(consumers_.size());
+        for (const auto &c : consumers_)
+            out.push_back({c->name(), c->result()});
+        return out;
+    }
+
     std::vector<std::unique_ptr<AnalysisConsumer>> consumers_;
 };
 

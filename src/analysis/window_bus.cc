@@ -1,0 +1,114 @@
+#include "analysis/window_bus.hh"
+
+#include <utility>
+
+#include "support/assert.hh"
+
+namespace tc {
+
+WindowBus::WindowBus(std::size_t consumers, std::size_t depth)
+    : slots_(depth == 0 ? 1 : depth),
+      cursor_(consumers, 0)
+{
+    TC_CHECK(consumers > 0, "WindowBus needs at least one consumer");
+}
+
+std::vector<Event>
+WindowBus::acquireStorage()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (spare_.empty())
+        return {};
+    std::vector<Event> storage = std::move(spare_.back());
+    spare_.pop_back();
+    return storage;
+}
+
+bool
+WindowBus::publish(std::vector<Event> storage, EventWindow window)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    TC_CHECK(!done_, "publish after finish");
+    spaceAvailable_.wait(lock, [this] {
+        return stopped_ || !slotFor(published_).occupied;
+    });
+    if (stopped_)
+        return false;
+    Slot &slot = slotFor(published_);
+    slot.storage = std::move(storage);
+    slot.window = window;
+    slot.seq = published_;
+    slot.pending = cursor_.size();
+    slot.occupied = true;
+    published_++;
+    dataAvailable_.notify_all();
+    return true;
+}
+
+void
+WindowBus::finish()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_ = true;
+    }
+    dataAvailable_.notify_all();
+}
+
+const EventWindow *
+WindowBus::acquire(std::size_t consumer)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t seq = cursor_[consumer];
+    dataAvailable_.wait(lock, [&] {
+        return stopped_ || published_ > seq || done_;
+    });
+    if (stopped_ || published_ <= seq)
+        return nullptr;
+    Slot &slot = slotFor(seq);
+    // The slot cannot have been recycled past this consumer: reuse
+    // requires every cursor (including ours) to move beyond seq.
+    TC_CHECK(slot.occupied && slot.seq == seq,
+             "window ring slot overwritten while borrowed");
+    return &slot.window;
+}
+
+void
+WindowBus::release(std::size_t consumer)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t seq = cursor_[consumer]++;
+    Slot &slot = slotFor(seq);
+    TC_CHECK(slot.occupied && slot.seq == seq && slot.pending > 0,
+             "release without a matching acquire");
+    if (--slot.pending == 0) {
+        // Slowest consumer out: hand the backing buffer to the
+        // producer as decode capacity and free the ring position.
+        spare_.push_back(std::move(slot.storage));
+        slot.storage = {};
+        slot.window = {};
+        slot.occupied = false;
+        lock.unlock();
+        spaceAvailable_.notify_one();
+    }
+}
+
+void
+WindowBus::requestStop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopped_ = true;
+    }
+    dataAvailable_.notify_all();
+    spaceAvailable_.notify_all();
+}
+
+bool
+WindowBus::stopRequested() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stopped_;
+}
+
+} // namespace tc

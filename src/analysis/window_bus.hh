@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Single-producer / multi-consumer window ring for the parallel
+ * analysis fan-out.
+ *
+ * The sequential AnalysisPipeline interleaves N analyses on one
+ * thread; parallelizing it only needs one new primitive, because
+ * each AnalysisDriver already owns all its mutable state (clock
+ * bank, scratch arena, race summary). WindowBus is that primitive:
+ * the producer publishes refcounted EventWindows (immutable spans
+ * of decoded events, usually borrowed zero-copy from the source via
+ * EventSource::readWindow) into a bounded ring, and each consumer
+ * worker walks the ring strictly in order at its own pace. A slot
+ * is recycled — its backing storage handed back to the producer as
+ * spare decode capacity — only when the *slowest* consumer has
+ * released it, so the ring bounds how far the reader can run ahead
+ * and no event is ever copied per consumer.
+ *
+ * Error discipline: requestStop() wakes every blocked party;
+ * publish() then refuses new windows and acquire() returns null, so
+ * a faulting consumer tears the whole pool down without deadlock
+ * and without leaking windows (slot storage dies with the bus).
+ */
+
+#ifndef TC_ANALYSIS_WINDOW_BUS_HH
+#define TC_ANALYSIS_WINDOW_BUS_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "trace/event_source.hh"
+
+namespace tc {
+
+/** Windows the producer may keep in flight ahead of the slowest
+ * consumer. 4 ≈ double buffering per side of the hand-off. */
+inline constexpr std::size_t kDefaultWindowRingDepth = 4;
+
+class WindowBus
+{
+  public:
+    /**
+     * A ring of @p depth slots shared by @p consumers workers.
+     * Every published window must be acquired and released exactly
+     * once by every consumer index in [0, consumers).
+     */
+    WindowBus(std::size_t consumers, std::size_t depth);
+
+    WindowBus(const WindowBus &) = delete;
+    WindowBus &operator=(const WindowBus &) = delete;
+
+    /** @name Producer side (one thread) @{ */
+
+    /** Recycled buffer capacity from fully-released slots (an empty
+     * vector when none is spare yet) — pass it to
+     * EventSource::readWindow so decode reuses released windows. */
+    std::vector<Event> acquireStorage();
+
+    /**
+     * Publish @p window, keeping @p storage alive in the slot until
+     * every consumer released it (@p window may point into
+     * @p storage or into source-stable memory; the bus does not
+     * care). Blocks while the ring is full. Returns false — and
+     * discards the window — once stop was requested.
+     */
+    bool publish(std::vector<Event> storage, EventWindow window);
+
+    /** No more windows will be published (clean end of stream);
+     * consumers drain what is in flight, then see null. */
+    void finish();
+
+    /** @} */
+
+    /** @name Consumer side (one thread per consumer index) @{ */
+
+    /**
+     * Block until the next window in stream order is available for
+     * consumer @p consumer and return it; null at end of stream or
+     * stop. The span stays valid until the matching release().
+     */
+    const EventWindow *acquire(std::size_t consumer);
+
+    /** Release the window last returned by acquire(@p consumer);
+     * the last consumer out recycles the slot to the producer. */
+    void release(std::size_t consumer);
+
+    /** @} */
+
+    /** Abort: wake everyone, fail further publishes, end every
+     * consumer's stream early. Any thread may call it. */
+    void requestStop();
+
+    bool stopRequested() const;
+
+  private:
+    struct Slot
+    {
+        std::vector<Event> storage;
+        EventWindow window;
+        std::uint64_t seq = 0;
+        std::size_t pending = 0; ///< consumers yet to release
+        bool occupied = false;
+    };
+
+    Slot &slotFor(std::uint64_t seq)
+    {
+        return slots_[static_cast<std::size_t>(seq %
+                                               slots_.size())];
+    }
+
+    mutable std::mutex mutex_;
+    std::condition_variable spaceAvailable_; ///< producer waits
+    std::condition_variable dataAvailable_;  ///< consumers wait
+    std::vector<Slot> slots_;
+    /** Next sequence number each consumer will acquire. */
+    std::vector<std::uint64_t> cursor_;
+    std::vector<std::vector<Event>> spare_;
+    std::uint64_t published_ = 0;
+    bool done_ = false;
+    bool stopped_ = false;
+};
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_WINDOW_BUS_HH

@@ -26,6 +26,17 @@ ArgParser::addInt(const std::string &name, std::int64_t def,
 }
 
 void
+ArgParser::addOptionalInt(const std::string &name,
+                          std::int64_t def, std::int64_t bareVal,
+                          const std::string &help)
+{
+    addInt(name, def, help);
+    Flag &f = flags_[name];
+    f.allowBare = true;
+    f.bareVal = bareVal;
+}
+
+void
 ArgParser::addDouble(const std::string &name, double def,
                      const std::string &help)
 {
@@ -134,6 +145,26 @@ ArgParser::parse(int argc, char **argv)
         if (!have_value) {
             if (flag.kind == Kind::Bool) {
                 flag.boolVal = true;
+                continue;
+            }
+            if (flag.allowBare) {
+                // "--name 4" should mean what it says: take the
+                // next token as the value iff it is a full
+                // integer; anything else (another flag, a path)
+                // leaves this occurrence bare.
+                char *end = nullptr;
+                if (i + 1 < argc) {
+                    const char *peek = argv[i + 1];
+                    const std::int64_t v =
+                        std::strtoll(peek, &end, 10);
+                    if (*peek != '\0' && end != nullptr &&
+                        *end == '\0') {
+                        flag.intVal = v;
+                        i++;
+                        continue;
+                    }
+                }
+                flag.intVal = flag.bareVal;
                 continue;
             }
             if (i + 1 >= argc) {

@@ -29,6 +29,14 @@ class ArgParser
     /** Register an integer flag and return a stable handle. */
     void addInt(const std::string &name, std::int64_t def,
                 const std::string &help);
+    /** Register an integer flag that may also appear bare: --name
+     * assigns @p bareVal, --name=K (or "--name K" with an integer
+     * token) assigns K. A bare occurrence followed by a non-integer
+     * ("--name --other", "--name path") stays bare instead of
+     * consuming the next argument like plain int flags would. */
+    void addOptionalInt(const std::string &name, std::int64_t def,
+                        std::int64_t bareVal,
+                        const std::string &help);
     /** Register a floating-point flag. */
     void addDouble(const std::string &name, double def,
                    const std::string &help);
@@ -71,6 +79,10 @@ class ArgParser
         double doubleVal = 0;
         std::string strVal;
         bool boolVal = false;
+        /** Int flags only: bare --name is legal and assigns
+         * bareVal instead of consuming the next argument. */
+        bool allowBare = false;
+        std::int64_t bareVal = 0;
     };
 
     const Flag &find(const std::string &name, Kind kind) const;

@@ -23,6 +23,24 @@ addTraceSourceFlags(ArgParser &args)
     args.addInt("seed", 1, "seed for --generate");
 }
 
+void
+addParallelFlag(ArgParser &args)
+{
+    args.addOptionalInt(
+        "parallel", 0, -1,
+        "fan-out worker threads (bare --parallel = one per "
+        "analysis; K caps the pool; 0 = sequential)");
+}
+
+std::size_t
+parallelWorkersFromFlags(const ArgParser &args)
+{
+    const std::int64_t raw = args.getInt("parallel");
+    if (raw < 0)
+        return kParallelAuto;
+    return static_cast<std::size_t>(raw);
+}
+
 RandomTraceParams
 traceParamsFromFlags(const ArgParser &args)
 {

@@ -25,6 +25,25 @@ void addTraceSourceFlags(ArgParser &args);
 /** The generator parameters the flags describe. */
 RandomTraceParams traceParamsFromFlags(const ArgParser &args);
 
+/** Sentinel: --parallel given bare — one worker per consumer. */
+inline constexpr std::size_t kParallelAuto =
+    ~static_cast<std::size_t>(0);
+
+/** Register --parallel[=K] for tools that run an AnalysisPipeline
+ * fan-out (bare = one worker per analysis, K = worker cap, 0 =
+ * sequential; rejected negative/oversized values are clamped by
+ * parallelWorkersFromFlags). */
+void addParallelFlag(ArgParser &args);
+
+/** The fan-out request the flags describe: 0 = run sequentially
+ * (the default), kParallelAuto = one worker per consumer,
+ * otherwise the worker-thread cap. Every negative raw value maps
+ * to kParallelAuto (-1 is the bare-flag sentinel); tools that
+ * want to reject other negatives as typos should check
+ * args.getInt("parallel") < -1 before calling (race_detector
+ * does). */
+std::size_t parallelWorkersFromFlags(const ArgParser &args);
+
 /**
  * Build the EventSource the parsed flags describe:
  *  --trace=FILE     a chunked streaming file reader (text/binary/

@@ -29,11 +29,13 @@
 #ifndef TC_TRACE_EVENT_SOURCE_HH
 #define TC_TRACE_EVENT_SOURCE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "trace/trace.hh"
 
@@ -57,6 +59,25 @@ struct SourceInfo
     {
         return events != kUnknownEventCount;
     }
+};
+
+/**
+ * An immutable span of decoded events — the unit of zero-copy
+ * hand-off between a source and its consumers. The span never owns
+ * its events; EventSource::readWindow documents the two lifetime
+ * contracts (storage-backed vs. source-stable), and the parallel
+ * fan-out's WindowBus refcounts published windows so N consumers
+ * can borrow one decode without copying it.
+ */
+struct EventWindow
+{
+    const Event *data = nullptr;
+    std::size_t size = 0;
+
+    bool empty() const { return size == 0; }
+    const Event *begin() const { return data; }
+    const Event *end() const { return data + size; }
+    const Event &operator[](std::size_t i) const { return data[i]; }
 };
 
 /**
@@ -97,6 +118,35 @@ class EventSource
         while (n < max && next(out[n]))
             n++;
         return n;
+    }
+
+    /**
+     * Produce the next window of up to @p max events without a
+     * per-event copy where the source can avoid one. @p storage is
+     * caller-recycled buffer capacity: the default implementation
+     * fills it through read() and returns a span over it, and
+     * buffered sources may swap a whole decoded buffer into it
+     * instead (prefetch). Sources whose events already sit in
+     * stable memory (TraceSource) may ignore @p storage and return
+     * a direct view.
+     *
+     * Lifetime contract: the returned span stays valid until
+     * @p storage is next written, destroyed, or passed back into
+     * readWindow — even across further reads of the source (view
+     * spans point into memory that outlives the stream position).
+     * This is what lets the parallel fan-out keep several published
+     * windows in flight behind the reader.
+     *
+     * An empty window means end of stream or error (check
+     * failed()).
+     */
+    virtual EventWindow
+    readWindow(std::vector<Event> &storage, std::size_t max)
+    {
+        storage.resize(max);
+        const std::size_t n = read(storage.data(), max);
+        storage.resize(n);
+        return {storage.data(), n};
     }
 
     /** Rewind to the first event. Returns false when the underlying
@@ -156,6 +206,19 @@ class TraceSource final : public EventSource
             return false;
         out = (*trace_)[pos_++];
         return true;
+    }
+
+    /** Pure view: the trace is materialized and outlives the run,
+     * so windows are spans straight into it — no copy at all. */
+    EventWindow
+    readWindow(std::vector<Event> &, std::size_t max) override
+    {
+        const std::size_t take =
+            std::min(max, trace_->size() - pos_);
+        const EventWindow window{
+            take == 0 ? nullptr : &(*trace_)[pos_], take};
+        pos_ += take;
+        return window;
     }
 
     bool

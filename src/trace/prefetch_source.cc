@@ -52,9 +52,39 @@ class PrefetchEventSource final : public EventSource
         return true;
     }
 
-    /** Bulk hand-off: this is where the decorator earns its keep —
-     * the consumer takes an entire prefetched window with one
-     * virtual call and a memcpy-grade copy. */
+    /** Zero-copy hand-off: when the caller can take a whole
+     * prefetched buffer (the common case — drains ask for at least
+     * the prefetch window), the buffer changes hands by swap and
+     * the caller's old storage capacity is recycled as the next
+     * spare. No event is copied between the reader thread's decode
+     * and the analysis. */
+    EventWindow
+    readWindow(std::vector<Event> &storage,
+               std::size_t max) override
+    {
+        if (failed())
+            return {};
+        if (pos_ >= current_.size() && !swapIn())
+            return {};
+        if (pos_ == 0 && current_.size() <= max) {
+            std::swap(storage, current_);
+            // current_ now holds the caller's drained capacity;
+            // mark it consumed so the next swapIn recycles it.
+            current_.clear();
+            return {storage.data(), storage.size()};
+        }
+        // Partial window (mixed next()/readWindow use, or a caller
+        // asking for less than one buffer): copy the slice.
+        const std::size_t take =
+            std::min(max, current_.size() - pos_);
+        storage.resize(take);
+        std::copy_n(current_.data() + pos_, take, storage.data());
+        pos_ += take;
+        return {storage.data(), take};
+    }
+
+    /** Bulk hand-off: the consumer takes an entire prefetched
+     * window with one virtual call and a memcpy-grade copy. */
     std::size_t
     read(Event *out, std::size_t max) override
     {

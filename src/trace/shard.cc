@@ -180,6 +180,7 @@ class ShardReader
             return;
         }
         if (header_.count == 0 ||
+            header_.count > kMaxShardSetCount ||
             header_.index >= header_.count) {
             setError(strFormat("%s: invalid shard index %u of %u",
                                path_.c_str(), header_.index,
@@ -409,7 +410,9 @@ shardSetCount(const std::string &prefix)
     ShardHeader h;
     if (!is || !readShardHeader(is, h))
         return 0;
-    return h.count;
+    // An out-of-range count is a corrupt header, not a huge set;
+    // callers size loops and path lists off this value.
+    return h.count > kMaxShardSetCount ? 0 : h.count;
 }
 
 bool
@@ -449,6 +452,8 @@ ShardWriter::ShardWriter(const std::string &prefix,
 {
     if (shards == 0)
         shards = 1;
+    if (shards > kMaxShardSetCount)
+        shards = kMaxShardSetCount;
     ShardHeader h;
     h.count = shards;
     h.threads = static_cast<std::uint32_t>(info.threads);

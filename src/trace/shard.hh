@@ -47,6 +47,14 @@ namespace tc {
  * typical production host, not a correctness knob). */
 inline constexpr std::uint32_t kDefaultShardCount = 4;
 
+/** Hard ceiling on a shard set's size, enforced by writers and —
+ * more importantly — by readers before anything trusts the
+ * header's count field: a corrupt or hostile `.tcs` claiming four
+ * billion shards must be rejected up front, not after the tools
+ * materialized four billion path strings. Far above any real
+ * capture (shards ≈ capture threads). */
+inline constexpr std::uint32_t kMaxShardSetCount = 4096;
+
 /** Path of shard @p index of the set named by @p prefix. */
 std::string shardPath(const std::string &prefix,
                       std::uint32_t index);

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -24,6 +25,25 @@
 
 namespace tc {
 namespace test {
+
+/**
+ * Iteration multiplier for the randomized suites, from the
+ * TC_TEST_DEPTH environment variable (default 1, clamped to
+ * 1..1000). Per-push CI runs at 1; the nightly-depth CI job runs
+ * the same suites at 10× so rare interleavings and deep random
+ * walks get real coverage without slowing every push.
+ */
+inline int
+depthScale()
+{
+    const char *raw = std::getenv("TC_TEST_DEPTH");
+    if (raw == nullptr || *raw == '\0')
+        return 1;
+    const long depth = std::strtol(raw, nullptr, 10);
+    if (depth < 1)
+        return 1;
+    return depth > 1000 ? 1000 : static_cast<int>(depth);
+}
 
 /** Drain @p source and require exactly @p expected's events, in
  * order, ending cleanly (no failed() state). */

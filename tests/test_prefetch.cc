@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <vector>
 
 #include "gen/generator_source.hh"
 #include "test_helpers.hh"
@@ -150,6 +151,48 @@ TEST_F(PrefetchFiles, MazResultsMatchBatch)
                                                  "maz/tc");
     checkEngineEquivalence<MazEngine, VectorClock>(
         trace_, binPath_, "maz/vc");
+}
+
+TEST_F(PrefetchFiles, MixedNextAndReadWindowSeesEveryEvent)
+{
+    // readWindow has two delivery paths — whole-buffer swap when
+    // the caller can take a full prefetched window, slice copy
+    // when next()/short reads left a buffer partially drained.
+    // Interleaving all three pulls must still yield the exact
+    // stream. (The swap path is what the parallel fan-out and the
+    // driver drains ride; this pins the seams between the paths.)
+    auto source = makePrefetchSource(
+        openTraceFile(binPath_, 64), 64);
+    ASSERT_FALSE(source->failed()) << source->error();
+    std::vector<Event> storage;
+    std::vector<Event> seen;
+    Event one;
+    std::size_t turn = 0;
+    for (;;) {
+        if (turn % 3 == 0) {
+            // Short window: smaller than the prefetch buffer, so
+            // the remainder forces the slice-copy path next time.
+            const EventWindow w = source->readWindow(storage, 48);
+            if (w.empty())
+                break;
+            seen.insert(seen.end(), w.begin(), w.end());
+        } else if (turn % 3 == 1) {
+            const EventWindow w =
+                source->readWindow(storage, 256);
+            if (w.empty())
+                break;
+            seen.insert(seen.end(), w.begin(), w.end());
+        } else {
+            if (!source->next(one))
+                break;
+            seen.push_back(one);
+        }
+        turn++;
+    }
+    EXPECT_FALSE(source->failed()) << source->error();
+    ASSERT_EQ(seen.size(), trace_.size());
+    for (std::size_t i = 0; i < seen.size(); i++)
+        ASSERT_EQ(seen[i], trace_[i]) << "event " << i;
 }
 
 TEST_F(PrefetchFiles, TextReaderPrefetchesToo)

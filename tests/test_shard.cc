@@ -84,7 +84,8 @@ TEST(ShardRoundTrip, RandomizedShardCountsAndWindows)
     Rng rng(20260730);
     const Trace trace = sampleTrace(3000);
     const std::string prefix = "/tmp/tc_shard_rt";
-    for (int round = 0; round < 12; round++) {
+    const int rounds = 12 * test::depthScale();
+    for (int round = 0; round < rounds; round++) {
         const auto shards =
             static_cast<std::uint32_t>(rng.range(1, 16));
         const auto window =
@@ -214,6 +215,30 @@ TEST(ShardErrors, UnfinalizedCaptureIsRejected)
     Event e;
     EXPECT_FALSE(merged->next(e));
     removeShards(prefix, 2);
+}
+
+TEST(ShardErrors, AbsurdShardCountIsRejectedUpFront)
+{
+    // A corrupt (or hostile) header claiming ~4 billion shards
+    // must fail the header check before anything sizes loops or
+    // path lists off the count — not OOM while probing members.
+    const Trace trace = sampleTrace(50);
+    const std::string prefix = "/tmp/tc_shard_absurd";
+    split(trace, prefix, 1);
+    {
+        // count is the second u32 word after the 6-byte magic.
+        std::fstream f(shardPath(prefix, 0),
+                       std::ios::binary | std::ios::in |
+                           std::ios::out);
+        f.seekp(6 + 4);
+        const std::uint32_t absurd = 0xFFFFFFFFu;
+        f.write(reinterpret_cast<const char *>(&absurd),
+                sizeof(absurd));
+    }
+    EXPECT_EQ(shardSetCount(prefix), 0u);
+    auto merged = openShardSet(prefix);
+    EXPECT_TRUE(merged->failed());
+    removeShards(prefix, 1);
 }
 
 TEST(ShardErrors, MissingMemberIsRejected)

@@ -143,6 +143,57 @@ TEST(Cli, DefaultsSurvive)
     EXPECT_EQ(ap.getInt("n"), 3);
 }
 
+TEST(Cli, OptionalIntTakesBareEqualsAndSpacedForms)
+{
+    // --parallel[=K]: bare assigns the bare value, =K and a
+    // following integer token assign K, and a following non-integer
+    // (flag or path) leaves the occurrence bare instead of being
+    // swallowed.
+    auto make = [](ArgParser &ap) {
+        ap.addOptionalInt("parallel", 0, -1, "workers");
+        ap.addBool("stream", false, "s");
+    };
+    ArgParser bare("t");
+    make(bare);
+    const char *a1[] = {"tool", "--parallel"};
+    ASSERT_TRUE(bare.parse(2, const_cast<char **>(a1)));
+    EXPECT_EQ(bare.getInt("parallel"), -1);
+
+    ArgParser eq("t");
+    make(eq);
+    const char *a2[] = {"tool", "--parallel=4"};
+    ASSERT_TRUE(eq.parse(2, const_cast<char **>(a2)));
+    EXPECT_EQ(eq.getInt("parallel"), 4);
+
+    ArgParser spaced("t");
+    make(spaced);
+    const char *a3[] = {"tool", "--parallel", "4"};
+    ASSERT_TRUE(spaced.parse(3, const_cast<char **>(a3)));
+    EXPECT_EQ(spaced.getInt("parallel"), 4);
+    EXPECT_TRUE(spaced.positional().empty());
+
+    ArgParser before_flag("t");
+    make(before_flag);
+    const char *a4[] = {"tool", "--parallel", "--stream"};
+    ASSERT_TRUE(before_flag.parse(3, const_cast<char **>(a4)));
+    EXPECT_EQ(before_flag.getInt("parallel"), -1);
+    EXPECT_TRUE(before_flag.getBool("stream"));
+
+    ArgParser before_path("t");
+    make(before_path);
+    const char *a5[] = {"tool", "--parallel", "out.tcb"};
+    ASSERT_TRUE(before_path.parse(3, const_cast<char **>(a5)));
+    EXPECT_EQ(before_path.getInt("parallel"), -1);
+    ASSERT_EQ(before_path.positional().size(), 1u);
+    EXPECT_EQ(before_path.positional()[0], "out.tcb");
+
+    ArgParser untouched("t");
+    make(untouched);
+    const char *a6[] = {"tool"};
+    ASSERT_TRUE(untouched.parse(1, const_cast<char **>(a6)));
+    EXPECT_EQ(untouched.getInt("parallel"), 0);
+}
+
 TEST(Cli, RejectsUnknownAndMalformed)
 {
     ArgParser ap("t");

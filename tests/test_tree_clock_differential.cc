@@ -18,6 +18,7 @@
 #include "core/tree_clock.hh"
 #include "core/vector_clock.hh"
 #include "support/rng.hh"
+#include "test_helpers.hh"
 
 namespace tc {
 namespace {
@@ -144,7 +145,8 @@ TEST_P(DifferentialPolicy, RandomizedJoinCopyAgreesWithVectorClock)
 
     Rng rng(0xd1ffULL +
             static_cast<std::uint64_t>(GetParam()) * 101);
-    for (int step = 0; step < 4000; step++) {
+    const int steps = 4000 * test::depthScale();
+    for (int step = 0; step < steps; step++) {
         const auto t = static_cast<std::size_t>(
             rng.below(static_cast<std::uint64_t>(threads)));
         switch (rng.below(10)) {
