@@ -13,7 +13,17 @@
  * (g) fanout_seq — the full 6-analysis cross product (hb,shb,maz ×
  *     tc,vc) as one sequential AnalysisPipeline pass,
  * (h) parallel_fanout — (g) on the per-consumer worker pool over
- *     shared zero-copy windows (--workers caps the pool).
+ *     shared zero-copy windows (--workers caps the pool),
+ * (i) parallel_fanout_stream — (h) over the full out-of-core stack
+ *     (file reader behind the async prefetch decorator), exposing
+ *     the decode-overlap × fan-out product,
+ * (j) decode_scaling — the shard set analyzed through the
+ *     parallel-decode merge (openShardSetParallel), sweeping the
+ *     reader-thread count (entries shard_readersN),
+ * (k) merge_width — pure merge drain (no analysis) of a K=64
+ *     re-split, loser tree vs linear scan (entries merge_tree_k64 /
+ *     merge_scan_k64), isolating what the tournament tree buys
+ *     wide shard sets.
  *
  * Reports events/s per (mode, clock), quantifying what "streaming
  * SHB/MAZ by default" costs over the batch loop, how much of the
@@ -23,6 +33,7 @@
  *
  *   ./bench_streaming --events=2000000 --po=shb --json=out.json
  *   ./bench_streaming --mode=fanout_seq,parallel_fanout
+ *   ./bench_streaming --mode=decode_scaling,merge_width
  */
 
 #include <algorithm>
@@ -161,10 +172,40 @@ timeFanout(EventSource &source, int reps, std::size_t workers,
 }
 
 constexpr const char *kModeNames[] = {
-    "batch",       "trace_source",   "file_stream",
-    "prefetch",    "shard_merge",    "shard_prefetch",
-    "fanout_seq",  "parallel_fanout",
+    "batch",          "trace_source",
+    "file_stream",    "prefetch",
+    "shard_merge",    "shard_prefetch",
+    "fanout_seq",     "parallel_fanout",
+    "parallel_fanout_stream",
+    "decode_scaling", "merge_width",
 };
+
+/** Pure-drain throughput of @p source: the merge cost itself, no
+ * analysis behind it (the merge_width mode). */
+double
+timeDrain(EventSource &source, int reps)
+{
+    return bestOfReps(reps, [&] {
+        if (!source.rewind()) {
+            std::fprintf(stderr,
+                         "bench: event source cannot rewind\n");
+            std::abort();
+        }
+        Timer timer;
+        Event buf[4096];
+        while (source.read(buf, sizeof(buf) / sizeof(buf[0])) !=
+               0) {
+        }
+        const double t = timer.seconds();
+        if (source.failed()) {
+            std::fprintf(stderr,
+                         "bench: event source failed: %s\n",
+                         source.error().c_str());
+            std::abort();
+        }
+        return t;
+    });
+}
 
 /** Every --mode token must name a real mode (or "all"): a typo
  * that silently selects nothing would exit 0 with an empty
@@ -231,7 +272,8 @@ main(int argc, char **argv)
                    "comma list of modes to run: batch | "
                    "trace_source | file_stream | prefetch | "
                    "shard_merge | shard_prefetch | fanout_seq | "
-                   "parallel_fanout | all");
+                   "parallel_fanout | parallel_fanout_stream | "
+                   "decode_scaling | merge_width | all");
     args.addInt("workers", 0,
                 "worker threads for parallel_fanout (0 = one per "
                 "analysis)");
@@ -272,7 +314,8 @@ main(int argc, char **argv)
         return 1;
     const bool need_file =
         modeEnabled(mode_filter, "file_stream") ||
-        modeEnabled(mode_filter, "prefetch");
+        modeEnabled(mode_filter, "prefetch") ||
+        modeEnabled(mode_filter, "parallel_fanout_stream");
     if (need_file && !saveTrace(trace, path)) {
         std::fprintf(stderr, "error: cannot write '%s'\n",
                      path.c_str());
@@ -288,11 +331,27 @@ main(int argc, char **argv)
     const std::string shard_prefix = path + ".shards";
     const bool need_shards =
         modeEnabled(mode_filter, "shard_merge") ||
-        modeEnabled(mode_filter, "shard_prefetch");
+        modeEnabled(mode_filter, "shard_prefetch") ||
+        modeEnabled(mode_filter, "decode_scaling");
     if (need_shards) {
         TraceSource shard_feed(trace);
         std::string error;
         if (splitTraceStream(shard_feed, shard_prefix, shards,
+                             &error) == kUnknownEventCount) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
+    }
+    // merge_width wants a deliberately wide set: K=64 is where the
+    // per-event O(K) head scan stops being noise and the loser
+    // tree's O(log K) replay shows up.
+    constexpr std::uint32_t kWideShards = 64;
+    const std::string wide_prefix = path + ".wide";
+    const bool need_wide = modeEnabled(mode_filter, "merge_width");
+    if (need_wide) {
+        TraceSource wide_feed(trace);
+        std::string error;
+        if (splitTraceStream(wide_feed, wide_prefix, kWideShards,
                              &error) == kUnknownEventCount) {
             std::fprintf(stderr, "error: %s\n", error.c_str());
             return 1;
@@ -348,6 +407,35 @@ main(int argc, char **argv)
                    timePoSource<ClockT>(
                        po, *merged_prefetched, reps));
         }
+        if (modeEnabled(mode_filter, "decode_scaling")) {
+            // Reader-count sweep over the parallel-decode merge:
+            // shard_readersN has the consuming thread merge while
+            // N threads decode; shard_prefetch_rN additionally
+            // moves the merge onto the prefetch thread — the
+            // apples-to-apples upgrade of the shard_prefetch mode
+            // (whose decode is a single reader). Capped at the
+            // cores actually present (beyond that the sweep
+            // measures scheduler thrash, not decode overlap) and
+            // at the shard count (idle readers decode nothing).
+            const unsigned hw = std::thread::hardware_concurrency();
+            const std::size_t max_readers = std::min<std::size_t>(
+                {4, hw == 0 ? 1 : hw, shards});
+            for (std::size_t r = 1; r <= max_readers; r *= 2) {
+                const auto parallel = openShardSetParallel(
+                    shard_prefix, r, window);
+                report(("shard_readers" + std::to_string(r))
+                           .c_str(),
+                       clock,
+                       timePoSource<ClockT>(po, *parallel, reps));
+                const auto stacked = makePrefetchSource(
+                    openShardSetParallel(shard_prefix, r, window),
+                    window);
+                report(("shard_prefetch_r" + std::to_string(r))
+                           .c_str(),
+                       clock,
+                       timePoSource<ClockT>(po, *stacked, reps));
+            }
+        }
     };
     runClock.template operator()<TreeClock>("TC");
     runClock.template operator()<VectorClock>("VC");
@@ -361,24 +449,44 @@ main(int argc, char **argv)
         report("fanout_seq", "6x",
                timeFanout(mem, reps, 0, window));
     }
+    const std::int64_t workers_raw = args.getInt("workers");
+    if (workers_raw < 0 || workers_raw > 64) {
+        std::fprintf(stderr,
+                     "error: --workers must be in 0..64\n");
+        return 1;
+    }
+    // Default: one worker per analysis, capped at the cores
+    // actually present — oversubscribing a small machine
+    // measures scheduler thrash, not the fan-out.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t workers =
+        workers_raw > 0
+            ? static_cast<std::size_t>(workers_raw)
+            : std::min<std::size_t>(6, hw == 0 ? 1 : hw);
     if (modeEnabled(mode_filter, "parallel_fanout")) {
-        const std::int64_t workers_raw = args.getInt("workers");
-        if (workers_raw < 0 || workers_raw > 64) {
-            std::fprintf(stderr,
-                         "error: --workers must be in 0..64\n");
-            return 1;
-        }
-        // Default: one worker per analysis, capped at the cores
-        // actually present — oversubscribing a small machine
-        // measures scheduler thrash, not the fan-out.
-        const unsigned hw = std::thread::hardware_concurrency();
-        const std::size_t workers =
-            workers_raw > 0
-                ? static_cast<std::size_t>(workers_raw)
-                : std::min<std::size_t>(6, hw == 0 ? 1 : hw);
         TraceSource mem(trace);
         report("parallel_fanout", "6x",
                timeFanout(mem, reps, workers, window));
+    }
+    if (modeEnabled(mode_filter, "parallel_fanout_stream")) {
+        // The full production stack: out-of-core file reader,
+        // async prefetch decode, parallel 6-analysis fan-out —
+        // decode overlap × fan-out parallelism in one number.
+        const auto streamed = makePrefetchSource(
+            openTraceFile(path, window), window);
+        report("parallel_fanout_stream", "6x",
+               timeFanout(*streamed, reps, workers, window));
+    }
+    if (modeEnabled(mode_filter, "merge_width")) {
+        // Merge drain only (no analysis): what the per-event
+        // winner selection costs at K=64, tournament tree vs the
+        // old linear head scan.
+        const auto tree = openShardSet(wide_prefix, window,
+                                       MergeStrategy::LoserTree);
+        report("merge_tree_k64", "drain", timeDrain(*tree, reps));
+        const auto scan = openShardSet(wide_prefix, window,
+                                       MergeStrategy::LinearScan);
+        report("merge_scan_k64", "drain", timeDrain(*scan, reps));
     }
 
     table.print(std::cout);
@@ -387,6 +495,10 @@ main(int argc, char **argv)
     if (need_shards) {
         for (std::uint32_t i = 0; i < shards; i++)
             std::remove(shardPath(shard_prefix, i).c_str());
+    }
+    if (need_wide) {
+        for (std::uint32_t i = 0; i < kWideShards; i++)
+            std::remove(shardPath(wide_prefix, i).c_str());
     }
     return maybeWriteJson(args, json) ? 0 : 1;
 }

@@ -10,7 +10,8 @@
 #           on the pipeline fault paths).
 #   Job 3 — TSan: the `threaded` ctest label — every suite that
 #           spawns threads (prefetch reader, window-bus ring,
-#           pipeline worker pool, scratch-arena regression) —
+#           pipeline worker pool, parallel capture writers,
+#           parallel shard decode, scratch-arena regression) —
 #           under ThreadSanitizer. CMakeLists.txt owns the list
 #           (TC_THREADED_TESTS), so new threaded suites are covered
 #           by adding them there, not by editing CI regexes. Scoped
@@ -54,9 +55,13 @@ ctest --test-dir build-ci-tsan --output-on-failure -j "${JOBS}" \
 #    may allocate more than the baseline (counts are
 #    deterministic);
 #  * throughput (25% tolerance): bench_streaming events/s — the
-#    streaming modes and the fan-out cross product — must not
-#    collapse; the loose threshold absorbs machine noise while
-#    catching a serialized pool or a re-introduced copy.
+#    streaming modes, the fan-out cross product, the decode-scaling
+#    reader sweep and the K=64 merge drains — must not collapse;
+#    the loose threshold absorbs machine noise while catching a
+#    serialized pool, a re-introduced copy, or a merge that fell
+#    back to scanning. (Nightly additionally gates tighter against
+#    a per-runner floor baseline; see nightly.yml +
+#    ci/update_runner_baseline.py.)
 # Both reports are merged into one document with merge_bench_json
 # (the same layout as the committed baseline) so the checkers diff
 # key by key. bench_micro_clock is skipped when google-benchmark

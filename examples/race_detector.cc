@@ -27,10 +27,16 @@
  * With --parallel[=K] the fan-out runs on a worker pool (one worker
  * per analysis, or K workers round-robin over the analyses), all
  * borrowing the same zero-copy decode windows — results are
- * identical to the sequential pass:
+ * identical to the sequential pass. For sharded captures,
+ * --readers=K additionally spreads the *decode* over K shard
+ * reader threads (reordered back to the captured sequence order),
+ * so the full pipeline overlaps K decoders with N analysis
+ * workers:
  *
  *   ./race_detector --trace=huge.tcb --stream --prefetch \
  *       --po=hb,shb,maz --clock=tc,vc --parallel
+ *   ./race_detector --trace=cap.0.tcs --stream --readers=4 \
+ *       --prefetch --po=hb,shb,maz --clock=tc,vc --parallel
  */
 
 #include <algorithm>

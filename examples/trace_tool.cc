@@ -7,8 +7,18 @@
  *   trace_tool validate run.tct
  *   trace_tool convert  run.tct run.tcb       (format by extension)
  *   trace_tool split    run.tct cap --shards=4   (cap.0.tcs ...)
+ *   trace_tool split    run.tct cap --shards=8 --writers=4
+ *                                             (multi-writer split:
+ *                                              4 appender threads)
  *   trace_tool merge    cap out.tcb           (any .tcs member or
  *                                              the set prefix)
+ *   trace_tool capture  cap --shards=4 --threads=16 --events=1000000
+ *                                             (generator-driven
+ *                                              concurrent-capture
+ *                                              simulation: one
+ *                                              capturing thread per
+ *                                              shard, one atomic
+ *                                              sequence counter)
  *   trace_tool slice    run.tct out.tct --vars=3,17,42
  *   trace_tool project  run.tct out.tct --threads=0,1
  *   trace_tool prefix   run.tct out.tct --events=100000
@@ -19,7 +29,8 @@
  * readers and never materialize the trace, so they work on files
  * larger than memory; the structural commands
  * (slice/project/prefix/compact/validate) still load the full
- * event vector.
+ * event vector, and capture materializes its generated workload so
+ * the capture threads can replay it.
  */
 
 #include <sys/stat.h>
@@ -191,10 +202,14 @@ main(int argc, char **argv)
 {
     ArgParser args(
         "trace toolbox: stats | validate | convert | split | "
-        "merge | slice | project | prefix | compact | generate");
+        "merge | capture | slice | project | prefix | compact | "
+        "generate");
     args.addInt("shards", static_cast<std::int64_t>(
                               kDefaultShardCount),
-                "shard count (split)");
+                "shard count (split/capture)");
+    args.addInt("writers", 1,
+                "writer threads for split (1 = single-threaded; "
+                "output is byte-identical either way)");
     args.addString("vars", "", "comma-separated variable ids (slice)");
     args.addString("threads-list", "",
                    "comma-separated thread ids (project)");
@@ -298,10 +313,24 @@ main(int argc, char **argv)
                 return 1;
             }
         }
+        const std::int64_t writers_raw = args.getInt("writers");
+        if (writers_raw < 1 || writers_raw > 256) {
+            std::fprintf(stderr,
+                         "error: --writers must be in 1..256\n");
+            return 1;
+        }
+        const auto writers =
+            static_cast<std::uint32_t>(writers_raw);
         const auto source = openOrDie(pos[1]);
         std::string error;
+        // Both paths produce byte-identical sets; the parallel one
+        // dispatches decoded records to per-shard writer threads.
         const std::uint64_t written =
-            splitTraceStream(*source, pos[2], shards, &error);
+            writers > 1 ? splitTraceStreamParallel(
+                              *source, pos[2], shards, writers,
+                              &error)
+                        : splitTraceStream(*source, pos[2], shards,
+                                           &error);
         if (written == kUnknownEventCount) {
             checkDrained(*source, pos[1]);
             std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -310,6 +339,47 @@ main(int argc, char **argv)
         std::printf("wrote %s.{0..%u}.tcs (%s events)\n",
                     pos[2].c_str(), shards - 1,
                     humanCount(written).c_str());
+        return 0;
+    }
+    if (cmd == "capture" && pos.size() == 2) {
+        // Concurrent-capture simulation: generate a workload, then
+        // one capturing thread per shard replays its threads'
+        // events, stamping from the writer's atomic sequence
+        // counter (trace/shard.hh). The finalized set is
+        // byte-identical to `generate` + `split` of the same
+        // parameters — what this command demonstrates is the
+        // multi-writer capture path itself.
+        const std::int64_t shards_raw = args.getInt("shards");
+        if (shards_raw < 1 || shards_raw > 256) {
+            std::fprintf(stderr,
+                         "error: --shards must be in 1..256\n");
+            return 1;
+        }
+        RandomTraceParams params;
+        params.threads = static_cast<Tid>(args.getInt("threads"));
+        params.locks = static_cast<LockId>(args.getInt("locks"));
+        params.vars = static_cast<VarId>(args.getInt("gen-vars"));
+        params.events =
+            static_cast<std::uint64_t>(args.getInt("events"));
+        params.syncRatio = args.getDouble("sync-ratio");
+        params.seed =
+            static_cast<std::uint64_t>(args.getInt("seed"));
+        const Trace trace = generateRandomTrace(params);
+        std::string error;
+        const std::uint64_t written = captureTraceParallel(
+            trace, pos[1],
+            static_cast<std::uint32_t>(shards_raw), &error);
+        if (written == kUnknownEventCount) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf(
+            "captured %s.{0..%u}.tcs (%s events, %u concurrent "
+            "writers)\n",
+            pos[1].c_str(),
+            static_cast<std::uint32_t>(shards_raw) - 1,
+            humanCount(written).c_str(),
+            static_cast<std::uint32_t>(shards_raw));
         return 0;
     }
     if (cmd == "merge" && pos.size() == 3) {

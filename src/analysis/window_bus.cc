@@ -7,8 +7,7 @@
 namespace tc {
 
 WindowBus::WindowBus(std::size_t consumers, std::size_t depth)
-    : slots_(depth == 0 ? 1 : depth),
-      cursor_(consumers, 0)
+    : slots_(depth == 0 ? 1 : depth), gates_(consumers)
 {
     TC_CHECK(consumers > 0, "WindowBus needs at least one consumer");
 }
@@ -16,7 +15,7 @@ WindowBus::WindowBus(std::size_t consumers, std::size_t depth)
 std::vector<Event>
 WindowBus::acquireStorage()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(producerMutex_);
     if (spare_.empty())
         return {};
     std::vector<Event> storage = std::move(spare_.back());
@@ -27,48 +26,73 @@ WindowBus::acquireStorage()
 bool
 WindowBus::publish(std::vector<Event> storage, EventWindow window)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
     TC_CHECK(!done_, "publish after finish");
-    spaceAvailable_.wait(lock, [this] {
-        return stopped_ || !slotFor(published_).occupied;
-    });
-    if (stopped_)
+    {
+        // A slot is writable once every consumer released it —
+        // freed_ counts those. The producer may lead by at most
+        // the ring depth.
+        std::unique_lock<std::mutex> lock(producerMutex_);
+        spaceAvailable_.wait(lock, [this] {
+            return stopRequested() ||
+                   published_ < freed_ + slots_.size();
+        });
+    }
+    if (stopRequested())
         return false;
+    // The slot is free (no consumer touches it until its gate
+    // advertises the new sequence number below), so it fills
+    // without any lock held.
     Slot &slot = slotFor(published_);
     slot.storage = std::move(storage);
     slot.window = window;
     slot.seq = published_;
-    slot.pending = cursor_.size();
-    slot.occupied = true;
+    slot.pending.store(gates_.size(), std::memory_order_relaxed);
     published_++;
-    dataAvailable_.notify_all();
+    // Advertise per consumer: each waiting worker wakes through
+    // its own gate instead of the whole pool herding one condvar.
+    for (Gate &gate : gates_) {
+        {
+            std::lock_guard<std::mutex> lock(gate.m);
+            gate.published = published_;
+        }
+        gate.cv.notify_one();
+    }
     return true;
 }
 
 void
 WindowBus::finish()
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        done_ = true;
+    done_ = true;
+    for (Gate &gate : gates_) {
+        {
+            std::lock_guard<std::mutex> lock(gate.m);
+            gate.done = true;
+        }
+        gate.cv.notify_one();
     }
-    dataAvailable_.notify_all();
 }
 
 const EventWindow *
 WindowBus::acquire(std::size_t consumer)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const std::uint64_t seq = cursor_[consumer];
-    dataAvailable_.wait(lock, [&] {
-        return stopped_ || published_ > seq || done_;
-    });
-    if (stopped_ || published_ <= seq)
-        return nullptr;
-    Slot &slot = slotFor(seq);
+    Gate &gate = gates_[consumer];
+    {
+        std::unique_lock<std::mutex> lock(gate.m);
+        gate.cv.wait(lock, [&gate] {
+            return gate.stopped || gate.published > gate.cursor ||
+                   gate.done;
+        });
+        if (gate.stopped || gate.published <= gate.cursor)
+            return nullptr;
+    }
+    // The gate update happens-after the producer filled the slot,
+    // so the slot reads below are ordered without the gate lock.
+    Slot &slot = slotFor(gate.cursor);
     // The slot cannot have been recycled past this consumer: reuse
     // requires every cursor (including ours) to move beyond seq.
-    TC_CHECK(slot.occupied && slot.seq == seq,
+    TC_CHECK(slot.seq == gate.cursor &&
+                 slot.pending.load(std::memory_order_relaxed) > 0,
              "window ring slot overwritten while borrowed");
     return &slot.window;
 }
@@ -76,39 +100,47 @@ WindowBus::acquire(std::size_t consumer)
 void
 WindowBus::release(std::size_t consumer)
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const std::uint64_t seq = cursor_[consumer]++;
+    Gate &gate = gates_[consumer];
+    const std::uint64_t seq = gate.cursor++;
     Slot &slot = slotFor(seq);
-    TC_CHECK(slot.occupied && slot.seq == seq && slot.pending > 0,
-             "release without a matching acquire");
-    if (--slot.pending == 0) {
-        // Slowest consumer out: hand the backing buffer to the
-        // producer as decode capacity and free the ring position.
-        spare_.push_back(std::move(slot.storage));
-        slot.storage = {};
-        slot.window = {};
-        slot.occupied = false;
-        lock.unlock();
-        spaceAvailable_.notify_one();
+    TC_CHECK(slot.seq == seq, "release without a matching acquire");
+    // acq_rel: every consumer's window reads happen-before the
+    // last releaser's storage hand-back.
+    const std::size_t left =
+        slot.pending.fetch_sub(1, std::memory_order_acq_rel);
+    TC_CHECK(left > 0, "release without a matching acquire");
+    if (left != 1)
+        return;
+    // Slowest consumer out: hand the backing buffer to the
+    // producer as decode capacity and free the ring position.
+    std::vector<Event> storage = std::move(slot.storage);
+    slot.storage = {};
+    slot.window = {};
+    {
+        std::lock_guard<std::mutex> lock(producerMutex_);
+        spare_.push_back(std::move(storage));
+        freed_++;
     }
+    spaceAvailable_.notify_one();
 }
 
 void
 WindowBus::requestStop()
 {
+    stopped_.store(true, std::memory_order_release);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stopped_ = true;
+        // Empty critical section: order the flag against the
+        // producer's predicate check so the wakeup cannot be lost.
+        std::lock_guard<std::mutex> lock(producerMutex_);
     }
-    dataAvailable_.notify_all();
     spaceAvailable_.notify_all();
-}
-
-bool
-WindowBus::stopRequested() const
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stopped_;
+    for (Gate &gate : gates_) {
+        {
+            std::lock_guard<std::mutex> lock(gate.m);
+            gate.stopped = true;
+        }
+        gate.cv.notify_one();
+    }
 }
 
 } // namespace tc

@@ -16,6 +16,16 @@
  * released it, so the ring bounds how far the reader can run ahead
  * and no event is ever copied per consumer.
  *
+ * Synchronization is split per party so small windows do not turn
+ * into wakeup storms: every consumer has its own gate (mutex +
+ * condvar + published cursor) and the producer has its own
+ * space-tracking lock. A publish takes each waiting consumer's
+ * gate briefly instead of herding all of them across one shared
+ * mutex; a release only touches the slot's atomic refcount, and
+ * only the slowest consumer out takes the producer lock to hand
+ * the storage back. No consumer ever contends with another
+ * consumer.
+ *
  * Error discipline: requestStop() wakes every blocked party;
  * publish() then refuses new windows and acquire() returns null, so
  * a faulting consumer tears the whole pool down without deadlock
@@ -25,8 +35,10 @@
 #ifndef TC_ANALYSIS_WINDOW_BUS_HH
 #define TC_ANALYSIS_WINDOW_BUS_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <vector>
 
@@ -92,7 +104,10 @@ class WindowBus
      * consumer's stream early. Any thread may call it. */
     void requestStop();
 
-    bool stopRequested() const;
+    bool stopRequested() const
+    {
+        return stopped_.load(std::memory_order_acquire);
+    }
 
   private:
     struct Slot
@@ -100,8 +115,24 @@ class WindowBus
         std::vector<Event> storage;
         EventWindow window;
         std::uint64_t seq = 0;
-        std::size_t pending = 0; ///< consumers yet to release
-        bool occupied = false;
+        /** Consumers yet to release; the producer's gate writes
+         * publish the slot contents, the last releaser's
+         * fetch-sub orders the storage hand-back. */
+        std::atomic<std::size_t> pending{0};
+    };
+
+    /** One consumer's private wait channel. The producer copies
+     * its published count here under the gate lock; cursor is
+     * touched by the owning consumer thread only. Padded so two
+     * gates never share a cache line. */
+    struct alignas(64) Gate
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        std::uint64_t published = 0;
+        bool done = false;
+        bool stopped = false;
+        std::uint64_t cursor = 0;
     };
 
     Slot &slotFor(std::uint64_t seq)
@@ -110,16 +141,21 @@ class WindowBus
                                                slots_.size())];
     }
 
-    mutable std::mutex mutex_;
-    std::condition_variable spaceAvailable_; ///< producer waits
-    std::condition_variable dataAvailable_;  ///< consumers wait
     std::vector<Slot> slots_;
-    /** Next sequence number each consumer will acquire. */
-    std::vector<std::uint64_t> cursor_;
+    std::deque<Gate> gates_;
+
+    /** Producer-side space accounting: how many slots were fully
+     * released (freed_) and the recycled storage pool. */
+    std::mutex producerMutex_;
+    std::condition_variable spaceAvailable_;
     std::vector<std::vector<Event>> spare_;
+    std::uint64_t freed_ = 0;
+
+    /** Producer-thread-only. */
     std::uint64_t published_ = 0;
     bool done_ = false;
-    bool stopped_ = false;
+
+    std::atomic<bool> stopped_{false};
 };
 
 } // namespace tc

@@ -14,6 +14,10 @@ addTraceSourceFlags(ArgParser &args)
     args.addBool("prefetch", false,
                  "decode --trace on a background reader thread "
                  "(double-buffered windows)");
+    args.addInt("readers", 0,
+                "decode a sharded --trace with K parallel reader "
+                "threads, reordered on sequence numbers (0 = "
+                "sequential merge; ignored for non-shard inputs)");
     args.addBool("generate", false, "generate a synthetic trace");
     args.addInt("threads", 16, "threads for --generate");
     args.addInt("locks", 16, "locks for --generate");
@@ -59,9 +63,18 @@ std::unique_ptr<EventSource>
 makeEventSource(const ArgParser &args)
 {
     if (!args.getString("trace").empty()) {
-        auto source = openTraceFile(args.getString("trace"));
+        const std::int64_t readers_raw = args.getInt("readers");
+        const auto readers =
+            readers_raw < 0 ? std::size_t{0}
+                            : static_cast<std::size_t>(
+                                  readers_raw);
+        auto source = openTraceFile(args.getString("trace"),
+                                    kDefaultSourceWindow, readers);
         // Prefetch pays off where there is decode + I/O to hide;
-        // generated sources below have neither.
+        // generated sources below have neither. It composes with
+        // --readers: the shard readers decode, the prefetch
+        // thread runs the sequence-reordering merge off the
+        // analysis thread.
         if (args.getBool("prefetch") && !source->failed())
             source = makePrefetchSource(std::move(source));
         return source;

@@ -50,6 +50,10 @@ std::size_t parallelWorkersFromFlags(const ArgParser &args);
  *                   shard set by extension; never materializes the
  *                   event vector), wrapped in an asynchronous
  *                   double-buffering decorator under --prefetch;
+ *                   --readers=K decodes a shard set on K parallel
+ *                   reader threads (reordered on sequence numbers
+ *                   — see trace/shard.hh; composes with
+ *                   --prefetch);
  *  --generate       a generated synthetic workload.
  * Returns a source in the failed() state on open/parse errors, and
  * null only when neither input flag was given.

@@ -343,10 +343,11 @@ makeFailedSource(std::string message)
 }
 
 std::unique_ptr<EventSource>
-openTraceFile(const std::string &path, std::size_t window)
+openTraceFile(const std::string &path, std::size_t window,
+              std::size_t shardReaders)
 {
     if (isShardPath(path))
-        return openShardMember(path, window);
+        return openShardMember(path, window, shardReaders);
     const bool binary =
         path.size() >= 4 &&
         path.compare(path.size() - 4, 4, ".tcb") == 0;

@@ -254,13 +254,18 @@ makeBinaryEventSource(std::istream &is,
  * Open a trace file as a chunked streaming source; format chosen by
  * extension: ".tcb" binary, ".tcs" a shard-set member (the whole
  * set opens, merged back into capture order — see trace/shard.hh),
- * anything else text, matching loadTrace(). The returned source
- * owns the file stream(s). On open or header failure the source is
- * returned in the failed() state (never null).
+ * anything else text, matching loadTrace(). For shard sets,
+ * @p shardReaders > 0 decodes the members on that many parallel
+ * reader threads (reordered back to the merged sequence order);
+ * the flag has no effect on single-file formats, whose decode is
+ * parallelized by the prefetch decorator instead. The returned
+ * source owns the file stream(s). On open or header failure the
+ * source is returned in the failed() state (never null).
  */
 std::unique_ptr<EventSource>
 openTraceFile(const std::string &path,
-              std::size_t window = kDefaultSourceWindow);
+              std::size_t window = kDefaultSourceWindow,
+              std::size_t shardReaders = 0);
 
 /** A source that is born failed() with @p message — for factories
  * that must report "could not even open the input" through the

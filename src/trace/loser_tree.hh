@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Loser tree: a K-way tournament for streaming merges.
+ *
+ * The shard merge picks, per event, the cursor with the smallest
+ * global sequence number among K shard heads. A linear scan is
+ * O(K) per event — fine for capture-sized sets, but a K=64 re-split
+ * pays 64 comparisons per event delivered. The loser tree keeps the
+ * tournament's intermediate results: each internal node remembers
+ * the *loser* of its match, the overall winner sits at the root,
+ * and replacing the winner's key replays only its root path —
+ * O(log K) comparisons per event, no allocation after setup.
+ *
+ * The tree tracks indices and keys only; owners keep the payloads
+ * (shard cursors) and feed the new key after advancing the winning
+ * cursor. Exhausted cursors stay in the tree with the infinite key,
+ * so "every cursor done" is simply "the winner's key is infinite".
+ *
+ * Ties break toward the lower index — the same winner a
+ * first-strictly-smaller linear scan would pick — so replacing the
+ * scan cannot reorder a (corrupt) set with duplicate keys.
+ */
+
+#ifndef TC_TRACE_LOSER_TREE_HH
+#define TC_TRACE_LOSER_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hh"
+
+namespace tc {
+
+/** Key of an exhausted cursor: loses every match. */
+inline constexpr std::uint64_t kLoserTreeInfKey = ~0ull;
+
+class LoserTree
+{
+  public:
+    /** A tournament over @p cursors entrants, all starting at the
+     * infinite key (reset() installs the real ones). */
+    explicit LoserTree(std::size_t cursors)
+        : key_(cursors == 0 ? 1 : cursors, kLoserTreeInfKey),
+          loser_(key_.size(), 0)
+    {
+        reset(key_);
+    }
+
+    std::size_t size() const { return key_.size(); }
+
+    /** (Re)build the tournament from @p keys (size() entries). */
+    void
+    reset(const std::vector<std::uint64_t> &keys)
+    {
+        TC_CHECK(keys.size() == key_.size(),
+                 "loser tree rebuilt with a different cursor count");
+        key_ = keys;
+        const std::size_t k = key_.size();
+        if (k == 1) {
+            winner_ = 0;
+            return;
+        }
+        // Play the bracket bottom-up: leaves sit at positions
+        // k..2k-1, internal matches at 1..k-1 (parent = p/2; the
+        // shape is a valid tournament for any k, not just powers
+        // of two). Winners propagate through `win`, losers stay in
+        // the nodes.
+        std::vector<std::size_t> win(2 * k);
+        for (std::size_t i = 0; i < k; i++)
+            win[k + i] = i;
+        for (std::size_t p = k - 1; p >= 1; p--) {
+            const std::size_t a = win[2 * p];
+            const std::size_t b = win[2 * p + 1];
+            const bool a_wins = beats(a, b);
+            win[p] = a_wins ? a : b;
+            loser_[p] = a_wins ? b : a;
+        }
+        winner_ = win[1];
+    }
+
+    /** Current champion: the cursor with the smallest key (lowest
+     * index on ties). Key kLoserTreeInfKey ⇔ every cursor is
+     * exhausted. */
+    std::size_t winner() const { return winner_; }
+    std::uint64_t winnerKey() const { return key_[winner_]; }
+
+    /**
+     * The winner's cursor advanced: its key became @p newKey
+     * (kLoserTreeInfKey when it exhausted). Replays the winner's
+     * root path — the only matches its old key won.
+     */
+    void
+    update(std::uint64_t newKey)
+    {
+        const std::size_t k = key_.size();
+        std::size_t w = winner_;
+        key_[w] = newKey;
+        for (std::size_t p = (k + w) / 2; p >= 1; p /= 2) {
+            const std::size_t other = loser_[p];
+            if (beats(other, w)) {
+                loser_[p] = w;
+                w = other;
+            }
+        }
+        winner_ = w;
+    }
+
+  private:
+    /** Min-tournament: strictly smaller key wins, index breaks
+     * ties (matching the linear scan's first-smaller pick). */
+    bool
+    beats(std::size_t a, std::size_t b) const
+    {
+        return key_[a] < key_[b] ||
+               (key_[a] == key_[b] && a < b);
+    }
+
+    std::vector<std::uint64_t> key_;
+    std::vector<std::size_t> loser_; ///< loser_[p]: loser at match p
+    std::size_t winner_ = 0;
+};
+
+} // namespace tc
+
+#endif // TC_TRACE_LOSER_TREE_HH

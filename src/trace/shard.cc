@@ -1,13 +1,19 @@
 #include "trace/shard.hh"
 
 #include <cctype>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <limits>
+#include <mutex>
+#include <thread>
 #include <utility>
 
+#include "support/assert.hh"
 #include "support/strings.hh"
+#include "trace/loser_tree.hh"
 
 namespace tc {
 
@@ -18,8 +24,8 @@ constexpr char kShardMagic[6] = {'T', 'C', 'S', 'H', '1', '\0'};
 /** Fixed-width header: magic, then shardIndex, shardCount, threads,
  * locks, vars (u32 each), then shardEvents, totalEvents (u64 each).
  * The two counts are written as kUnknownEventCount placeholders and
- * patched by ShardWriter::finalize(), so readers can tell a crashed
- * capture from a finalized one. */
+ * patched by finalize(), so readers can tell a crashed capture from
+ * a finalized one. */
 constexpr std::size_t kCountsOffset =
     sizeof(kShardMagic) + 5 * sizeof(std::uint32_t);
 constexpr std::size_t kShardHeaderBytes =
@@ -74,15 +80,25 @@ readShardHeader(std::istream &is, ShardHeader &h)
     return true;
 }
 
+/** One decoded shard record: the global stamp and its event. */
+struct ShardRecord
+{
+    std::uint64_t seq = 0;
+    Event event;
+};
+
 /**
- * Windowed reader over one shard file. Not an EventSource itself —
- * it surfaces (seq, event) heads for the merger and keeps at most
- * `window` raw records in memory, mirroring BinaryEventSource.
+ * Batched, validating decoder over one shard file. Reads at most
+ * `window` raw records per refill and decodes them into ShardRecord
+ * batches — the unit both merge paths (and the parallel decode
+ * threads) move around. Validation (op/id ranges, strictly
+ * increasing sequence numbers) happens here, once, for every
+ * consumer.
  */
-class ShardReader
+class ShardFileReader
 {
   public:
-    ShardReader(std::string path, std::size_t window)
+    ShardFileReader(std::string path, std::size_t window)
         : path_(std::move(path)), window_(window == 0 ? 1 : window)
     {
         open();
@@ -93,55 +109,96 @@ class ShardReader
     const ShardHeader &header() const { return header_; }
     const std::string &path() const { return path_; }
 
-    /** A head is loaded and neither exhausted nor failed. */
-    bool hasHead() const { return hasHead_; }
-    std::uint64_t headSeq() const { return headSeq_; }
-    const Event &headEvent() const { return headEvent_; }
-
-    /** Load the next record into the head slot. After this returns
-     * false, ok() distinguishes clean exhaustion from corruption. */
+    /**
+     * Decode the next batch (≤ window records) into @p out.
+     * Returns false — with @p out empty — at end of shard or on
+     * error (ok() tells which). A batch that hits a bad record
+     * mid-decode delivers the good prefix now and fails the *next*
+     * call, so consumers see every valid record before the error.
+     * (For a torn trailing record this deliberately delivers the
+     * final window's complete records first — the old
+     * one-record-at-a-time reader dropped them and failed at the
+     * window boundary instead.)
+     */
     bool
-    advance()
+    readBatch(std::vector<ShardRecord> &out)
     {
-        hasHead_ = false;
-        if (!ok())
+        out.clear();
+        if (!ok() || delivered_ >= header_.shardEvents)
             return false;
-        if (bufPos_ >= bufCount_ && !refill())
-            return false;
-        const unsigned char *p =
-            buf_.data() + bufPos_ * kShardRecordBytes;
-        std::uint64_t seq;
-        std::int32_t tid;
-        std::uint32_t target;
-        std::memcpy(&seq, p, sizeof(seq));
-        std::memcpy(&tid, p + 8, sizeof(tid));
-        std::memcpy(&target, p + 12, sizeof(target));
-        const std::uint8_t op = p[16];
-        bufPos_++;
-        delivered_++;
-        if (op > static_cast<std::uint8_t>(OpType::Join) ||
-            tid < 0 ||
-            target > static_cast<std::uint32_t>(
-                         std::numeric_limits<std::int32_t>::max())) {
-            setError(strFormat("%s: corrupt record at event %llu",
-                               path_.c_str(),
-                               static_cast<unsigned long long>(
-                                   delivered_ - 1)));
-            return false;
-        }
-        if (delivered_ > 1 && seq <= lastSeq_) {
+        const std::uint64_t remaining =
+            header_.shardEvents - delivered_;
+        const std::size_t want = static_cast<std::size_t>(
+            remaining < window_ ? remaining : window_);
+        raw_.resize(want * kShardRecordBytes);
+        is_.read(reinterpret_cast<char *>(raw_.data()),
+                 static_cast<std::streamsize>(raw_.size()));
+        const auto got = static_cast<std::size_t>(is_.gcount());
+        const std::size_t records = got / kShardRecordBytes;
+        if (records == 0) {
             setError(strFormat(
-                "%s: sequence numbers not increasing at event %llu",
-                path_.c_str(),
-                static_cast<unsigned long long>(delivered_ - 1)));
+                "%s: truncated shard at event %llu", path_.c_str(),
+                static_cast<unsigned long long>(delivered_)));
             return false;
         }
-        lastSeq_ = seq;
-        headSeq_ = seq;
-        headEvent_ = Event(static_cast<Tid>(tid),
-                           static_cast<OpType>(op), target);
-        hasHead_ = true;
-        return true;
+        out.reserve(records);
+        for (std::size_t j = 0; j < records; j++) {
+            const unsigned char *p =
+                raw_.data() + j * kShardRecordBytes;
+            std::uint64_t seq;
+            std::int32_t tid;
+            std::uint32_t target;
+            std::memcpy(&seq, p, sizeof(seq));
+            std::memcpy(&tid, p + 8, sizeof(tid));
+            std::memcpy(&target, p + 12, sizeof(target));
+            const std::uint8_t op = p[16];
+            const std::uint64_t index = delivered_ + j;
+            if (op > static_cast<std::uint8_t>(OpType::Join) ||
+                tid < 0 ||
+                target >
+                    static_cast<std::uint32_t>(
+                        std::numeric_limits<std::int32_t>::max())) {
+                setError(strFormat(
+                    "%s: corrupt record at event %llu",
+                    path_.c_str(),
+                    static_cast<unsigned long long>(index)));
+                break;
+            }
+            if (index > 0 && seq <= lastSeq_) {
+                setError(strFormat(
+                    "%s: sequence numbers not increasing at "
+                    "event %llu",
+                    path_.c_str(),
+                    static_cast<unsigned long long>(index)));
+                break;
+            }
+            if (seq == kLoserTreeInfKey) {
+                // The all-ones stamp is the merge's in-band
+                // "exhausted" sentinel; no writer can produce it
+                // (counts would overflow first), so treat it as
+                // corruption instead of silently ending the
+                // merged stream early.
+                setError(strFormat(
+                    "%s: corrupt record at event %llu",
+                    path_.c_str(),
+                    static_cast<unsigned long long>(index)));
+                break;
+            }
+            lastSeq_ = seq;
+            out.push_back(
+                {seq, Event(static_cast<Tid>(tid),
+                            static_cast<OpType>(op), target)});
+        }
+        if (ok() && got % kShardRecordBytes != 0) {
+            // A torn trailing record: hand out the whole ones
+            // first, fail on the next call.
+            setError(strFormat(
+                "%s: truncated shard at event %llu", path_.c_str(),
+                static_cast<unsigned long long>(delivered_ +
+                                                records)));
+        }
+        delivered_ += out.size();
+        return !out.empty();
     }
 
     bool
@@ -152,8 +209,7 @@ class ShardReader
                 kShardHeaderBytes)))
             return false;
         delivered_ = 0;
-        bufPos_ = bufCount_ = 0;
-        hasHead_ = false;
+        lastSeq_ = 0;
         error_.clear();
         return true;
     }
@@ -188,115 +244,159 @@ class ShardReader
         }
     }
 
-    bool
-    refill()
+    /** First error wins: a corrupt record earlier in the stream
+     * outranks the torn tail discovered after it. */
+    void
+    setError(std::string msg)
     {
-        if (delivered_ >= header_.shardEvents)
-            return false;
-        const std::uint64_t remaining =
-            header_.shardEvents - delivered_;
-        const std::size_t want = static_cast<std::size_t>(
-            remaining < window_ ? remaining : window_);
-        buf_.resize(want * kShardRecordBytes);
-        is_.read(reinterpret_cast<char *>(buf_.data()),
-                 static_cast<std::streamsize>(buf_.size()));
-        const auto got = static_cast<std::size_t>(is_.gcount());
-        bufCount_ = got / kShardRecordBytes;
-        bufPos_ = 0;
-        if (bufCount_ == 0 || got % kShardRecordBytes != 0) {
-            setError(strFormat(
-                "%s: truncated shard at event %llu", path_.c_str(),
-                static_cast<unsigned long long>(
-                    delivered_ + bufCount_)));
-            return false;
-        }
-        return true;
+        if (error_.empty())
+            error_ = std::move(msg);
     }
-
-    void setError(std::string msg) { error_ = std::move(msg); }
 
     std::string path_;
     std::string error_;
     std::ifstream is_;
     ShardHeader header_;
     std::size_t window_;
-    std::vector<unsigned char> buf_;
-    std::size_t bufPos_ = 0;
-    std::size_t bufCount_ = 0;
+    std::vector<unsigned char> raw_;
     std::uint64_t delivered_ = 0;
     std::uint64_t lastSeq_ = 0;
-    std::uint64_t headSeq_ = 0;
-    Event headEvent_;
-    bool hasHead_ = false;
 };
 
 /**
- * K-way merge of shard readers on global sequence numbers. With
- * capture-sized K a linear min scan beats a heap (no allocation, no
- * pointer chasing); each next() is one scan over ≤ K loaded heads.
+ * Open every member of the set at @p prefix and run the
+ * construction-time consistency checks both merge paths share:
+ * headers must agree on the set shape, declared indices must match
+ * file names, and per-shard counts must sum to the declared total.
+ * Returns the rejection message ("" on success) and fills @p info.
+ */
+std::string
+openShardReaders(
+    const std::string &prefix, std::size_t window,
+    std::vector<std::unique_ptr<ShardFileReader>> &readers,
+    SourceInfo &info)
+{
+    readers.clear();
+    readers.push_back(std::make_unique<ShardFileReader>(
+        shardPath(prefix, 0), window));
+    if (!readers[0]->ok())
+        return readers[0]->error();
+    const ShardHeader first = readers[0]->header();
+    for (std::uint32_t i = 1; i < first.count; i++) {
+        readers.push_back(std::make_unique<ShardFileReader>(
+            shardPath(prefix, i), window));
+        if (!readers.back()->ok())
+            return readers.back()->error();
+    }
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < readers.size(); i++) {
+        const ShardHeader &h = readers[i]->header();
+        if (h.count != first.count ||
+            h.threads != first.threads ||
+            h.locks != first.locks || h.vars != first.vars ||
+            h.totalEvents != first.totalEvents ||
+            h.index != static_cast<std::uint32_t>(i)) {
+            return strFormat(
+                "%s: header disagrees with its shard set",
+                readers[i]->path().c_str());
+        }
+        sum += h.shardEvents;
+    }
+    if (sum != first.totalEvents) {
+        return strFormat(
+            "shard set '%s': per-shard counts sum to %llu "
+            "but total is %llu",
+            prefix.c_str(), static_cast<unsigned long long>(sum),
+            static_cast<unsigned long long>(first.totalEvents));
+    }
+    info.threads = static_cast<Tid>(first.threads);
+    info.locks = static_cast<LockId>(first.locks);
+    info.vars = static_cast<VarId>(first.vars);
+    info.events = first.totalEvents;
+    return {};
+}
+
+/**
+ * Winner selection over the K shard head keys. LoserTree replays
+ * one root path per event (O(log K)); LinearScan re-scans all heads
+ * (O(K), the pre-loser-tree behaviour, kept for benchmarks and
+ * differential tests). Ties break toward the lower index in both,
+ * so the two strategies pick identical winners on any input.
+ */
+class MergePicker
+{
+  public:
+    MergePicker(std::size_t cursors, MergeStrategy strategy)
+        : strategy_(strategy), tree_(cursors),
+          keys_(cursors == 0 ? 1 : cursors, kLoserTreeInfKey)
+    {}
+
+    void
+    reset(const std::vector<std::uint64_t> &keys)
+    {
+        keys_ = keys;
+        if (strategy_ == MergeStrategy::LoserTree)
+            tree_.reset(keys);
+    }
+
+    /** Index of the cursor with the smallest key. */
+    std::size_t
+    pick()
+    {
+        if (strategy_ == MergeStrategy::LoserTree)
+            return tree_.winner();
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < keys_.size(); i++) {
+            if (keys_[i] < keys_[best])
+                best = i;
+        }
+        return best;
+    }
+
+    std::uint64_t keyOf(std::size_t i) const { return keys_[i]; }
+
+    /** The last pick()ed cursor advanced to @p newKey. */
+    void
+    update(std::size_t winner, std::uint64_t newKey)
+    {
+        keys_[winner] = newKey;
+        if (strategy_ == MergeStrategy::LoserTree)
+            tree_.update(newKey);
+    }
+
+  private:
+    MergeStrategy strategy_;
+    LoserTree tree_;
+    std::vector<std::uint64_t> keys_;
+};
+
+/**
+ * K-way merge of shard readers on global sequence numbers, on the
+ * calling thread. Decode happens batch-at-a-time through
+ * ShardFileReader; the per-event cost is one picker update.
  */
 class MergingEventSource final : public EventSource
 {
   public:
     MergingEventSource(const std::string &prefix,
-                       std::size_t window)
+                       std::size_t window, MergeStrategy strategy)
+        : picker_(1, strategy), strategy_(strategy)
     {
-        // Shard 0 names the set: its header carries the count.
-        readers_.push_back(std::make_unique<ShardReader>(
-            shardPath(prefix, 0), window));
-        if (!checkReader(*readers_[0]))
-            return;
-        const ShardHeader &first = readers_[0]->header();
-        for (std::uint32_t i = 1; i < first.count; i++) {
-            readers_.push_back(std::make_unique<ShardReader>(
-                shardPath(prefix, i), window));
-            if (!checkReader(*readers_.back()))
-                return;
-        }
-        std::uint64_t sum = 0;
-        for (const auto &r : readers_) {
-            const ShardHeader &h = r->header();
-            if (h.count != first.count ||
-                h.threads != first.threads ||
-                h.locks != first.locks || h.vars != first.vars ||
-                h.totalEvents != first.totalEvents ||
-                h.index != static_cast<std::uint32_t>(
-                               &r - readers_.data())) {
-                rejectSet(strFormat(
-                    "%s: header disagrees with its shard set",
-                    r->path().c_str()));
-                return;
-            }
-            sum += h.shardEvents;
-        }
-        if (sum != first.totalEvents) {
-            rejectSet(strFormat(
-                "shard set '%s': per-shard counts sum to %llu "
-                "but total is %llu",
-                prefix.c_str(),
-                static_cast<unsigned long long>(sum),
-                static_cast<unsigned long long>(
-                    first.totalEvents)));
+        std::vector<std::unique_ptr<ShardFileReader>> readers;
+        std::string err =
+            openShardReaders(prefix, window, readers, info_);
+        if (!err.empty()) {
+            rejectSet(std::move(err));
             return;
         }
-        info_.threads = static_cast<Tid>(first.threads);
-        info_.locks = static_cast<LockId>(first.locks);
-        info_.vars = static_cast<VarId>(first.vars);
-        info_.events = first.totalEvents;
+        shards_.resize(readers.size());
+        for (std::size_t i = 0; i < readers.size(); i++)
+            shards_[i].reader = std::move(readers[i]);
+        picker_ = MergePicker(shards_.size(), strategy_);
         loadHeads();
     }
 
     SourceInfo info() const override { return info_; }
-
-    /** Declared size of the set (0 when construction failed before
-     * shard 0's header was read). */
-    std::uint32_t
-    shardCount() const
-    {
-        return readers_.empty() || !readers_[0]->ok()
-                   ? 0
-                   : readers_[0]->header().count;
-    }
 
     bool
     next(Event &out) override
@@ -307,22 +407,41 @@ class MergingEventSource final : public EventSource
             // A reader broke while advancing past the previously
             // delivered event; that event was still valid, so the
             // failure surfaces here, one call later.
-            fail(0, pendingError_);
+            failPending();
             return false;
         }
-        ShardReader *min = nullptr;
-        for (const auto &r : readers_) {
-            if (r->hasHead() &&
-                (min == nullptr || r->headSeq() < min->headSeq()))
-                min = r.get();
-        }
-        if (min == nullptr)
+        const std::size_t w = picker_.pick();
+        if (picker_.keyOf(w) == kLoserTreeInfKey)
             return false; // every shard cleanly exhausted
-        out = min->headEvent();
-        min->advance();
-        if (!min->ok())
-            pendingError_ = min->error();
+        Shard &s = shards_[w];
+        out = s.batch[s.pos].event;
+        s.pos++;
+        advanceKey(w);
         return true;
+    }
+
+    /** The hot drain: same merge, one virtual call per batch. */
+    std::size_t
+    read(Event *out, std::size_t max) override
+    {
+        if (failed())
+            return 0;
+        std::size_t n = 0;
+        while (n < max) {
+            if (!pendingError_.empty()) {
+                if (n == 0)
+                    failPending();
+                break;
+            }
+            const std::size_t w = picker_.pick();
+            if (picker_.keyOf(w) == kLoserTreeInfKey)
+                break;
+            Shard &s = shards_[w];
+            out[n++] = s.batch[s.pos].event;
+            s.pos++;
+            advanceKey(w);
+        }
+        return n;
     }
 
     bool
@@ -334,14 +453,16 @@ class MergingEventSource final : public EventSource
         // they only run at construction.
         if (rejected_)
             return false;
-        for (const auto &r : readers_) {
-            if (!r->rewind()) {
+        for (Shard &s : shards_) {
+            s.batch.clear();
+            s.pos = 0;
+            if (!s.reader->rewind()) {
                 // A partial rewind leaves rewound and mid-stream
                 // readers mixed; fail the source so a caller that
                 // ignores our return value cannot keep draining a
                 // scrambled order.
                 fail(0, strFormat("%s: rewind failed",
-                                  r->path().c_str()));
+                                  s.reader->path().c_str()));
                 return false;
             }
         }
@@ -352,14 +473,12 @@ class MergingEventSource final : public EventSource
     }
 
   private:
-    bool
-    checkReader(const ShardReader &r)
+    struct Shard
     {
-        if (r.ok())
-            return true;
-        rejectSet(r.error());
-        return false;
-    }
+        std::unique_ptr<ShardFileReader> reader;
+        std::vector<ShardRecord> batch;
+        std::size_t pos = 0;
+    };
 
     /** A construction-time failure; unlike mid-stream I/O errors
      * it survives rewind(). */
@@ -371,19 +490,376 @@ class MergingEventSource final : public EventSource
     }
 
     void
+    failPending()
+    {
+        std::string message = std::move(pendingError_);
+        pendingError_.clear();
+        fail(0, std::move(message));
+    }
+
+    /** Load shard @p s's next batch; false at end of shard, with
+     * any decode error parked for the next delivery attempt. */
+    bool
+    refillShard(std::size_t s)
+    {
+        Shard &shard = shards_[s];
+        shard.pos = 0;
+        if (!shard.reader->readBatch(shard.batch)) {
+            shard.batch.clear();
+            if (!shard.reader->ok())
+                pendingError_ = shard.reader->error();
+            return false;
+        }
+        return true;
+    }
+
+    /** Shard @p w consumed its head: feed the picker the next
+     * stamp (or the infinite key once the shard is done). */
+    void
+    advanceKey(std::size_t w)
+    {
+        Shard &s = shards_[w];
+        if (s.pos < s.batch.size()) {
+            picker_.update(w, s.batch[s.pos].seq);
+            return;
+        }
+        picker_.update(w, refillShard(w) ? s.batch[0].seq
+                                         : kLoserTreeInfKey);
+    }
+
+    void
     loadHeads()
     {
-        for (const auto &r : readers_) {
-            r->advance();
-            if (!r->ok()) {
-                fail(0, r->error());
+        std::vector<std::uint64_t> keys(shards_.size(),
+                                        kLoserTreeInfKey);
+        for (std::size_t s = 0; s < shards_.size(); s++) {
+            if (refillShard(s)) {
+                keys[s] = shards_[s].batch[0].seq;
+            } else if (!pendingError_.empty()) {
+                // A shard whose very first batch is broken fails
+                // the source at construction, as the one-record
+                // head loader always did.
+                failPending();
                 return;
             }
         }
+        picker_.reset(keys);
     }
 
-    std::vector<std::unique_ptr<ShardReader>> readers_;
+    std::vector<Shard> shards_;
     SourceInfo info_;
+    MergePicker picker_;
+    MergeStrategy strategy_;
+    std::string pendingError_;
+    bool rejected_ = false;
+};
+
+/** Decoded batches a reader thread may keep queued per shard
+ * (double buffering: one being merged, one decoding behind it). */
+constexpr std::size_t kShardQueueDepth = 2;
+
+/**
+ * The same merged order with decode spread over R reader threads.
+ * Each thread owns the shards congruent to its index and decodes
+ * their batches into bounded per-shard queues (out-of-order
+ * arrival across shards); the consuming thread pops per-shard
+ * heads and reorders on sequence numbers through the loser tree
+ * (in-order delivery). All hand-off state sits behind one mutex,
+ * taken per batch — never per event.
+ */
+class ParallelMergingEventSource final : public EventSource
+{
+  public:
+    ParallelMergingEventSource(const std::string &prefix,
+                               std::size_t readers,
+                               std::size_t window)
+        : picker_(1, MergeStrategy::LoserTree)
+    {
+        std::vector<std::unique_ptr<ShardFileReader>> opened;
+        std::string err =
+            openShardReaders(prefix, window, opened, info_);
+        if (!err.empty()) {
+            rejected_ = true;
+            fail(0, std::move(err));
+            return;
+        }
+        shards_.resize(opened.size());
+        for (std::size_t i = 0; i < opened.size(); i++)
+            shards_[i].reader = std::move(opened[i]);
+        readerCount_ = readers == 0 ? 1 : readers;
+        if (readerCount_ > shards_.size())
+            readerCount_ = shards_.size();
+        picker_ =
+            MergePicker(shards_.size(), MergeStrategy::LoserTree);
+        startThreads();
+        loadHeads();
+    }
+
+    ~ParallelMergingEventSource() override { stopThreads(); }
+
+    SourceInfo info() const override { return info_; }
+
+    bool
+    next(Event &out) override
+    {
+        if (failed())
+            return false;
+        if (!pendingError_.empty()) {
+            failPending();
+            return false;
+        }
+        const std::size_t w = picker_.pick();
+        if (picker_.keyOf(w) == kLoserTreeInfKey)
+            return false;
+        ShardState &s = shards_[w];
+        out = s.batch[s.pos].event;
+        s.pos++;
+        advanceKey(w);
+        return true;
+    }
+
+    std::size_t
+    read(Event *out, std::size_t max) override
+    {
+        if (failed())
+            return 0;
+        std::size_t n = 0;
+        while (n < max) {
+            if (!pendingError_.empty()) {
+                if (n == 0)
+                    failPending();
+                break;
+            }
+            const std::size_t w = picker_.pick();
+            if (picker_.keyOf(w) == kLoserTreeInfKey)
+                break;
+            ShardState &s = shards_[w];
+            out[n++] = s.batch[s.pos].event;
+            s.pos++;
+            advanceKey(w);
+        }
+        return n;
+    }
+
+    bool
+    rewind() override
+    {
+        if (rejected_)
+            return false;
+        stopThreads();
+        for (ShardState &s : shards_) {
+            s.full.clear();
+            s.eof = false;
+            s.decodeError.clear();
+            s.batch.clear();
+            s.pos = 0;
+            if (!s.reader->rewind()) {
+                fail(0, strFormat("%s: rewind failed",
+                                  s.reader->path().c_str()));
+                return false;
+            }
+        }
+        clearError();
+        pendingError_.clear();
+        startThreads();
+        loadHeads();
+        return !failed();
+    }
+
+  private:
+    struct ShardState
+    {
+        /** Touched only by its reader thread while threads run. */
+        std::unique_ptr<ShardFileReader> reader;
+
+        /** Reader → consumer hand-off, guarded by mutex_. */
+        std::deque<std::vector<ShardRecord>> full;
+        bool eof = false;
+        std::string decodeError;
+
+        /** Consumer-thread-only merge cursor. */
+        std::vector<ShardRecord> batch;
+        std::size_t pos = 0;
+    };
+
+    void
+    startThreads()
+    {
+        stopRequested_ = false;
+        threads_.reserve(readerCount_);
+        for (std::size_t r = 0; r < readerCount_; r++)
+            threads_.emplace_back(
+                [this, r] { readerLoop(r); });
+    }
+
+    void
+    stopThreads()
+    {
+        if (threads_.empty())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopRequested_ = true;
+        }
+        spaceAvailable_.notify_all();
+        dataAvailable_.notify_all();
+        for (std::thread &t : threads_)
+            t.join();
+        threads_.clear();
+        stopRequested_ = false;
+    }
+
+    void
+    readerLoop(std::size_t self)
+    {
+        // Owned shards: self, self+R, ... Rotating the starting
+        // point keeps one full queue from starving the thread's
+        // other shards.
+        std::vector<std::size_t> owned;
+        for (std::size_t s = self; s < shards_.size();
+             s += readerCount_)
+            owned.push_back(s);
+        std::size_t rotate = 0;
+        std::vector<ShardRecord> batch;
+        constexpr std::size_t kNone = ~static_cast<std::size_t>(0);
+        for (;;) {
+            std::size_t target = kNone;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                spaceAvailable_.wait(lock, [&] {
+                    if (stopRequested_)
+                        return true;
+                    bool all_done = true;
+                    for (const std::size_t s : owned) {
+                        if (shards_[s].eof)
+                            continue;
+                        all_done = false;
+                        if (shards_[s].full.size() <
+                            kShardQueueDepth)
+                            return true;
+                    }
+                    return all_done;
+                });
+                if (stopRequested_)
+                    return;
+                for (std::size_t i = 0; i < owned.size(); i++) {
+                    const std::size_t s =
+                        owned[(rotate + i) % owned.size()];
+                    if (!shards_[s].eof &&
+                        shards_[s].full.size() <
+                            kShardQueueDepth) {
+                        target = s;
+                        rotate = (rotate + i + 1) % owned.size();
+                        break;
+                    }
+                }
+                if (target == kNone)
+                    return; // every owned shard decoded fully
+                if (!spare_.empty()) {
+                    batch = std::move(spare_.back());
+                    spare_.pop_back();
+                }
+            }
+            // Decode outside the lock: this is the work the
+            // parallelism exists to overlap.
+            ShardState &st = shards_[target];
+            const bool produced = st.reader->readBatch(batch);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (stopRequested_)
+                    return;
+                if (produced) {
+                    st.full.push_back(std::move(batch));
+                    batch = {};
+                } else {
+                    st.eof = true;
+                    if (!st.reader->ok())
+                        st.decodeError = st.reader->error();
+                }
+            }
+            dataAvailable_.notify_all();
+        }
+    }
+
+    void
+    failPending()
+    {
+        std::string message = std::move(pendingError_);
+        pendingError_.clear();
+        fail(0, std::move(message));
+    }
+
+    /** Consumer side: pop shard @p s's next decoded batch,
+     * blocking on its reader thread. False once the shard is
+     * drained; a sticky decode error then becomes the pending
+     * source error — surfacing only after every valid record of
+     * the shard was delivered, matching the sequential merge. */
+    bool
+    refillShard(std::size_t s)
+    {
+        ShardState &st = shards_[s];
+        std::vector<ShardRecord> drained = std::move(st.batch);
+        st.batch.clear();
+        st.pos = 0;
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (drained.capacity() > 0)
+            spare_.push_back(std::move(drained));
+        dataAvailable_.wait(lock, [&] {
+            return stopRequested_ || !st.full.empty() || st.eof;
+        });
+        if (st.full.empty()) {
+            if (!st.decodeError.empty())
+                pendingError_ = st.decodeError;
+            return false;
+        }
+        st.batch = std::move(st.full.front());
+        st.full.pop_front();
+        lock.unlock();
+        spaceAvailable_.notify_all();
+        return true;
+    }
+
+    void
+    advanceKey(std::size_t w)
+    {
+        ShardState &s = shards_[w];
+        if (s.pos < s.batch.size()) {
+            picker_.update(w, s.batch[s.pos].seq);
+            return;
+        }
+        picker_.update(w, refillShard(w) ? s.batch[0].seq
+                                         : kLoserTreeInfKey);
+    }
+
+    void
+    loadHeads()
+    {
+        std::vector<std::uint64_t> keys(shards_.size(),
+                                        kLoserTreeInfKey);
+        for (std::size_t s = 0; s < shards_.size(); s++) {
+            if (refillShard(s)) {
+                keys[s] = shards_[s].batch[0].seq;
+            } else if (!pendingError_.empty()) {
+                failPending();
+                return;
+            }
+        }
+        picker_.reset(keys);
+    }
+
+    std::vector<ShardState> shards_;
+    SourceInfo info_;
+    MergePicker picker_;
+    std::size_t readerCount_ = 1;
+
+    std::mutex mutex_;
+    std::condition_variable dataAvailable_;  ///< consumer waits
+    std::condition_variable spaceAvailable_; ///< readers wait
+    /** Recycled batch capacity, shared by all reader threads. */
+    std::vector<std::vector<ShardRecord>> spare_;
+    std::vector<std::thread> threads_;
+    bool stopRequested_ = false;
+
     std::string pendingError_;
     bool rejected_ = false;
 };
@@ -534,6 +1010,148 @@ ShardWriter::finalize()
     return true;
 }
 
+/** Appender staging buffer: flushed to the shard file at this many
+ * bytes, so the hot path is a memcpy, not a stream write. */
+static constexpr std::size_t kAppendFlushBytes = 1 << 16;
+
+bool
+ParallelShardWriter::Appender::append(const Event &e)
+{
+    if (failed_)
+        return false;
+    return appendStamped(
+        seq_->fetch_add(1, std::memory_order_acq_rel), e);
+}
+
+bool
+ParallelShardWriter::Appender::appendStamped(std::uint64_t seq,
+                                             const Event &e)
+{
+    if (failed_)
+        return false;
+    if (*finalized_) {
+        // finalize() left the put position on the header counts;
+        // writing a record now would corrupt the file.
+        failed_ = true;
+        error_ = "append after finalize";
+        return false;
+    }
+    unsigned char rec[kShardRecordBytes];
+    const std::int32_t tid = e.tid;
+    const std::uint32_t target = e.target;
+    std::memcpy(rec, &seq, sizeof(seq));
+    std::memcpy(rec + 8, &tid, sizeof(tid));
+    std::memcpy(rec + 12, &target, sizeof(target));
+    rec[16] = static_cast<unsigned char>(e.op);
+    buf_.insert(buf_.end(), rec, rec + kShardRecordBytes);
+    events_++;
+    if (buf_.size() >= kAppendFlushBytes)
+        return flush();
+    return true;
+}
+
+bool
+ParallelShardWriter::Appender::flush()
+{
+    if (failed_)
+        return false;
+    if (!buf_.empty()) {
+        os_.write(reinterpret_cast<const char *>(buf_.data()),
+                  static_cast<std::streamsize>(buf_.size()));
+        buf_.clear();
+        if (!os_) {
+            failed_ = true;
+            error_ = "I/O error while writing shard";
+            return false;
+        }
+    }
+    return true;
+}
+
+ParallelShardWriter::ParallelShardWriter(const std::string &prefix,
+                                         std::uint32_t shards,
+                                         const SourceInfo &info)
+{
+    if (shards == 0)
+        shards = 1;
+    if (shards > kMaxShardSetCount)
+        shards = kMaxShardSetCount;
+    ShardHeader h;
+    h.count = shards;
+    h.threads = static_cast<std::uint32_t>(info.threads);
+    h.locks = static_cast<std::uint32_t>(info.locks);
+    h.vars = static_cast<std::uint32_t>(info.vars);
+    h.shardEvents = kUnknownEventCount;
+    h.totalEvents = kUnknownEventCount;
+    appenders_.reserve(shards);
+    for (std::uint32_t i = 0; i < shards; i++) {
+        appenders_.push_back(
+            std::unique_ptr<Appender>(new Appender()));
+        Appender &a = *appenders_.back();
+        a.seq_ = &nextSeq_;
+        a.finalized_ = &finalized_;
+        const std::string path = shardPath(prefix, i);
+        a.os_.open(path, std::ios::binary);
+        if (!a.os_) {
+            failed_ = true;
+            error_ = strFormat("cannot write '%s'", path.c_str());
+            return;
+        }
+        h.index = i;
+        writeShardHeader(a.os_, h);
+    }
+}
+
+ParallelShardWriter::~ParallelShardWriter() = default;
+
+ParallelShardWriter::Appender &
+ParallelShardWriter::appender(std::uint32_t shard)
+{
+    TC_CHECK(shard < appenders_.size(),
+             "appender index outside the shard set");
+    return *appenders_[shard];
+}
+
+std::uint64_t
+ParallelShardWriter::eventsWritten() const
+{
+    std::uint64_t total = 0;
+    for (const auto &a : appenders_)
+        total += a->events_;
+    return total;
+}
+
+bool
+ParallelShardWriter::finalize()
+{
+    if (failed_ || finalized_)
+        return !failed_ && finalized_;
+    std::uint64_t total = 0;
+    for (auto &a : appenders_) {
+        if (!a->flush()) {
+            failed_ = true;
+            error_ = a->error();
+            return false;
+        }
+        total += a->events_;
+    }
+    for (auto &a : appenders_) {
+        const std::uint64_t counts[2] = {a->events_, total};
+        a->os_.seekp(
+            static_cast<std::streamoff>(kCountsOffset));
+        a->os_.write(reinterpret_cast<const char *>(counts),
+                     sizeof(counts));
+        a->os_.flush();
+        if (!a->os_) {
+            failed_ = true;
+            error_ = "I/O error while finalizing shard";
+            return false;
+        }
+    }
+    finalized_ = true;
+    return true;
+}
+
 std::uint64_t
 splitTraceStream(EventSource &source, const std::string &prefix,
                  std::uint32_t shards, std::string *error)
@@ -563,14 +1181,246 @@ splitTraceStream(EventSource &source, const std::string &prefix,
     return kUnknownEventCount;
 }
 
-std::unique_ptr<EventSource>
-openShardSet(const std::string &prefix, std::size_t window)
+namespace {
+
+/** One dispatched record of the multi-writer split: the dense
+ * stamp assigned by the decoding thread plus its routing. */
+struct DispatchRecord
 {
-    return std::make_unique<MergingEventSource>(prefix, window);
+    std::uint64_t seq;
+    std::uint32_t shard;
+    Event event;
+};
+
+/** Records per dispatched batch (the hand-off granularity of
+ * splitTraceStreamParallel — locks amortize over this). */
+constexpr std::size_t kDispatchBatch = 4096;
+/** Batches a writer thread may have queued before the dispatcher
+ * blocks. */
+constexpr std::size_t kDispatchQueueDepth = 4;
+
+/** SPSC hand-off from the dispatcher to one writer thread. */
+struct WriterChannel
+{
+    std::mutex m;
+    std::condition_variable space;
+    std::condition_variable data;
+    std::deque<std::vector<DispatchRecord>> full;
+    std::vector<std::vector<DispatchRecord>> spare;
+    bool done = false;
+};
+
+} // namespace
+
+std::uint64_t
+splitTraceStreamParallel(EventSource &source,
+                         const std::string &prefix,
+                         std::uint32_t shards,
+                         std::uint32_t writers, std::string *error)
+{
+    if (shards == 0)
+        shards = 1;
+    if (shards > kMaxShardSetCount)
+        shards = kMaxShardSetCount;
+    if (writers == 0)
+        writers = 1;
+    if (writers > shards)
+        writers = shards;
+
+    ParallelShardWriter writer(prefix, shards, source.info());
+    std::uint64_t written = kUnknownEventCount;
+    if (!writer.failed()) {
+        std::deque<WriterChannel> channels(writers);
+        std::atomic<bool> writerFailed{false};
+        std::vector<std::thread> pool;
+        pool.reserve(writers);
+        for (std::uint32_t w = 0; w < writers; w++) {
+            pool.emplace_back([&, w] {
+                WriterChannel &ch = channels[w];
+                for (;;) {
+                    std::vector<DispatchRecord> batch;
+                    {
+                        std::unique_lock<std::mutex> lock(ch.m);
+                        ch.data.wait(lock, [&] {
+                            return !ch.full.empty() || ch.done;
+                        });
+                        if (ch.full.empty())
+                            return;
+                        batch = std::move(ch.full.front());
+                        ch.full.pop_front();
+                    }
+                    ch.space.notify_one();
+                    // After a failure keep draining (so the
+                    // dispatcher never blocks on a full queue)
+                    // but stop writing.
+                    if (!writerFailed.load(
+                            std::memory_order_relaxed)) {
+                        for (const DispatchRecord &rec : batch) {
+                            if (!writer.appender(rec.shard)
+                                     .appendStamped(rec.seq,
+                                                    rec.event)) {
+                                writerFailed.store(
+                                    true,
+                                    std::memory_order_relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    batch.clear();
+                    std::lock_guard<std::mutex> lock(ch.m);
+                    ch.spare.push_back(std::move(batch));
+                }
+            });
+        }
+
+        // Dispatcher: decode in order, assign the dense global
+        // stamps, route shard i to writer i mod W in big batches.
+        std::vector<std::vector<DispatchRecord>> pending(writers);
+        auto flushPending = [&](std::uint32_t w) {
+            WriterChannel &ch = channels[w];
+            std::unique_lock<std::mutex> lock(ch.m);
+            ch.space.wait(lock, [&] {
+                return ch.full.size() < kDispatchQueueDepth;
+            });
+            ch.full.push_back(std::move(pending[w]));
+            if (!ch.spare.empty()) {
+                pending[w] = std::move(ch.spare.back());
+                ch.spare.pop_back();
+            } else {
+                pending[w] = {};
+            }
+            lock.unlock();
+            ch.data.notify_one();
+            pending[w].clear();
+        };
+        Event buf[256];
+        std::size_t n;
+        std::uint64_t seq = 0;
+        while (!writerFailed.load(std::memory_order_relaxed) &&
+               (n = source.read(
+                    buf, sizeof(buf) / sizeof(buf[0]))) != 0) {
+            for (std::size_t i = 0; i < n; i++) {
+                const auto shard = static_cast<std::uint32_t>(
+                    static_cast<std::size_t>(buf[i].tid) %
+                    shards);
+                const std::uint32_t w = shard % writers;
+                pending[w].push_back({seq++, shard, buf[i]});
+                if (pending[w].size() >= kDispatchBatch)
+                    flushPending(w);
+            }
+        }
+        for (std::uint32_t w = 0; w < writers; w++) {
+            if (!pending[w].empty())
+                flushPending(w);
+            {
+                std::lock_guard<std::mutex> lock(channels[w].m);
+                channels[w].done = true;
+            }
+            channels[w].data.notify_one();
+        }
+        for (std::thread &t : pool)
+            t.join();
+        // finalize() flushes every appender and surfaces the
+        // first appender failure, so writerFailed needs no
+        // separate error plumbing.
+        if (!source.failed() && writer.finalize())
+            written = writer.eventsWritten();
+    }
+    if (written != kUnknownEventCount)
+        return written;
+    if (error != nullptr) {
+        *error = source.failed() ? source.error()
+                                 : writer.error();
+    }
+    for (std::uint32_t i = 0; i < writer.shardCount(); i++)
+        std::remove(shardPath(prefix, i).c_str());
+    return kUnknownEventCount;
+}
+
+std::uint64_t
+captureTraceParallel(const Trace &trace, const std::string &prefix,
+                     std::uint32_t shards, std::string *error)
+{
+    if (shards == 0)
+        shards = 1;
+    if (shards > kMaxShardSetCount)
+        shards = kMaxShardSetCount;
+    SourceInfo info;
+    info.threads = trace.numThreads();
+    info.locks = trace.numLocks();
+    info.vars = trace.numVars();
+    info.events = trace.size();
+    ParallelShardWriter writer(prefix, shards, info);
+    if (!writer.failed()) {
+        // Per-shard position lists: each capture thread must know
+        // which global stamps belong to it for the replay gate.
+        std::vector<std::vector<std::size_t>> positions(shards);
+        for (std::size_t p = 0; p < trace.size(); p++) {
+            positions[static_cast<std::size_t>(trace[p].tid) %
+                      shards]
+                .push_back(p);
+        }
+        std::atomic<bool> abort{false};
+        std::vector<std::thread> pool;
+        pool.reserve(shards);
+        for (std::uint32_t s = 0; s < shards; s++) {
+            pool.emplace_back([&, s] {
+                ParallelShardWriter::Appender &app =
+                    writer.appender(s);
+                for (const std::size_t pos : positions[s]) {
+                    // Replay gate: simulate the original
+                    // execution's timing by holding this thread
+                    // until the global counter reaches its
+                    // event's position — the fetch-add inside
+                    // append() then stamps exactly that position,
+                    // so the captured order is the input order.
+                    while (writer.sequence() != pos) {
+                        if (abort.load(std::memory_order_relaxed))
+                            return;
+                        std::this_thread::yield();
+                    }
+                    if (!app.append(trace[pos])) {
+                        // The stamp was consumed even on failure,
+                        // so other threads never wait on it; they
+                        // see the abort flag instead.
+                        abort.store(true,
+                                    std::memory_order_relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+        if (writer.finalize())
+            return writer.eventsWritten();
+    }
+    if (error != nullptr)
+        *error = writer.error();
+    for (std::uint32_t i = 0; i < writer.shardCount(); i++)
+        std::remove(shardPath(prefix, i).c_str());
+    return kUnknownEventCount;
 }
 
 std::unique_ptr<EventSource>
-openShardMember(const std::string &path, std::size_t window)
+openShardSet(const std::string &prefix, std::size_t window,
+             MergeStrategy strategy)
+{
+    return std::make_unique<MergingEventSource>(prefix, window,
+                                                strategy);
+}
+
+std::unique_ptr<EventSource>
+openShardSetParallel(const std::string &prefix,
+                     std::size_t readers, std::size_t window)
+{
+    return std::make_unique<ParallelMergingEventSource>(
+        prefix, readers, window);
+}
+
+std::unique_ptr<EventSource>
+openShardMember(const std::string &path, std::size_t window,
+                std::size_t readers)
 {
     std::string prefix;
     std::uint32_t index = 0;
@@ -580,17 +1430,22 @@ openShardMember(const std::string &path, std::size_t window)
                       "(want <prefix>.<index>.tcs)",
                       path.c_str()));
     }
-    auto merged =
-        std::make_unique<MergingEventSource>(prefix, window);
+    auto merged = readers > 0
+                      ? openShardSetParallel(prefix, readers,
+                                             window)
+                      : openShardSet(prefix, window);
     // The named member must belong to the set that shard 0's
     // header describes — a stale higher-numbered file from an
     // earlier, wider split would otherwise be silently *excluded*
     // from the very stream the user named it to select.
-    if (!merged->failed() && index >= merged->shardCount()) {
-        return makeFailedSource(strFormat(
-            "'%s' is not a member of its shard set (set has %u "
-            "shards; stale file from an earlier split?)",
-            path.c_str(), merged->shardCount()));
+    if (!merged->failed()) {
+        const std::uint32_t count = shardSetCount(prefix);
+        if (index >= count) {
+            return makeFailedSource(strFormat(
+                "'%s' is not a member of its shard set (set has "
+                "%u shards; stale file from an earlier split?)",
+                path.c_str(), count));
+        }
     }
     return merged;
 }

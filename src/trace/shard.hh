@@ -19,20 +19,44 @@
  * dense — merging a projection of a set is well defined).
  *
  * Layers on top:
- *  - ShardWriter          — routes an event stream into K shard
- *                           files (the capture side).
- *  - MergingEventSource   — an EventSource that merges K shard
- *                           readers back into sequence order (the
- *                           analysis side); openTraceFile() opens
- *                           any `.tcs` member as the merged set, so
- *                           every tool that reads traces reads
- *                           shard sets too.
- *  - trace_tool split/merge — the CLI over both.
+ *  - ShardWriter            — routes an event stream into K shard
+ *                             files from one thread (the simple
+ *                             capture side).
+ *  - ParallelShardWriter    — the concurrent capture side: one
+ *                             appender per shard, each driven by its
+ *                             own capturing thread, all stamping
+ *                             from one atomic global sequence
+ *                             counter. No lock on the hot path; the
+ *                             sentinel-until-finalized header still
+ *                             rejects torn captures.
+ *  - splitTraceStream[Parallel] — drain a stream into a shard set
+ *                             (single- or multi-writer; identical
+ *                             bytes either way).
+ *  - captureTraceParallel   — generator-driven capture simulation:
+ *                             K capture threads race to stamp their
+ *                             shards' events, gated so the captured
+ *                             order reproduces the input trace
+ *                             (byte-identical to a single-writer
+ *                             split). `trace_tool capture` is the
+ *                             CLI.
+ *  - openShardSet           — merge the set back into the total
+ *                             order on the calling thread (loser
+ *                             tree over the K shard heads; the
+ *                             linear scan stays selectable for
+ *                             benchmarks).
+ *  - openShardSetParallel   — the same merged order with decode
+ *                             spread over R reader threads: each
+ *                             decodes its shards' windows
+ *                             concurrently, the consumer reorders
+ *                             on sequence numbers (out-of-order
+ *                             arrival, in-order delivery).
+ *  - trace_tool split/merge/capture — the CLI over all of it.
  */
 
 #ifndef TC_TRACE_SHARD_HH
 #define TC_TRACE_SHARD_HH
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <memory>
@@ -40,6 +64,7 @@
 #include <vector>
 
 #include "trace/event_source.hh"
+#include "trace/trace.hh"
 
 namespace tc {
 
@@ -128,6 +153,110 @@ class ShardWriter
 };
 
 /**
+ * The concurrent capture side: K shard files, one Appender each,
+ * every record stamped from one shared atomic sequence counter.
+ *
+ * Threading contract: each Appender belongs to exactly one
+ * capturing thread (it buffers into private storage and writes its
+ * own file — the only shared state on the hot path is the
+ * fetch-add on the sequence counter, so appends never lock).
+ * finalize() may only run after every appending thread has been
+ * joined; it patches the sentinel headers exactly like ShardWriter,
+ * so a capture that dies before finalize() — or any subset of its
+ * writers crashing — leaves torn shards every reader rejects.
+ */
+class ParallelShardWriter
+{
+  public:
+    /** One capturing thread's handle on its shard file. */
+    class Appender
+    {
+      public:
+        /** Stamp @p e with the next global sequence number and
+         * buffer it for this shard. Lock-free: one atomic
+         * fetch-add, then a private buffered write. */
+        bool append(const Event &e);
+
+        /** Buffer @p e under a caller-assigned sequence number
+         * (dispatcher-style writers that already know the total
+         * order). The caller must keep per-shard numbers strictly
+         * increasing — readers reject anything else. */
+        bool appendStamped(std::uint64_t seq, const Event &e);
+
+        /** Push buffered records to the file. append() flushes
+         * automatically as the buffer fills; finalize() flushes
+         * every appender a last time. */
+        bool flush();
+
+        bool failed() const { return failed_; }
+        const std::string &error() const { return error_; }
+        std::uint64_t eventsWritten() const { return events_; }
+
+      private:
+        friend class ParallelShardWriter;
+        Appender() = default;
+
+        std::ofstream os_;
+        std::vector<unsigned char> buf_;
+        std::atomic<std::uint64_t> *seq_ = nullptr;
+        const bool *finalized_ = nullptr;
+        std::uint64_t events_ = 0;
+        bool failed_ = false;
+        std::string error_;
+    };
+
+    /** Open `<prefix>.<i>.tcs` for i in [0, shards) with sentinel
+     * headers. Check failed() before handing out appenders. */
+    ParallelShardWriter(const std::string &prefix,
+                        std::uint32_t shards,
+                        const SourceInfo &info);
+    ~ParallelShardWriter();
+
+    ParallelShardWriter(const ParallelShardWriter &) = delete;
+    ParallelShardWriter &operator=(const ParallelShardWriter &) =
+        delete;
+
+    /** Shard @p shard's appender — hand each to exactly one
+     * capturing thread. */
+    Appender &appender(std::uint32_t shard);
+
+    /** The next unclaimed global sequence number (what the next
+     * append() will stamp). Capture simulations use this to gate
+     * replay order; readers of a finished writer use it as the
+     * total stamped-event count. */
+    std::uint64_t
+    sequence() const
+    {
+        return nextSeq_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Patch every shard header with the final counts and flush.
+     * Only call after every appending thread has been joined.
+     * Returns false when any appender failed or a header patch
+     * failed; the files then keep their sentinel (torn) headers.
+     */
+    bool finalize();
+
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+    /** Total records buffered across all appenders (stable only
+     * once the appending threads are joined). */
+    std::uint64_t eventsWritten() const;
+    std::uint32_t shardCount() const
+    {
+        return static_cast<std::uint32_t>(appenders_.size());
+    }
+
+  private:
+    std::vector<std::unique_ptr<Appender>> appenders_;
+    std::atomic<std::uint64_t> nextSeq_{0};
+    bool failed_ = false;
+    bool finalized_ = false;
+    std::string error_;
+};
+
+/**
  * Drain @p source into a K-shard set at @p prefix (capture
  * simulation / re-sharding of an existing trace). Returns the
  * number of events written, or kUnknownEventCount on failure (check
@@ -139,6 +268,50 @@ std::uint64_t splitTraceStream(EventSource &source,
                                std::string *error = nullptr);
 
 /**
+ * The multi-writer split: the calling thread decodes @p source in
+ * order and dispatches (sequence, event) records to @p writers
+ * writer threads (shard i belongs to writer i mod writers), each
+ * appending to its own shards through a ParallelShardWriter. The
+ * finalized set is byte-identical to splitTraceStream's — same
+ * routing, same stamps — so the two paths are interchangeable.
+ * @p writers is clamped to [1, shards]. Returns the event count,
+ * or kUnknownEventCount on failure.
+ */
+std::uint64_t
+splitTraceStreamParallel(EventSource &source,
+                         const std::string &prefix,
+                         std::uint32_t shards,
+                         std::uint32_t writers,
+                         std::string *error = nullptr);
+
+/**
+ * Generator-driven capture simulation: K capture threads (one per
+ * shard) replay @p trace concurrently, each appending its own
+ * shard's events and stamping from the writer's atomic sequence
+ * counter. A replay gate holds each thread until the counter
+ * reaches its next event's trace position — the stamp the fetch-add
+ * then hands out *is* that position, so the captured total order
+ * reproduces the input execution and the finalized set is
+ * byte-identical to a single-writer split of the same trace (the
+ * capture test suite pins this). Returns the event count, or
+ * kUnknownEventCount on failure.
+ */
+std::uint64_t captureTraceParallel(const Trace &trace,
+                                   const std::string &prefix,
+                                   std::uint32_t shards,
+                                   std::string *error = nullptr);
+
+/** How the sequential merge picks the next event among the K shard
+ * heads. LoserTree is the default (O(log K) per event); LinearScan
+ * (O(K)) survives for benchmarks and differential tests — both
+ * produce the identical stream. */
+enum class MergeStrategy
+{
+    LoserTree,
+    LinearScan,
+};
+
+/**
  * Open the shard set named by @p prefix as one EventSource that
  * yields the canonical total order (a K-way merge on global
  * sequence numbers). Each underlying reader holds at most
@@ -147,19 +320,36 @@ std::uint64_t splitTraceStream(EventSource &source,
  */
 std::unique_ptr<EventSource>
 openShardSet(const std::string &prefix,
-             std::size_t window = kDefaultSourceWindow);
+             std::size_t window = kDefaultSourceWindow,
+             MergeStrategy strategy = MergeStrategy::LoserTree);
+
+/**
+ * The same merged order with decode parallelized: @p readers
+ * threads (clamped to [1, shard count]) decode their shards'
+ * windows concurrently into bounded per-shard queues, and the
+ * consuming thread reorders the out-of-order arrivals on sequence
+ * numbers — stream, end position and error behaviour identical to
+ * openShardSet (the parallel-decode suite pins this per engine
+ * policy × clock). Never null.
+ */
+std::unique_ptr<EventSource>
+openShardSetParallel(const std::string &prefix,
+                     std::size_t readers,
+                     std::size_t window = kDefaultSourceWindow);
 
 /**
  * Open the shard set that member file @p path belongs to (the
- * `openTraceFile` path for `.tcs` inputs). Fails when @p path does
- * not parse as `<prefix>.<index>.tcs` or when its index lies
- * outside the set declared by the headers — a stale member from an
- * earlier, wider split must not silently open a set that excludes
- * it.
+ * `openTraceFile` path for `.tcs` inputs), with @p readers decode
+ * threads when @p readers > 0 (sequential merge otherwise). Fails
+ * when @p path does not parse as `<prefix>.<index>.tcs` or when its
+ * index lies outside the set declared by the headers — a stale
+ * member from an earlier, wider split must not silently open a set
+ * that excludes it.
  */
 std::unique_ptr<EventSource>
 openShardMember(const std::string &path,
-                std::size_t window = kDefaultSourceWindow);
+                std::size_t window = kDefaultSourceWindow,
+                std::size_t readers = 0);
 
 } // namespace tc
 

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Parallel-decode tests: openShardSetParallel must deliver the
+ * byte-identical merged stream of openShardSet — same events, same
+ * end position, same error behaviour — for any reader count,
+ * window size and shard count, and analyses over it must produce
+ * identical reports, race summaries and work counters. The loser
+ * tree vs linear scan strategies of the sequential merge are
+ * differentially pinned here too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "analysis/hb_engine.hh"
+#include "analysis/maz_engine.hh"
+#include "analysis/shb_engine.hh"
+#include "core/tree_clock.hh"
+#include "core/vector_clock.hh"
+#include "gen/random_trace.hh"
+#include "support/rng.hh"
+#include "test_helpers.hh"
+#include "trace/event_source.hh"
+#include "trace/prefetch_source.hh"
+#include "trace/shard.hh"
+
+namespace tc {
+namespace {
+
+using test::expectSameEvents;
+
+Trace
+sampleTrace(std::uint64_t events, std::uint64_t seed = 21)
+{
+    RandomTraceParams params;
+    params.threads = 11;
+    params.locks = 4;
+    params.vars = 64;
+    params.events = events;
+    params.forkJoin = true;
+    params.seed = seed;
+    return generateRandomTrace(params);
+}
+
+void
+split(const Trace &trace, const std::string &prefix,
+      std::uint32_t shards)
+{
+    TraceSource source(trace);
+    std::string error;
+    ASSERT_EQ(splitTraceStream(source, prefix, shards, &error),
+              trace.size())
+        << error;
+}
+
+void
+removeShards(const std::string &prefix, std::uint32_t shards)
+{
+    for (std::uint32_t i = 0; i < shards; i++)
+        std::remove(shardPath(prefix, i).c_str());
+}
+
+/** Run one (po, clock) analysis over @p source, with counters. */
+template <template <typename> class Engine, typename ClockT>
+EngineResult
+runSource(EventSource &source, WorkCounters &work)
+{
+    EngineConfig cfg;
+    cfg.counters = &work;
+    Engine<ClockT> engine(cfg);
+    return engine.run(source);
+}
+
+TEST(ParallelDecode, RandomizedReaderWindowShardSweep)
+{
+    // The tentpole contract: out-of-order decode, in-order
+    // delivery — the parallel source must reproduce the trace for
+    // reader counts below/at/above the shard count, windows that
+    // do and don't divide batch sizes, and shard counts
+    // around/above the thread count.
+    Rng rng(0xDEC0DEull);
+    const Trace trace = sampleTrace(4000);
+    const std::string prefix = "/tmp/tc_pdec_sweep";
+    const int rounds = 10 * test::depthScale();
+    for (int round = 0; round < rounds; round++) {
+        const auto shards =
+            static_cast<std::uint32_t>(rng.range(1, 16));
+        const auto readers =
+            static_cast<std::size_t>(rng.range(1, 20));
+        const auto window =
+            static_cast<std::size_t>(rng.range(1, 300));
+        split(trace, prefix, shards);
+        auto parallel =
+            openShardSetParallel(prefix, readers, window);
+        ASSERT_FALSE(parallel->failed()) << parallel->error();
+        const SourceInfo si = parallel->info();
+        EXPECT_EQ(si.threads, trace.numThreads());
+        ASSERT_TRUE(si.eventCountKnown());
+        EXPECT_EQ(si.events, trace.size());
+        expectSameEvents(
+            trace, *parallel,
+            "shards=" + std::to_string(shards) +
+                " readers=" + std::to_string(readers) +
+                " window=" + std::to_string(window));
+        removeShards(prefix, shards);
+    }
+}
+
+TEST(ParallelDecode, MergeStrategiesDeliverIdenticalStreams)
+{
+    // Loser tree vs the legacy linear scan, including a K=64 set
+    // (deeper tournament than any capture-sized test hits).
+    const Trace trace = sampleTrace(5000, 23);
+    const std::string prefix = "/tmp/tc_pdec_strat";
+    for (const std::uint32_t shards : {1u, 2u, 7u, 64u}) {
+        split(trace, prefix, shards);
+        auto tree = openShardSet(prefix, 128,
+                                 MergeStrategy::LoserTree);
+        auto scan = openShardSet(prefix, 128,
+                                 MergeStrategy::LinearScan);
+        expectSameEvents(trace, *tree,
+                         "tree k=" + std::to_string(shards));
+        expectSameEvents(trace, *scan,
+                         "scan k=" + std::to_string(shards));
+        removeShards(prefix, shards);
+    }
+}
+
+TEST(ParallelDecode, ReportsAndCountersMatchSequentialMerge)
+{
+    // 3 po × 2 clocks: the parallel-decode stream must produce
+    // reports, race summaries and work counters byte-identical to
+    // the sequential merge's (which test_shard pins against the
+    // original trace).
+    const Trace trace = sampleTrace(6000, 29);
+    const std::string prefix = "/tmp/tc_pdec_eq";
+    split(trace, prefix, 6);
+
+    auto runBoth = [&](auto runner, const std::string &label) {
+        auto sequential = openShardSet(prefix, 256);
+        auto parallel = openShardSetParallel(prefix, 3, 256);
+        WorkCounters seq_work, par_work;
+        const EngineResult seq = runner(*sequential, seq_work);
+        const EngineResult par = runner(*parallel, par_work);
+        ASSERT_FALSE(sequential->failed()) << sequential->error();
+        ASSERT_FALSE(parallel->failed()) << parallel->error();
+        EXPECT_EQ(seq.events, par.events) << label;
+        EXPECT_EQ(seq.races.total(), par.races.total()) << label;
+        EXPECT_EQ(seq.races.racyVarCount(),
+                  par.races.racyVarCount())
+            << label;
+        ASSERT_EQ(seq.races.reports().size(),
+                  par.races.reports().size())
+            << label;
+        for (std::size_t i = 0; i < seq.races.reports().size();
+             i++) {
+            EXPECT_EQ(seq.races.reports()[i].prior,
+                      par.races.reports()[i].prior)
+                << label << " report " << i;
+            EXPECT_EQ(seq.races.reports()[i].current,
+                      par.races.reports()[i].current)
+                << label << " report " << i;
+        }
+        EXPECT_EQ(seq_work.joins, par_work.joins) << label;
+        EXPECT_EQ(seq_work.copies, par_work.copies) << label;
+        EXPECT_EQ(seq_work.dsWork, par_work.dsWork) << label;
+        EXPECT_EQ(seq_work.vtWork, par_work.vtWork) << label;
+    };
+
+    runBoth(
+        [](EventSource &s, WorkCounters &w) {
+            return runSource<HbEngine, TreeClock>(s, w);
+        },
+        "hb/tc");
+    runBoth(
+        [](EventSource &s, WorkCounters &w) {
+            return runSource<HbEngine, VectorClock>(s, w);
+        },
+        "hb/vc");
+    runBoth(
+        [](EventSource &s, WorkCounters &w) {
+            return runSource<ShbEngine, TreeClock>(s, w);
+        },
+        "shb/tc");
+    runBoth(
+        [](EventSource &s, WorkCounters &w) {
+            return runSource<ShbEngine, VectorClock>(s, w);
+        },
+        "shb/vc");
+    runBoth(
+        [](EventSource &s, WorkCounters &w) {
+            return runSource<MazEngine, TreeClock>(s, w);
+        },
+        "maz/tc");
+    runBoth(
+        [](EventSource &s, WorkCounters &w) {
+            return runSource<MazEngine, VectorClock>(s, w);
+        },
+        "maz/vc");
+    removeShards(prefix, 6);
+}
+
+TEST(ParallelDecode, RewindRestartsReadersAndStream)
+{
+    const Trace trace = sampleTrace(2000, 31);
+    const std::string prefix = "/tmp/tc_pdec_rewind";
+    split(trace, prefix, 4);
+    auto parallel = openShardSetParallel(prefix, 2, 64);
+    Event e;
+    for (int i = 0; i < 700; i++)
+        ASSERT_TRUE(parallel->next(e));
+    ASSERT_TRUE(parallel->rewind());
+    expectSameEvents(trace, *parallel, "after rewind");
+    // A second full pass (bench-style reps) must work too.
+    ASSERT_TRUE(parallel->rewind());
+    expectSameEvents(trace, *parallel, "second rewind");
+    removeShards(prefix, 4);
+}
+
+TEST(ParallelDecode, OpenTraceFileRoutesReadersToShardMembers)
+{
+    const Trace trace = sampleTrace(1200, 37);
+    const std::string prefix = "/tmp/tc_pdec_open";
+    split(trace, prefix, 3);
+    auto source =
+        openTraceFile(shardPath(prefix, 1), kDefaultSourceWindow,
+                      2);
+    ASSERT_FALSE(source->failed()) << source->error();
+    expectSameEvents(trace, *source, "via member");
+    // The prefetch decorator composes: shard readers decode, the
+    // prefetch thread runs the merge off the consuming thread.
+    auto stacked = makePrefetchSource(
+        openTraceFile(shardPath(prefix, 0), 128, 2), 128);
+    ASSERT_FALSE(stacked->failed()) << stacked->error();
+    expectSameEvents(trace, *stacked, "prefetch over readers");
+    removeShards(prefix, 3);
+}
+
+TEST(ParallelDecode, StaleMemberRejectedWithReaders)
+{
+    const Trace trace = sampleTrace(600, 41);
+    const std::string prefix = "/tmp/tc_pdec_stale";
+    split(trace, prefix, 3);
+    split(trace, prefix, 2);
+    auto by_stale =
+        openTraceFile(shardPath(prefix, 2), kDefaultSourceWindow,
+                      2);
+    EXPECT_TRUE(by_stale->failed());
+    EXPECT_NE(by_stale->error().find("stale"), std::string::npos)
+        << by_stale->error();
+    removeShards(prefix, 3);
+}
+
+TEST(ParallelDecode, UnfinalizedCaptureRejectedAtConstruction)
+{
+    const Trace trace = sampleTrace(300, 43);
+    const std::string prefix = "/tmp/tc_pdec_crash";
+    {
+        TraceSource source(trace);
+        ShardWriter writer(prefix, 3, source.info());
+        Event e;
+        while (source.next(e))
+            writer.append(e);
+        // no finalize()
+    }
+    auto parallel = openShardSetParallel(prefix, 2);
+    EXPECT_TRUE(parallel->failed());
+    EXPECT_NE(parallel->error().find("finalized"),
+              std::string::npos)
+        << parallel->error();
+    EXPECT_FALSE(parallel->rewind());
+    Event e;
+    EXPECT_FALSE(parallel->next(e));
+    removeShards(prefix, 3);
+}
+
+TEST(ParallelDecode, TruncatedShardFailsLikeSequential)
+{
+    // Error parity: both merges deliver the same consumed prefix,
+    // then fail. (The truncated shard's remaining good records
+    // surface before the error, per the batched-decoder contract.)
+    const Trace trace = sampleTrace(2500, 47);
+    const std::string prefix = "/tmp/tc_pdec_trunc";
+    split(trace, prefix, 3);
+    const std::string victim = shardPath(prefix, 1);
+    std::ifstream in(victim, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    data.resize(data.size() - 9); // cut into the last record
+    std::ofstream(victim, std::ios::binary) << data;
+
+    auto countDelivered = [](EventSource &source) {
+        Event e;
+        std::size_t n = 0;
+        while (source.next(e))
+            n++;
+        return n;
+    };
+    auto sequential = openShardSet(prefix, 64);
+    ASSERT_FALSE(sequential->failed()) << sequential->error();
+    const std::size_t seq_n = countDelivered(*sequential);
+    EXPECT_TRUE(sequential->failed());
+
+    auto parallel = openShardSetParallel(prefix, 2, 64);
+    ASSERT_FALSE(parallel->failed()) << parallel->error();
+    const std::size_t par_n = countDelivered(*parallel);
+    EXPECT_TRUE(parallel->failed());
+
+    EXPECT_EQ(seq_n, par_n);
+    EXPECT_LT(par_n, trace.size());
+    EXPECT_EQ(sequential->error(), parallel->error());
+    removeShards(prefix, 3);
+}
+
+} // namespace
+} // namespace tc

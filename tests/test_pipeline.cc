@@ -155,6 +155,48 @@ TEST_P(PipelineSweep, FullStackShardedPrefetchedFanOut)
         std::remove(shardPath(prefix, i).c_str());
 }
 
+TEST_P(PipelineSweep, FullParallelStackDecodeReordersFanOut)
+{
+    // The PR-5 production stack end to end: concurrent capture →
+    // parallel shard decode (2 readers, out-of-order arrival,
+    // in-order reorder) → prefetch hand-off → parallel 6-analysis
+    // fan-out. Results must equal six dedicated batch runs.
+    const std::string prefix =
+        "/tmp/tc_pipeline_stack_" + GetParam().label;
+    {
+        std::string error;
+        ASSERT_EQ(captureTraceParallel(trace_, prefix, 4, &error),
+                  trace_.size())
+            << error;
+    }
+    auto source = makePrefetchSource(
+        openShardSetParallel(prefix, 2, 64), 64);
+    ASSERT_FALSE(source->failed()) << source->error();
+    AnalysisPipeline pipeline = fullPipeline();
+    ParallelOptions opt;
+    opt.workers = 2;
+    opt.window = 64;
+    const auto reports = pipeline.run(*source, opt);
+    ASSERT_FALSE(source->failed()) << source->error();
+    ASSERT_EQ(reports.size(), 6u);
+    for (const AnalysisReport &report : reports) {
+        const auto slash = report.name.find('/');
+        const EngineResult expected =
+            referenceRun(report.name.substr(0, slash),
+                         report.name.substr(slash + 1), trace_);
+        EXPECT_EQ(expected.events, report.result.events)
+            << report.name;
+        expectSameRaces(expected.races, report.result.races,
+                        report.name);
+        EXPECT_EQ(expected.work.joins, report.result.work.joins)
+            << report.name;
+        EXPECT_EQ(expected.work.vtWork, report.result.work.vtWork)
+            << report.name;
+    }
+    for (std::uint32_t i = 0; i < 4; i++)
+        std::remove(shardPath(prefix, i).c_str());
+}
+
 TEST_P(PipelineSweep, ParallelEqualsSequentialEqualsDedicated)
 {
     // The tentpole contract: the worker pool over shared zero-copy

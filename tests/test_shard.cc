@@ -273,6 +273,39 @@ TEST(ShardErrors, ForeignMemberIsRejected)
     removeShards(b, 3);
 }
 
+TEST(ShardErrors, AllOnesSequenceNumberIsRejected)
+{
+    // The all-ones stamp is the merge's in-band "exhausted"
+    // sentinel (kLoserTreeInfKey); no writer can produce it, and a
+    // corrupt record carrying it must fail the stream rather than
+    // silently ending the merge early with the record dropped.
+    const Trace trace = sampleTrace(100);
+    const std::string prefix = "/tmp/tc_shard_infseq";
+    split(trace, prefix, 1);
+    {
+        // Overwrite the last record's seq field (records are 17
+        // bytes: u64 seq + i32 tid + u32 target + u8 op).
+        std::fstream f(shardPath(prefix, 0),
+                       std::ios::binary | std::ios::in |
+                           std::ios::out);
+        f.seekp(-17, std::ios::end);
+        const std::uint64_t inf = ~0ull;
+        f.write(reinterpret_cast<const char *>(&inf),
+                sizeof(inf));
+    }
+    auto merged = openShardSet(prefix);
+    ASSERT_FALSE(merged->failed()) << merged->error();
+    Event e;
+    std::size_t delivered = 0;
+    while (merged->next(e))
+        delivered++;
+    EXPECT_TRUE(merged->failed());
+    EXPECT_NE(merged->error().find("corrupt"), std::string::npos)
+        << merged->error();
+    EXPECT_EQ(delivered, trace.size() - 1);
+    removeShards(prefix, 1);
+}
+
 TEST(ShardErrors, TruncatedShardFailsAfterConsumedPrefix)
 {
     const Trace trace = sampleTrace(600);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "analysis/window_bus.hh"
+#include "test_helpers.hh"
 
 namespace tc {
 namespace {
@@ -175,6 +176,55 @@ TEST(WindowBus, RequestStopUnblocksAndFailsProducer)
     span = {second.data(), second.size()};
     EXPECT_FALSE(bus.publish(std::move(second), span));
     stopper.join();
+}
+
+TEST(WindowBus, SmallWindowStress)
+{
+    // The wakeup-storm regression pin: tiny windows make publish
+    // frequency the bottleneck, so per-worker gates must keep
+    // every consumer seeing every window in order at full rate
+    // without thundering-herd races (the TSan job runs this suite;
+    // the nightly depth job multiplies the volume).
+    const std::uint32_t windows = static_cast<std::uint32_t>(
+        5000 * test::depthScale());
+    for (const std::size_t depth : {1u, 2u, 4u}) {
+        constexpr std::size_t kConsumers = 4;
+        WindowBus bus(kConsumers, depth);
+        std::atomic<std::uint64_t> total{0};
+        std::vector<std::thread> pool;
+        for (std::size_t c = 0; c < kConsumers; c++) {
+            pool.emplace_back([&, c] {
+                std::uint32_t expected = 0;
+                std::uint64_t sum = 0;
+                while (const EventWindow *w = bus.acquire(c)) {
+                    ASSERT_EQ(w->size, 1u);
+                    ASSERT_EQ((*w)[0].target, expected);
+                    sum += (*w)[0].target;
+                    bus.release(c);
+                    expected++;
+                }
+                EXPECT_EQ(expected, windows);
+                total += sum;
+            });
+        }
+        for (std::uint32_t tag = 0; tag < windows; tag++) {
+            std::vector<Event> storage =
+                bus.acquireStorage();
+            storage.clear();
+            storage.emplace_back(Tid{0}, OpType::Read, tag);
+            const EventWindow span{storage.data(),
+                                   storage.size()};
+            ASSERT_TRUE(bus.publish(std::move(storage), span));
+        }
+        bus.finish();
+        for (auto &t : pool)
+            t.join();
+        const std::uint64_t per_consumer =
+            static_cast<std::uint64_t>(windows) *
+            (windows - 1) / 2;
+        EXPECT_EQ(total.load(), per_consumer * kConsumers)
+            << "depth=" << depth;
+    }
 }
 
 TEST(WindowBus, SlowestConsumerBoundsTheProducer)
