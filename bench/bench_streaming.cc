@@ -23,7 +23,14 @@
  * (k) merge_width — pure merge drain (no analysis) of a K=64
  *     re-split, loser tree vs linear scan (entries merge_tree_k64 /
  *     merge_scan_k64), isolating what the tournament tree buys
- *     wide shard sets.
+ *     wide shard sets,
+ * (l) checkpoint_overhead — the checkpointed drain
+ *     (runWithCheckpoints) with snapshots every
+ *     --checkpoint-every events vs the same driver with
+ *     checkpointing disabled (entries checkpoint_on/checkpoint_off
+ *     per clock). CI gates the ratio: durability must stay ≤5%
+ *     of streaming throughput at the default 1M-event cadence
+ *     (ci/check_checkpoint_overhead.py).
  *
  * Reports events/s per (mode, clock), quantifying what "streaming
  * SHB/MAZ by default" costs over the batch loop, how much of the
@@ -36,12 +43,16 @@
  *   ./bench_streaming --mode=decode_scaling,merge_width
  */
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <dirent.h>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "analysis/pipeline.hh"
@@ -49,6 +60,7 @@
 #include "support/table.hh"
 #include "trace/prefetch_source.hh"
 #include "trace/shard.hh"
+#include "trace/snapshot.hh"
 #include "trace/trace_io.hh"
 
 using namespace tc;
@@ -178,7 +190,64 @@ constexpr const char *kModeNames[] = {
     "fanout_seq",     "parallel_fanout",
     "parallel_fanout_stream",
     "decode_scaling", "merge_width",
+    "checkpoint_overhead",
 };
+
+/** Best seconds for one checkpointed drain of @p trace through one
+ * (po, clock) analysis: every == 0 is the control (the same
+ * runWithCheckpoints driver with checkpointing disabled), so the
+ * on/off ratio isolates exactly what the snapshot protocol costs —
+ * serialization, CRC, fsync, rename — and nothing else. */
+double
+timeCheckpointedDrain(const Trace &trace, const std::string &po,
+                      const char *clock, std::uint64_t every,
+                      const std::string &dir, int reps)
+{
+    return bestOfReps(reps, [&] {
+        AnalysisPipeline pipeline;
+        pipeline.add(makeAnalysisConsumer(po.c_str(), clock));
+        TraceSource source(trace);
+        pipeline.beginAll(source.info());
+        CheckpointOptions options;
+        options.every = every;
+        options.dir = dir;
+        options.keep = 1;
+        std::vector<AnalysisReport> reports;
+        std::string error;
+        Timer timer;
+        if (!runWithCheckpoints(pipeline, source, 0, options,
+                                &reports, &error)) {
+            std::fprintf(stderr,
+                         "bench: checkpointed drain failed: %s\n",
+                         error.c_str());
+            std::abort();
+        }
+        const double t = timer.seconds();
+        if (source.failed()) {
+            std::fprintf(stderr,
+                         "bench: event source failed: %s\n",
+                         source.error().c_str());
+            std::abort();
+        }
+        return t;
+    });
+}
+
+/** Remove every regular file in @p dir, then @p dir itself (the
+ * checkpoint_overhead scratch snapshots). */
+void
+removeScratchDir(const std::string &dir)
+{
+    if (DIR *d = opendir(dir.c_str())) {
+        while (const dirent *entry = readdir(d)) {
+            const std::string name = entry->d_name;
+            if (name != "." && name != "..")
+                std::remove((dir + "/" + name).c_str());
+        }
+        closedir(d);
+    }
+    rmdir(dir.c_str());
+}
 
 /** Pure-drain throughput of @p source: the merge cost itself, no
  * analysis behind it (the merge_width mode). */
@@ -273,7 +342,12 @@ main(int argc, char **argv)
                    "trace_source | file_stream | prefetch | "
                    "shard_merge | shard_prefetch | fanout_seq | "
                    "parallel_fanout | parallel_fanout_stream | "
-                   "decode_scaling | merge_width | all");
+                   "decode_scaling | merge_width | "
+                   "checkpoint_overhead | all");
+    args.addInt("checkpoint-every",
+                static_cast<std::int64_t>(1000000),
+                "snapshot cadence (events) for the "
+                "checkpoint_overhead mode");
     args.addInt("workers", 0,
                 "worker threads for parallel_fanout (0 = one per "
                 "analysis)");
@@ -487,6 +561,33 @@ main(int argc, char **argv)
         const auto scan = openShardSet(wide_prefix, window,
                                        MergeStrategy::LinearScan);
         report("merge_scan_k64", "drain", timeDrain(*scan, reps));
+    }
+    if (modeEnabled(mode_filter, "checkpoint_overhead")) {
+        const std::int64_t every_raw =
+            args.getInt("checkpoint-every");
+        if (every_raw < 1) {
+            std::fprintf(stderr,
+                         "error: --checkpoint-every must be >= 1\n");
+            return 1;
+        }
+        const auto every = static_cast<std::uint64_t>(every_raw);
+        const std::string snap_dir = path + ".snaps";
+        removeScratchDir(snap_dir);
+        if (mkdir(snap_dir.c_str(), 0755) != 0) {
+            std::fprintf(stderr, "error: cannot create '%s'\n",
+                         snap_dir.c_str());
+            return 1;
+        }
+        for (const char *clock : {"tc", "vc"}) {
+            const char *label = clock[0] == 't' ? "TC" : "VC";
+            report("checkpoint_off", label,
+                   timeCheckpointedDrain(trace, po_name, clock, 0,
+                                         "", reps));
+            report("checkpoint_on", label,
+                   timeCheckpointedDrain(trace, po_name, clock,
+                                         every, snap_dir, reps));
+        }
+        removeScratchDir(snap_dir);
     }
 
     table.print(std::cout);

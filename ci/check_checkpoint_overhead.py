@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Fail when checkpointing costs more throughput than budgeted.
+
+Usage:
+    ci/check_checkpoint_overhead.py current.json \
+        [--harness=bench_streaming] [--max-overhead=0.05]
+
+`current.json` is a JsonReporter report (raw harness output or a
+merged BENCH_baseline.json-style document) produced by a
+bench_streaming run that included the checkpoint_overhead mode.
+For every clock with both entries, checkpoint_on/<CLK> must reach
+at least (1 - max_overhead) x checkpoint_off/<CLK> events/s: the
+off run is the *same* runWithCheckpoints driver with snapshots
+disabled, so the ratio isolates exactly what the snapshot protocol
+(serialization, CRC, fsync, rename) costs the streaming drain.
+
+Unlike the cross-machine throughput gate, this one compares the
+same binary against itself in the same process lifetime, so it can
+run tight even on noisy hosted runners; callers widen
+--max-overhead only when the host is badly oversubscribed.
+
+Missing pairs are an error, not a skip: a filter typo that drops
+the mode must not read as "overhead fine".
+
+Exit code 0 on success, 1 on an overshoot or missing pair, 2 on
+usage errors.
+"""
+
+import json
+import sys
+
+METRIC = "events_per_s"
+OFF = "checkpoint_off/"
+ON = "checkpoint_on/"
+
+
+def parse_args(argv):
+    harness = "bench_streaming"
+    max_overhead = 0.05
+    paths = []
+    for arg in argv:
+        if arg.startswith("--harness="):
+            harness = arg.split("=", 1)[1]
+        elif arg.startswith("--max-overhead="):
+            max_overhead = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 1 or not 0 < max_overhead < 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    return paths[0], harness, max_overhead
+
+
+def entries(report: dict, harness: str) -> dict:
+    """name -> events_per_s for one harness report."""
+    if harness in report:  # merged document
+        report = report[harness]
+    return {
+        b["name"]: b[METRIC]
+        for b in report.get("benchmarks", [])
+        if METRIC in b
+    }
+
+
+def main() -> int:
+    cur_path, harness, max_overhead = parse_args(sys.argv[1:])
+    with open(cur_path) as f:
+        current = entries(json.load(f), harness)
+
+    pairs = []
+    for name, off_rate in current.items():
+        if not name.startswith(OFF):
+            continue
+        clock = name[len(OFF):]
+        on_rate = current.get(ON + clock)
+        if on_rate is not None:
+            pairs.append((clock, off_rate, on_rate))
+
+    if not pairs:
+        print(f"error: no checkpoint_off/checkpoint_on pairs in "
+              f"{cur_path} (harness {harness}) — was the "
+              f"checkpoint_overhead mode run?", file=sys.stderr)
+        return 1
+
+    failed = 0
+    for clock, off_rate, on_rate in sorted(pairs):
+        overhead = 1.0 - on_rate / off_rate if off_rate > 0 else 0.0
+        verdict = "ok"
+        if overhead > max_overhead:
+            verdict = "FAIL"
+            failed += 1
+        print(f"  {clock}: off {off_rate:.3e} ev/s, "
+              f"on {on_rate:.3e} ev/s, overhead "
+              f"{overhead * 100:.1f}% "
+              f"(budget {max_overhead * 100:.0f}%) [{verdict}]")
+    if failed:
+        print(f"checkpoint overhead gate: {failed} clock(s) over "
+              f"budget", file=sys.stderr)
+        return 1
+    print("checkpoint overhead gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,19 @@
 #           by adding them there, not by editing CI regexes. Scoped
 #           because the rest of the codebase is single-threaded and
 #           TSan slows it ~10x for no additional coverage.
-#   Job 4 — bench smoke: allocation regressions (exact) and
+#   Job 4 — crash recovery: the kill-at-random-failpoint,
+#           corrupt-snapshot fallback and byte-flip fuzz sweeps at
+#           extra depth (TC_TEST_DEPTH), reusing the ASan build so
+#           every recovery path runs sanitized. The suites also run
+#           at depth 1 inside jobs 1–2; this job buys the deep
+#           randomized sweeps without slowing the whole matrix.
+#   Job 5 — bench smoke: allocation regressions (exact) and
 #           streaming/fan-out throughput regressions (25%
-#           tolerance) against the committed BENCH_baseline.json.
+#           tolerance) against the committed BENCH_baseline.json,
+#           plus the checkpoint-overhead gate: snapshots every 1M
+#           events may cost at most 5% of streaming throughput
+#           (same-binary on/off comparison, so it runs tight even
+#           where the cross-machine gate cannot).
 #
 # Usage: ci/run.sh [jobs]   (defaults to nproc)
 set -euo pipefail
@@ -49,7 +59,18 @@ cmake --build build-ci-tsan -j "${JOBS}" --target threaded_tests
 ctest --test-dir build-ci-tsan --output-on-failure -j "${JOBS}" \
     -L threaded
 
-# Job 4 — bench smoke. Two gates against BENCH_baseline.json:
+# Job 4 — crash recovery, deep. The randomized kill/corruption
+# sweeps scale their iteration counts by TC_TEST_DEPTH; rerunning
+# just these suites from the ASan build multiplies the sampled
+# (failpoint, hit) space while everything stays sanitized. The
+# regex names test *suites* (executables), so new fault tests are
+# picked up by the tests/test_*.cc glob as usual.
+echo "=== crash recovery (deep fault sweeps, ASan) ==="
+TC_TEST_DEPTH="${TC_CRASH_DEPTH:-3}" ctest \
+    --test-dir build-ci-asan --output-on-failure -j "${JOBS}" \
+    -R 'test_(crash_recovery|fault_injection|snapshot|snapshot_differential|snapshot_fuzz|cli_diagnostics|clock_roundtrip)$'
+
+# Job 5 — bench smoke. Two gates against BENCH_baseline.json:
 #  * allocations (exact): the steady-state join/copy
 #    micro-benchmarks must stay allocation-free and no benchmark
 #    may allocate more than the baseline (counts are
@@ -91,5 +112,19 @@ fi
 python3 ci/check_throughput_regressions.py BENCH_baseline.json \
     /tmp/tc-bench-ci.json \
     --tolerance="${TC_THROUGHPUT_TOLERANCE:-0.25}"
+
+# Checkpoint-overhead gate: snapshots every 1M events must cost
+# ≤5% of streaming throughput. This compares the same binary
+# against itself (checkpoint_on vs checkpoint_off in one process),
+# so no cross-machine slack is needed; TC_CHECKPOINT_OVERHEAD
+# widens it for badly oversubscribed hosts.
+echo "=== checkpoint overhead gate (<= 5% at 1M cadence) ==="
+./build-ci-werror/bench_streaming --events=2000000 --po=shb \
+    --reps=3 --mode=checkpoint_overhead \
+    --checkpoint-every=1000000 \
+    --json=/tmp/tc-bench-checkpoint.json > /dev/null
+python3 ci/check_checkpoint_overhead.py \
+    /tmp/tc-bench-checkpoint.json \
+    --max-overhead="${TC_CHECKPOINT_OVERHEAD:-0.05}"
 
 echo "=== CI OK ==="

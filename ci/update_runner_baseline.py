@@ -3,7 +3,8 @@
 
 Usage:
     ci/update_runner_baseline.py BASELINE_PATH CURRENT_JSON \
-        [--harness=bench_streaming]
+        [--harness=bench_streaming] [--decay=0.02]
+        [--max-age=14] [--prune-age=60]
 
 The committed BENCH_baseline.json is a snapshot of one reference
 machine, which is why the cross-machine throughput gate runs with a
@@ -21,10 +22,22 @@ Behaviour:
     verbatim and print "seeded" (first night on a new runner
     label; the gate is skipped by the caller that night).
   - Otherwise: entries present in both keep the larger
-    events_per_s; entries only in the current report are added;
-    entries only in the baseline are kept (a retired mode must not
-    erase history the gate may still use). Non-benchmark context
-    fields come from the current report.
+    events_per_s; entries only in the current report are added.
+
+Decay / max-age policy: a floor is only meaningful while the
+runner can still reach it. Each entry carries a `stale_runs`
+counter — nights since the measured throughput last came within
+reach of the floor (matched or exceeded it after decay). An entry
+whose floor goes unconfirmed for more than --max-age consecutive
+runs decays by --decay per additional run (so a migrated runner
+label, kernel regression, or microcode change lowers the floor
+gradually instead of wedging every following night), and the
+floor never decays below the best currently observed value.
+Entries absent from the current report age the same way and are
+dropped entirely once stale for --prune-age runs — a retired mode
+leaves the baseline eventually, but not so fast that a flaky
+skip erases history the gate still uses. --decay=0 disables
+decay (and pruning still applies).
 
 Exit code 0 on success, 2 on usage/IO errors. This script never
 gates — run check_throughput_regressions.py against BASELINE_PATH
@@ -36,20 +49,31 @@ import os
 import sys
 
 METRIC = "events_per_s"
+STALE = "stale_runs"
 
 
 def parse_args(argv):
     harness = "bench_streaming"
+    decay = 0.02
+    max_age = 14
+    prune_age = 60
     paths = []
     for arg in argv:
         if arg.startswith("--harness="):
             harness = arg.split("=", 1)[1]
+        elif arg.startswith("--decay="):
+            decay = float(arg.split("=", 1)[1])
+        elif arg.startswith("--max-age="):
+            max_age = int(arg.split("=", 1)[1])
+        elif arg.startswith("--prune-age="):
+            prune_age = int(arg.split("=", 1)[1])
         else:
             paths.append(arg)
-    if len(paths) != 2:
+    if len(paths) != 2 or decay < 0 or decay >= 1 \
+            or max_age < 1 or prune_age < max_age:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    return paths[0], paths[1], harness
+    return paths[0], paths[1], harness, decay, max_age, prune_age
 
 
 def harness_section(report: dict, harness: str) -> dict:
@@ -59,7 +83,8 @@ def harness_section(report: dict, harness: str) -> dict:
 
 
 def main() -> int:
-    base_path, cur_path, harness = parse_args(sys.argv[1:])
+    base_path, cur_path, harness, decay, max_age, prune_age = \
+        parse_args(sys.argv[1:])
     with open(cur_path) as f:
         current = json.load(f)
 
@@ -86,24 +111,58 @@ def main() -> int:
     by_name = {
         b["name"]: b for b in base_section.get("benchmarks", [])
     }
-    raised = added = 0
+    cur_names = set()
+    raised = added = decayed = 0
     for bench in cur_section.get("benchmarks", []):
         name = bench["name"]
+        cur_names.add(name)
         if name not in by_name:
-            base_section.setdefault("benchmarks", []).append(bench)
-            by_name[name] = bench
+            entry = dict(bench)
+            entry[STALE] = 0
+            base_section.setdefault("benchmarks", []).append(entry)
+            by_name[name] = entry
             added += 1
             continue
-        old = by_name[name].get(METRIC)
+        entry = by_name[name]
+        old = entry.get(METRIC)
         new = bench.get(METRIC)
-        if new is not None and (old is None or new > old):
-            by_name[name][METRIC] = new
+        if new is not None and (old is None or new >= old):
+            entry[METRIC] = new
+            entry[STALE] = 0
             raised += 1
+            continue
+        if new is None or old is None:
+            continue
+        # The floor went unconfirmed this run. Beyond --max-age
+        # consecutive misses it decays toward (never below) the
+        # best the runner can still do.
+        entry[STALE] = entry.get(STALE, 0) + 1
+        if decay > 0 and entry[STALE] > max_age:
+            entry[METRIC] = max(new, old * (1.0 - decay))
+            decayed += 1
+            if new >= entry[METRIC]:
+                # Decay brought the floor back within reach;
+                # start confirming from here.
+                entry[STALE] = 0
+
+    # Entries the current report no longer produces (retired or
+    # renamed modes) age out and are eventually pruned.
+    pruned = 0
+    benchmarks = base_section.get("benchmarks", [])
+    for entry in benchmarks:
+        if entry["name"] not in cur_names:
+            entry[STALE] = entry.get(STALE, 0) + 1
+    kept = [b for b in benchmarks
+            if b["name"] in cur_names
+            or b.get(STALE, 0) <= prune_age]
+    pruned = len(benchmarks) - len(kept)
+    base_section["benchmarks"] = kept
 
     with open(base_path, "w") as f:
         json.dump(baseline, f, indent=1)
     print(f"updated {base_path}: {raised} entries raised, "
-          f"{added} added, {len(by_name)} total")
+          f"{added} added, {decayed} decayed, {pruned} pruned, "
+          f"{len(kept)} total")
     return 0
 
 

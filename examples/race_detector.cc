@@ -44,9 +44,12 @@
 #include <vector>
 
 #include "analysis/pipeline.hh"
+#include "support/diagnostics.hh"
 #include "support/source_cli.hh"
 #include "support/strings.hh"
 #include "support/timer.hh"
+#include "trace/fault_injection.hh"
+#include "trace/snapshot.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_stats.hh"
 
@@ -105,25 +108,79 @@ main(int argc, char **argv)
                    "vc");
     addParallelFlag(args);
     args.addInt("max-reports", 10, "race reports to keep");
+    args.addInt("checkpoint-every", 0,
+                "write a snapshot every N events (0 = off; "
+                "requires --snapshot-dir)");
+    args.addString("snapshot-dir", "",
+                   "directory holding .tcsnap checkpoints");
+    args.addBool("resume", false,
+                 "resume from the newest valid snapshot in "
+                 "--snapshot-dir (corrupt ones are skipped with a "
+                 "warning; none = clean start)");
+    args.addString("resume-from", "",
+                   "resume from exactly this snapshot file (no "
+                   "fallback)");
+    args.addInt("keep-snapshots", 3,
+                "newest snapshots retained after each checkpoint "
+                "(0 = keep all)");
     if (!args.parse(argc, argv))
-        return 1;
+        return kExitUsage;
+
+    // Deterministic fault injection (crash/kill sweeps drive the
+    // CLI through TC_FAILPOINTS / TC_FAULT_SEED).
+    std::string failpoint_error;
+    if (!FailpointRegistry::instance().armFromEnv(
+            &failpoint_error))
+        return reportError(failpoint_error, 0, kExitUsage);
 
     const bool has_trace = !args.getString("trace").empty();
     if (!has_trace && !args.getBool("generate")) {
         std::fprintf(stderr,
                      "error: pass --trace=FILE or --generate "
                      "(see --help)\n");
-        return 1;
+        return kExitUsage;
+    }
+
+    const std::uint64_t checkpoint_every =
+        args.getInt("checkpoint-every") < 0
+            ? 0
+            : static_cast<std::uint64_t>(
+                  args.getInt("checkpoint-every"));
+    const std::string snapshot_dir =
+        args.getString("snapshot-dir");
+    const std::string resume_from = args.getString("resume-from");
+    const bool resume_requested =
+        args.getBool("resume") || !resume_from.empty();
+    if (checkpoint_every > 0 && snapshot_dir.empty()) {
+        std::fprintf(stderr,
+                     "error: --checkpoint-every requires "
+                     "--snapshot-dir\n");
+        return kExitUsage;
+    }
+    if (args.getBool("resume") && snapshot_dir.empty() &&
+        resume_from.empty()) {
+        std::fprintf(stderr, "error: --resume requires "
+                             "--snapshot-dir (or --resume-from)\n");
+        return kExitUsage;
     }
 
     const bool stream = args.getBool("stream");
+    if (checkpoint_every > 0 && !stream && has_trace) {
+        // The point of checkpointing a file analysis is resuming
+        // without re-reading the prefix; the materialized path
+        // reloads the whole file anyway.
+        std::fprintf(stderr,
+                     "error: --checkpoint-every on a trace file "
+                     "requires --stream\n");
+        return kExitUsage;
+    }
     if (args.getBool("prefetch") && !stream) {
         // The default path materializes the whole trace before
         // analysis; silently ignoring the flag would let users
         // believe background decode was measured.
         std::fprintf(stderr,
                      "error: --prefetch requires --stream\n");
-        return 1;
+        return kExitUsage;
     }
     if (stream && !has_trace) {
         // Generated workloads are materialized by construction, so
@@ -131,7 +188,7 @@ main(int argc, char **argv)
         // O(events) memory — refuse rather than mislead.
         std::fprintf(stderr,
                      "error: --stream requires --trace=FILE\n");
-        return 1;
+        return kExitUsage;
     }
     // -1 is the bare-flag sentinel (one worker per analysis);
     // any other negative is a typo, not a request.
@@ -140,7 +197,7 @@ main(int argc, char **argv)
                      "error: --parallel expects a non-negative "
                      "worker count (bare --parallel = one per "
                      "analysis)\n");
-        return 1;
+        return kExitUsage;
     }
     std::unique_ptr<EventSource> source;
     if (!stream) {
@@ -151,9 +208,9 @@ main(int argc, char **argv)
             ParseResult parsed =
                 loadTrace(args.getString("trace"));
             if (!parsed.ok) {
-                std::fprintf(stderr, "error: %s (line %zu)\n",
-                             parsed.message.c_str(), parsed.line);
-                return 1;
+                return reportError(
+                    parsed.message, parsed.line,
+                    exitCodeForMessage(parsed.message));
             }
             trace = std::move(parsed.trace);
         } else {
@@ -166,7 +223,7 @@ main(int argc, char **argv)
                          "error: malformed trace at event %zu: "
                          "%s\n",
                          valid.eventIndex, valid.message.c_str());
-            return 1;
+            return kExitFinding;
         }
         const TraceStats stats = computeStats(trace);
         std::printf("trace           : %s events, %d threads, "
@@ -178,12 +235,14 @@ main(int argc, char **argv)
         source = std::make_unique<TraceSource>(std::move(trace));
     } else {
         source = makeEventSource(args);
-        if (source->failed()) {
-            std::fprintf(stderr, "error: %s (line %zu)\n",
-                         source->error().c_str(),
-                         source->errorLine());
-            return 1;
-        }
+        if (source->failed())
+            return reportSourceError(*source);
+        // With failpoints armed the stream goes through the
+        // "source.next" decorator, so the kill/fault sweeps can
+        // hit the read path too; disarmed runs skip the wrap
+        // entirely.
+        if (FailpointRegistry::instance().anyArmed())
+            source = makeFaultInjectingSource(std::move(source));
         const SourceInfo si = source->info();
         std::printf("stream          : %s declared threads %d, "
                     "vars %s, locks %s\n",
@@ -221,14 +280,14 @@ main(int argc, char **argv)
                              "error: unknown analysis '%s/%s' "
                              "(po: hb|shb|maz, clock: tc|vc)\n",
                              po.c_str(), clock.c_str());
-                return 1;
+                return kExitUsage;
             }
             pipeline.add(std::move(consumer));
         }
     }
     if (pipeline.empty()) {
         std::fprintf(stderr, "error: no analyses requested\n");
-        return 1;
+        return kExitUsage;
     }
     const std::size_t parallel = parallelWorkersFromFlags(args);
     const std::size_t pool_size =
@@ -249,16 +308,65 @@ main(int argc, char **argv)
     Timer timer;
     ParallelOptions popt;
     popt.workers = pool_size;
-    const std::vector<AnalysisReport> reports =
-        pool_size > 1 ? pipeline.run(*source, popt)
-                      : pipeline.run(*source);
-    const double seconds = timer.seconds();
-    if (source->failed()) {
-        std::fprintf(stderr, "error: %s (line %zu)\n",
-                     source->error().c_str(),
-                     source->errorLine());
-        return 1;
+    std::vector<AnalysisReport> reports;
+    if (checkpoint_every == 0 && !resume_requested) {
+        reports = pool_size > 1 ? pipeline.run(*source, popt)
+                                : pipeline.run(*source);
+    } else {
+        CheckpointOptions copt;
+        copt.every = checkpoint_every;
+        copt.dir = snapshot_dir;
+        copt.keep = args.getInt("keep-snapshots") < 0
+                        ? 0
+                        : static_cast<std::size_t>(
+                              args.getInt("keep-snapshots"));
+        copt.parallel = popt;
+        copt.useParallel = pool_size > 1;
+        std::uint64_t start = 0;
+        bool resumed = false;
+        if (resume_requested) {
+            ResumeResult rr;
+            std::string err;
+            if (!resumeFromDir(snapshot_dir, copt.base,
+                               resume_from, pipeline, &rr, &err))
+                return reportError(err, 0,
+                                   exitCodeForMessage(err));
+            for (const std::string &diag : rr.diagnostics)
+                std::fprintf(stderr,
+                             "warning: skipping snapshot: %s\n",
+                             diag.c_str());
+            if (rr.resumed) {
+                // O(tail): the source repositions without
+                // decoding the already-analyzed prefix.
+                if (!source->seekToSequence(rr.position)) {
+                    if (source->failed())
+                        return reportSourceError(*source);
+                    return reportError(
+                        "input does not support seeking to the "
+                        "snapshot position",
+                        0, kExitIo);
+                }
+                start = rr.position;
+                resumed = true;
+                std::printf("resumed         : %s (event %llu)\n",
+                            rr.path.c_str(),
+                            static_cast<unsigned long long>(
+                                rr.position));
+            } else {
+                std::printf("resumed         : no usable "
+                            "snapshot, starting clean\n");
+            }
+        }
+        if (!resumed)
+            pipeline.beginAll(source->info());
+        std::string err;
+        if (!runWithCheckpoints(pipeline, *source, start, copt,
+                                &reports, &err))
+            return reportError(err, 0, exitCodeForMessage(err));
     }
+    const double seconds = timer.seconds();
+    if (source->failed())
+        return reportSourceError(*source);
 
     const std::uint64_t events =
         reports.empty() ? 0 : reports.front().result.events;
@@ -275,5 +383,5 @@ main(int argc, char **argv)
         printReport(report);
         total_races += report.result.races.total();
     }
-    return total_races > 0 ? 2 : 0;
+    return total_races > 0 ? kExitFinding : kExitOk;
 }

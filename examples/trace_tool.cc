@@ -43,8 +43,10 @@
 
 #include "gen/random_trace.hh"
 #include "support/cli.hh"
+#include "support/diagnostics.hh"
 #include "support/strings.hh"
 #include "trace/event_source.hh"
+#include "trace/fault_injection.hh"
 #include "trace/shard.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_ops.hh"
@@ -72,9 +74,8 @@ loadOrDie(const std::string &path)
 {
     ParseResult r = loadTrace(path);
     if (!r.ok) {
-        std::fprintf(stderr, "error: %s (%s line %zu)\n",
-                     r.message.c_str(), path.c_str(), r.line);
-        std::exit(1);
+        std::exit(reportError(r.message, r.line,
+                              exitCodeForMessage(r.message)));
     }
     return std::move(r.trace);
 }
@@ -84,12 +85,8 @@ std::unique_ptr<EventSource>
 openOrDie(const std::string &path)
 {
     auto source = openTraceFile(path);
-    if (source->failed()) {
-        std::fprintf(stderr, "error: %s (%s line %zu)\n",
-                     source->error().c_str(), path.c_str(),
-                     source->errorLine());
-        std::exit(1);
-    }
+    if (source->failed())
+        std::exit(reportSourceError(*source));
     return source;
 }
 
@@ -155,12 +152,9 @@ isShardOutput(const std::string &path)
 void
 checkDrained(const EventSource &source, const std::string &path)
 {
-    if (source.failed()) {
-        std::fprintf(stderr, "error: %s (%s line %zu)\n",
-                     source.error().c_str(), path.c_str(),
-                     source.errorLine());
-        std::exit(1);
-    }
+    (void)path;
+    if (source.failed())
+        std::exit(reportSourceError(source));
 }
 
 void
@@ -169,7 +163,7 @@ saveOrDie(const Trace &trace, const std::string &path)
     if (!saveTrace(trace, path)) {
         std::fprintf(stderr, "error: cannot write '%s'\n",
                      path.c_str());
-        std::exit(1);
+        std::exit(kExitIo);
     }
     std::printf("wrote %s (%s events)\n", path.c_str(),
                 humanCount(trace.size()).c_str());
@@ -220,7 +214,14 @@ main(int argc, char **argv)
     args.addDouble("sync-ratio", 0.1, "sync share (generate)");
     args.addInt("seed", 1, "seed (generate)");
     if (!args.parse(argc, argv))
-        return 1;
+        return kExitUsage;
+
+    // Deterministic fault injection (the crash/kill sweeps drive
+    // split/capture through TC_FAILPOINTS / TC_FAULT_SEED).
+    std::string failpoint_error;
+    if (!FailpointRegistry::instance().armFromEnv(
+            &failpoint_error))
+        return reportError(failpoint_error, 0, kExitUsage);
 
     const auto &pos = args.positional();
     if (pos.empty()) {
@@ -248,7 +249,7 @@ main(int argc, char **argv)
         }
         std::printf("INVALID at event %zu: %s\n", v.eventIndex,
                     v.message.c_str());
-        return 2;
+        return kExitFinding;
     }
     if (cmd == "convert" && pos.size() == 3) {
         // Streaming: events flow reader → writer one window at a
@@ -270,7 +271,7 @@ main(int argc, char **argv)
         if (!std::ofstream(pos[2], std::ios::app)) {
             std::fprintf(stderr, "error: cannot write '%s'\n",
                          pos[2].c_str());
-            return 1;
+            return kExitIo;
         }
         if (!saveTraceStream(*source, pos[2])) {
             // Never leave a half-written file that would later
@@ -279,7 +280,7 @@ main(int argc, char **argv)
             checkDrained(*source, pos[1]);
             std::fprintf(stderr, "error: cannot write '%s'\n",
                          pos[2].c_str());
-            return 1;
+            return kExitIo;
         }
         std::printf("wrote %s\n", pos[2].c_str());
         return 0;
@@ -333,8 +334,8 @@ main(int argc, char **argv)
                                            &error);
         if (written == kUnknownEventCount) {
             checkDrained(*source, pos[1]);
-            std::fprintf(stderr, "error: %s\n", error.c_str());
-            return 1;
+            return reportError(error, 0,
+                               exitCodeForMessage(error));
         }
         std::printf("wrote %s.{0..%u}.tcs (%s events)\n",
                     pos[2].c_str(), shards - 1,
@@ -370,8 +371,8 @@ main(int argc, char **argv)
             trace, pos[1],
             static_cast<std::uint32_t>(shards_raw), &error);
         if (written == kUnknownEventCount) {
-            std::fprintf(stderr, "error: %s\n", error.c_str());
-            return 1;
+            return reportError(error, 0,
+                               exitCodeForMessage(error));
         }
         std::printf(
             "captured %s.{0..%u}.tcs (%s events, %u concurrent "
@@ -409,25 +410,22 @@ main(int argc, char **argv)
         // excludes it).
         auto source = named_member ? openShardMember(pos[1])
                                    : openShardSet(prefix);
-        if (source->failed()) {
-            std::fprintf(stderr, "error: %s\n",
-                         source->error().c_str());
-            return 1;
-        }
+        if (source->failed())
+            return reportSourceError(*source);
         // Probe only after the set opened: the append-mode probe
         // creates a missing output file, which must not be left
         // behind when the input was bad all along.
         if (!std::ofstream(pos[2], std::ios::app)) {
             std::fprintf(stderr, "error: cannot write '%s'\n",
                          pos[2].c_str());
-            return 1;
+            return kExitIo;
         }
         if (!saveTraceStream(*source, pos[2])) {
             std::remove(pos[2].c_str());
             checkDrained(*source, prefix);
             std::fprintf(stderr, "error: cannot write '%s'\n",
                          pos[2].c_str());
-            return 1;
+            return kExitIo;
         }
         std::printf("wrote %s\n", pos[2].c_str());
         return 0;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "analysis/epoch.hh"
+#include "core/serial.hh"
 #include "support/types.hh"
 
 namespace tc {
@@ -100,6 +101,40 @@ class AccessHistory
         return !shared_ && readEpoch_.ownedBy(t);
     }
 
+    /** @name Checkpoint serialization (core/serial.hh) @{ */
+    void
+    serialize(ByteSink &out) const
+    {
+        out.putI32(lastWrite_.tid);
+        out.putU32(lastWrite_.clk);
+        out.putI32(readEpoch_.tid);
+        out.putU32(readEpoch_.clk);
+        out.putU8(shared_ ? 1 : 0);
+        out.putVec(readVec_);
+    }
+
+    bool
+    deserialize(ByteSource &in)
+    {
+        Epoch last_write, read_epoch;
+        std::uint8_t shared = 0;
+        std::vector<Clk> read_vec;
+        if (!in.getI32(last_write.tid) ||
+            !in.getU32(last_write.clk) ||
+            !in.getI32(read_epoch.tid) ||
+            !in.getU32(read_epoch.clk) || !in.getU8(shared) ||
+            !in.getVec(read_vec))
+            return false;
+        if (shared > 1 || (shared == 0 && !read_vec.empty()))
+            return in.fail();
+        lastWrite_ = last_write;
+        readEpoch_ = read_epoch;
+        shared_ = shared != 0;
+        readVec_ = std::move(read_vec);
+        return true;
+    }
+    /** @} */
+
   private:
     Epoch lastWrite_;
     Epoch readEpoch_;
@@ -148,6 +183,28 @@ class FlatAccessHistory
                 on_race(Epoch(static_cast<Tid>(u), reads_[u]));
         }
     }
+
+    /** @name Checkpoint serialization (core/serial.hh) @{ */
+    void
+    serialize(ByteSink &out) const
+    {
+        out.putVec(reads_);
+        out.putVec(writes_);
+    }
+
+    bool
+    deserialize(ByteSource &in)
+    {
+        std::vector<Clk> reads, writes;
+        if (!in.getVec(reads) || !in.getVec(writes))
+            return false;
+        if (reads.size() != writes.size())
+            return in.fail();
+        reads_ = std::move(reads);
+        writes_ = std::move(writes);
+        return true;
+    }
+    /** @} */
 
   private:
     /** Streaming analyses may grow the thread population after this

@@ -34,6 +34,7 @@
 
 #include "analysis/engine_support.hh"
 #include "core/scratch_arena.hh"
+#include "core/serial.hh"
 #include "trace/event_source.hh"
 
 namespace tc {
@@ -244,6 +245,90 @@ class AnalysisDriver
     {
         return static_cast<Tid>(threads_.size());
     }
+
+    /** @name Checkpoint save/restore (core/serial.hh)
+     *
+     * saveState() serializes the complete per-run analysis state —
+     * the clock bank, per-thread local times, lock states, the
+     * policy's per-variable state, the race summary, the event
+     * position and the accumulated work counters — such that
+     * restoreState() on a fresh driver of the same instantiation
+     * resumes the analysis mid-stream with results identical to an
+     * uninterrupted run (the snapshot differential suite pins
+     * this). Configuration (EngineConfig) is not serialized: a
+     * snapshot only restores into a driver configured the same way.
+     *
+     * restoreState() returns false on malformed input; the driver
+     * is then in an unspecified (but safe) state and must be
+     * begin()- or restoreState()-ed again before use.
+     * @{ */
+    void
+    saveState(ByteSink &out) const
+    {
+        out.putU64(eventsProcessed_);
+        out.putU64(declaredThreads_);
+        out.putVec(local_);
+        out.putU64(threads_.size());
+        for (const ClockT &clock : threads_)
+            clock.serialize(out);
+        out.putU64(locks_.size());
+        for (const LockState &l : locks_) {
+            l.clock.serialize(out);
+            out.putI32(l.holder);
+        }
+        policy_.saveState(out);
+        races_.serialize(out);
+        const WorkCounters work =
+            cfg_.counters ? *cfg_.counters : WorkCounters{};
+        work.serialize(out);
+    }
+
+    bool
+    restoreState(ByteSource &in)
+    {
+        resetState();
+        std::uint64_t thread_count = 0, lock_count = 0;
+        if (!in.getU64(eventsProcessed_))
+            return false;
+        std::uint64_t declared = 0;
+        if (!in.getU64(declared) || !in.getVec(local_) ||
+            !in.getU64(thread_count) ||
+            thread_count > in.remaining())
+            return in.fail();
+        declaredThreads_ = static_cast<std::size_t>(declared);
+        if (local_.size() != thread_count)
+            return in.fail();
+        threads_.reserve(static_cast<std::size_t>(thread_count));
+        for (std::uint64_t t = 0; t < thread_count; t++) {
+            threads_.emplace_back();
+            detail::configureClock(threads_.back(), cfg_, &arena_);
+            if (!threads_.back().deserialize(in))
+                return false;
+        }
+        if (!in.getU64(lock_count) || lock_count > in.remaining())
+            return in.fail();
+        for (std::uint64_t l = 0; l < lock_count; l++) {
+            locks_.emplace_back();
+            detail::configureClock(locks_.back().clock, cfg_,
+                                   &arena_);
+            if (!locks_.back().clock.deserialize(in) ||
+                !in.getI32(locks_.back().holder))
+                return false;
+            if (locks_.back().holder < kNoTid ||
+                locks_.back().holder >=
+                    static_cast<Tid>(thread_count))
+                return in.fail();
+        }
+        if (!policy_.restoreState(in) || !races_.deserialize(in))
+            return false;
+        WorkCounters work;
+        if (!work.deserialize(in))
+            return false;
+        if (cfg_.counters)
+            *cfg_.counters = work;
+        return true;
+    }
+    /** @} */
 
     /** Current vector time of a thread (its view of the world). */
     std::vector<Clk>

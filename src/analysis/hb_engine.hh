@@ -160,6 +160,40 @@ class HbPolicy
         }
     }
 
+    /** @name Checkpoint state (core/serial.hh) @{ */
+    void
+    saveState(ByteSink &out) const
+    {
+        out.putU64(vars_.size());
+        for (const AccessHistory &v : vars_)
+            v.serialize(out);
+        out.putU64(flat_.size());
+        for (const FlatAccessHistory &v : flat_)
+            v.serialize(out);
+    }
+
+    bool
+    restoreState(ByteSource &in)
+    {
+        std::uint64_t n = 0;
+        if (!in.getU64(n) || n > in.remaining())
+            return in.fail();
+        vars_.clear();
+        vars_.resize(static_cast<std::size_t>(n));
+        for (AccessHistory &v : vars_)
+            if (!v.deserialize(in))
+                return false;
+        if (!in.getU64(n) || n > in.remaining())
+            return in.fail();
+        flat_.clear();
+        flat_.resize(static_cast<std::size_t>(n));
+        for (FlatAccessHistory &v : flat_)
+            if (!v.deserialize(in))
+                return false;
+        return true;
+    }
+    /** @} */
+
   private:
     const EngineConfig *cfg_ = nullptr;
     std::vector<AccessHistory> vars_;

@@ -128,6 +128,68 @@ class MazPolicy
             detail::deepCheck(v.lastWriteClock);
     }
 
+    /** @name Checkpoint state (core/serial.hh)
+     * The pooled R_{t,x} store is rebuilt in creation order, so
+     * every readSlots reference stays valid; slot and LRDs indices
+     * are validated against the restored pool on load.
+     * @{ */
+    void
+    saveState(ByteSink &out) const
+    {
+        out.putU64(pool_.size());
+        for (const ClockT &clock : pool_)
+            clock.serialize(out);
+        out.putU64(vars_.size());
+        for (const VarState &v : vars_) {
+            v.lastWriteClock.serialize(out);
+            out.putI32(v.lastWriteEpoch.tid);
+            out.putU32(v.lastWriteEpoch.clk);
+            out.putVec(v.readSlots);
+            out.putVec(v.lrds);
+        }
+    }
+
+    bool
+    restoreState(ByteSource &in)
+    {
+        std::uint64_t pool_size = 0;
+        if (!in.getU64(pool_size) || pool_size > in.remaining())
+            return in.fail();
+        pool_.clear();
+        for (std::uint64_t i = 0; i < pool_size; i++) {
+            pool_.emplace_back();
+            detail::configureClock(pool_.back(), *cfg_, arena_);
+            if (!pool_.back().deserialize(in))
+                return false;
+        }
+        std::uint64_t n = 0;
+        if (!in.getU64(n) || n > in.remaining())
+            return in.fail();
+        vars_.clear();
+        for (std::uint64_t i = 0; i < n; i++) {
+            vars_.emplace_back();
+            VarState &v = vars_.back();
+            detail::configureClock(v.lastWriteClock, *cfg_,
+                                   arena_);
+            if (!v.lastWriteClock.deserialize(in) ||
+                !in.getI32(v.lastWriteEpoch.tid) ||
+                !in.getU32(v.lastWriteEpoch.clk) ||
+                !in.getVec(v.readSlots) || !in.getVec(v.lrds))
+                return false;
+            for (std::uint32_t slot : v.readSlots)
+                if (slot > pool_.size())
+                    return in.fail();
+            for (Tid reader : v.lrds) {
+                const auto r = static_cast<std::size_t>(reader);
+                if (reader < 0 || r >= v.readSlots.size() ||
+                    v.readSlots[r] == 0)
+                    return in.fail();
+            }
+        }
+        return true;
+    }
+    /** @} */
+
   private:
     struct VarState
     {

@@ -16,16 +16,20 @@ std::vector<AnalysisReport>
 AnalysisPipeline::run(EventSource &source,
                       const ParallelOptions &options)
 {
+    beginAll(source.info());
+    return drainParallel(source, options);
+}
+
+std::vector<AnalysisReport>
+AnalysisPipeline::drainParallel(EventSource &source,
+                                const ParallelOptions &options)
+{
     const std::size_t workers =
         options.workers == 0
             ? consumers_.size()
             : std::min(options.workers, consumers_.size());
     if (workers <= 1)
-        return run(source);
-
-    const SourceInfo si = source.info();
-    for (auto &c : consumers_)
-        c->begin(si);
+        return drain(source);
 
     WindowBus bus(workers, options.depth);
     const std::size_t window_events =

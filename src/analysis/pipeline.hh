@@ -56,6 +56,20 @@ class AnalysisConsumer
 
     /** Results accumulated so far (valid mid-stream and after). */
     virtual EngineResult result() const = 0;
+
+    /** @name Checkpoint save/restore (trace/snapshot.hh)
+     *
+     * Consumers that can checkpoint override all three; the
+     * defaults make a consumer visibly non-checkpointable (the
+     * snapshot writer refuses the pipeline with a diagnostic
+     * rather than silently dropping its state). restoreState()
+     * is called after begin() and must leave the consumer exactly
+     * as it stood when saveState() ran.
+     * @{ */
+    virtual bool supportsCheckpoint() const { return false; }
+    virtual void saveState(ByteSink & /*out*/) const {}
+    virtual bool restoreState(ByteSource &in) { return in.fail(); }
+    /** @} */
 };
 
 /**
@@ -92,6 +106,18 @@ class DriverConsumer final : public AnalysisConsumer
     EngineResult result() const override
     {
         return driver_.result();
+    }
+
+    bool supportsCheckpoint() const override { return true; }
+    void
+    saveState(ByteSink &out) const override
+    {
+        driver_.saveState(out);
+    }
+    bool
+    restoreState(ByteSource &in) override
+    {
+        return driver_.restoreState(in);
     }
 
     AnalysisDriver<ClockT, PolicyT> &driver() { return driver_; }
@@ -156,6 +182,28 @@ class AnalysisPipeline
     std::size_t size() const { return consumers_.size(); }
     bool empty() const { return consumers_.empty(); }
 
+    /** Consumer @p i in add() order (checkpoint writer/loader). */
+    AnalysisConsumer &
+    consumer(std::size_t i)
+    {
+        return *consumers_[i];
+    }
+    const AnalysisConsumer &
+    consumer(std::size_t i) const
+    {
+        return *consumers_[i];
+    }
+
+    /** begin() every consumer for a stream declaring @p si — the
+     * first half of run(), split out so checkpoint restore can
+     * slot consumer state in between begin and the drain. */
+    void
+    beginAll(const SourceInfo &si)
+    {
+        for (auto &c : consumers_)
+            c->begin(si);
+    }
+
     /**
      * Drain @p source from its current position through every
      * consumer in one pass on the calling thread. As with
@@ -167,9 +215,16 @@ class AnalysisPipeline
     std::vector<AnalysisReport>
     run(EventSource &source)
     {
-        const SourceInfo si = source.info();
-        for (auto &c : consumers_)
-            c->begin(si);
+        beginAll(source.info());
+        return drain(source);
+    }
+
+    /** The drain half of run(): no begin, consumers keep whatever
+     * state they hold (a restored checkpoint, a previous segment
+     * of the same stream). */
+    std::vector<AnalysisReport>
+    drain(EventSource &source)
+    {
         std::vector<Event> storage;
         EventWindow window;
         while (!(window = source.readWindow(
@@ -208,7 +263,13 @@ class AnalysisPipeline
     std::vector<AnalysisReport> run(EventSource &source,
                                     const ParallelOptions &options);
 
-  private:
+    /** The drain half of the parallel overload (no begin) —
+     * checkpointed runs drain bounded segments through this with
+     * consumer state carried across segments. */
+    std::vector<AnalysisReport>
+    drainParallel(EventSource &source,
+                  const ParallelOptions &options);
+
     /** Snapshot every consumer's result, in add() order. */
     std::vector<AnalysisReport>
     reports() const
@@ -220,6 +281,7 @@ class AnalysisPipeline
         return out;
     }
 
+  private:
     std::vector<std::unique_ptr<AnalysisConsumer>> consumers_;
 };
 

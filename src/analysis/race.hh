@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/epoch.hh"
+#include "core/serial.hh"
 #include "support/types.hh"
 
 namespace tc {
@@ -88,6 +89,95 @@ class RaceSummary
     }
     const std::vector<bool> &racyVars() const { return racyVar_; }
     const std::vector<RacePair> &reports() const { return reports_; }
+
+    /** @name Checkpoint serialization (core/serial.hh)
+     * Field-wise (RacePair has padding; raw bytes would leak
+     * nondeterminism into snapshots). deserialize() cross-checks
+     * the per-kind totals and the racy-variable count against the
+     * stored bitmap and returns false on any mismatch.
+     * @{ */
+    void
+    serialize(ByteSink &out) const
+    {
+        out.putU64(total_);
+        out.putU64(writeWrite_);
+        out.putU64(writeRead_);
+        out.putU64(readWrite_);
+        out.putU64(racyVarCount_);
+        out.putU64(maxReports_);
+        out.putU64(racyVar_.size());
+        for (std::size_t i = 0; i < racyVar_.size(); i++)
+            out.putU8(racyVar_[i] ? 1 : 0);
+        out.putU64(reports_.size());
+        for (const RacePair &r : reports_) {
+            out.putI32(r.var);
+            out.putU8(static_cast<std::uint8_t>(r.kind));
+            out.putI32(r.prior.tid);
+            out.putU32(r.prior.clk);
+            out.putI32(r.current.tid);
+            out.putU32(r.current.clk);
+        }
+    }
+
+    bool
+    deserialize(ByteSource &in)
+    {
+        RaceSummary loaded;
+        std::uint64_t vars = 0, report_count = 0;
+        if (!in.getU64(loaded.total_) ||
+            !in.getU64(loaded.writeWrite_) ||
+            !in.getU64(loaded.writeRead_) ||
+            !in.getU64(loaded.readWrite_) ||
+            !in.getU64(loaded.racyVarCount_) ||
+            !in.getU64(loaded.maxReports_) || !in.getU64(vars))
+            return false;
+        if (vars > in.remaining())
+            return in.fail();
+        loaded.racyVar_.resize(static_cast<std::size_t>(vars));
+        std::uint64_t racy = 0;
+        for (std::uint64_t i = 0; i < vars; i++) {
+            std::uint8_t bit = 0;
+            if (!in.getU8(bit))
+                return false;
+            if (bit > 1)
+                return in.fail();
+            loaded.racyVar_[static_cast<std::size_t>(i)] =
+                bit != 0;
+            racy += bit;
+        }
+        if (!in.getU64(report_count))
+            return false;
+        if (report_count > loaded.maxReports_ ||
+            report_count > loaded.total_)
+            return in.fail();
+        loaded.reports_.reserve(
+            static_cast<std::size_t>(report_count));
+        for (std::uint64_t i = 0; i < report_count; i++) {
+            RacePair r;
+            std::uint8_t kind = 0;
+            if (!in.getI32(r.var) || !in.getU8(kind) ||
+                !in.getI32(r.prior.tid) ||
+                !in.getU32(r.prior.clk) ||
+                !in.getI32(r.current.tid) ||
+                !in.getU32(r.current.clk))
+                return false;
+            if (kind >
+                    static_cast<std::uint8_t>(RaceKind::ReadWrite) ||
+                r.var < 0 ||
+                static_cast<std::uint64_t>(r.var) >= vars)
+                return in.fail();
+            r.kind = static_cast<RaceKind>(kind);
+            loaded.reports_.push_back(r);
+        }
+        if (racy != loaded.racyVarCount_ ||
+            loaded.total_ != loaded.writeWrite_ +
+                                 loaded.writeRead_ +
+                                 loaded.readWrite_)
+            return in.fail();
+        *this = std::move(loaded);
+        return true;
+    }
+    /** @} */
 
   private:
     std::uint64_t total_ = 0;

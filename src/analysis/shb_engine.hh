@@ -103,6 +103,37 @@ class ShbPolicy
             detail::deepCheck(v.lastWriteClock);
     }
 
+    /** @name Checkpoint state (core/serial.hh) @{ */
+    void
+    saveState(ByteSink &out) const
+    {
+        out.putU64(vars_.size());
+        for (const VarState &v : vars_) {
+            v.lastWriteClock.serialize(out);
+            v.history.serialize(out);
+        }
+    }
+
+    bool
+    restoreState(ByteSource &in)
+    {
+        std::uint64_t n = 0;
+        if (!in.getU64(n) || n > in.remaining())
+            return in.fail();
+        vars_.clear();
+        for (std::uint64_t i = 0; i < n; i++) {
+            vars_.emplace_back();
+            VarState &v = vars_.back();
+            detail::configureClock(v.lastWriteClock, *cfg_,
+                                   arena_);
+            if (!v.lastWriteClock.deserialize(in) ||
+                !v.history.deserialize(in))
+                return false;
+        }
+        return true;
+    }
+    /** @} */
+
   private:
     struct VarState
     {

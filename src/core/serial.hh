@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Byte-level (de)serialization primitives for checkpoint snapshots.
+ *
+ * ByteSink is an append-only byte buffer with fixed-width little-
+ * endian-as-stored scalar writers; ByteSource is its bounds-checked
+ * mirror. Every reader returns false (and latches a failed state)
+ * instead of reading past the end, so a truncated or corrupted blob
+ * can never walk a decoder out of bounds — the fuzz sweep relies on
+ * this. Scalars are stored in native byte order, matching the raw
+ * memcpy convention of the .tcb/.tcs trace formats (snapshots, like
+ * traces, are same-machine artifacts).
+ *
+ * crc32() is the section checksum of the .tcsnap container
+ * (trace/snapshot.hh): IEEE 802.3 polynomial, table-driven.
+ */
+
+#ifndef TC_CORE_SERIAL_HH
+#define TC_CORE_SERIAL_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace tc {
+
+/** CRC-32 (IEEE) of @p size bytes at @p data, chainable via @p seed. */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/** Append-only byte buffer for building snapshot payloads. */
+class ByteSink
+{
+  public:
+    void
+    putU8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void putU32(std::uint32_t v) { putPod(v); }
+    void putU64(std::uint64_t v) { putPod(v); }
+    void putI32(std::int32_t v) { putPod(v); }
+
+    void
+    putBytes(const void *data, std::size_t size)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        buf_.insert(buf_.end(), p, p + size);
+    }
+
+    /** Length-prefixed (u64 count) vector of trivially copyable
+     * elements, stored raw. */
+    template <typename T>
+    void
+    putVec(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        putU64(v.size());
+        if (!v.empty())
+            putBytes(v.data(), v.size() * sizeof(T));
+    }
+
+    /** Length-prefixed (u64 count) string. */
+    void
+    putString(const std::string &s)
+    {
+        putU64(s.size());
+        putBytes(s.data(), s.size());
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    template <typename T>
+    void
+    putPod(T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
+        buf_.insert(buf_.end(), p, p + sizeof(T));
+    }
+
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Bounds-checked reader over a byte span. Every getter returns false
+ * once the source has failed or would run past the end; ok() reports
+ * whether all reads so far succeeded. The span is borrowed — it must
+ * outlive the reader.
+ */
+class ByteSource
+{
+  public:
+    ByteSource(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    explicit ByteSource(const std::vector<std::uint8_t> &bytes)
+        : data_(bytes.data()), size_(bytes.size())
+    {}
+
+    bool
+    getU8(std::uint8_t &v)
+    {
+        return getPod(v);
+    }
+
+    bool getU32(std::uint32_t &v) { return getPod(v); }
+    bool getU64(std::uint64_t &v) { return getPod(v); }
+    bool getI32(std::int32_t &v) { return getPod(v); }
+
+    bool
+    getBytes(void *out, std::size_t size)
+    {
+        if (!take(size))
+            return false;
+        std::memcpy(out, data_ + pos_ - size, size);
+        return true;
+    }
+
+    /**
+     * Length-prefixed vector of trivially copyable elements. The
+     * declared count is validated against the bytes actually left
+     * before any allocation, so a corrupted count cannot trigger an
+     * oversized allocation.
+     */
+    template <typename T>
+    bool
+    getVec(std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        std::uint64_t n = 0;
+        if (!getU64(n))
+            return false;
+        if (n > (size_ - pos_) / sizeof(T))
+            return fail();
+        v.resize(static_cast<std::size_t>(n));
+        if (n != 0 &&
+            !getBytes(v.data(),
+                      static_cast<std::size_t>(n) * sizeof(T)))
+            return false;
+        return true;
+    }
+
+    bool
+    getString(std::string &s)
+    {
+        std::uint64_t n = 0;
+        if (!getU64(n))
+            return false;
+        if (n > size_ - pos_)
+            return fail();
+        s.assign(reinterpret_cast<const char *>(data_ + pos_),
+                 static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return true;
+    }
+
+    /** Advance past @p size bytes without copying them. */
+    bool
+    skip(std::size_t size)
+    {
+        return take(size);
+    }
+
+    bool ok() const { return !failed_; }
+    std::size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
+
+    /** Latch the failed state (decoders flag semantic errors —
+     * inconsistent lengths, bad sentinels — through the same
+     * channel as truncation). Returns false for tail-call use. */
+    bool
+    fail()
+    {
+        failed_ = true;
+        return false;
+    }
+
+  private:
+    bool
+    take(std::size_t size)
+    {
+        if (failed_ || size > size_ - pos_)
+            return fail();
+        pos_ += size;
+        return true;
+    }
+
+    template <typename T>
+    bool
+    getPod(T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (!take(sizeof(T)))
+            return false;
+        std::memcpy(&v, data_ + pos_ - sizeof(T), sizeof(T));
+        return true;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace tc
+
+#endif // TC_CORE_SERIAL_HH

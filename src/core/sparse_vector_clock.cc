@@ -160,4 +160,56 @@ SparseVectorClock::toVector(std::size_t min_threads) const
     return out;
 }
 
+void
+SparseVectorClock::serialize(ByteSink &out) const
+{
+    out.putI32(owner_);
+    // Element-wise: std::pair is not trivially copyable, and raw
+    // pair bytes could carry padding anyway.
+    out.putU64(entries_.size());
+    for (const auto &[tid, clk] : entries_) {
+        out.putI32(tid);
+        out.putU32(clk);
+    }
+}
+
+bool
+SparseVectorClock::deserialize(ByteSource &in)
+{
+    Tid owner = kNoTid;
+    std::uint64_t count = 0;
+    if (!in.getI32(owner) || !in.getU64(count))
+        return false;
+    if (count > in.remaining() / (sizeof(Tid) + sizeof(Clk)))
+        return in.fail();
+    std::vector<std::pair<Tid, Clk>> entries;
+    entries.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; i++) {
+        Tid tid = kNoTid;
+        Clk clk = 0;
+        if (!in.getI32(tid) || !in.getU32(clk))
+            return false;
+        entries.emplace_back(tid, clk);
+    }
+    // Entries must be strictly sorted by valid tid, non-zero except
+    // possibly the owner's own (transiently fresh) entry.
+    std::size_t owner_index = entries.size();
+    for (std::size_t i = 0; i < entries.size(); i++) {
+        const auto [tid, clk] = entries[i];
+        if (tid < 0 || (i > 0 && entries[i - 1].first >= tid))
+            return in.fail();
+        if (clk == 0 && tid != owner)
+            return in.fail();
+        if (tid == owner)
+            owner_index = i;
+    }
+    if (owner != kNoTid &&
+        (owner < 0 || owner_index == entries.size()))
+        return in.fail();
+    owner_ = owner;
+    entries_ = std::move(entries);
+    ownerIndex_ = owner == kNoTid ? 0 : owner_index;
+    return true;
+}
+
 } // namespace tc

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/serial.hh"
 #include "core/work_counters.hh"
 #include "support/types.hh"
 
@@ -88,6 +89,16 @@ class SparseVectorClock
 
     /** Number of stored (non-zero) entries. */
     std::size_t size() const { return entries_.size(); }
+
+    /** @name Checkpoint serialization (core/serial.hh)
+     * Logical state only (owner + sorted entries); the owner-index
+     * cache is recomputed on load and the counters sink survives
+     * deserialize(). Returns false (failing @p in) on malformed
+     * input — unsorted entries, lost owner entry.
+     * @{ */
+    void serialize(ByteSink &out) const;
+    bool deserialize(ByteSource &in);
+    /** @} */
 
     static constexpr const char *kName = "SVC";
 

@@ -531,6 +531,72 @@ TreeClock::checkInvariants() const
     return "";
 }
 
+void
+TreeClock::serialize(ByteSink &out) const
+{
+    out.putI32(root_);
+    out.putU64(fallbackCopies_);
+    out.putVec(clk_);
+    out.putVec(aclk_);
+    out.putVec(parent_);
+    out.putVec(firstChild_);
+    out.putVec(nextSib_);
+    out.putVec(prevSib_);
+}
+
+bool
+TreeClock::deserialize(ByteSource &in)
+{
+    Tid root = kNoTid;
+    std::uint64_t fallback = 0;
+    std::vector<Clk> clk, aclk;
+    std::vector<Tid> parent, first_child, next_sib, prev_sib;
+    if (!in.getI32(root) || !in.getU64(fallback) ||
+        !in.getVec(clk) || !in.getVec(aclk) ||
+        !in.getVec(parent) || !in.getVec(first_child) ||
+        !in.getVec(next_sib) || !in.getVec(prev_sib))
+        return false;
+
+    // Reject before mutating: all six arrays must agree, the root
+    // must be addressable, and absent nodes must read as time 0
+    // (get() serves straight from clk_).
+    const std::size_t n = clk.size();
+    if (aclk.size() != n || parent.size() != n ||
+        first_child.size() != n || next_sib.size() != n ||
+        prev_sib.size() != n)
+        return in.fail();
+    if (root != kNoTid &&
+        (root < 0 || static_cast<std::size_t>(root) >= n))
+        return in.fail();
+    for (std::size_t i = 0; i < n; i++) {
+        if (parent[i] == kAbsent &&
+            static_cast<Tid>(i) != root && clk[i] != 0)
+            return in.fail();
+    }
+
+    root_ = root;
+    fallbackCopies_ = fallback;
+    clk_ = std::move(clk);
+    aclk_ = std::move(aclk);
+    parent_ = std::move(parent);
+    firstChild_ = std::move(first_child);
+    nextSib_ = std::move(next_sib);
+    prevSib_ = std::move(prev_sib);
+    if (!checkInvariants().empty()) {
+        // Leave a rejected clock empty rather than structurally
+        // broken; the configured sinks stay attached.
+        root_ = kNoTid;
+        clk_.clear();
+        aclk_.clear();
+        parent_.clear();
+        firstChild_.clear();
+        nextSib_.clear();
+        prevSib_.clear();
+        return in.fail();
+    }
+    return true;
+}
+
 std::string
 TreeClock::toString() const
 {

@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "core/scratch_arena.hh"
+#include "core/serial.hh"
 #include "core/work_counters.hh"
 #include "support/types.hh"
 
@@ -214,6 +215,21 @@ class TreeClock
     std::string checkInvariants() const;
     /** Render the tree as an indented multi-line string. */
     std::string toString() const;
+    /** @} */
+
+    /** @name Checkpoint serialization (core/serial.hh)
+     *
+     * serialize() writes the logical clock state: root, tree shape
+     * and timestamps. The configured sinks — counters, arena,
+     * join policy — are wiring, not state; deserialize() leaves
+     * them untouched. deserialize() validates sizes and re-runs
+     * checkInvariants(), returning false (and failing @p in,
+     * leaving this clock empty) on any malformed input, so a
+     * corrupted snapshot can never produce a structurally broken
+     * clock.
+     * @{ */
+    void serialize(ByteSink &out) const;
+    bool deserialize(ByteSource &in);
     /** @} */
 
     static constexpr const char *kName = "TC";

@@ -92,4 +92,29 @@ VectorClock::toVector(std::size_t min_threads) const
     return out;
 }
 
+void
+VectorClock::serialize(ByteSink &out) const
+{
+    out.putI32(owner_);
+    out.putVec(times_);
+}
+
+bool
+VectorClock::deserialize(ByteSource &in)
+{
+    Tid owner = kNoTid;
+    std::vector<Clk> times;
+    if (!in.getI32(owner) || !in.getVec(times))
+        return false;
+    // An owner must be addressable in its own vector (the owning
+    // constructor guarantees this for live clocks).
+    if (owner != kNoTid &&
+        (owner < 0 ||
+         static_cast<std::size_t>(owner) >= times.size()))
+        return in.fail();
+    owner_ = owner;
+    times_ = std::move(times);
+    return true;
+}
+
 } // namespace tc

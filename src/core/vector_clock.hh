@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/serial.hh"
 #include "core/work_counters.hh"
 #include "support/types.hh"
 
@@ -105,6 +106,15 @@ class VectorClock
 
     /** Number of stored entries. */
     std::size_t size() const { return times_.size(); }
+
+    /** @name Checkpoint serialization (core/serial.hh)
+     * Logical state only (owner + entries); the counters sink is
+     * wiring and survives deserialize(). deserialize() returns
+     * false (failing @p in) on malformed input.
+     * @{ */
+    void serialize(ByteSink &out) const;
+    bool deserialize(ByteSource &in);
+    /** @} */
 
     static constexpr const char *kName = "VC";
 

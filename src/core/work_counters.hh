@@ -16,6 +16,8 @@
 
 #include <cstdint>
 
+#include "core/serial.hh"
+
 namespace tc {
 
 /** Accumulated operation/work statistics for a set of clocks. */
@@ -38,6 +40,29 @@ struct WorkCounters
     {
         *this = WorkCounters{};
     }
+
+    /** @name Checkpoint serialization (core/serial.hh) @{ */
+    void
+    serialize(ByteSink &out) const
+    {
+        out.putU64(vtWork);
+        out.putU64(dsWork);
+        out.putU64(increments);
+        out.putU64(joins);
+        out.putU64(copies);
+        out.putU64(deepCopies);
+        out.putU64(fallbackCopies);
+    }
+
+    bool
+    deserialize(ByteSource &in)
+    {
+        return in.getU64(vtWork) && in.getU64(dsWork) &&
+               in.getU64(increments) && in.getU64(joins) &&
+               in.getU64(copies) && in.getU64(deepCopies) &&
+               in.getU64(fallbackCopies);
+    }
+    /** @} */
 
     /** DSWork / VTWork; the paper's Figures 8–9 plot these ratios. */
     double

@@ -82,8 +82,10 @@ class TextEventSource final : public EventSource
         }
         // getline fails on both EOF and I/O errors; only the
         // former is a clean end of stream.
-        if (is_->bad())
-            fail(line_, "I/O error while reading trace");
+        if (is_->bad()) {
+            fail(line_, "I/O error while reading trace",
+                 SourceErrorKind::Io);
+        }
         return false;
     }
 
@@ -242,6 +244,29 @@ class BinaryEventSource final : public EventSource
         return !failed();
     }
 
+    /** Events are fixed-width records after a fixed-width header,
+     * so resuming at event n is a single byte seek. */
+    bool
+    seekToSequence(std::uint64_t n) override
+    {
+        if (!rewind())
+            return false;
+        if (n >= info_.events) {
+            // At or past the end: nothing left to deliver; refill()
+            // sees delivered_ >= events and reports end of stream.
+            delivered_ = n;
+            return true;
+        }
+        // parseHeader() left the stream at the first record.
+        if (!is_->seekg(static_cast<std::streamoff>(n) *
+                            static_cast<std::streamoff>(
+                                kEventBytes),
+                        std::ios::cur))
+            return false;
+        delivered_ = n;
+        return true;
+    }
+
   private:
     void
     parseHeader()
@@ -313,9 +338,9 @@ class BinaryEventSource final : public EventSource
 class FailedSource final : public EventSource
 {
   public:
-    explicit FailedSource(std::string message)
+    FailedSource(std::string message, SourceErrorKind kind)
     {
-        fail(0, std::move(message));
+        fail(0, std::move(message), kind);
     }
     SourceInfo info() const override { return {}; }
     bool next(Event &) override { return false; }
@@ -337,9 +362,9 @@ makeBinaryEventSource(std::istream &is, std::size_t window)
 }
 
 std::unique_ptr<EventSource>
-makeFailedSource(std::string message)
+makeFailedSource(std::string message, SourceErrorKind kind)
 {
-    return std::make_unique<FailedSource>(std::move(message));
+    return std::make_unique<FailedSource>(std::move(message), kind);
 }
 
 std::unique_ptr<EventSource>

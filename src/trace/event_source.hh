@@ -44,6 +44,20 @@ namespace tc {
 /** Sentinel for "event count not known before the end of stream". */
 inline constexpr std::uint64_t kUnknownEventCount = ~0ull;
 
+/**
+ * Coarse classification of a source failure — the error taxonomy
+ * both CLIs map to exit codes (support/diagnostics.hh). Io covers
+ * environment failures (unopenable path, read errors, injected
+ * faults); Corrupt covers malformed input (bad magic, truncated
+ * streams, out-of-range records, checksum mismatches).
+ */
+enum class SourceErrorKind : std::uint8_t
+{
+    None,
+    Io,
+    Corrupt,
+};
+
 /** Static facts about a stream, known before the first event. */
 struct SourceInfo
 {
@@ -153,17 +167,51 @@ class EventSource
      * stream cannot seek. */
     virtual bool rewind() = 0;
 
+    /**
+     * Position the stream so the next delivered event is event
+     * @p n of the stream (0-based) — the resume entry point of
+     * checkpointed analyses. Seeking to 0 is rewind(); seeking at
+     * or past the end is valid and yields a clean end of stream.
+     * Returns false when the source cannot seek (non-seekable
+     * stream) or the reposition failed (the source may then be
+     * failed()).
+     *
+     * The default decodes and discards the prefix after a
+     * rewind() — correct for any seekable source, O(n). Fixed-
+     * record readers override this with an O(1) byte seek and the
+     * shard merge with a per-shard binary search, so resuming at
+     * event n costs O(tail), not O(n + tail).
+     */
+    virtual bool
+    seekToSequence(std::uint64_t n)
+    {
+        if (!rewind())
+            return false;
+        Event scratch;
+        for (std::uint64_t i = 0; i < n; i++) {
+            if (!next(scratch))
+                return !failed();
+        }
+        return !failed();
+    }
+
     bool failed() const { return !error_.empty(); }
     const std::string &error() const { return error_; }
+    /** Kind of the first error (None while !failed()). */
+    SourceErrorKind errorKind() const { return errorKind_; }
     /** 1-based line of the first error (text sources; 0 otherwise). */
     std::size_t errorLine() const { return errorLine_; }
 
   protected:
+    /** Record a failure; @p kind defaults to Corrupt (malformed
+     * input), the dominant case — I/O failures pass Io. */
     void
-    fail(std::size_t line, std::string message)
+    fail(std::size_t line, std::string message,
+         SourceErrorKind kind = SourceErrorKind::Corrupt)
     {
         errorLine_ = line;
         error_ = std::move(message);
+        errorKind_ = kind;
     }
 
     void
@@ -171,11 +219,13 @@ class EventSource
     {
         errorLine_ = 0;
         error_.clear();
+        errorKind_ = SourceErrorKind::None;
     }
 
   private:
     std::string error_;
     std::size_t errorLine_ = 0;
+    SourceErrorKind errorKind_ = SourceErrorKind::None;
 };
 
 /**
@@ -228,6 +278,14 @@ class TraceSource final : public EventSource
         return true;
     }
 
+    bool
+    seekToSequence(std::uint64_t n) override
+    {
+        pos_ = static_cast<std::size_t>(
+            std::min<std::uint64_t>(n, trace_->size()));
+        return true;
+    }
+
     const Trace &trace() const { return *trace_; }
 
   private:
@@ -269,8 +327,11 @@ openTraceFile(const std::string &path,
 
 /** A source that is born failed() with @p message — for factories
  * that must report "could not even open the input" through the
- * EventSource error channel. */
-std::unique_ptr<EventSource> makeFailedSource(std::string message);
+ * EventSource error channel. Defaults to an Io-kind error (the
+ * could-not-open case); pass Corrupt for malformed-set errors. */
+std::unique_ptr<EventSource>
+makeFailedSource(std::string message,
+                 SourceErrorKind kind = SourceErrorKind::Io);
 
 } // namespace tc
 

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Deterministic fault injection: the failpoint registry behind the
+ * crash-safety test matrix.
+ *
+ * Production code marks its fault-prone operations with named
+ * sites — "snapshot.write", "snapshot.rename", "shard.append",
+ * "source.next", ... — by calling failpoint(site). With nothing
+ * armed this is one relaxed atomic load. Tests (and the CI kill
+ * sweeps, through the TC_FAILPOINTS environment variable) arm
+ * sites with an action and a deterministic trigger:
+ *
+ *     site=action@hit         fire once, on the hit-th evaluation
+ *     site=action@hit*count   fire on `count` consecutive hits
+ *     site=action             shorthand for action@1
+ *
+ * joined by ';'. Actions: short-read, eio, transient-eio, bit-flip,
+ * torn-write, crash. Everything is counted, nothing is random at
+ * fire time: the same spec against the same workload fires at the
+ * same operation every run, which is what lets the kill sweeps
+ * replay a crash point exactly. The seed only feeds the per-hit
+ * lane value that bit-flip faults use to pick their bit.
+ *
+ * A `crash` action terminates the process via _Exit(77) — no
+ * destructors, no atexit, exactly like a SIGKILL mid-operation as
+ * far as the filesystem is concerned — and the sweeps assert the
+ * next run either recovers or fails loudly.
+ */
+
+#ifndef TC_TRACE_FAULT_INJECTION_HH
+#define TC_TRACE_FAULT_INJECTION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "trace/event_source.hh"
+
+namespace tc {
+
+/** What an armed failpoint does when it fires. */
+enum class FaultAction : std::uint8_t
+{
+    None,
+    ShortRead,    ///< deliver less than asked, then error
+    Eio,          ///< hard I/O error
+    TransientEio, ///< I/O error that clears on retry
+    BitFlip,      ///< corrupt one bit of the payload
+    TornWrite,    ///< persist a prefix of the write, then error
+    Crash,        ///< _Exit(kFaultCrashExitCode) mid-operation
+};
+
+const char *faultActionName(FaultAction action);
+
+/** Process exit code of an injected crash; the kill sweeps use it
+ * to tell an injected crash from a real failure. */
+inline constexpr int kFaultCrashExitCode = 77;
+
+/** The action (if any) a failpoint evaluation fires. */
+struct FaultDecision
+{
+    FaultAction action = FaultAction::None;
+    /** Deterministic per-hit value (seed × site × hit); bit-flip
+     * faults derive their bit position from it. */
+    std::uint64_t lane = 0;
+
+    explicit operator bool() const
+    {
+        return action != FaultAction::None;
+    }
+};
+
+/**
+ * Process-wide registry of armed failpoints. All members are
+ * thread-safe; evaluate() under contention serializes on a mutex,
+ * but the disarmed fast path (the only path production runs take)
+ * is a single relaxed load through failpoint().
+ */
+class FailpointRegistry
+{
+  public:
+    static FailpointRegistry &instance();
+
+    /** Parse and arm @p spec (see file comment for the grammar) on
+     * top of whatever is already armed. Returns false with a
+     * diagnostic in @p error on a malformed spec (armed state is
+     * unchanged then). */
+    bool arm(const std::string &spec, std::uint64_t seed,
+             std::string *error);
+
+    /** Arm from TC_FAILPOINTS / TC_FAULT_SEED; a missing variable
+     * is a no-op success. The CLIs call this at startup so the kill
+     * sweeps can inject crashes without code changes. */
+    bool armFromEnv(std::string *error);
+
+    /** Disarm everything and zero all hit counts. */
+    void reset();
+
+    bool
+    anyArmed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** Count one hit of @p site; returns the firing action, None
+     * when the site is unarmed or outside its trigger window. */
+    FaultDecision evaluate(const char *site);
+
+    /** Evaluations of @p site so far (armed or not). */
+    std::uint64_t hits(const std::string &site) const;
+
+  private:
+    FailpointRegistry() = default;
+
+    struct Arm
+    {
+        FaultAction action = FaultAction::None;
+        std::uint64_t firstHit = 1; ///< 1-based
+        std::uint64_t count = 1;    ///< consecutive firing hits
+    };
+
+    mutable std::mutex mu_;
+    std::atomic<bool> armed_{false};
+    std::unordered_map<std::string, Arm> arms_;
+    std::unordered_map<std::string, std::uint64_t> hits_;
+    std::uint64_t seed_ = 0;
+};
+
+/** Evaluate a failpoint site: one relaxed load when nothing is
+ * armed anywhere in the process. */
+inline FaultDecision
+failpoint(const char *site)
+{
+    FailpointRegistry &reg = FailpointRegistry::instance();
+    if (!reg.anyArmed())
+        return {};
+    return reg.evaluate(site);
+}
+
+/** Terminate the process the way an injected kill does: _Exit, no
+ * unwinding, no buffers flushed. */
+[[noreturn]] void faultCrash(const char *site);
+
+/**
+ * Run @p op up to @p attempts times with exponential backoff
+ * (1 ms, 2 ms, 4 ms, ... capped at 50 ms) between failures — the
+ * recovery policy for transient I/O errors. Returns true as soon
+ * as @p op does; false when every attempt failed.
+ */
+bool retryWithBackoff(int attempts,
+                      const std::function<bool()> &op);
+
+/**
+ * Decorate @p inner with the "source.next" failpoint: every
+ * delivered event evaluates the site and can be bit-flipped,
+ * delayed by transient errors (retried internally via
+ * retryWithBackoff — the stream then continues), cut short, or
+ * turned into a hard I/O error / crash. With the site unarmed the
+ * decorator is transparent. errorKind() of injected failures is
+ * SourceErrorKind::Io.
+ */
+std::unique_ptr<EventSource>
+makeFaultInjectingSource(std::unique_ptr<EventSource> inner);
+
+} // namespace tc
+
+#endif // TC_TRACE_FAULT_INJECTION_HH

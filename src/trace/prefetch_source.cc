@@ -125,6 +125,27 @@ class PrefetchEventSource final : public EventSource
         return true;
     }
 
+    /** Quiesce the reader, seek the inner source (it keeps its own
+     * O(tail) override), restart the pipeline behind the new
+     * position. */
+    bool
+    seekToSequence(std::uint64_t n) override
+    {
+        stop();
+        current_.clear();
+        pos_ = 0;
+        if (!inner_->seekToSequence(n))
+            return false;
+        if (inner_->failed()) {
+            fail(inner_->errorLine(), inner_->error(),
+                 inner_->errorKind());
+            return false;
+        }
+        clearError();
+        start();
+        return true;
+    }
+
   private:
     void
     start()
@@ -152,6 +173,7 @@ class PrefetchEventSource final : public EventSource
         stopRequested_ = false;
         innerError_.clear();
         innerErrorLine_ = 0;
+        innerErrorKind_ = SourceErrorKind::None;
     }
 
     /**
@@ -167,7 +189,8 @@ class PrefetchEventSource final : public EventSource
             lock, [this] { return !full_.empty() || done_; });
         if (full_.empty()) {
             if (!innerError_.empty())
-                fail(innerErrorLine_, innerError_);
+                fail(innerErrorLine_, innerError_,
+                     innerErrorKind_);
             return false;
         }
         // Hand the drained buffer's capacity back to the reader.
@@ -222,6 +245,7 @@ class PrefetchEventSource final : public EventSource
                     if (inner_->failed()) {
                         innerError_ = inner_->error();
                         innerErrorLine_ = inner_->errorLine();
+                        innerErrorKind_ = inner_->errorKind();
                     }
                 }
             }
@@ -252,6 +276,7 @@ class PrefetchEventSource final : public EventSource
     bool stopRequested_ = false;
     std::string innerError_;
     std::size_t innerErrorLine_ = 0;
+    SourceErrorKind innerErrorKind_ = SourceErrorKind::None;
 
     std::thread reader_;
 };

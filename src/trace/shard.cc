@@ -1,5 +1,6 @@
 #include "trace/shard.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <condition_variable>
 #include <cstdio>
@@ -13,6 +14,7 @@
 
 #include "support/assert.hh"
 #include "support/strings.hh"
+#include "trace/fault_injection.hh"
 #include "trace/loser_tree.hh"
 
 namespace tc {
@@ -214,6 +216,66 @@ class ShardFileReader
         return true;
     }
 
+    /** Global stamp of record @p i — a header-relative random probe
+     * (no validation). Moves the read position; only the seek path
+     * uses it, and it reposition()s afterwards. */
+    bool
+    seqAt(std::uint64_t i, std::uint64_t &out)
+    {
+        is_.clear();
+        if (!is_.seekg(static_cast<std::streamoff>(
+                kShardHeaderBytes + i * kShardRecordBytes)))
+            return false;
+        return static_cast<bool>(is_.read(
+            reinterpret_cast<char *>(&out), sizeof(out)));
+    }
+
+    /**
+     * Records of this shard with stamp < @p key. Stamps are
+     * strictly increasing within a shard (validated on decode), so
+     * this is a binary search over O(log m) single-record probes —
+     * the per-shard half of the merged seekToSequence().
+     */
+    bool
+    countBelow(std::uint64_t key, std::uint64_t &out)
+    {
+        std::uint64_t lo = 0, hi = header_.shardEvents;
+        while (lo < hi) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            std::uint64_t seq = 0;
+            if (!seqAt(mid, seq))
+                return false;
+            if (seq < key)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        out = lo;
+        return true;
+    }
+
+    /** Position the reader so the next readBatch() starts at record
+     * @p index (clamped to end-of-shard). Restores the
+     * monotonicity baseline from the preceding record so the
+     * decode-time validation keeps working across a seek. */
+    bool
+    seekToIndex(std::uint64_t index)
+    {
+        if (index > header_.shardEvents)
+            index = header_.shardEvents;
+        std::uint64_t prev = 0;
+        if (index > 0 && !seqAt(index - 1, prev))
+            return false;
+        is_.clear();
+        if (!is_.seekg(static_cast<std::streamoff>(
+                kShardHeaderBytes + index * kShardRecordBytes)))
+            return false;
+        delivered_ = index;
+        lastSeq_ = prev;
+        error_.clear();
+        return true;
+    }
+
   private:
     void
     open()
@@ -314,6 +376,48 @@ openShardReaders(
     info.vars = static_cast<VarId>(first.vars);
     info.events = first.totalEvents;
     return {};
+}
+
+/**
+ * The value half of a merged seekToSequence(): the smallest stamp
+ * key V whose global rank — records across all shards with stamp
+ * < V — is at least @p n. Stamps are globally unique, so
+ * positioning every shard at its countBelow(V) leaves exactly the
+ * first n merged records behind the cursor. Each probe of g(V) is
+ * K per-shard binary searches, so the whole seek costs
+ * O(K log m log S) single-record reads — never a prefix decode.
+ */
+bool
+findSeekKey(const std::vector<ShardFileReader *> &readers,
+            std::uint64_t n, std::uint64_t &out)
+{
+    std::uint64_t hi = 0;
+    for (ShardFileReader *r : readers) {
+        const std::uint64_t m = r->header().shardEvents;
+        if (m == 0)
+            continue;
+        std::uint64_t last = 0;
+        if (!r->seqAt(m - 1, last))
+            return false;
+        hi = std::max(hi, last + 1);
+    }
+    std::uint64_t lo = 0;
+    while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        std::uint64_t below = 0;
+        for (ShardFileReader *r : readers) {
+            std::uint64_t c = 0;
+            if (!r->countBelow(mid, c))
+                return false;
+            below += c;
+        }
+        if (below >= n)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    out = lo;
+    return true;
 }
 
 /**
@@ -463,6 +567,47 @@ class MergingEventSource final : public EventSource
                 // scrambled order.
                 fail(0, strFormat("%s: rewind failed",
                                   s.reader->path().c_str()));
+                return false;
+            }
+        }
+        clearError();
+        pendingError_.clear();
+        loadHeads();
+        return !failed();
+    }
+
+    /** O(tail) resume: per-shard binary searches position every
+     * member so the next merged event is global event @p n. */
+    bool
+    seekToSequence(std::uint64_t n) override
+    {
+        if (rejected_)
+            return false;
+        if (n == 0)
+            return rewind();
+        std::vector<ShardFileReader *> readers;
+        readers.reserve(shards_.size());
+        for (Shard &s : shards_)
+            readers.push_back(s.reader.get());
+        std::uint64_t key = kLoserTreeInfKey;
+        if (n < info_.events &&
+            !findSeekKey(readers, n, key)) {
+            fail(0, "shard seek failed", SourceErrorKind::Io);
+            return false;
+        }
+        for (Shard &s : shards_) {
+            std::uint64_t index = s.reader->header().shardEvents;
+            if (n < info_.events &&
+                !s.reader->countBelow(key, index)) {
+                fail(0, "shard seek failed", SourceErrorKind::Io);
+                return false;
+            }
+            s.batch.clear();
+            s.pos = 0;
+            if (!s.reader->seekToIndex(index)) {
+                fail(0, strFormat("%s: seek failed",
+                                  s.reader->path().c_str()),
+                     SourceErrorKind::Io);
                 return false;
             }
         }
@@ -656,6 +801,52 @@ class ParallelMergingEventSource final : public EventSource
             if (!s.reader->rewind()) {
                 fail(0, strFormat("%s: rewind failed",
                                   s.reader->path().c_str()));
+                return false;
+            }
+        }
+        clearError();
+        pendingError_.clear();
+        startThreads();
+        loadHeads();
+        return !failed();
+    }
+
+    /** Same seek as the sequential merge; the reader threads are
+     * quiesced around the repositioning. */
+    bool
+    seekToSequence(std::uint64_t n) override
+    {
+        if (rejected_)
+            return false;
+        if (n == 0)
+            return rewind();
+        stopThreads();
+        std::vector<ShardFileReader *> readers;
+        readers.reserve(shards_.size());
+        for (ShardState &s : shards_)
+            readers.push_back(s.reader.get());
+        std::uint64_t key = kLoserTreeInfKey;
+        if (n < info_.events &&
+            !findSeekKey(readers, n, key)) {
+            fail(0, "shard seek failed", SourceErrorKind::Io);
+            return false;
+        }
+        for (ShardState &s : shards_) {
+            std::uint64_t index = s.reader->header().shardEvents;
+            if (n < info_.events &&
+                !s.reader->countBelow(key, index)) {
+                fail(0, "shard seek failed", SourceErrorKind::Io);
+                return false;
+            }
+            s.full.clear();
+            s.eof = false;
+            s.decodeError.clear();
+            s.batch.clear();
+            s.pos = 0;
+            if (!s.reader->seekToIndex(index)) {
+                fail(0, strFormat("%s: seek failed",
+                                  s.reader->path().c_str()),
+                     SourceErrorKind::Io);
                 return false;
             }
         }
@@ -968,6 +1159,22 @@ ShardWriter::append(const Event &e)
     Shard &shard =
         shards_[static_cast<std::size_t>(e.tid) % shards_.size()];
     const std::uint64_t seq = nextSeq_++;
+    if (const FaultDecision f = failpoint("shard.append")) {
+        if (f.action == FaultAction::Crash)
+            faultCrash("shard.append");
+        if (f.action == FaultAction::TornWrite) {
+            // Persist part of the record, then fail: the torn tail
+            // the reader's truncation check must catch.
+            shard.os.write(reinterpret_cast<const char *>(&seq),
+                           sizeof(seq));
+            shard.os.flush();
+        }
+        failed_ = true;
+        error_ = f.action == FaultAction::TornWrite
+                     ? "injected torn write while writing shard"
+                     : "injected I/O error while writing shard";
+        return false;
+    }
     const std::int32_t tid = e.tid;
     const std::uint32_t target = e.target;
     const std::uint8_t op = static_cast<std::uint8_t>(e.op);
@@ -993,6 +1200,16 @@ ShardWriter::finalize()
 {
     if (failed_ || finalized_)
         return !failed_ && finalized_;
+    if (const FaultDecision f = failpoint("shard.finalize")) {
+        // A crash here leaves the kUnknownEventCount sentinel in
+        // every header — exactly what readers report as a crashed
+        // capture.
+        if (f.action == FaultAction::Crash)
+            faultCrash("shard.finalize");
+        failed_ = true;
+        error_ = "injected I/O error while finalizing shard";
+        return false;
+    }
     for (Shard &shard : shards_) {
         const std::uint64_t counts[2] = {shard.events, nextSeq_};
         shard.os.seekp(
@@ -1056,6 +1273,22 @@ ParallelShardWriter::Appender::flush()
     if (failed_)
         return false;
     if (!buf_.empty()) {
+        if (const FaultDecision f = failpoint("shard.flush")) {
+            if (f.action == FaultAction::Crash)
+                faultCrash("shard.flush");
+            if (f.action == FaultAction::TornWrite) {
+                os_.write(
+                    reinterpret_cast<const char *>(buf_.data()),
+                    static_cast<std::streamsize>(buf_.size() / 2));
+                os_.flush();
+            }
+            failed_ = true;
+            error_ =
+                f.action == FaultAction::TornWrite
+                    ? "injected torn write while flushing shard"
+                    : "injected I/O error while flushing shard";
+            return false;
+        }
         os_.write(reinterpret_cast<const char *>(buf_.data()),
                   static_cast<std::streamsize>(buf_.size()));
         buf_.clear();
@@ -1126,6 +1359,13 @@ ParallelShardWriter::finalize()
 {
     if (failed_ || finalized_)
         return !failed_ && finalized_;
+    if (const FaultDecision f = failpoint("shard.finalize")) {
+        if (f.action == FaultAction::Crash)
+            faultCrash("shard.finalize");
+        failed_ = true;
+        error_ = "injected I/O error while finalizing shard";
+        return false;
+    }
     std::uint64_t total = 0;
     for (auto &a : appenders_) {
         if (!a->flush()) {
@@ -1361,6 +1601,15 @@ captureTraceParallel(const Trace &trace, const std::string &prefix,
                 .push_back(p);
         }
         std::atomic<bool> abort{false};
+        // Replay gate: simulate the original execution's timing by
+        // holding each thread until the global counter reaches its
+        // event's position — the fetch-add inside append() then
+        // stamps exactly that position, so the captured order is
+        // the input order. The hand-off is a condvar, not a yield
+        // spin: at most one thread is runnable at a time here, and
+        // spinning burned a core per shard on long traces.
+        std::mutex gate_m;
+        std::condition_variable gate_cv;
         std::vector<std::thread> pool;
         pool.reserve(shards);
         for (std::uint32_t s = 0; s < shards; s++) {
@@ -1368,25 +1617,30 @@ captureTraceParallel(const Trace &trace, const std::string &prefix,
                 ParallelShardWriter::Appender &app =
                     writer.appender(s);
                 for (const std::size_t pos : positions[s]) {
-                    // Replay gate: simulate the original
-                    // execution's timing by holding this thread
-                    // until the global counter reaches its
-                    // event's position — the fetch-add inside
-                    // append() then stamps exactly that position,
-                    // so the captured order is the input order.
-                    while (writer.sequence() != pos) {
-                        if (abort.load(std::memory_order_relaxed))
-                            return;
-                        std::this_thread::yield();
+                    {
+                        std::unique_lock<std::mutex> lock(gate_m);
+                        gate_cv.wait(lock, [&] {
+                            return abort.load(
+                                       std::memory_order_relaxed) ||
+                                   writer.sequence() == pos;
+                        });
                     }
-                    if (!app.append(trace[pos])) {
-                        // The stamp was consumed even on failure,
-                        // so other threads never wait on it; they
-                        // see the abort flag instead.
+                    if (abort.load(std::memory_order_relaxed))
+                        return;
+                    // The stamp is consumed even on failure, so
+                    // other threads never wait on it; they see the
+                    // abort flag instead.
+                    const bool ok = app.append(trace[pos]);
+                    if (!ok)
                         abort.store(true,
                                     std::memory_order_relaxed);
+                    // Pair the state change with the lock so a
+                    // waiter between its predicate check and its
+                    // sleep cannot miss this wake.
+                    { std::lock_guard<std::mutex> lock(gate_m); }
+                    gate_cv.notify_all();
+                    if (!ok)
                         return;
-                    }
                 }
             });
         }

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Failpoint registry tests: spec parsing, deterministic triggering
+ * (same spec + seed + workload → same fault at the same operation),
+ * the bounded-retry recovery policy, and the source decorator's
+ * fault actions. Process-killing actions are exercised by
+ * test_crash_recovery in child processes; here everything stays
+ * in-process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/random_trace.hh"
+#include "test_helpers.hh"
+#include "trace/event_source.hh"
+#include "trace/fault_injection.hh"
+
+namespace tc {
+namespace {
+
+/** Every test leaves the process-wide registry disarmed. */
+class FaultInjection : public ::testing::Test
+{
+  protected:
+    void SetUp() override { FailpointRegistry::instance().reset(); }
+    void TearDown() override
+    {
+        FailpointRegistry::instance().reset();
+    }
+};
+
+Trace
+sampleTrace(std::uint64_t events)
+{
+    RandomTraceParams params;
+    params.threads = 4;
+    params.locks = 2;
+    params.vars = 8;
+    params.events = events;
+    params.seed = 11;
+    return generateRandomTrace(params);
+}
+
+TEST_F(FaultInjection, ParsesSpecGrammar)
+{
+    auto &reg = FailpointRegistry::instance();
+    std::string error;
+    EXPECT_TRUE(reg.arm("a=eio", 0, &error)) << error;
+    EXPECT_TRUE(reg.arm("b=crash@3", 0, &error)) << error;
+    EXPECT_TRUE(
+        reg.arm("c=bit-flip@2*5; d = torn-write@7", 0, &error))
+        << error;
+    EXPECT_TRUE(reg.arm("", 0, &error)) << error;
+    EXPECT_TRUE(reg.anyArmed());
+}
+
+TEST_F(FaultInjection, RejectsMalformedSpecs)
+{
+    auto &reg = FailpointRegistry::instance();
+    for (const char *bad :
+         {"nosite", "=eio", "a=frobnicate", "a=eio@0", "a=eio@x",
+          "a=eio@2*", "a=eio@2*0"}) {
+        std::string error;
+        EXPECT_FALSE(reg.arm(bad, 0, &error)) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+    EXPECT_FALSE(reg.anyArmed());
+}
+
+TEST_F(FaultInjection, FiresOnExactHitWindow)
+{
+    auto &reg = FailpointRegistry::instance();
+    std::string error;
+    ASSERT_TRUE(reg.arm("site=eio@3*2", 0, &error)) << error;
+    std::vector<FaultAction> fired;
+    for (int i = 0; i < 6; i++)
+        fired.push_back(failpoint("site").action);
+    EXPECT_EQ(fired,
+              (std::vector<FaultAction>{
+                  FaultAction::None, FaultAction::None,
+                  FaultAction::Eio, FaultAction::Eio,
+                  FaultAction::None, FaultAction::None}));
+    EXPECT_EQ(reg.hits("site"), 6u);
+    EXPECT_EQ(reg.hits("other"), 0u);
+}
+
+TEST_F(FaultInjection, UnarmedSitesStayTransparent)
+{
+    EXPECT_FALSE(failpoint("anything"));
+    auto &reg = FailpointRegistry::instance();
+    std::string error;
+    ASSERT_TRUE(reg.arm("one=eio", 0, &error)) << error;
+    EXPECT_FALSE(failpoint("another"));
+    EXPECT_TRUE(failpoint("one"));
+}
+
+TEST_F(FaultInjection, LanesAreSeedDeterministic)
+{
+    auto &reg = FailpointRegistry::instance();
+    std::string error;
+    auto collect = [&](std::uint64_t seed) {
+        reg.reset();
+        EXPECT_TRUE(reg.arm("site=bit-flip@1*8", seed, &error))
+            << error;
+        std::vector<std::uint64_t> lanes;
+        for (int i = 0; i < 8; i++)
+            lanes.push_back(failpoint("site").lane);
+        return lanes;
+    };
+    const auto run1 = collect(42);
+    const auto run2 = collect(42);
+    const auto other = collect(43);
+    EXPECT_EQ(run1, run2);
+    EXPECT_NE(run1, other);
+}
+
+TEST_F(FaultInjection, RetryWithBackoffBoundsAttempts)
+{
+    int calls = 0;
+    EXPECT_TRUE(retryWithBackoff(4, [&] {
+        return ++calls == 3;
+    }));
+    EXPECT_EQ(calls, 3);
+
+    calls = 0;
+    EXPECT_FALSE(retryWithBackoff(3, [&] {
+        calls++;
+        return false;
+    }));
+    EXPECT_EQ(calls, 3);
+}
+
+TEST_F(FaultInjection, SourceEioCutsStreamWithIoError)
+{
+    const Trace trace = sampleTrace(100);
+    std::string error;
+    ASSERT_TRUE(FailpointRegistry::instance().arm(
+        "source.next=eio@41", 0, &error))
+        << error;
+    auto source = makeFaultInjectingSource(
+        std::make_unique<TraceSource>(trace));
+    Event e;
+    std::size_t delivered = 0;
+    while (source->next(e))
+        delivered++;
+    EXPECT_EQ(delivered, 40u);
+    EXPECT_TRUE(source->failed());
+    EXPECT_EQ(source->errorKind(), SourceErrorKind::Io);
+}
+
+TEST_F(FaultInjection, SourceTransientEioRecoversInPlace)
+{
+    const Trace trace = sampleTrace(100);
+    std::string error;
+    ASSERT_TRUE(FailpointRegistry::instance().arm(
+        "source.next=transient-eio@10", 0, &error))
+        << error;
+    auto source = makeFaultInjectingSource(
+        std::make_unique<TraceSource>(trace));
+    test::expectSameEvents(trace, *source,
+                           "transient fault retried away");
+}
+
+TEST_F(FaultInjection, SourceBitFlipIsDeterministic)
+{
+    const Trace trace = sampleTrace(50);
+    auto corruptedRun = [&](std::uint64_t seed) {
+        FailpointRegistry::instance().reset();
+        std::string error;
+        EXPECT_TRUE(FailpointRegistry::instance().arm(
+            "source.next=bit-flip@20", seed, &error))
+            << error;
+        auto source = makeFaultInjectingSource(
+            std::make_unique<TraceSource>(trace));
+        std::vector<Event> events;
+        Event e;
+        while (source->next(e))
+            events.push_back(e);
+        EXPECT_FALSE(source->failed());
+        return events;
+    };
+    const auto run1 = corruptedRun(7);
+    const auto run2 = corruptedRun(7);
+    ASSERT_EQ(run1.size(), trace.size());
+    ASSERT_EQ(run2.size(), trace.size());
+    // The same seed flips the same bit of the same event...
+    for (std::size_t i = 0; i < trace.size(); i++)
+        EXPECT_EQ(run1[i], run2[i]) << "event " << i;
+    // ...which differs from the pristine trace exactly once.
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < trace.size(); i++)
+        if (!(run1[i] == trace[i]))
+            diffs++;
+    EXPECT_EQ(diffs, 1u);
+}
+
+TEST_F(FaultInjection, SourcePassesThroughWhenDisarmed)
+{
+    const Trace trace = sampleTrace(200);
+    auto source = makeFaultInjectingSource(
+        std::make_unique<TraceSource>(trace));
+    test::expectSameEvents(trace, *source, "disarmed decorator");
+    ASSERT_TRUE(source->rewind());
+    test::expectSameEvents(trace, *source, "after rewind");
+}
+
+TEST_F(FaultInjection, ActionNamesRoundTrip)
+{
+    for (FaultAction a :
+         {FaultAction::ShortRead, FaultAction::Eio,
+          FaultAction::TransientEio, FaultAction::BitFlip,
+          FaultAction::TornWrite, FaultAction::Crash}) {
+        auto &reg = FailpointRegistry::instance();
+        reg.reset();
+        std::string error;
+        const std::string spec =
+            std::string("x=") + faultActionName(a);
+        ASSERT_TRUE(reg.arm(spec, 0, &error)) << error;
+        EXPECT_EQ(failpoint("x").action, a);
+    }
+}
+
+} // namespace
+} // namespace tc
