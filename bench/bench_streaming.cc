@@ -24,7 +24,13 @@
  *     re-split, loser tree vs linear scan (entries merge_tree_k64 /
  *     merge_scan_k64), isolating what the tournament tree buys
  *     wide shard sets,
- * (l) checkpoint_overhead — the checkpointed drain
+ * (l) sharded_analysis — one analysis split across W var-shard
+ *     workers (--shard-analysis in race_detector), sweeping W
+ *     (entries sharded_analysis_wN; w1 is the sequential consumer
+ *     the factory falls back to, making the speedup column
+ *     self-contained). CI gates w2 ≥ w1 via the throughput
+ *     baseline,
+ * (m) checkpoint_overhead — the checkpointed drain
  *     (runWithCheckpoints) with snapshots every
  *     --checkpoint-every events vs the same driver with
  *     checkpointing disabled (entries checkpoint_on/checkpoint_off
@@ -190,8 +196,42 @@ constexpr const char *kModeNames[] = {
     "fanout_seq",     "parallel_fanout",
     "parallel_fanout_stream",
     "decode_scaling", "merge_width",
+    "sharded_analysis",
     "checkpoint_overhead",
 };
+
+/** Best seconds for one pass of @p trace through a single (po,
+ * clock) analysis sharded across @p shard_workers var-shard
+ * workers (sequential consumer when 0 — the same fallback the
+ * --shard-analysis flag resolves to). The consumer is constructed
+ * once and reused across repetitions, like the fan-out modes. */
+double
+timeShardedAnalysis(const Trace &trace, const std::string &po,
+                    const char *clock, std::size_t shard_workers,
+                    int reps)
+{
+    AnalysisPipeline pipeline;
+    pipeline.add(makeShardedAnalysisConsumer(po.c_str(), clock,
+                                             shard_workers));
+    TraceSource source(trace);
+    return bestOfReps(reps, [&] {
+        if (!source.rewind()) {
+            std::fprintf(stderr,
+                         "bench: event source cannot rewind\n");
+            std::abort();
+        }
+        Timer timer;
+        pipeline.run(source);
+        const double t = timer.seconds();
+        if (source.failed()) {
+            std::fprintf(stderr,
+                         "bench: event source failed: %s\n",
+                         source.error().c_str());
+            std::abort();
+        }
+        return t;
+    });
+}
 
 /** Best seconds for one checkpointed drain of @p trace through one
  * (po, clock) analysis: every == 0 is the control (the same
@@ -343,7 +383,7 @@ main(int argc, char **argv)
                    "shard_merge | shard_prefetch | fanout_seq | "
                    "parallel_fanout | parallel_fanout_stream | "
                    "decode_scaling | merge_width | "
-                   "checkpoint_overhead | all");
+                   "sharded_analysis | checkpoint_overhead | all");
     args.addInt("checkpoint-every",
                 static_cast<std::int64_t>(1000000),
                 "snapshot cadence (events) for the "
@@ -561,6 +601,29 @@ main(int argc, char **argv)
         const auto scan = openShardSet(wide_prefix, window,
                                        MergeStrategy::LinearScan);
         report("merge_scan_k64", "drain", timeDrain(*scan, reps));
+    }
+    if (modeEnabled(mode_filter, "sharded_analysis")) {
+        // Worker sweep for the intra-analysis var-shard split:
+        // w1 is the sequential consumer (the factory's ≤1
+        // fallback), then powers of two capped at the cores
+        // actually present — oversubscription measures scheduler
+        // thrash, not the shard split. w2 is always measured (it
+        // is the headline entry the throughput gate tracks); on a
+        // single-core host it documents the time-sliced overhead
+        // rather than a speedup.
+        const unsigned cores = std::thread::hardware_concurrency();
+        const std::size_t max_w = std::min<std::size_t>(
+            4, std::max<std::size_t>(2, cores));
+        for (const char *clock : {"tc", "vc"}) {
+            const char *label = clock[0] == 't' ? "TC" : "VC";
+            for (std::size_t w = 1; w <= max_w; w *= 2) {
+                report(("sharded_analysis_w" + std::to_string(w))
+                           .c_str(),
+                       label,
+                       timeShardedAnalysis(trace, po_name, clock,
+                                           w <= 1 ? 0 : w, reps));
+            }
+        }
     }
     if (modeEnabled(mode_filter, "checkpoint_overhead")) {
         const std::int64_t every_raw =

@@ -37,6 +37,17 @@
  *       --po=hb,shb,maz --clock=tc,vc --parallel
  *   ./race_detector --trace=cap.0.tcs --stream --readers=4 \
  *       --prefetch --po=hb,shb,maz --clock=tc,vc --parallel
+ *
+ * With --shard-analysis[=W] each analysis is itself split across W
+ * var-shard workers (sharded_driver.hh) with byte-identical reports
+ * and work counters; it composes with all of the above — decode
+ * readers feed the fan-out pool, and each fan-out consumer
+ * re-broadcasts its windows to its own shard workers:
+ *
+ *   ./race_detector --trace=huge.tcb --stream --shard-analysis=4
+ *   ./race_detector --trace=cap.0.tcs --stream --readers=2 \
+ *       --prefetch --po=hb,maz --clock=tc --parallel \
+ *       --shard-analysis=2
  */
 
 #include <algorithm>
@@ -107,6 +118,7 @@ main(int argc, char **argv)
                    "clock data structures, comma-separated: tc | "
                    "vc");
     addParallelFlag(args);
+    addShardAnalysisFlag(args);
     args.addInt("max-reports", 10, "race reports to keep");
     args.addInt("checkpoint-every", 0,
                 "write a snapshot every N events (0 = off; "
@@ -199,6 +211,16 @@ main(int argc, char **argv)
                      "analysis)\n");
         return kExitUsage;
     }
+    if (args.getInt("shard-analysis") < -1) {
+        std::fprintf(stderr,
+                     "error: --shard-analysis expects a "
+                     "non-negative worker count (bare "
+                     "--shard-analysis = one per hardware "
+                     "thread)\n");
+        return kExitUsage;
+    }
+    const std::size_t shard_workers = resolveShardWorkers(
+        shardAnalysisWorkersFromFlags(args));
     std::unique_ptr<EventSource> source;
     if (!stream) {
         // Materialize once: whole-trace validation and the summary
@@ -274,7 +296,8 @@ main(int argc, char **argv)
             const std::string clock = trimString(clock_raw);
             if (clock.empty())
                 continue;
-            auto consumer = makeAnalysisConsumer(po, clock, cfg);
+            auto consumer = makeShardedAnalysisConsumer(
+                po, clock, shard_workers, cfg);
             if (consumer == nullptr) {
                 std::fprintf(stderr,
                              "error: unknown analysis '%s/%s' "
@@ -303,6 +326,8 @@ main(int argc, char **argv)
                 stream ? " (streaming)" : "");
     if (pool_size > 1)
         std::printf(" (%zu workers)", pool_size);
+    if (shard_workers > 1)
+        std::printf(" (%zu shard workers each)", shard_workers);
     std::printf("\n");
 
     Timer timer;

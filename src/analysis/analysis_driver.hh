@@ -330,6 +330,18 @@ class AnalysisDriver
     }
     /** @} */
 
+    /** Direct read access to a thread's clock (the sharded-analysis
+     * spine publishes these into the shared clock bank after each
+     * clock-mutating sync event). */
+    const ClockT &
+    threadClock(Tid t) const
+    {
+        TC_CHECK(t >= 0 &&
+                     static_cast<std::size_t>(t) < threads_.size(),
+                 "unknown thread");
+        return threads_[static_cast<std::size_t>(t)];
+    }
+
     /** Current vector time of a thread (its view of the world). */
     std::vector<Clk>
     viewOf(Tid t) const

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Shared, concurrently-readable clock bank for intra-analysis
+ * sharding (sharded_driver.hh).
+ *
+ * When one HB analysis is split across W workers, access events are
+ * routed to the worker owning the variable (`var mod W`) while the
+ * clock-side rules — which only synchronization events touch under
+ * HB — run on a single spine worker holding the real clocks. The
+ * bank is how the spine publishes those clocks to the var-shard
+ * workers: after every clock-mutating sync event (acquire/join by a
+ * thread, fork into a child) it deposits the mutated thread clock's
+ * materialized vector time into a per-thread entry, and readers pick
+ * up exactly the version their stream position demands.
+ *
+ * Publication protocol (single writer, many readers):
+ *  - Every entry is a small ring of versioned slots. Version v of
+ *    thread t is the state of C_t after t's v-th clock-mutating
+ *    sync event; version 0 (the fresh clock: all zeros) is implicit
+ *    and never stored. Each slot carries a seqlock-style stamp: the
+ *    writer clears it, fills the slot, then release-stores the
+ *    version; readers acquire-load the stamp before reading the
+ *    vector in place (zero-copy) and validate it unchanged after
+ *    use.
+ *  - Readers replicate the version counters deterministically (the
+ *    count of clock-mutating syncs per thread is a pure function of
+ *    the stream prefix), so a reader at stream position i asks for
+ *    exactly version v_t(i) — never "latest" — and spins briefly if
+ *    the spine has not published it yet.
+ *  - Overwrite backpressure: before recycling the slot holding
+ *    version v, the writer waits until every reader's cursor has
+ *    passed the last stream position that needs v (the position of
+ *    publication v+1). Per-reader cursors are cache-line-padded
+ *    atomics bumped once per processed event, so with the ring
+ *    depth as slack the writer almost never waits and readers never
+ *    observe a torn slot — the seqlock validation is a hard safety
+ *    net (TC_CHECK), not a retry loop.
+ *
+ * The entry table is a two-level chunked array: the writer installs
+ * chunks on demand with release stores and readers acquire-load the
+ * chunk pointers, so thread-id growth mid-stream needs no lock and
+ * never moves an entry.
+ */
+
+#ifndef TC_ANALYSIS_CLOCK_BANK_HH
+#define TC_ANALYSIS_CLOCK_BANK_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "support/assert.hh"
+#include "support/types.hh"
+
+namespace tc {
+
+/** Published versions kept live per entry. 8 gives the spine seven
+ * syncs of lead over the slowest reader before it must wait. */
+inline constexpr std::size_t kClockBankRingDepth = 8;
+
+class SharedClockBank
+{
+  public:
+    /** A bank for @p readers var-shard workers. */
+    explicit SharedClockBank(std::size_t readers)
+        : cursors_(readers)
+    {
+        for (auto &chunk : chunks_)
+            chunk.store(nullptr, std::memory_order_relaxed);
+    }
+
+    SharedClockBank(const SharedClockBank &) = delete;
+    SharedClockBank &operator=(const SharedClockBank &) = delete;
+
+    ~SharedClockBank()
+    {
+        for (auto &chunk : chunks_)
+            delete chunk.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * A zero-copy view of one published clock version, read in
+     * place from the bank slot. get() is the only operation the
+     * race checks need (epoch coverage and flat-history scans);
+     * components beyond the published width — threads unseen by
+     * the clock's owner at publication time — read as 0, exactly
+     * as the real clock would answer.
+     */
+    struct ReadTicket
+    {
+        const Clk *data = nullptr;
+        std::size_t width = 0;
+        const std::atomic<std::uint64_t> *stamp = nullptr;
+        std::uint64_t version = 0;
+
+        Clk
+        get(Tid t) const
+        {
+            const auto i = static_cast<std::size_t>(t);
+            return i < width ? data[i] : 0;
+        }
+
+        /** Seqlock validate-after-read: the slot must not have been
+         * recycled while the view was live (the cursor backpressure
+         * guarantees it; a trip means a protocol bug, not bad
+         * input). */
+        void
+        validate() const
+        {
+            TC_CHECK(stamp == nullptr ||
+                         stamp->load(std::memory_order_acquire) ==
+                             version,
+                     "clock bank: slot recycled under a reader");
+        }
+    };
+
+    /** @name Writer side (the spine worker, one thread) @{ */
+
+    /**
+     * Publish version @p version (1-based) of thread @p t's clock,
+     * created at stream position @p pos. @p fill materializes the
+     * vector time into the slot's storage (capacity is reused).
+     * Returns false if a stop was requested while waiting for
+     * readers to release the slot being recycled.
+     */
+    template <typename FillFn>
+    bool
+    publish(Tid t, std::uint64_t version, std::uint64_t pos,
+            FillFn &&fill)
+    {
+        Entry &entry = writerEntry(t);
+        Slot &slot = entry.slots[static_cast<std::size_t>(
+            version % kClockBankRingDepth)];
+        if (version > kClockBankRingDepth) {
+            // The slot still holds version v = version - depth;
+            // wait until every reader is past the last position
+            // that needs it (the position where v+1 was created,
+            // stored in the next ring slot).
+            const Slot &next = entry.slots[static_cast<std::size_t>(
+                (version + 1) % kClockBankRingDepth)];
+            const std::uint64_t released_at = next.createdPos + 1;
+            while (minCursor() < released_at) {
+                if (stopped_.load(std::memory_order_acquire))
+                    return false;
+                std::this_thread::yield();
+            }
+        }
+        slot.stamp.store(0, std::memory_order_release);
+        fill(slot.vec);
+        slot.createdPos = pos;
+        slot.stamp.store(version, std::memory_order_release);
+        entry.latest.store(version, std::memory_order_release);
+        return true;
+    }
+
+    /** @} */
+
+    /** @name Reader side (one thread per reader index) @{ */
+
+    /**
+     * Acquire version @p version of thread @p t for reader
+     * @p reader, spinning until the spine publishes it. Version 0
+     * (the fresh all-zero clock) resolves immediately without
+     * touching the bank. A null-data ticket with width 0 is also
+     * returned when a stop was requested mid-spin — the caller's
+     * worker loop is about to exit anyway.
+     */
+    ReadTicket
+    acquireView(Tid t, std::uint64_t version)
+    {
+        ReadTicket ticket;
+        if (version == 0)
+            return ticket;
+        const Entry *entry = readerEntry(t);
+        if (entry == nullptr)
+            return ticket; // stopped while waiting for the chunk
+        while (entry->latest.load(std::memory_order_acquire) <
+               version) {
+            if (stopped_.load(std::memory_order_acquire))
+                return ticket;
+            std::this_thread::yield();
+        }
+        const Slot &slot = entry->slots[static_cast<std::size_t>(
+            version % kClockBankRingDepth)];
+        TC_CHECK(slot.stamp.load(std::memory_order_acquire) ==
+                     version,
+                 "clock bank: needed version already recycled");
+        ticket.data = slot.vec.data();
+        ticket.width = slot.vec.size();
+        ticket.stamp = &slot.stamp;
+        ticket.version = version;
+        return ticket;
+    }
+
+    /** Reader @p reader has fully processed every event before
+     * stream position @p pos (and holds no live ticket for any
+     * earlier position). */
+    void
+    advanceCursor(std::size_t reader, std::uint64_t pos)
+    {
+        cursors_[reader].pos.store(pos,
+                                   std::memory_order_release);
+    }
+
+    /** @} */
+
+    /** Error teardown: wake the writer out of backpressure waits
+     * and readers out of publication waits. Any thread. */
+    void
+    requestStop()
+    {
+        stopped_.store(true, std::memory_order_release);
+    }
+
+  private:
+    struct Slot
+    {
+        /** 0 = being (re)written, else the stored version. */
+        std::atomic<std::uint64_t> stamp{0};
+        std::uint64_t createdPos = 0;
+        std::vector<Clk> vec;
+    };
+
+    struct Entry
+    {
+        std::array<Slot, kClockBankRingDepth> slots;
+        std::atomic<std::uint64_t> latest{0};
+    };
+
+    struct alignas(64) Cursor
+    {
+        std::atomic<std::uint64_t> pos{0};
+    };
+
+    static constexpr std::size_t kChunkEntries = 64;
+    static constexpr std::size_t kMaxChunks = 1024;
+
+    struct Chunk
+    {
+        std::array<Entry, kChunkEntries> entries;
+    };
+
+    Entry &
+    writerEntry(Tid t)
+    {
+        const auto i = static_cast<std::size_t>(t);
+        TC_CHECK(i < kChunkEntries * kMaxChunks,
+                 "clock bank: thread id out of range");
+        std::atomic<Chunk *> &slot = chunks_[i / kChunkEntries];
+        Chunk *chunk = slot.load(std::memory_order_relaxed);
+        if (chunk == nullptr) {
+            chunk = new Chunk();
+            slot.store(chunk, std::memory_order_release);
+        }
+        return chunk->entries[i % kChunkEntries];
+    }
+
+    /** Spin until the writer installs the chunk (a reader only asks
+     * for version >= 1, which the writer publishes after creating
+     * the entry); null on stop. */
+    const Entry *
+    readerEntry(Tid t)
+    {
+        const auto i = static_cast<std::size_t>(t);
+        TC_CHECK(i < kChunkEntries * kMaxChunks,
+                 "clock bank: thread id out of range");
+        const std::atomic<Chunk *> &slot =
+            chunks_[i / kChunkEntries];
+        for (;;) {
+            if (const Chunk *chunk =
+                    slot.load(std::memory_order_acquire))
+                return &chunk->entries[i % kChunkEntries];
+            if (stopped_.load(std::memory_order_acquire))
+                return nullptr;
+            std::this_thread::yield();
+        }
+    }
+
+    std::uint64_t
+    minCursor() const
+    {
+        std::uint64_t min = ~static_cast<std::uint64_t>(0);
+        for (const Cursor &c : cursors_) {
+            const std::uint64_t pos =
+                c.pos.load(std::memory_order_acquire);
+            if (pos < min)
+                min = pos;
+        }
+        return min;
+    }
+
+    std::array<std::atomic<Chunk *>, kMaxChunks> chunks_;
+    std::vector<Cursor> cursors_;
+    std::atomic<bool> stopped_{false};
+};
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_CLOCK_BANK_HH

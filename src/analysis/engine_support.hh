@@ -63,6 +63,28 @@ struct EngineConfig
     /** Verify every touched tree clock's structural invariants after
      * each event (tests; very slow). No-op for vector clocks. */
     bool deepChecks = false;
+
+    /** @name Intra-analysis sharding (sharded_driver.hh)
+     *
+     * When an analysis is split across W workers, every worker sees
+     * the full ordered event stream but owns only the variables with
+     * `var % shardCount == shardIndex`: race checks, access-history
+     * updates and race recording run on the owner alone, while the
+     * clock-side rules stay exactly the sequential ones (replicated
+     * or banked — see ShardedAnalysisConsumer). The default (1, 0)
+     * owns everything, i.e. the sequential driver.
+     * @{ */
+    std::uint32_t shardCount = 1;
+    std::uint32_t shardIndex = 0;
+
+    bool
+    ownsVar(VarId x) const
+    {
+        return shardCount <= 1 ||
+               static_cast<std::uint32_t>(x) % shardCount ==
+                   shardIndex;
+    }
+    /** @} */
 };
 
 /** Outcome of an engine run. */

@@ -1,0 +1,923 @@
+/**
+ * @file
+ * Intra-analysis parallelism: one (partial order × clock) analysis
+ * split across W workers by variable shard (`var mod W`).
+ *
+ * The inter-analysis fan-out (pipeline.hh) scales the N-analysis
+ * cross product but leaves a single analysis single-threaded. The
+ * sharded consumers here split one analysis itself: every worker
+ * sees the full ordered stream through an internal WindowBus
+ * (zero-copy spans, stream order preserved per worker), access
+ * events are *analyzed* only by the worker owning the variable, and
+ * the clock-side rules — which every shard's race checks depend on —
+ * are made available to all shards in one of two ways:
+ *
+ *  - ShardedBankedConsumer (HB): under HB, access events never
+ *    mutate clocks, so one spine worker (shard 0) runs the full
+ *    AnalysisDriver and, after every clock-mutating sync event,
+ *    publishes the mutated thread clock's vector time into a
+ *    SharedClockBank (clock_bank.hh). The other shards hold no
+ *    clocks at all: they replicate only the per-thread local times
+ *    and publication counts (both pure functions of the stream
+ *    prefix) and run the ordinary HbPolicy race checks against a
+ *    zero-copy ShardClockView of exactly the clock version their
+ *    stream position demands.
+ *
+ *  - ShardedReplicaConsumer (SHB, MAZ): those engines join
+ *    per-variable clocks into thread clocks on *access* events, so
+ *    a published snapshot per sync cannot reconstruct them. Every
+ *    worker instead runs a full AnalysisDriver over the whole
+ *    stream; the policies skip the analysis phase (race checks,
+ *    access-history bookkeeping) for non-owned variables via
+ *    EngineConfig::ownsVar while replicating every clock-side rule.
+ *
+ * Determinism is structural, not best-effort: worker 0 performs
+ * exactly the clock operations of the sequential driver, so the
+ * reported WorkCounters are its sink alone (never summed); races on
+ * a variable are found only by its owning shard, in stream order,
+ * and the merge (RaceSummary::absorbCounts + position-ordered
+ * report splice) reproduces the sequential summary byte for byte.
+ * The differential suite (tests/test_sharded_analysis.cc) pins
+ * sharded == sequential for reports, counters and totals across the
+ * full po × clock matrix, including resume from checkpoint.
+ *
+ * Checkpointing: saveState() quiesces the workers at the current
+ * segment barrier and writes a sharded header (magic + W) followed
+ * by per-shard state sections; restoreState() refuses a snapshot
+ * taken at a different worker count (the snapshot loader then falls
+ * back to an older snapshot or a clean start, exactly as for any
+ * other incompatible snapshot).
+ */
+
+#ifndef TC_ANALYSIS_SHARDED_DRIVER_HH
+#define TC_ANALYSIS_SHARDED_DRIVER_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/analysis_driver.hh"
+#include "analysis/clock_bank.hh"
+#include "analysis/hb_engine.hh"
+#include "analysis/pipeline.hh"
+#include "analysis/window_bus.hh"
+
+namespace tc {
+
+namespace shard_detail {
+
+/** Sharded snapshot section header ("TCSHARD1"): distinguishes a
+ * sharded consumer's state from the sequential driver state the
+ * same consumer name would otherwise carry. */
+inline constexpr std::uint64_t kShardedStateMagic =
+    0x5443534841524431ull;
+
+/**
+ * Stream positions of a worker's race reports, maintained by
+ * watching the report buffer grow: one event can record several
+ * races (a write against a write and many uncovered reads), all at
+ * the same position and all appended in order.
+ */
+struct TaggedReports
+{
+    std::vector<std::uint64_t> positions;
+
+    void
+    track(const RaceSummary &races, std::uint64_t pos)
+    {
+        while (positions.size() < races.reports().size())
+            positions.push_back(pos);
+    }
+};
+
+/** One worker's contribution to the merged race summary. */
+struct MergePart
+{
+    const RaceSummary *races = nullptr;
+    const std::vector<std::uint64_t> *positions = nullptr;
+};
+
+/**
+ * Merge per-shard summaries into the sequential one: counts sum,
+ * racy-variable bitmaps OR, and the report buffer becomes the
+ * globally position-ordered first maxReports. Sound because a race
+ * at global report rank r has per-shard rank <= r, so each shard's
+ * capped buffer is a superset of its share of the global first-N;
+ * position ties never cross shards (one event touches one variable,
+ * owned by one shard), so a stable intra-shard order is enough.
+ */
+inline RaceSummary
+mergeShardRaces(const std::vector<MergePart> &parts,
+                std::size_t max_reports)
+{
+    RaceSummary merged(0, max_reports);
+    struct Tag
+    {
+        std::uint64_t pos;
+        std::uint32_t part;
+        std::uint32_t idx;
+    };
+    std::vector<Tag> order;
+    for (std::size_t p = 0; p < parts.size(); p++) {
+        merged.absorbCounts(*parts[p].races);
+        const std::size_t n = parts[p].positions->size();
+        TC_CHECK(n == parts[p].races->reports().size(),
+                 "sharded merge: untagged race reports");
+        for (std::size_t i = 0; i < n; i++) {
+            order.push_back({(*parts[p].positions)[i],
+                             static_cast<std::uint32_t>(p),
+                             static_cast<std::uint32_t>(i)});
+        }
+    }
+    std::sort(order.begin(), order.end(),
+              [](const Tag &a, const Tag &b) {
+                  if (a.pos != b.pos)
+                      return a.pos < b.pos;
+                  if (a.part != b.part)
+                      return a.part < b.part;
+                  return a.idx < b.idx;
+              });
+    if (order.size() > max_reports)
+        order.resize(max_reports);
+    std::vector<RacePair> reports;
+    reports.reserve(order.size());
+    for (const Tag &t : order)
+        reports.push_back(parts[t.part].races->reports()[t.idx]);
+    merged.replaceReports(std::move(reports));
+    return merged;
+}
+
+} // namespace shard_detail
+
+/**
+ * Common machinery of both sharded consumers: the internal
+ * WindowBus re-broadcasting the (possibly itself window-batched)
+ * input stream to W worker threads, the running stream position
+ * each worker carries, quiescing at result/save barriers, error
+ * propagation, and the sharded checkpoint framing. Derived classes
+ * supply the per-worker state and the per-window work; their
+ * destructors must call stopWorkers() first so no worker outlives
+ * the state it processes.
+ */
+class ShardedConsumerBase : public AnalysisConsumer
+{
+  public:
+    ShardedConsumerBase(std::string name, std::size_t workers,
+                        std::size_t window_events,
+                        std::size_t ring_depth)
+        : name_(std::move(name)), workers_(workers),
+          windowEvents_(window_events == 0 ? 1 : window_events),
+          ringDepth_(ring_depth)
+    {
+        TC_CHECK(workers_ >= 2,
+                 "sharded analysis needs at least 2 workers");
+    }
+
+    ~ShardedConsumerBase() override
+    {
+        TC_CHECK(bus_ == nullptr,
+                 "derived sharded consumer must stopWorkers() in "
+                 "its destructor");
+    }
+
+    const std::string &name() const override { return name_; }
+
+    std::size_t workerCount() const { return workers_; }
+
+    void
+    begin(const SourceInfo &si) override
+    {
+        stopWorkers();
+        beginShards(si);
+        basePos_ = 0;
+        startWorkers();
+    }
+
+    void
+    consume(const Event &e) override
+    {
+        buffer_.push_back(e);
+        if (buffer_.size() >= windowEvents_)
+            flushBuffer();
+    }
+
+    void
+    consumeWindow(const EventWindow &window) override
+    {
+        buffer_.insert(buffer_.end(), window.begin(), window.end());
+        if (buffer_.size() >= windowEvents_)
+            flushBuffer();
+    }
+
+    EngineResult
+    result() const override
+    {
+        // Logically const: publishes buffered events and waits for
+        // the workers to drain them, mutating no analysis state on
+        // this thread.
+        auto *self = const_cast<ShardedConsumerBase *>(this);
+        self->flushBuffer();
+        self->quiesce();
+        return mergedResult();
+    }
+
+    bool supportsCheckpoint() const override { return true; }
+
+    void
+    saveState(ByteSink &out) const override
+    {
+        auto *self = const_cast<ShardedConsumerBase *>(this);
+        self->flushBuffer();
+        self->quiesce();
+        out.putU64(shard_detail::kShardedStateMagic);
+        out.putU64(workers_);
+        for (std::size_t w = 0; w < workers_; w++)
+            saveShard(w, out);
+    }
+
+    bool
+    restoreState(ByteSource &in) override
+    {
+        // begin() has already started the workers; take them down,
+        // slot the restored state in, re-arm.
+        stopWorkers();
+        std::uint64_t magic = 0, workers = 0;
+        if (!in.getU64(magic) || !in.getU64(workers))
+            return false;
+        // Not corruption — a snapshot from a sequential run or a
+        // different worker count; the loader falls back.
+        if (magic != shard_detail::kShardedStateMagic ||
+            workers != workers_)
+            return false;
+        for (std::size_t w = 0; w < workers_; w++) {
+            if (!restoreShard(w, in))
+                return false;
+        }
+        if (!finishRestore(in))
+            return false;
+        basePos_ = restoredPosition();
+        startWorkers();
+        return true;
+    }
+
+  protected:
+    /** @name Derived-class surface @{ */
+
+    /** Reset per-shard state for a stream declaring @p si. Workers
+     * are stopped; also (re)create any shared structures (the clock
+     * bank). */
+    virtual void beginShards(const SourceInfo &si) = 0;
+
+    /** Worker @p w processes @p window whose first event sits at
+     * absolute stream position @p base. Runs on worker threads,
+     * one thread per w, windows in stream order. */
+    virtual void processWindow(std::size_t w,
+                               const EventWindow &window,
+                               std::uint64_t base) = 0;
+
+    /** Merged sequential-equivalent result; workers are quiesced. */
+    virtual EngineResult mergedResult() const = 0;
+
+    /** Serialize shard @p w (workers quiesced). */
+    virtual void saveShard(std::size_t w, ByteSink &out) const = 0;
+
+    /** Restore shard @p w (workers stopped). */
+    virtual bool restoreShard(std::size_t w, ByteSource &in) = 0;
+
+    /** Cross-shard consistency checks and shared-structure rebuild
+     * after every shard restored; fail @p in on inconsistency. */
+    virtual bool finishRestore(ByteSource &in) = 0;
+
+    /** Stream position the restored shards resume from. */
+    virtual std::uint64_t restoredPosition() const = 0;
+
+    /** A worker faulted: wake anything beyond the bus (the clock
+     * bank's publish/acquire waits). */
+    virtual void onStopRequested() {}
+
+    /** @} */
+
+    /** Stop and join the worker pool (idempotent). Buffered events
+     * not yet flushed stay buffered; result()/saveState() flush
+     * before quiescing, so barriers never lose events. */
+    void
+    stopWorkers()
+    {
+        if (!bus_)
+            return;
+        bus_->finish();
+        onStopRequested();
+        for (std::thread &t : pool_)
+            t.join();
+        pool_.clear();
+        bus_.reset();
+    }
+
+    /** First worker exception, if any (sticky until next begin). */
+    void
+    rethrowIfFailed()
+    {
+        if (!failed_.load(std::memory_order_acquire))
+            return;
+        for (std::exception_ptr &e : errors_) {
+            if (e)
+                std::rethrow_exception(e);
+        }
+    }
+
+  private:
+    struct alignas(64) PaddedCounter
+    {
+        std::atomic<std::uint64_t> value{0};
+    };
+
+    void
+    startWorkers()
+    {
+        bus_ = std::make_unique<WindowBus>(workers_, ringDepth_);
+        published_ = 0;
+        buffer_.clear();
+        errors_.assign(workers_, nullptr);
+        failed_.store(false, std::memory_order_release);
+        processed_ = std::vector<PaddedCounter>(workers_);
+        pool_.reserve(workers_);
+        for (std::size_t w = 0; w < workers_; w++)
+            pool_.emplace_back([this, w] { workerMain(w); });
+    }
+
+    void
+    workerMain(std::size_t w)
+    {
+        try {
+            std::uint64_t pos = basePos_;
+            std::uint64_t done = 0;
+            while (const EventWindow *window = bus_->acquire(w)) {
+                processWindow(w, *window, pos);
+                pos += window->size;
+                bus_->release(w);
+                processed_[w].value.store(
+                    ++done, std::memory_order_release);
+            }
+        } catch (...) {
+            errors_[w] = std::current_exception();
+            failed_.store(true, std::memory_order_release);
+            bus_->requestStop();
+            onStopRequested();
+            // Unblock quiesce(); the error rethrows there.
+            processed_[w].value.store(
+                ~static_cast<std::uint64_t>(0),
+                std::memory_order_release);
+        }
+    }
+
+    void
+    flushBuffer()
+    {
+        if (buffer_.empty())
+            return;
+        rethrowIfFailed();
+        TC_CHECK(bus_ != nullptr,
+                 "sharded consumer used before begin()");
+        const EventWindow window{buffer_.data(), buffer_.size()};
+        // Moving the vector keeps its heap buffer, so the window
+        // span stays valid inside the slot.
+        if (bus_->publish(std::move(buffer_), window))
+            published_++;
+        buffer_ = bus_->acquireStorage();
+        buffer_.clear();
+    }
+
+    /** Wait until every worker has processed every published
+     * window; rethrows a worker's exception instead of spinning on
+     * a stopped pool. */
+    void
+    quiesce()
+    {
+        if (!bus_)
+            return;
+        for (;;) {
+            rethrowIfFailed();
+            bool drained = true;
+            for (std::size_t w = 0; w < workers_; w++) {
+                if (processed_[w].value.load(
+                        std::memory_order_acquire) < published_) {
+                    drained = false;
+                    break;
+                }
+            }
+            if (drained)
+                return;
+            std::this_thread::yield();
+        }
+    }
+
+    std::string name_;
+    std::size_t workers_;
+    std::size_t windowEvents_;
+    std::size_t ringDepth_;
+
+    std::unique_ptr<WindowBus> bus_;
+    std::vector<std::thread> pool_;
+    std::vector<Event> buffer_;
+    std::uint64_t published_ = 0;
+    std::uint64_t basePos_ = 0;
+    std::vector<PaddedCounter> processed_;
+    std::vector<std::exception_ptr> errors_;
+    std::atomic<bool> failed_{false};
+};
+
+/**
+ * Sharded SHB/MAZ: W full drivers over the full stream, analysis
+ * phase restricted to each worker's variable shard via
+ * EngineConfig::ownsVar (the policies replicate every clock-side
+ * rule unguarded — see shb_engine.hh / maz_engine.hh). Worker 0
+ * performs exactly the sequential clock operations, so it alone
+ * carries the WorkCounters sink and the timestamp observer.
+ */
+template <ClockLike ClockT, template <typename> class PolicyT>
+class ShardedReplicaConsumer final : public ShardedConsumerBase
+{
+  public:
+    ShardedReplicaConsumer(
+        std::string name, std::size_t workers, EngineConfig cfg,
+        std::size_t window_events = kDefaultSourceWindow,
+        std::size_t ring_depth = kDefaultWindowRingDepth)
+        : ShardedConsumerBase(std::move(name), workers,
+                              window_events, ring_depth)
+    {
+        ownsCounters_ = cfg.counters == nullptr;
+        cfg.validate = false;
+        shards_.reserve(workers);
+        for (std::size_t w = 0; w < workers; w++) {
+            EngineConfig c = cfg;
+            c.shardCount = static_cast<std::uint32_t>(workers);
+            c.shardIndex = static_cast<std::uint32_t>(w);
+            if (w == 0) {
+                if (ownsCounters_)
+                    c.counters = &work_;
+            } else {
+                c.counters = nullptr;
+                c.onTimestamp = {};
+            }
+            shards_.push_back(std::make_unique<Shard>(std::move(c)));
+        }
+    }
+
+    ~ShardedReplicaConsumer() override { stopWorkers(); }
+
+  protected:
+    void
+    beginShards(const SourceInfo &si) override
+    {
+        if (ownsCounters_)
+            work_ = WorkCounters{};
+        for (auto &shard : shards_) {
+            shard->driver.begin(si);
+            shard->tagged.positions.clear();
+        }
+    }
+
+    void
+    processWindow(std::size_t w, const EventWindow &window,
+                  std::uint64_t base) override
+    {
+        Shard &shard = *shards_[w];
+        std::uint64_t pos = base;
+        for (const Event &e : window) {
+            shard.driver.feed(e);
+            shard.tagged.track(shard.driver.races(), pos);
+            pos++;
+        }
+    }
+
+    EngineResult
+    mergedResult() const override
+    {
+        // Worker 0's events and counters are the sequential ones;
+        // only the race summary needs merging.
+        EngineResult r = shards_[0]->driver.result();
+        std::vector<shard_detail::MergePart> parts;
+        parts.reserve(shards_.size());
+        for (const auto &shard : shards_) {
+            parts.push_back({&shard->driver.races(),
+                             &shard->tagged.positions});
+        }
+        r.races = shard_detail::mergeShardRaces(
+            parts, shards_[0]->driver.config().maxReports);
+        return r;
+    }
+
+    void
+    saveShard(std::size_t w, ByteSink &out) const override
+    {
+        shards_[w]->driver.saveState(out);
+        out.putVec(shards_[w]->tagged.positions);
+    }
+
+    bool
+    restoreShard(std::size_t w, ByteSource &in) override
+    {
+        Shard &shard = *shards_[w];
+        if (!shard.driver.restoreState(in) ||
+            !in.getVec(shard.tagged.positions))
+            return false;
+        if (shard.tagged.positions.size() !=
+            shard.driver.races().reports().size())
+            return in.fail();
+        return true;
+    }
+
+    bool
+    finishRestore(ByteSource &in) override
+    {
+        // Every replica must sit at the same stream position.
+        for (const auto &shard : shards_) {
+            if (shard->driver.eventsProcessed() !=
+                shards_[0]->driver.eventsProcessed())
+                return in.fail();
+        }
+        return true;
+    }
+
+    std::uint64_t
+    restoredPosition() const override
+    {
+        return shards_[0]->driver.eventsProcessed();
+    }
+
+  private:
+    struct alignas(64) Shard
+    {
+        explicit Shard(EngineConfig cfg)
+            : driver(std::move(cfg))
+        {}
+        AnalysisDriver<ClockT, PolicyT> driver;
+        shard_detail::TaggedReports tagged;
+    };
+
+    WorkCounters work_;
+    bool ownsCounters_ = false;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/**
+ * Sharded HB: a spine worker (shard 0) runs the full driver and
+ * publishes thread clocks into a SharedClockBank after every
+ * clock-mutating sync event; shards 1..W-1 hold no clocks and run
+ * the HbPolicy race checks against zero-copy bank views of exactly
+ * the clock version their position demands (clock_bank.hh has the
+ * protocol).
+ */
+template <ClockLike ClockT>
+class ShardedBankedConsumer final : public ShardedConsumerBase
+{
+    /**
+     * The clock stand-in the reader shards analyze against: the
+     * published snapshot of C_t (taken at t's last clock-mutating
+     * sync before this position) overlaid with t's *current* local
+     * component — only increments of t's own entry can have
+     * happened since publication, and C_t[t] always equals the
+     * per-thread local time the readers replicate.
+     */
+    struct ShardClockView
+    {
+        SharedClockBank::ReadTicket ticket;
+        Tid self = kNoTid;
+        Clk selfClk = 0;
+
+        Clk
+        get(Tid t) const
+        {
+            return t == self ? selfClk : ticket.get(t);
+        }
+    };
+
+  public:
+    ShardedBankedConsumer(
+        std::string name, std::size_t workers, EngineConfig cfg,
+        std::size_t window_events = kDefaultSourceWindow,
+        std::size_t ring_depth = kDefaultWindowRingDepth)
+        : ShardedConsumerBase(std::move(name), workers,
+                              window_events, ring_depth),
+          spine_(makeSpine(cfg, workers))
+    {
+        for (std::size_t w = 1; w < workers; w++) {
+            auto reader = std::make_unique<Reader>();
+            reader->cfg = cfg;
+            reader->cfg.shardCount =
+                static_cast<std::uint32_t>(workers);
+            reader->cfg.shardIndex =
+                static_cast<std::uint32_t>(w);
+            reader->cfg.counters = nullptr;
+            reader->cfg.validate = false;
+            reader->cfg.onTimestamp = {};
+            reader->policy.configure(&reader->cfg, nullptr);
+            reader->races =
+                RaceSummary(0, reader->cfg.maxReports);
+            readers_.push_back(std::move(reader));
+        }
+    }
+
+    ~ShardedBankedConsumer() override { stopWorkers(); }
+
+  protected:
+    void
+    beginShards(const SourceInfo &si) override
+    {
+        if (ownsCounters_)
+            work_ = WorkCounters{};
+        spine_.begin(si);
+        spinePub_.assign(static_cast<std::size_t>(si.threads), 0);
+        spineTagged_.positions.clear();
+        bank_ = std::make_unique<SharedClockBank>(readers_.size());
+        for (auto &reader : readers_) {
+            reader->policy.reset();
+            reader->policy.reserveVars(si.vars, si.threads);
+            reader->races =
+                RaceSummary(si.vars, reader->cfg.maxReports);
+            reader->tagged.positions.clear();
+            reader->local.assign(
+                static_cast<std::size_t>(si.threads), 0);
+            reader->pubCount.assign(
+                static_cast<std::size_t>(si.threads), 0);
+            reader->threadsSeen = si.threads;
+        }
+    }
+
+    void
+    processWindow(std::size_t w, const EventWindow &window,
+                  std::uint64_t base) override
+    {
+        if (w == 0)
+            spineWindow(window, base);
+        else
+            readerWindow(*readers_[w - 1], w - 1, window, base);
+    }
+
+    EngineResult
+    mergedResult() const override
+    {
+        EngineResult r = spine_.result();
+        std::vector<shard_detail::MergePart> parts;
+        parts.reserve(readers_.size() + 1);
+        parts.push_back({&spine_.races(),
+                         &spineTagged_.positions});
+        for (const auto &reader : readers_)
+            parts.push_back({&reader->races,
+                             &reader->tagged.positions});
+        r.races = shard_detail::mergeShardRaces(
+            parts, spine_.config().maxReports);
+        return r;
+    }
+
+    void
+    saveShard(std::size_t w, ByteSink &out) const override
+    {
+        if (w == 0) {
+            spine_.saveState(out);
+            out.putVec(spinePub_);
+            out.putVec(spineTagged_.positions);
+            return;
+        }
+        const Reader &reader = *readers_[w - 1];
+        reader.policy.saveState(out);
+        reader.races.serialize(out);
+        out.putVec(reader.local);
+        out.putVec(reader.pubCount);
+        out.putI32(reader.threadsSeen);
+        out.putVec(reader.tagged.positions);
+    }
+
+    bool
+    restoreShard(std::size_t w, ByteSource &in) override
+    {
+        if (w == 0) {
+            if (!spine_.restoreState(in) ||
+                !in.getVec(spinePub_) ||
+                !in.getVec(spineTagged_.positions))
+                return false;
+            if (spineTagged_.positions.size() !=
+                spine_.races().reports().size())
+                return in.fail();
+            return true;
+        }
+        Reader &reader = *readers_[w - 1];
+        if (!reader.policy.restoreState(in) ||
+            !reader.races.deserialize(in) ||
+            !in.getVec(reader.local) ||
+            !in.getVec(reader.pubCount) ||
+            !in.getI32(reader.threadsSeen) ||
+            !in.getVec(reader.tagged.positions))
+            return false;
+        if (reader.tagged.positions.size() !=
+                reader.races.reports().size() ||
+            reader.local.size() != reader.pubCount.size() ||
+            reader.threadsSeen < 0 ||
+            static_cast<std::size_t>(reader.threadsSeen) !=
+                reader.local.size())
+            return in.fail();
+        return true;
+    }
+
+    bool
+    finishRestore(ByteSource &in) override
+    {
+        // Publication counts are a pure stream-prefix function:
+        // every reader's replica must agree with the spine's.
+        for (const auto &reader : readers_) {
+            if (reader->pubCount != spinePub_)
+                return in.fail();
+        }
+        // Re-seed the bank with the latest version of every
+        // published clock — the only version any position past the
+        // checkpoint can ask for.
+        bank_ =
+            std::make_unique<SharedClockBank>(readers_.size());
+        const std::uint64_t pos = spine_.eventsProcessed();
+        // Cursors first: a republished version above the ring
+        // depth takes the recycling path, whose backpressure wait
+        // consults them (fresh slots read as created-at-0, so
+        // cursors at the restore position always satisfy it).
+        for (std::size_t r = 0; r < readers_.size(); r++)
+            bank_->advanceCursor(r, pos);
+        for (std::size_t t = 0; t < spinePub_.size(); t++) {
+            if (spinePub_[t] == 0)
+                continue;
+            const Tid tid = static_cast<Tid>(t);
+            bank_->publish(tid, spinePub_[t], pos,
+                           [&](std::vector<Clk> &vec) {
+                               spine_.threadClock(tid)
+                                   .toVectorInto(vec);
+                           });
+        }
+        return true;
+    }
+
+    std::uint64_t
+    restoredPosition() const override
+    {
+        return spine_.eventsProcessed();
+    }
+
+    void
+    onStopRequested() override
+    {
+        if (bank_)
+            bank_->requestStop();
+    }
+
+  private:
+    struct alignas(64) Reader
+    {
+        EngineConfig cfg;
+        HbPolicy<ShardClockView> policy;
+        RaceSummary races;
+        shard_detail::TaggedReports tagged;
+        /** Per-thread local times (C_t[t]), grown like the
+         * driver's. */
+        std::vector<Clk> local;
+        /** Clock-mutating syncs seen per thread — the version of
+         * C_t this reader's position demands from the bank. */
+        std::vector<std::uint64_t> pubCount;
+        Tid threadsSeen = 0;
+
+        void
+        ensureThread(Tid t)
+        {
+            TC_CHECK(t >= 0, "negative thread id");
+            const auto need = static_cast<std::size_t>(t) + 1;
+            if (local.size() < need) {
+                local.resize(need, 0);
+                pubCount.resize(need, 0);
+            }
+            if (threadsSeen < t + 1)
+                threadsSeen = t + 1;
+        }
+    };
+
+    EngineConfig
+    makeSpine(EngineConfig cfg, std::size_t workers)
+    {
+        ownsCounters_ = cfg.counters == nullptr;
+        if (ownsCounters_)
+            cfg.counters = &work_;
+        cfg.validate = false;
+        cfg.shardCount = static_cast<std::uint32_t>(workers);
+        cfg.shardIndex = 0;
+        return cfg;
+    }
+
+    void
+    spineWindow(const EventWindow &window, std::uint64_t base)
+    {
+        std::uint64_t pos = base;
+        for (const Event &e : window) {
+            Tid pub = kNoTid;
+            switch (e.op) {
+              case OpType::Acquire:
+              case OpType::Join:
+                pub = e.tid;
+                break;
+              case OpType::Fork:
+                pub = e.targetTid();
+                break;
+              default:
+                break;
+            }
+            spine_.feed(e);
+            spineTagged_.track(spine_.races(), pos);
+            if (pub != kNoTid) {
+                if (spinePub_.size() <
+                    static_cast<std::size_t>(spine_.threadsSeen()))
+                    spinePub_.resize(
+                        static_cast<std::size_t>(
+                            spine_.threadsSeen()),
+                        0);
+                const std::uint64_t version =
+                    ++spinePub_[static_cast<std::size_t>(pub)];
+                const bool ok = bank_->publish(
+                    pub, version, pos,
+                    [&](std::vector<Clk> &vec) {
+                        spine_.threadClock(pub).toVectorInto(vec);
+                    });
+                if (!ok)
+                    return; // stop requested; pool is unwinding
+            }
+            pos++;
+        }
+    }
+
+    void
+    readerWindow(Reader &reader, std::size_t index,
+                 const EventWindow &window, std::uint64_t base)
+    {
+        std::uint64_t pos = base;
+        for (const Event &e : window) {
+            reader.ensureThread(e.tid);
+            if (e.isFork() || e.isJoin())
+                reader.ensureThread(e.targetTid());
+            const auto ti = static_cast<std::size_t>(e.tid);
+            const Clk c = ++reader.local[ti];
+            switch (e.op) {
+              case OpType::Read:
+              case OpType::Write: {
+                if (!reader.cfg.ownsVar(e.var()))
+                    break;
+                reader.policy.ensureVar(e.var(),
+                                        reader.threadsSeen);
+                reader.races.growVars(e.var() + 1);
+                ShardClockView view{
+                    bank_->acquireView(e.tid,
+                                       reader.pubCount[ti]),
+                    e.tid, c};
+                if (e.op == OpType::Read) {
+                    reader.policy.onRead(e, c, view,
+                                         reader.threadsSeen,
+                                         reader.races);
+                } else {
+                    reader.policy.onWrite(e, c, view,
+                                          reader.threadsSeen,
+                                          reader.races);
+                }
+                view.ticket.validate();
+                reader.tagged.track(reader.races, pos);
+                break;
+              }
+              case OpType::Acquire:
+              case OpType::Join:
+                reader.pubCount[ti]++;
+                break;
+              case OpType::Fork:
+                reader.pubCount[static_cast<std::size_t>(
+                    e.targetTid())]++;
+                break;
+              case OpType::Release:
+                break;
+            }
+            pos++;
+            bank_->advanceCursor(index, pos);
+        }
+    }
+
+    /** Declared (and thus initialized) before spine_: makeSpine()
+     * runs during spine_'s member init and writes both. */
+    WorkCounters work_;
+    bool ownsCounters_ = false;
+    AnalysisDriver<ClockT, HbPolicy> spine_;
+    /** Publications per thread so far (the bank's version
+     * counters), grown alongside the spine's thread space. */
+    std::vector<std::uint64_t> spinePub_;
+    shard_detail::TaggedReports spineTagged_;
+    std::unique_ptr<SharedClockBank> bank_;
+    std::vector<std::unique_ptr<Reader>> readers_;
+};
+
+} // namespace tc
+
+#endif // TC_ANALYSIS_SHARDED_DRIVER_HH

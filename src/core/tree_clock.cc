@@ -427,6 +427,14 @@ TreeClock::toVector(std::size_t min_threads) const
     return out;
 }
 
+void
+TreeClock::toVectorInto(std::vector<Clk> &out,
+                        std::size_t min_threads) const
+{
+    out.assign(std::max(clk_.size(), min_threads), 0);
+    std::copy(clk_.begin(), clk_.end(), out.begin());
+}
+
 std::size_t
 TreeClock::nodeCount() const
 {

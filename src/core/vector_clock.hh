@@ -104,6 +104,10 @@ class VectorClock
      */
     std::vector<Clk> toVector(std::size_t min_threads = 0) const;
 
+    /** toVector into caller storage, reusing its capacity. */
+    void toVectorInto(std::vector<Clk> &out,
+                      std::size_t min_threads = 0) const;
+
     /** Number of stored entries. */
     std::size_t size() const { return times_.size(); }
 

@@ -1,5 +1,7 @@
 #include "support/source_cli.hh"
 
+#include <thread>
+
 #include "gen/generator_source.hh"
 #include "trace/prefetch_source.hh"
 
@@ -43,6 +45,34 @@ parallelWorkersFromFlags(const ArgParser &args)
     if (raw < 0)
         return kParallelAuto;
     return static_cast<std::size_t>(raw);
+}
+
+void
+addShardAnalysisFlag(ArgParser &args)
+{
+    args.addOptionalInt(
+        "shard-analysis", 0, -1,
+        "split each analysis across W var-shard workers (bare = "
+        "one per hardware thread; 0/1 = sequential)");
+}
+
+std::size_t
+shardAnalysisWorkersFromFlags(const ArgParser &args)
+{
+    const std::int64_t raw = args.getInt("shard-analysis");
+    if (raw < 0)
+        return kShardAuto;
+    return static_cast<std::size_t>(raw);
+}
+
+std::size_t
+resolveShardWorkers(std::size_t requested)
+{
+    if (requested == kShardAuto) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw >= 2 ? static_cast<std::size_t>(hw) : 2;
+    }
+    return requested <= 1 ? 0 : requested;
 }
 
 RandomTraceParams

@@ -44,6 +44,32 @@ void addParallelFlag(ArgParser &args);
  * does). */
 std::size_t parallelWorkersFromFlags(const ArgParser &args);
 
+/** Sentinel: --shard-analysis given bare — one worker per
+ * hardware thread. */
+inline constexpr std::size_t kShardAuto =
+    ~static_cast<std::size_t>(0);
+
+/** Register --shard-analysis[=W] for tools that can split a single
+ * analysis across variable shards (sharded_driver.hh): bare = one
+ * worker per hardware thread, W = worker count, 0/1 = the ordinary
+ * sequential analysis. Composes with --parallel (each analysis in
+ * the fan-out is itself sharded). */
+void addShardAnalysisFlag(ArgParser &args);
+
+/** The intra-analysis worker request the flags describe: 0 =
+ * sequential (the default), kShardAuto = one worker per hardware
+ * thread, otherwise the worker count. As with --parallel, every
+ * negative raw value maps to the auto sentinel; tools rejecting
+ * other negatives as typos check args.getInt("shard-analysis")
+ * < -1 themselves. */
+std::size_t shardAnalysisWorkersFromFlags(const ArgParser &args);
+
+/** Resolve a shard worker request to a concrete count: the auto
+ * sentinel becomes the hardware concurrency (at least 2), and a
+ * request of 1 collapses to 0 (a one-worker shard *is* the
+ * sequential analysis). */
+std::size_t resolveShardWorkers(std::size_t requested);
+
 /**
  * Build the EventSource the parsed flags describe:
  *  --trace=FILE     a chunked streaming file reader (text/binary/

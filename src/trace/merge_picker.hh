@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Winner selection over K merge-cursor head keys.
+ *
+ * MergePicker wraps the two selection strategies behind one
+ * interface: LoserTree replays one root path per event (O(log K));
+ * LinearScan re-scans all heads (O(K), the pre-loser-tree
+ * behaviour, kept for benchmarks and differential tests). Ties
+ * break toward the lower index in both, so the two strategies pick
+ * identical winners on any input.
+ *
+ * Sequence-range splitting. A K-way merge over globally unique,
+ * per-shard-sorted sequence numbers can be partitioned: each worker
+ * merges only the heads whose keys fall in one contiguous key range
+ * [b_i, b_{i+1}), and the concatenation of the per-range merges is
+ * the total order. splitSequenceRange() computes the range
+ * boundaries and drainedBelow() is the per-range exhaustion test
+ * (drainedBelow(kLoserTreeInfKey) is the classic "all cursors
+ * done"). The merge sources do not partition yet — this is the API
+ * seam a range-partitioned parallel merge builds on.
+ */
+
+#ifndef TC_TRACE_MERGE_PICKER_HH
+#define TC_TRACE_MERGE_PICKER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "trace/loser_tree.hh"
+#include "trace/shard.hh"
+
+namespace tc {
+
+class MergePicker
+{
+  public:
+    MergePicker(std::size_t cursors, MergeStrategy strategy)
+        : strategy_(strategy), tree_(cursors),
+          keys_(cursors == 0 ? 1 : cursors, kLoserTreeInfKey)
+    {}
+
+    std::size_t size() const { return keys_.size(); }
+
+    void
+    reset(const std::vector<std::uint64_t> &keys)
+    {
+        keys_ = keys;
+        if (strategy_ == MergeStrategy::LoserTree)
+            tree_.reset(keys);
+    }
+
+    /** Index of the cursor with the smallest key. */
+    std::size_t
+    pick()
+    {
+        if (strategy_ == MergeStrategy::LoserTree)
+            return tree_.winner();
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < keys_.size(); i++) {
+            if (keys_[i] < keys_[best])
+                best = i;
+        }
+        return best;
+    }
+
+    std::uint64_t keyOf(std::size_t i) const { return keys_[i]; }
+
+    /** The last pick()ed cursor advanced to @p newKey. */
+    void
+    update(std::size_t winner, std::uint64_t newKey)
+    {
+        keys_[winner] = newKey;
+        if (strategy_ == MergeStrategy::LoserTree)
+            tree_.update(newKey);
+    }
+
+    /**
+     * True once every remaining head key is at or past @p limit —
+     * a merge restricted to the key range [.., limit) has nothing
+     * left to deliver. With the infinite key this is exactly the
+     * classic every-cursor-exhausted test. Const (peeks the
+     * smallest key without committing a pick), so a partitioned
+     * driver can poll it between deliveries.
+     */
+    bool
+    drainedBelow(std::uint64_t limit) const
+    {
+        if (strategy_ == MergeStrategy::LoserTree)
+            return tree_.winnerKey() >= limit;
+        std::uint64_t best = keys_[0];
+        for (std::size_t i = 1; i < keys_.size(); i++)
+            best = keys_[i] < best ? keys_[i] : best;
+        return best >= limit;
+    }
+
+    /**
+     * Split the sequence-key range [@p lo, @p hi) into @p parts
+     * contiguous subranges of near-equal width: the returned
+     * boundaries b have parts+1 entries with b[0] == lo,
+     * b[parts] == hi, and b non-decreasing, so part i merges keys
+     * in [b[i], b[i+1]). Width differences are at most one key.
+     * Sequence numbers are dense across a healthy shard set (every
+     * capture stamp exists in exactly one shard), so equal key
+     * width is equal event count — no per-shard rank probes
+     * needed. Degenerate inputs stay well-formed: an empty range
+     * yields parts copies of lo..lo, and parts == 0 is treated as
+     * one part.
+     */
+    static std::vector<std::uint64_t>
+    splitSequenceRange(std::uint64_t lo, std::uint64_t hi,
+                       std::size_t parts)
+    {
+        if (parts == 0)
+            parts = 1;
+        if (hi < lo)
+            hi = lo;
+        const std::uint64_t span = hi - lo;
+        std::vector<std::uint64_t> bounds(parts + 1, lo);
+        for (std::size_t i = 1; i < parts; i++) {
+            // lo + round-robin distribution of the remainder: the
+            // first span%parts subranges get the extra key.
+            bounds[i] =
+                lo + (span / parts) * i +
+                std::min<std::uint64_t>(i, span % parts);
+        }
+        bounds[parts] = hi;
+        return bounds;
+    }
+
+  private:
+    MergeStrategy strategy_;
+    LoserTree tree_;
+    std::vector<std::uint64_t> keys_;
+};
+
+} // namespace tc
+
+#endif // TC_TRACE_MERGE_PICKER_HH

@@ -16,6 +16,7 @@
 #include "support/strings.hh"
 #include "trace/fault_injection.hh"
 #include "trace/loser_tree.hh"
+#include "trace/merge_picker.hh"
 
 namespace tc {
 
@@ -419,60 +420,6 @@ findSeekKey(const std::vector<ShardFileReader *> &readers,
     out = lo;
     return true;
 }
-
-/**
- * Winner selection over the K shard head keys. LoserTree replays
- * one root path per event (O(log K)); LinearScan re-scans all heads
- * (O(K), the pre-loser-tree behaviour, kept for benchmarks and
- * differential tests). Ties break toward the lower index in both,
- * so the two strategies pick identical winners on any input.
- */
-class MergePicker
-{
-  public:
-    MergePicker(std::size_t cursors, MergeStrategy strategy)
-        : strategy_(strategy), tree_(cursors),
-          keys_(cursors == 0 ? 1 : cursors, kLoserTreeInfKey)
-    {}
-
-    void
-    reset(const std::vector<std::uint64_t> &keys)
-    {
-        keys_ = keys;
-        if (strategy_ == MergeStrategy::LoserTree)
-            tree_.reset(keys);
-    }
-
-    /** Index of the cursor with the smallest key. */
-    std::size_t
-    pick()
-    {
-        if (strategy_ == MergeStrategy::LoserTree)
-            return tree_.winner();
-        std::size_t best = 0;
-        for (std::size_t i = 1; i < keys_.size(); i++) {
-            if (keys_[i] < keys_[best])
-                best = i;
-        }
-        return best;
-    }
-
-    std::uint64_t keyOf(std::size_t i) const { return keys_[i]; }
-
-    /** The last pick()ed cursor advanced to @p newKey. */
-    void
-    update(std::size_t winner, std::uint64_t newKey)
-    {
-        keys_[winner] = newKey;
-        if (strategy_ == MergeStrategy::LoserTree)
-            tree_.update(newKey);
-    }
-
-  private:
-    MergeStrategy strategy_;
-    LoserTree tree_;
-    std::vector<std::uint64_t> keys_;
-};
 
 /**
  * K-way merge of shard readers on global sequence numbers, on the

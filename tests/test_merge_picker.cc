@@ -1,0 +1,166 @@
+/**
+ * @file
+ * MergePicker unit tests: both strategies must pick identical
+ * winners, and the sequence-range splitting API — the seam a
+ * range-partitioned parallel merge builds on — must produce
+ * well-formed, covering, near-equal boundaries, with
+ * drainedBelow() as the per-range exhaustion test. Partitioned
+ * merges are simulated here against the classic single-range
+ * drain: concatenating the per-range outputs must reproduce the
+ * total order exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/rng.hh"
+#include "test_helpers.hh"
+#include "trace/merge_picker.hh"
+
+namespace tc {
+namespace {
+
+/** K sorted, disjoint key runs covering [0, total): the shape a
+ * healthy shard set presents (every stamp in exactly one shard). */
+std::vector<std::vector<std::uint64_t>>
+randomRuns(Rng &rng, std::size_t cursors, std::uint64_t total)
+{
+    std::vector<std::vector<std::uint64_t>> runs(cursors);
+    for (std::uint64_t key = 0; key < total; key++)
+        runs[rng.below(cursors)].push_back(key);
+    return runs;
+}
+
+/** Drain keys in [lo, hi) from @p runs through a picker, appending
+ * to @p out. Heads start at each run's first key in range. */
+void
+drainRange(const std::vector<std::vector<std::uint64_t>> &runs,
+           MergeStrategy strategy, std::uint64_t lo,
+           std::uint64_t hi, std::vector<std::uint64_t> &out)
+{
+    const std::size_t k = runs.size();
+    std::vector<std::size_t> pos(k, 0);
+    std::vector<std::uint64_t> heads(k, kLoserTreeInfKey);
+    for (std::size_t i = 0; i < k; i++) {
+        pos[i] = static_cast<std::size_t>(
+            std::lower_bound(runs[i].begin(), runs[i].end(), lo) -
+            runs[i].begin());
+        if (pos[i] < runs[i].size())
+            heads[i] = runs[i][pos[i]];
+    }
+    MergePicker picker(k, strategy);
+    picker.reset(heads);
+    while (!picker.drainedBelow(hi)) {
+        const std::size_t w = picker.pick();
+        out.push_back(picker.keyOf(w));
+        pos[w]++;
+        picker.update(w, pos[w] < runs[w].size()
+                             ? runs[w][pos[w]]
+                             : kLoserTreeInfKey);
+    }
+}
+
+TEST(MergePicker, StrategiesPickIdenticalWinners)
+{
+    Rng rng(7);
+    const auto runs = randomRuns(rng, 5, 200);
+    std::vector<std::uint64_t> tree, scan;
+    drainRange(runs, MergeStrategy::LoserTree, 0, kLoserTreeInfKey,
+               tree);
+    drainRange(runs, MergeStrategy::LinearScan, 0, kLoserTreeInfKey,
+               scan);
+    EXPECT_EQ(tree, scan);
+    ASSERT_EQ(tree.size(), 200u);
+    for (std::uint64_t i = 0; i < 200; i++)
+        EXPECT_EQ(tree[i], i);
+}
+
+TEST(MergePicker, SplitBoundsAreWellFormed)
+{
+    for (const std::size_t parts : {1u, 2u, 3u, 7u, 16u}) {
+        const auto b =
+            MergePicker::splitSequenceRange(100, 1000, parts);
+        ASSERT_EQ(b.size(), parts + 1);
+        EXPECT_EQ(b.front(), 100u);
+        EXPECT_EQ(b.back(), 1000u);
+        std::uint64_t min_w = ~0ull, max_w = 0;
+        for (std::size_t i = 0; i < parts; i++) {
+            ASSERT_LE(b[i], b[i + 1]);
+            min_w = std::min(min_w, b[i + 1] - b[i]);
+            max_w = std::max(max_w, b[i + 1] - b[i]);
+        }
+        // Near-equal widths: at most one key apart.
+        EXPECT_LE(max_w - min_w, 1u);
+    }
+}
+
+TEST(MergePicker, SplitDegenerateInputs)
+{
+    // parts == 0 is treated as one part.
+    const auto one = MergePicker::splitSequenceRange(5, 9, 0);
+    ASSERT_EQ(one.size(), 2u);
+    EXPECT_EQ(one[0], 5u);
+    EXPECT_EQ(one[1], 9u);
+
+    // Empty and inverted ranges collapse to lo..lo everywhere.
+    for (const auto hi : {7ull, 3ull}) {
+        const auto b = MergePicker::splitSequenceRange(7, hi, 4);
+        ASSERT_EQ(b.size(), 5u);
+        for (const std::uint64_t v : b)
+            EXPECT_EQ(v, 7u);
+    }
+
+    // More parts than keys: every key still lands in some part.
+    const auto b = MergePicker::splitSequenceRange(0, 3, 8);
+    ASSERT_EQ(b.size(), 9u);
+    EXPECT_EQ(b.front(), 0u);
+    EXPECT_EQ(b.back(), 3u);
+    for (std::size_t i = 0; i + 1 < b.size(); i++)
+        ASSERT_LE(b[i], b[i + 1]);
+}
+
+TEST(MergePicker, DrainedBelowMatchesWinnerKey)
+{
+    for (const auto strategy :
+         {MergeStrategy::LoserTree, MergeStrategy::LinearScan}) {
+        MergePicker picker(3, strategy);
+        picker.reset({10, 20, 30});
+        EXPECT_TRUE(picker.drainedBelow(10));
+        EXPECT_FALSE(picker.drainedBelow(11));
+        EXPECT_FALSE(picker.drainedBelow(kLoserTreeInfKey));
+        picker.update(picker.pick(), kLoserTreeInfKey);
+        EXPECT_TRUE(picker.drainedBelow(20));
+        EXPECT_FALSE(picker.drainedBelow(21));
+        picker.update(picker.pick(), kLoserTreeInfKey);
+        picker.update(picker.pick(), kLoserTreeInfKey);
+        // All cursors exhausted ⇔ drained below the infinite key:
+        // the classic end-of-merge test.
+        EXPECT_TRUE(picker.drainedBelow(kLoserTreeInfKey));
+    }
+}
+
+TEST(MergePicker, PartitionedMergeReproducesTotalOrder)
+{
+    Rng rng(21);
+    for (const std::size_t cursors : {1u, 4u, 9u}) {
+        for (const std::size_t parts : {1u, 2u, 5u}) {
+            const std::uint64_t total = 500;
+            const auto runs = randomRuns(rng, cursors, total);
+            const auto bounds =
+                MergePicker::splitSequenceRange(0, total, parts);
+            std::vector<std::uint64_t> merged;
+            for (std::size_t p = 0; p < parts; p++) {
+                drainRange(runs, MergeStrategy::LoserTree,
+                           bounds[p], bounds[p + 1], merged);
+            }
+            ASSERT_EQ(merged.size(), total);
+            for (std::uint64_t i = 0; i < total; i++)
+                EXPECT_EQ(merged[i], i);
+        }
+    }
+}
+
+} // namespace
+} // namespace tc

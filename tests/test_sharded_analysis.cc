@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Sharded-analysis equivalence suite: splitting one analysis
+ * across W var-shard workers (sharded_driver.hh) must be
+ * indistinguishable from the sequential driver — race totals,
+ * kinds, racy-variable counts, the bounded report buffer entry by
+ * entry, and every work counter — for every (partial order ×
+ * clock) pair, across worker counts, through the parallel fan-out,
+ * the flat (non-epoch) analysis path, and checkpoint/resume
+ * mid-stream. Worker-count mismatches between a snapshot and the
+ * restoring pipeline must be refused, not misread.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <dirent.h>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.hh"
+#include "analysis/sharded_driver.hh"
+#include "gen/random_trace.hh"
+#include "support/rng.hh"
+#include "test_helpers.hh"
+#include "trace/snapshot.hh"
+#include "trace/trace_io.hh"
+
+namespace tc {
+namespace {
+
+const char *const kPartialOrders[] = {"hb", "shb", "maz"};
+const char *const kClocks[] = {"tc", "vc"};
+
+Trace
+sampleTrace(std::uint64_t events, std::uint64_t seed)
+{
+    RandomTraceParams params;
+    params.threads = 8;
+    params.locks = 4;
+    params.vars = 48;
+    params.events = events;
+    params.syncRatio = 0.2;
+    params.readFraction = 0.6;
+    params.forkJoin = true;
+    params.seed = seed;
+    return generateRandomTrace(params);
+}
+
+void
+expectSameResult(const EngineResult &expected,
+                 const EngineResult &actual,
+                 const std::string &label)
+{
+    EXPECT_EQ(expected.events, actual.events) << label;
+    EXPECT_EQ(expected.races.total(), actual.races.total())
+        << label;
+    EXPECT_EQ(expected.races.writeWrite(),
+              actual.races.writeWrite())
+        << label;
+    EXPECT_EQ(expected.races.writeRead(), actual.races.writeRead())
+        << label;
+    EXPECT_EQ(expected.races.readWrite(), actual.races.readWrite())
+        << label;
+    EXPECT_EQ(expected.races.racyVarCount(),
+              actual.races.racyVarCount())
+        << label;
+    ASSERT_EQ(expected.races.reports().size(),
+              actual.races.reports().size())
+        << label;
+    for (std::size_t i = 0; i < expected.races.reports().size();
+         i++) {
+        const RacePair &e = expected.races.reports()[i];
+        const RacePair &a = actual.races.reports()[i];
+        EXPECT_EQ(e.var, a.var) << label << " report " << i;
+        EXPECT_EQ(e.kind, a.kind) << label << " report " << i;
+        EXPECT_EQ(e.prior, a.prior) << label << " report " << i;
+        EXPECT_EQ(e.current, a.current)
+            << label << " report " << i;
+    }
+    // Counter parity is structural (worker 0 performs exactly the
+    // sequential clock operations); any drift here means a clock
+    // rule was skipped or duplicated.
+    EXPECT_EQ(expected.work.increments, actual.work.increments)
+        << label;
+    EXPECT_EQ(expected.work.joins, actual.work.joins) << label;
+    EXPECT_EQ(expected.work.copies, actual.work.copies) << label;
+    EXPECT_EQ(expected.work.deepCopies, actual.work.deepCopies)
+        << label;
+    EXPECT_EQ(expected.work.fallbackCopies,
+              actual.work.fallbackCopies)
+        << label;
+    EXPECT_EQ(expected.work.vtWork, actual.work.vtWork) << label;
+    EXPECT_EQ(expected.work.dsWork, actual.work.dsWork) << label;
+}
+
+std::vector<AnalysisReport>
+sequentialReference(const Trace &trace, const EngineConfig &cfg)
+{
+    AnalysisPipeline pipeline;
+    for (const char *po : kPartialOrders)
+        for (const char *clock : kClocks)
+            pipeline.add(makeAnalysisConsumer(po, clock, cfg));
+    TraceSource source(trace);
+    return pipeline.run(source);
+}
+
+void
+addShardedMatrix(AnalysisPipeline &pipeline, std::size_t workers,
+                 const EngineConfig &cfg)
+{
+    for (const char *po : kPartialOrders)
+        for (const char *clock : kClocks)
+            pipeline.add(makeShardedAnalysisConsumer(
+                po, clock, workers, cfg));
+}
+
+void
+expectSameReports(const std::vector<AnalysisReport> &expected,
+                  const std::vector<AnalysisReport> &actual,
+                  const std::string &label)
+{
+    ASSERT_EQ(expected.size(), actual.size()) << label;
+    for (std::size_t i = 0; i < expected.size(); i++) {
+        EXPECT_EQ(expected[i].name, actual[i].name) << label;
+        expectSameResult(expected[i].result, actual[i].result,
+                         label + " " + expected[i].name);
+    }
+}
+
+void
+removeDir(const std::string &dir)
+{
+    if (DIR *d = opendir(dir.c_str())) {
+        while (const dirent *entry = readdir(d)) {
+            const std::string name = entry->d_name;
+            if (name != "." && name != "..")
+                std::remove((dir + "/" + name).c_str());
+        }
+        closedir(d);
+    }
+    rmdir(dir.c_str());
+}
+
+TEST(ShardedAnalysis, MatrixMatchesSequentialAcrossWorkerCounts)
+{
+    // The core contract over the full po × clock matrix: W shard
+    // workers, results byte-identical to the sequential driver —
+    // including worker counts that do not divide the variable
+    // count evenly.
+    const int rounds = test::depthScale();
+    for (int round = 0; round < rounds; round++) {
+        const Trace trace =
+            sampleTrace(5000, 0x5a4d + static_cast<std::uint64_t>(
+                                           round));
+        EngineConfig cfg;
+        cfg.maxReports = 16;
+        const auto expected = sequentialReference(trace, cfg);
+        for (const std::size_t workers : {2u, 3u, 4u}) {
+            AnalysisPipeline sharded;
+            addShardedMatrix(sharded, workers, cfg);
+            TraceSource source(trace);
+            const auto actual = sharded.run(source);
+            expectSameReports(expected, actual,
+                              "round " + std::to_string(round) +
+                                  " W=" +
+                                  std::to_string(workers));
+        }
+    }
+}
+
+TEST(ShardedAnalysis, SmallReportCapStaysGloballyOrdered)
+{
+    // A tight report cap forces the merge to pick the globally
+    // first N races out of per-shard buffers that each saw only
+    // their own variables; any ordering slip changes the buffer.
+    const Trace trace = sampleTrace(4000, 0xcab5);
+    EngineConfig cfg;
+    cfg.maxReports = 3;
+    const auto expected = sequentialReference(trace, cfg);
+    for (const std::size_t workers : {2u, 5u}) {
+        AnalysisPipeline sharded;
+        addShardedMatrix(sharded, workers, cfg);
+        TraceSource source(trace);
+        expectSameReports(expected, sharded.run(source),
+                          "cap=3 W=" + std::to_string(workers));
+    }
+}
+
+TEST(ShardedAnalysis, FlatHistoryPathMatchesSequential)
+{
+    // The non-epoch ablation (useEpochs=false) runs the full
+    // per-thread scans against the clock view — the widest surface
+    // the banked HB readers expose to the access histories.
+    const Trace trace = sampleTrace(3000, 0xf1a7);
+    EngineConfig cfg;
+    cfg.maxReports = 12;
+    cfg.useEpochs = false;
+    const auto expected = sequentialReference(trace, cfg);
+    AnalysisPipeline sharded;
+    addShardedMatrix(sharded, 3, cfg);
+    TraceSource source(trace);
+    expectSameReports(expected, sharded.run(source), "flat W=3");
+}
+
+TEST(ShardedAnalysis, ComposesWithParallelFanOut)
+{
+    // --parallel × --shard-analysis: each fan-out worker feeds its
+    // sharded consumers windows, which re-broadcast to their own
+    // worker pools. Both batching layers must preserve stream
+    // order per consumer.
+    const Trace trace = sampleTrace(5000, 0xfa27);
+    EngineConfig cfg;
+    cfg.maxReports = 16;
+    const auto expected = sequentialReference(trace, cfg);
+    AnalysisPipeline sharded;
+    addShardedMatrix(sharded, 2, cfg);
+    TraceSource source(trace);
+    ParallelOptions opt;
+    opt.workers = 3;
+    opt.window = 256;
+    expectSameReports(expected, sharded.run(source, opt),
+                      "parallel fan-out + shard W=2");
+}
+
+TEST(ShardedAnalysis, CheckpointResumeMidStreamMatches)
+{
+    // Quiesce at a segment barrier, snapshot per-shard state,
+    // resume a fresh sharded pipeline from every snapshot: the
+    // tail must reproduce the straight-through run exactly.
+    const std::string dir = "/tmp/tc_sharded_snap";
+    removeDir(dir);
+    ASSERT_EQ(mkdir(dir.c_str(), 0755), 0);
+    const Trace trace = sampleTrace(3000, 0x57a9);
+    EngineConfig cfg;
+    cfg.maxReports = 8;
+    const auto expected = sequentialReference(trace, cfg);
+
+    CheckpointOptions options;
+    options.every = 700; // never divides 3000: partial last segment
+    options.dir = dir;
+    options.keep = 0;
+
+    AnalysisPipeline first;
+    addShardedMatrix(first, 2, cfg);
+    TraceSource source(trace);
+    first.beginAll(source.info());
+    std::vector<AnalysisReport> reports;
+    std::string error;
+    ASSERT_TRUE(runWithCheckpoints(first, source, 0, options,
+                                   &reports, &error))
+        << error;
+    expectSameReports(expected, reports, "checkpointed sharded");
+
+    const auto snapshots = listSnapshots(dir, "snapshot");
+    ASSERT_FALSE(snapshots.empty());
+    for (const std::string &snap : snapshots) {
+        AnalysisPipeline resumed;
+        addShardedMatrix(resumed, 2, cfg);
+        SnapshotMeta meta;
+        ASSERT_TRUE(loadSnapshot(snap, resumed, &meta, &error))
+            << snap << ": " << error;
+        TraceSource tail(trace);
+        ASSERT_TRUE(tail.seekToSequence(meta.position));
+        expectSameReports(expected, resumed.drain(tail),
+                          "sharded resume@" +
+                              std::to_string(meta.position));
+    }
+    removeDir(dir);
+}
+
+TEST(ShardedAnalysis, SnapshotRefusesWorkerCountMismatch)
+{
+    // A sharded snapshot carries its worker count; restoring into
+    // a different count — or into the sequential consumer, or a
+    // sequential snapshot into a sharded consumer — must fail
+    // cleanly (the directory-scan resume then falls back), never
+    // misread state.
+    const std::string dir = "/tmp/tc_sharded_snap_mismatch";
+    removeDir(dir);
+    ASSERT_EQ(mkdir(dir.c_str(), 0755), 0);
+    const Trace trace = sampleTrace(1500, 0x3141);
+    EngineConfig cfg;
+    cfg.maxReports = 8;
+
+    const auto snapshotWith = [&](std::size_t workers) {
+        AnalysisPipeline pipeline;
+        pipeline.add(makeShardedAnalysisConsumer("hb", "tc",
+                                                 workers, cfg));
+        TraceSource source(trace);
+        pipeline.beginAll(source.info());
+        CheckpointOptions options;
+        options.every = 600;
+        options.dir = dir;
+        options.keep = 0;
+        std::vector<AnalysisReport> reports;
+        std::string error;
+        ASSERT_TRUE(runWithCheckpoints(pipeline, source, 0,
+                                       options, &reports, &error))
+            << error;
+    };
+
+    snapshotWith(2);
+    const auto snapshots = listSnapshots(dir, "snapshot");
+    ASSERT_FALSE(snapshots.empty());
+    const std::string snap = snapshots.front();
+    std::string error;
+    SnapshotMeta meta;
+    {
+        AnalysisPipeline wrong_count;
+        wrong_count.add(
+            makeShardedAnalysisConsumer("hb", "tc", 3, cfg));
+        EXPECT_FALSE(
+            loadSnapshot(snap, wrong_count, &meta, &error));
+    }
+    {
+        AnalysisPipeline sequential;
+        sequential.add(makeAnalysisConsumer("hb", "tc", cfg));
+        EXPECT_FALSE(
+            loadSnapshot(snap, sequential, &meta, &error));
+    }
+    {
+        // And the reverse: a sequential snapshot into a sharded
+        // pipeline.
+        removeDir(dir);
+        ASSERT_EQ(mkdir(dir.c_str(), 0755), 0);
+        AnalysisPipeline sequential;
+        sequential.add(makeAnalysisConsumer("hb", "tc", cfg));
+        TraceSource source(trace);
+        sequential.beginAll(source.info());
+        CheckpointOptions options;
+        options.every = 600;
+        options.dir = dir;
+        options.keep = 0;
+        std::vector<AnalysisReport> reports;
+        ASSERT_TRUE(runWithCheckpoints(sequential, source, 0,
+                                       options, &reports, &error))
+            << error;
+        const auto seq_snaps = listSnapshots(dir, "snapshot");
+        ASSERT_FALSE(seq_snaps.empty());
+        AnalysisPipeline sharded;
+        sharded.add(
+            makeShardedAnalysisConsumer("hb", "tc", 2, cfg));
+        EXPECT_FALSE(loadSnapshot(seq_snaps.front(), sharded,
+                                  &meta, &error));
+        // The production path degrades, not fails: the scan skips
+        // the incompatible snapshot and starts clean.
+        ResumeResult rr;
+        ASSERT_TRUE(resumeFromDir(dir, "snapshot", "", sharded,
+                                  &rr, &error))
+            << error;
+        EXPECT_FALSE(rr.resumed);
+        EXPECT_FALSE(rr.diagnostics.empty());
+    }
+    removeDir(dir);
+}
+
+TEST(ShardedAnalysis, ConsumerIsReusableAcrossRuns)
+{
+    Trace racy;
+    racy.write(0, 0);
+    racy.write(1, 0);
+    Trace clean;
+    clean.write(0, 0);
+
+    AnalysisPipeline pipeline;
+    pipeline.add(makeShardedAnalysisConsumer("hb", "tc", 2));
+    TraceSource first(racy);
+    TraceSource second(clean);
+    TraceSource third(racy);
+    const auto r1 = pipeline.run(first);
+    EXPECT_EQ(r1[0].result.races.total(), 1u);
+    EXPECT_EQ(pipeline.run(second)[0].result.races.total(), 0u);
+    const auto r3 = pipeline.run(third);
+    EXPECT_EQ(r3[0].result.races.total(), 1u);
+    EXPECT_EQ(r1[0].result.work.dsWork, r3[0].result.work.dsWork);
+    EXPECT_EQ(r1[0].result.work.increments,
+              r3[0].result.work.increments);
+}
+
+TEST(ShardedAnalysis, FactoryFallsBackAndValidatesNames)
+{
+    // workers <= 1 is the sequential consumer (same name, same
+    // snapshot format); unknown names are null either way.
+    const auto sequential =
+        makeShardedAnalysisConsumer("hb", "tc", 1);
+    ASSERT_NE(sequential, nullptr);
+    EXPECT_EQ(sequential->name(), "hb/tc");
+    const auto sharded =
+        makeShardedAnalysisConsumer("shb", "vc", 2);
+    ASSERT_NE(sharded, nullptr);
+    EXPECT_EQ(sharded->name(), "shb/vc");
+    EXPECT_TRUE(sharded->supportsCheckpoint());
+    EXPECT_EQ(makeShardedAnalysisConsumer("wcp", "tc", 2),
+              nullptr);
+    EXPECT_EQ(makeShardedAnalysisConsumer("hb", "sparse", 2),
+              nullptr);
+}
+
+} // namespace
+} // namespace tc
