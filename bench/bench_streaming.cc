@@ -24,7 +24,11 @@
  *     re-split, loser tree vs linear scan (entries merge_tree_k64 /
  *     merge_scan_k64), isolating what the tournament tree buys
  *     wide shard sets,
- * (l) sharded_analysis — one analysis split across W var-shard
+ * (l) merge_partitioned — pure drain of the same K=64 set with
+ *     the merge itself split across P sequence-range workers
+ *     (entries merge_partitioned_pN; p1 isolates the partition
+ *     machinery, p2+ measure the scaling)
+ * (m) sharded_analysis — one analysis split across W var-shard
  *     workers (--shard-analysis in race_detector), sweeping W
  *     (entries sharded_analysis_wN; w1 is the sequential consumer
  *     the factory falls back to, making the speedup column
@@ -196,6 +200,7 @@ constexpr const char *kModeNames[] = {
     "fanout_seq",     "parallel_fanout",
     "parallel_fanout_stream",
     "decode_scaling", "merge_width",
+    "merge_partitioned",
     "sharded_analysis",
     "checkpoint_overhead",
 };
@@ -383,7 +388,8 @@ main(int argc, char **argv)
                    "shard_merge | shard_prefetch | fanout_seq | "
                    "parallel_fanout | parallel_fanout_stream | "
                    "decode_scaling | merge_width | "
-                   "sharded_analysis | checkpoint_overhead | all");
+                   "merge_partitioned | sharded_analysis | "
+                   "checkpoint_overhead | all");
     args.addInt("checkpoint-every",
                 static_cast<std::int64_t>(1000000),
                 "snapshot cadence (events) for the "
@@ -461,7 +467,9 @@ main(int argc, char **argv)
     // tree's O(log K) replay shows up.
     constexpr std::uint32_t kWideShards = 64;
     const std::string wide_prefix = path + ".wide";
-    const bool need_wide = modeEnabled(mode_filter, "merge_width");
+    const bool need_wide =
+        modeEnabled(mode_filter, "merge_width") ||
+        modeEnabled(mode_filter, "merge_partitioned");
     if (need_wide) {
         TraceSource wide_feed(trace);
         std::string error;
@@ -601,6 +609,27 @@ main(int argc, char **argv)
         const auto scan = openShardSet(wide_prefix, window,
                                        MergeStrategy::LinearScan);
         report("merge_scan_k64", "drain", timeDrain(*scan, reps));
+    }
+    if (modeEnabled(mode_filter, "merge_partitioned")) {
+        // The range-partitioned merge over the same K=64 wide
+        // set: P merge workers each reconstruct one contiguous
+        // sequence range (openShardSetPartitioned). p1 is the
+        // partition machinery at its floor (one worker plus the
+        // hand-off), p2 is the headline entry the throughput gate
+        // tracks; higher P only where the cores exist —
+        // oversubscription would measure time-slicing, not the
+        // partition split (the PR 7 sharded_analysis caveat
+        // applies on 1-vCPU CI boxes).
+        const unsigned cores = std::thread::hardware_concurrency();
+        const std::size_t max_p = std::min<std::size_t>(
+            4, std::max<std::size_t>(2, cores));
+        for (std::size_t p = 1; p <= max_p; p *= 2) {
+            const auto part =
+                openShardSetPartitioned(wide_prefix, p, window);
+            report(("merge_partitioned_p" + std::to_string(p))
+                       .c_str(),
+                   "drain", timeDrain(*part, reps));
+        }
     }
     if (modeEnabled(mode_filter, "sharded_analysis")) {
         // Worker sweep for the intra-analysis var-shard split:

@@ -77,7 +77,9 @@ TC_TEST_DEPTH="${TC_CRASH_DEPTH:-3}" ctest \
 #    deterministic);
 #  * throughput (25% tolerance): bench_streaming events/s — the
 #    streaming modes, the fan-out cross product, the decode-scaling
-#    reader sweep and the K=64 merge drains — must not collapse;
+#    reader sweep and the K=64 merge drains (sequential
+#    merge_tree_k64/merge_scan_k64 plus the range-partitioned
+#    merge_partitioned_pN sweep) — must not collapse;
 #    the loose threshold absorbs machine noise while catching a
 #    serialized pool, a re-introduced copy, or a merge that fell
 #    back to scanning. (Nightly additionally gates tighter against

@@ -48,6 +48,15 @@
  *   ./race_detector --trace=cap.0.tcs --stream --readers=2 \
  *       --prefetch --po=hb,maz --clock=tc --parallel \
  *       --shard-analysis=2
+ *
+ * With --merge-workers[=P] a sharded capture's K-way merge — the
+ * one stage all of the above funnel through — itself runs on P
+ * sequence-range workers (openShardSetPartitioned), byte-identical
+ * to the sequential merge and composing with everything here,
+ * checkpoint/resume included:
+ *
+ *   ./race_detector --trace=cap.0.tcs --stream --merge-workers=4 \
+ *       --prefetch --po=hb,shb,maz --clock=tc,vc --parallel
  */
 
 #include <algorithm>
@@ -219,6 +228,14 @@ main(int argc, char **argv)
                      "thread)\n");
         return kExitUsage;
     }
+    if (args.getInt("merge-workers") < -1) {
+        std::fprintf(stderr,
+                     "error: --merge-workers expects a "
+                     "non-negative worker count (bare "
+                     "--merge-workers = one per hardware "
+                     "thread)\n");
+        return kExitUsage;
+    }
     const std::size_t shard_workers = resolveShardWorkers(
         shardAnalysisWorkersFromFlags(args));
     std::unique_ptr<EventSource> source;
@@ -328,6 +345,12 @@ main(int argc, char **argv)
         std::printf(" (%zu workers)", pool_size);
     if (shard_workers > 1)
         std::printf(" (%zu shard workers each)", shard_workers);
+    if (stream) {
+        const std::size_t merge_workers = resolveMergeWorkers(
+            mergeWorkersFromFlags(args));
+        if (merge_workers > 1)
+            std::printf(" (%zu merge workers)", merge_workers);
+    }
     std::printf("\n");
 
     Timer timer;

@@ -80,11 +80,14 @@ loadOrDie(const std::string &path)
     return std::move(r.trace);
 }
 
-/** Open a chunked streaming reader, or die on open/header errors. */
+/** Open a chunked streaming reader, or die on open/header errors.
+ * @p mergeWorkers > 0 merges shard-set inputs on that many
+ * range-partitioned workers (no effect on single-file formats). */
 std::unique_ptr<EventSource>
-openOrDie(const std::string &path)
+openOrDie(const std::string &path, std::size_t mergeWorkers = 0)
 {
-    auto source = openTraceFile(path);
+    auto source = openTraceFile(path, kDefaultSourceWindow, 0,
+                                mergeWorkers);
     if (source->failed())
         std::exit(reportSourceError(*source));
     return source;
@@ -204,6 +207,10 @@ main(int argc, char **argv)
     args.addInt("writers", 1,
                 "writer threads for split (1 = single-threaded; "
                 "output is byte-identical either way)");
+    args.addInt("merge-workers", 0,
+                "range-partitioned merge workers for reading "
+                "shard sets (stats/convert/merge; 0/1 = "
+                "sequential merge, byte-identical either way)");
     args.addString("vars", "", "comma-separated variable ids (slice)");
     args.addString("threads-list", "",
                    "comma-separated thread ids (project)");
@@ -230,10 +237,24 @@ main(int argc, char **argv)
     }
     const std::string &cmd = pos[0];
 
+    if (args.getInt("merge-workers") < 0) {
+        std::fprintf(stderr,
+                     "error: --merge-workers expects a "
+                     "non-negative worker count\n");
+        return kExitUsage;
+    }
+    // 1 collapses to the sequential merge: a one-range partition
+    // only adds a hand-off thread.
+    const auto merge_workers =
+        args.getInt("merge-workers") <= 1
+            ? std::size_t{0}
+            : static_cast<std::size_t>(
+                  args.getInt("merge-workers"));
+
     if (cmd == "stats" && pos.size() == 2) {
         // Streaming: O(distinct ids) memory regardless of file
         // size.
-        const auto source = openOrDie(pos[1]);
+        const auto source = openOrDie(pos[1], merge_workers);
         const TraceStats s = computeStats(*source);
         checkDrained(*source, pos[1]);
         printStats(s);
@@ -264,7 +285,7 @@ main(int argc, char **argv)
         }
         if (isShardOutput(pos[2]))
             return 1;
-        const auto source = openOrDie(pos[1]);
+        const auto source = openOrDie(pos[1], merge_workers);
         // Probe writability first (append mode, no truncation) so
         // the failure cleanup below never deletes a pre-existing
         // file we were unable to open in the first place.
@@ -322,7 +343,7 @@ main(int argc, char **argv)
         }
         const auto writers =
             static_cast<std::uint32_t>(writers_raw);
-        const auto source = openOrDie(pos[1]);
+        const auto source = openOrDie(pos[1], merge_workers);
         std::string error;
         // Both paths produce byte-identical sets; the parallel one
         // dispatches decoded records to per-shard writer threads.
@@ -408,8 +429,14 @@ main(int argc, char **argv)
         // stale-member check applies (merging "cap.7.tcs" must not
         // silently produce a merge of a narrower re-split that
         // excludes it).
-        auto source = named_member ? openShardMember(pos[1])
-                                   : openShardSet(prefix);
+        auto source =
+            named_member
+                ? openShardMember(pos[1], kDefaultSourceWindow,
+                                  0, merge_workers)
+                : merge_workers > 0
+                      ? openShardSetPartitioned(prefix,
+                                                merge_workers)
+                      : openShardSet(prefix);
         if (source->failed())
             return reportSourceError(*source);
         // Probe only after the set opened: the append-mode probe

@@ -20,6 +20,7 @@ addTraceSourceFlags(ArgParser &args)
                 "decode a sharded --trace with K parallel reader "
                 "threads, reordered on sequence numbers (0 = "
                 "sequential merge; ignored for non-shard inputs)");
+    addMergeWorkersFlag(args);
     args.addBool("generate", false, "generate a synthetic trace");
     args.addInt("threads", 16, "threads for --generate");
     args.addInt("locks", 16, "locks for --generate");
@@ -75,6 +76,35 @@ resolveShardWorkers(std::size_t requested)
     return requested <= 1 ? 0 : requested;
 }
 
+void
+addMergeWorkersFlag(ArgParser &args)
+{
+    args.addOptionalInt(
+        "merge-workers", 0, -1,
+        "split a sharded --trace's K-way merge across P "
+        "sequence-range workers (bare = one per hardware thread; "
+        "0/1 = sequential merge; subsumes --readers)");
+}
+
+std::size_t
+mergeWorkersFromFlags(const ArgParser &args)
+{
+    const std::int64_t raw = args.getInt("merge-workers");
+    if (raw < 0)
+        return kMergeAuto;
+    return static_cast<std::size_t>(raw);
+}
+
+std::size_t
+resolveMergeWorkers(std::size_t requested)
+{
+    if (requested == kMergeAuto) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw >= 2 ? static_cast<std::size_t>(hw) : 2;
+    }
+    return requested <= 1 ? 0 : requested;
+}
+
 RandomTraceParams
 traceParamsFromFlags(const ArgParser &args)
 {
@@ -98,13 +128,19 @@ makeEventSource(const ArgParser &args)
             readers_raw < 0 ? std::size_t{0}
                             : static_cast<std::size_t>(
                                   readers_raw);
-        auto source = openTraceFile(args.getString("trace"),
-                                    kDefaultSourceWindow, readers);
+        const std::size_t mergeWorkers =
+            resolveMergeWorkers(mergeWorkersFromFlags(args));
+        auto source =
+            openTraceFile(args.getString("trace"),
+                          kDefaultSourceWindow, readers,
+                          mergeWorkers);
         // Prefetch pays off where there is decode + I/O to hide;
         // generated sources below have neither. It composes with
         // --readers: the shard readers decode, the prefetch
         // thread runs the sequence-reordering merge off the
-        // analysis thread.
+        // analysis thread. (--merge-workers decodes and merges on
+        // its range workers; prefetch then just moves the
+        // stitching off the analysis thread.)
         if (args.getBool("prefetch") && !source->failed())
             source = makePrefetchSource(std::move(source));
         return source;

@@ -369,10 +369,11 @@ makeFailedSource(std::string message, SourceErrorKind kind)
 
 std::unique_ptr<EventSource>
 openTraceFile(const std::string &path, std::size_t window,
-              std::size_t shardReaders)
+              std::size_t shardReaders, std::size_t mergeWorkers)
 {
     if (isShardPath(path))
-        return openShardMember(path, window, shardReaders);
+        return openShardMember(path, window, shardReaders,
+                               mergeWorkers);
     const bool binary =
         path.size() >= 4 &&
         path.compare(path.size() - 4, 4, ".tcb") == 0;

@@ -314,16 +314,20 @@ makeBinaryEventSource(std::istream &is,
  * set opens, merged back into capture order — see trace/shard.hh),
  * anything else text, matching loadTrace(). For shard sets,
  * @p shardReaders > 0 decodes the members on that many parallel
- * reader threads (reordered back to the merged sequence order);
- * the flag has no effect on single-file formats, whose decode is
- * parallelized by the prefetch decorator instead. The returned
- * source owns the file stream(s). On open or header failure the
- * source is returned in the failed() state (never null).
+ * reader threads (reordered back to the merged sequence order),
+ * and @p mergeWorkers > 0 splits the merge itself across that many
+ * range-partitioned workers (which decode for themselves, so it
+ * subsumes @p shardReaders — see trace/shard.hh); neither flag has
+ * an effect on single-file formats, whose decode is parallelized
+ * by the prefetch decorator instead. The returned source owns the
+ * file stream(s). On open or header failure the source is
+ * returned in the failed() state (never null).
  */
 std::unique_ptr<EventSource>
 openTraceFile(const std::string &path,
               std::size_t window = kDefaultSourceWindow,
-              std::size_t shardReaders = 0);
+              std::size_t shardReaders = 0,
+              std::size_t mergeWorkers = 0);
 
 /** A source that is born failed() with @p message — for factories
  * that must report "could not even open the input" through the

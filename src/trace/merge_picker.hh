@@ -16,8 +16,9 @@
  * the total order. splitSequenceRange() computes the range
  * boundaries and drainedBelow() is the per-range exhaustion test
  * (drainedBelow(kLoserTreeInfKey) is the classic "all cursors
- * done"). The merge sources do not partition yet — this is the API
- * seam a range-partitioned parallel merge builds on.
+ * done"). openShardSetPartitioned (`--merge-workers`) is the merge
+ * source built on this seam: one worker per range, each with a
+ * private picker, stitched back together in range order.
  */
 
 #ifndef TC_TRACE_MERGE_PICKER_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +12,10 @@
 #include <mutex>
 #include <thread>
 #include <utility>
+
+#include <fcntl.h>
+#include <sys/uio.h>
+#include <unistd.h>
 
 #include "support/assert.hh"
 #include "support/strings.hh"
@@ -50,15 +55,59 @@ struct ShardHeader
 };
 
 void
-writeShardHeader(std::ostream &os, const ShardHeader &h)
+encodeShardHeader(unsigned char *out, const ShardHeader &h)
 {
-    os.write(kShardMagic, sizeof(kShardMagic));
+    std::memcpy(out, kShardMagic, sizeof(kShardMagic));
     const std::uint32_t words[5] = {h.index, h.count, h.threads,
                                     h.locks, h.vars};
-    os.write(reinterpret_cast<const char *>(words), sizeof(words));
+    std::memcpy(out + sizeof(kShardMagic), words, sizeof(words));
     const std::uint64_t counts[2] = {h.shardEvents, h.totalEvents};
-    os.write(reinterpret_cast<const char *>(counts),
-             sizeof(counts));
+    std::memcpy(out + kCountsOffset, counts, sizeof(counts));
+}
+
+void
+writeShardHeader(std::ostream &os, const ShardHeader &h)
+{
+    unsigned char hdr[kShardHeaderBytes];
+    encodeShardHeader(hdr, h);
+    os.write(reinterpret_cast<const char *>(hdr), sizeof(hdr));
+}
+
+/** write() until @p n bytes landed (or a non-EINTR error). */
+bool
+writeAll(int fd, const unsigned char *data, std::size_t n)
+{
+    while (n > 0) {
+        const ssize_t wrote = ::write(fd, data, n);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += wrote;
+        n -= static_cast<std::size_t>(wrote);
+    }
+    return true;
+}
+
+/** pwrite() @p n bytes at @p offset, retrying shorts/EINTR. */
+bool
+pwriteAll(int fd, const unsigned char *data, std::size_t n,
+          std::size_t offset)
+{
+    while (n > 0) {
+        const ssize_t wrote = ::pwrite(
+            fd, data, n, static_cast<off_t>(offset));
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += wrote;
+        offset += static_cast<std::size_t>(wrote);
+        n -= static_cast<std::size_t>(wrote);
+    }
+    return true;
 }
 
 bool
@@ -1002,6 +1051,461 @@ class ParallelMergingEventSource final : public EventSource
     bool rejected_ = false;
 };
 
+/** Merged-event batches a range worker may keep queued ahead of
+ * the consumer (double buffering per range: one being delivered,
+ * one merging behind it). */
+constexpr std::size_t kRangeQueueDepth = 2;
+
+/**
+ * The merged order reconstructed by P range-partitioned workers.
+ *
+ * Where openShardSetParallel parallelizes *decode* and leaves the
+ * reorder on the consuming thread, this partitions the reorder
+ * itself: the global sequence space [min stamp, max stamp + 1) is
+ * split into P contiguous key ranges
+ * (MergePicker::splitSequenceRange), and each worker runs a full
+ * private K-way merge — its own ShardFileReader cursors, its own
+ * loser tree — positioned by per-shard countBelow() at its range
+ * start and drained until MergePicker::drainedBelow(rangeEnd).
+ * Stamps are globally unique, so no record straddles a boundary
+ * and concatenating the per-range merges in range order *is* the
+ * total order (pinned at the picker level by the merge-picker
+ * suite and end-to-end by the partitioned-merge suite).
+ *
+ * Hand-off: each range owns a bounded batch queue; the consumer
+ * drains range 0's queue to exhaustion, then range 1's, and so on.
+ * A worker that hits a decode error finishes its range with the
+ * error parked, so it surfaces only after every valid event before
+ * it was delivered — the same one-call-later contract as the
+ * sequential merge, and because ranges are consumed in order, at
+ * the same merged position with the same message. When the range
+ * bounds cannot be probed up front (e.g. a torn tail hiding the
+ * last stamp), the source falls back to one worker over the whole
+ * key space, which degenerates to exactly the sequential merge's
+ * behaviour.
+ */
+class PartitionedMergingEventSource final : public EventSource
+{
+  public:
+    PartitionedMergingEventSource(const std::string &prefix,
+                                  std::size_t workers,
+                                  std::size_t window)
+        : prefix_(prefix), window_(window == 0 ? 1 : window)
+    {
+        std::string err =
+            openShardReaders(prefix, window_, probes_, info_);
+        if (!err.empty()) {
+            rejected_ = true;
+            fail(0, std::move(err));
+            return;
+        }
+        workerCount_ = workers == 0 ? 1 : workers;
+        if (workerCount_ > kMaxShardSetCount)
+            workerCount_ = kMaxShardSetCount;
+        if (!computeKeyBounds()) {
+            // Range probes failed (e.g. a truncated tail): one
+            // worker over the unbounded key range reproduces the
+            // sequential merge exactly, including where and how it
+            // fails.
+            loKey_ = 0;
+            hiKey_ = kLoserTreeInfKey;
+            workerCount_ = 1;
+        }
+        startWorkers(loKey_);
+    }
+
+    ~PartitionedMergingEventSource() override { stopWorkers(); }
+
+    SourceInfo info() const override { return info_; }
+
+    bool
+    next(Event &out) override
+    {
+        if (failed())
+            return false;
+        if (pos_ >= batch_.size() && !refillBatch()) {
+            if (!pendingError_.empty())
+                failPending();
+            return false;
+        }
+        out = batch_[pos_];
+        pos_++;
+        return true;
+    }
+
+    std::size_t
+    read(Event *out, std::size_t max) override
+    {
+        if (failed())
+            return 0;
+        std::size_t n = 0;
+        while (n < max) {
+            if (pos_ >= batch_.size() && !refillBatch()) {
+                // Deliver what we have; a parked error then
+                // surfaces on the next call, like the sequential
+                // merge's pending-error contract.
+                if (n == 0 && !pendingError_.empty())
+                    failPending();
+                break;
+            }
+            const std::size_t take = std::min(
+                max - n, batch_.size() - pos_);
+            std::copy(batch_.begin() +
+                          static_cast<std::ptrdiff_t>(pos_),
+                      batch_.begin() +
+                          static_cast<std::ptrdiff_t>(pos_ + take),
+                      out + n);
+            pos_ += take;
+            n += take;
+        }
+        return n;
+    }
+
+    bool
+    rewind() override
+    {
+        // A set rejected at open time stays rejected, as with the
+        // other merge sources.
+        if (rejected_)
+            return false;
+        stopWorkers();
+        clearError();
+        pendingError_.clear();
+        batch_.clear();
+        pos_ = 0;
+        current_ = 0;
+        startWorkers(loKey_);
+        return true;
+    }
+
+    /** O(tail) resume: find the stamp key with global rank @p n,
+     * then re-partition [key, hi) across the workers so only the
+     * tail is merged. */
+    bool
+    seekToSequence(std::uint64_t n) override
+    {
+        if (rejected_)
+            return false;
+        if (n == 0)
+            return rewind();
+        stopWorkers();
+        clearError();
+        pendingError_.clear();
+        batch_.clear();
+        pos_ = 0;
+        current_ = 0;
+        std::uint64_t key = hiKey_;
+        if (n < info_.events) {
+            std::vector<ShardFileReader *> readers;
+            readers.reserve(probes_.size());
+            for (auto &p : probes_)
+                readers.push_back(p.get());
+            if (!findSeekKey(readers, n, key)) {
+                fail(0, "shard seek failed",
+                     SourceErrorKind::Io);
+                return false;
+            }
+        }
+        startWorkers(key);
+        return true;
+    }
+
+  private:
+    /** One key range's worker → consumer hand-off. */
+    struct Range
+    {
+        std::uint64_t lo = 0; ///< first stamp of the range
+        std::uint64_t hi = 0; ///< one past the last stamp
+
+        std::mutex m;
+        std::condition_variable data;  ///< consumer waits
+        std::condition_variable space; ///< worker waits
+        std::deque<std::vector<Event>> full;
+        std::vector<std::vector<Event>> spare;
+        bool done = false;
+        /** Sticky worker error; becomes the source error once the
+         * consumer has drained every event queued before it. */
+        std::string error;
+        SourceErrorKind errorKind = SourceErrorKind::Corrupt;
+    };
+
+    /** First and one-past-last stamp across the set, from O(K)
+     * single-record probes. False when a probe fails or a stamp is
+     * the reserved infinite key — the caller then falls back to
+     * the unbounded single-worker range. */
+    bool
+    computeKeyBounds()
+    {
+        loKey_ = 0;
+        hiKey_ = 0;
+        bool any = false;
+        for (auto &p : probes_) {
+            const std::uint64_t m = p->header().shardEvents;
+            if (m == 0)
+                continue;
+            std::uint64_t first = 0, last = 0;
+            if (!p->seqAt(0, first) || !p->seqAt(m - 1, last) ||
+                last == kLoserTreeInfKey)
+                return false;
+            loKey_ = any ? std::min(loKey_, first) : first;
+            hiKey_ = any ? std::max(hiKey_, last + 1) : last + 1;
+            any = true;
+        }
+        return true;
+    }
+
+    void
+    startWorkers(std::uint64_t startKey)
+    {
+        if (startKey > hiKey_)
+            startKey = hiKey_;
+        const std::vector<std::uint64_t> bounds =
+            MergePicker::splitSequenceRange(startKey, hiKey_,
+                                            workerCount_);
+        ranges_.clear();
+        stopRequested_.store(false, std::memory_order_relaxed);
+        threads_.reserve(workerCount_);
+        for (std::size_t p = 0; p < workerCount_; p++) {
+            ranges_.push_back(std::make_unique<Range>());
+            Range &r = *ranges_.back();
+            r.lo = bounds[p];
+            r.hi = bounds[p + 1];
+            if (r.lo >= r.hi)
+                r.done = true; // empty range: no thread to spawn
+        }
+        for (auto &r : ranges_) {
+            if (!r->done)
+                threads_.emplace_back(
+                    [this, rp = r.get()] { workerLoop(*rp); });
+        }
+    }
+
+    void
+    stopWorkers()
+    {
+        if (threads_.empty()) {
+            ranges_.clear();
+            return;
+        }
+        stopRequested_.store(true, std::memory_order_relaxed);
+        for (auto &r : ranges_) {
+            // Pair the flag with each range's lock so a worker
+            // between its predicate check and its sleep cannot
+            // miss the wake.
+            { std::lock_guard<std::mutex> lock(r->m); }
+            r->space.notify_all();
+            r->data.notify_all();
+        }
+        for (std::thread &t : threads_)
+            t.join();
+        threads_.clear();
+        ranges_.clear();
+        stopRequested_.store(false, std::memory_order_relaxed);
+    }
+
+    /** Queue @p out on @p r, blocking while the queue is full.
+     * False only when the source is shutting down. */
+    bool
+    pushBatch(Range &r, std::vector<Event> &out)
+    {
+        std::unique_lock<std::mutex> lock(r.m);
+        r.space.wait(lock, [&] {
+            return stopRequested_.load(
+                       std::memory_order_relaxed) ||
+                   r.full.size() < kRangeQueueDepth;
+        });
+        if (stopRequested_.load(std::memory_order_relaxed))
+            return false;
+        r.full.push_back(std::move(out));
+        if (!r.spare.empty()) {
+            out = std::move(r.spare.back());
+            r.spare.pop_back();
+            out.clear();
+        } else {
+            out = {};
+        }
+        lock.unlock();
+        r.data.notify_one();
+        return true;
+    }
+
+    void
+    finishRange(Range &r, std::string err, SourceErrorKind kind)
+    {
+        {
+            std::lock_guard<std::mutex> lock(r.m);
+            r.done = true;
+            r.error = std::move(err);
+            r.errorKind = kind;
+        }
+        r.data.notify_one();
+    }
+
+    /**
+     * One range's merge: a private cursor set over the same files,
+     * positioned by countBelow(lo) per shard, merged through a
+     * private picker until every head key is at or past hi.
+     */
+    void
+    workerLoop(Range &r)
+    {
+        std::string err;
+        SourceErrorKind kind = SourceErrorKind::Corrupt;
+        const std::size_t shardCount = probes_.size();
+        std::vector<std::unique_ptr<ShardFileReader>> readers;
+        readers.reserve(shardCount);
+        for (std::size_t s = 0; s < shardCount && err.empty();
+             s++) {
+            readers.push_back(std::make_unique<ShardFileReader>(
+                shardPath(prefix_, s), window_));
+            if (!readers.back()->ok())
+                err = readers.back()->error();
+        }
+        // Position every cursor at its first in-range record. The
+        // first range starts at the global minimum stamp, where the
+        // rank is 0 by definition — no probes, so a merge from the
+        // start never fails on a seek the sequential merge would
+        // not attempt.
+        for (std::size_t s = 0;
+             err.empty() && s < readers.size(); s++) {
+            std::uint64_t index = 0;
+            if (r.lo > loKey_ &&
+                !readers[s]->countBelow(r.lo, index)) {
+                err = "shard seek failed";
+                kind = SourceErrorKind::Io;
+                break;
+            }
+            if (!readers[s]->seekToIndex(index)) {
+                err = strFormat("%s: seek failed",
+                                readers[s]->path().c_str());
+                kind = SourceErrorKind::Io;
+            }
+        }
+        std::vector<std::vector<ShardRecord>> batches(
+            readers.size());
+        std::vector<std::size_t> pos(readers.size(), 0);
+        MergePicker picker(readers.size(),
+                           MergeStrategy::LoserTree);
+        if (err.empty()) {
+            // Head load, in shard order like the sequential
+            // merge's, so a broken first batch surfaces the same
+            // shard's message.
+            std::vector<std::uint64_t> keys(readers.size(),
+                                            kLoserTreeInfKey);
+            for (std::size_t s = 0; s < readers.size(); s++) {
+                if (readers[s]->readBatch(batches[s])) {
+                    keys[s] = batches[s][0].seq;
+                } else if (!readers[s]->ok()) {
+                    err = readers[s]->error();
+                    break;
+                }
+            }
+            picker.reset(keys);
+        }
+        const std::size_t cap =
+            window_ < 256 ? std::size_t(256) : window_;
+        std::vector<Event> out;
+        out.reserve(cap);
+        while (err.empty() && !picker.drainedBelow(r.hi)) {
+            const std::size_t w = picker.pick();
+            out.push_back(batches[w][pos[w]].event);
+            pos[w]++;
+            if (pos[w] < batches[w].size()) {
+                picker.update(w, batches[w][pos[w]].seq);
+            } else {
+                pos[w] = 0;
+                if (readers[w]->readBatch(batches[w])) {
+                    picker.update(w, batches[w][0].seq);
+                } else {
+                    batches[w].clear();
+                    picker.update(w, kLoserTreeInfKey);
+                    if (!readers[w]->ok())
+                        err = readers[w]->error();
+                }
+            }
+            if (out.size() >= cap && !pushBatch(r, out))
+                return; // shutting down
+        }
+        if (!out.empty() && !pushBatch(r, out))
+            return;
+        finishRange(r, std::move(err), kind);
+    }
+
+    void
+    failPending()
+    {
+        std::string message = std::move(pendingError_);
+        pendingError_.clear();
+        fail(0, std::move(message), pendingKind_);
+    }
+
+    /**
+     * Consumer side: pop the next batch, advancing through the
+     * ranges in order. False at end of stream or when the current
+     * range finished with an error — the error is then parked in
+     * pendingError_ (and stays on the range, so a later call
+     * re-parks it, matching the sequential merge's surface-once-
+     * then-stay-failed behaviour).
+     */
+    bool
+    refillBatch()
+    {
+        std::vector<Event> drained = std::move(batch_);
+        batch_.clear();
+        pos_ = 0;
+        bool recycled = drained.capacity() == 0;
+        while (current_ < ranges_.size()) {
+            Range &r = *ranges_[current_];
+            std::unique_lock<std::mutex> lock(r.m);
+            if (!recycled) {
+                r.spare.push_back(std::move(drained));
+                recycled = true;
+            }
+            r.data.wait(lock, [&] {
+                return r.done || !r.full.empty();
+            });
+            if (!r.full.empty()) {
+                batch_ = std::move(r.full.front());
+                r.full.pop_front();
+                lock.unlock();
+                r.space.notify_one();
+                return true;
+            }
+            if (!r.error.empty()) {
+                pendingError_ = r.error;
+                pendingKind_ = r.errorKind;
+                return false;
+            }
+            lock.unlock();
+            current_++;
+        }
+        return false;
+    }
+
+    std::string prefix_;
+    std::size_t window_;
+    SourceInfo info_;
+    /** The construction-time readers, kept for seek-key probes
+     * (findSeekKey / computeKeyBounds); never used for decode. */
+    std::vector<std::unique_ptr<ShardFileReader>> probes_;
+    std::size_t workerCount_ = 1;
+    std::uint64_t loKey_ = 0;
+    std::uint64_t hiKey_ = 0;
+
+    std::vector<std::unique_ptr<Range>> ranges_;
+    std::vector<std::thread> threads_;
+    std::atomic<bool> stopRequested_{false};
+
+    /** Consumer-thread-only delivery cursor. */
+    std::vector<Event> batch_;
+    std::size_t pos_ = 0;
+    std::size_t current_ = 0;
+
+    std::string pendingError_;
+    SourceErrorKind pendingKind_ = SourceErrorKind::Corrupt;
+    bool rejected_ = false;
+};
+
 } // namespace
 
 std::string
@@ -1174,9 +1678,19 @@ ShardWriter::finalize()
     return true;
 }
 
-/** Appender staging buffer: flushed to the shard file at this many
- * bytes, so the hot path is a memcpy, not a stream write. */
+/** Appender staging segment: one contiguous memcpy target sized to
+ * stay cache-friendly on the hot path. */
 static constexpr std::size_t kAppendFlushBytes = 1 << 16;
+/** Segments staged per appender before one gathered writev()
+ * submits them all — a quarter of the syscalls of flushing each
+ * segment on its own, without a single huge staging copy. */
+static constexpr std::size_t kAppendBatchSegments = 4;
+
+ParallelShardWriter::Appender::~Appender()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
 
 bool
 ParallelShardWriter::Appender::append(const Event &e)
@@ -1194,8 +1708,8 @@ ParallelShardWriter::Appender::appendStamped(std::uint64_t seq,
     if (failed_)
         return false;
     if (*finalized_) {
-        // finalize() left the put position on the header counts;
-        // writing a record now would corrupt the file.
+        // finalize() patched the header counts; writing a record
+        // now would corrupt the file.
         failed_ = true;
         error_ = "append after finalize";
         return false;
@@ -1207,10 +1721,14 @@ ParallelShardWriter::Appender::appendStamped(std::uint64_t seq,
     std::memcpy(rec + 8, &tid, sizeof(tid));
     std::memcpy(rec + 12, &target, sizeof(target));
     rec[16] = static_cast<unsigned char>(e.op);
-    buf_.insert(buf_.end(), rec, rec + kShardRecordBytes);
+    std::vector<unsigned char> &seg = segs_[active_];
+    seg.insert(seg.end(), rec, rec + kShardRecordBytes);
     events_++;
-    if (buf_.size() >= kAppendFlushBytes)
-        return flush();
+    if (seg.size() >= kAppendFlushBytes) {
+        active_++;
+        if (active_ >= segs_.size())
+            return flush();
+    }
     return true;
 }
 
@@ -1219,32 +1737,68 @@ ParallelShardWriter::Appender::flush()
 {
     if (failed_)
         return false;
-    if (!buf_.empty()) {
-        if (const FaultDecision f = failpoint("shard.flush")) {
-            if (f.action == FaultAction::Crash)
-                faultCrash("shard.flush");
-            if (f.action == FaultAction::TornWrite) {
-                os_.write(
-                    reinterpret_cast<const char *>(buf_.data()),
-                    static_cast<std::streamsize>(buf_.size() / 2));
-                os_.flush();
+    struct iovec iov[kAppendBatchSegments];
+    int iovcnt = 0;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < segs_.size(); i++) {
+        if (segs_[i].empty())
+            continue;
+        iov[iovcnt].iov_base = segs_[i].data();
+        iov[iovcnt].iov_len = segs_[i].size();
+        total += segs_[i].size();
+        iovcnt++;
+    }
+    if (total == 0)
+        return true;
+    if (const FaultDecision f = failpoint("shard.flush")) {
+        if (f.action == FaultAction::Crash)
+            faultCrash("shard.flush");
+        if (f.action == FaultAction::TornWrite) {
+            // Persist half the staged bytes, then fail: the torn
+            // tail the reader's truncation check must catch.
+            std::size_t left = total / 2;
+            for (const auto &seg : segs_) {
+                const std::size_t take =
+                    std::min(left, seg.size());
+                if (take > 0)
+                    writeAll(fd_, seg.data(), take);
+                left -= take;
+                if (left == 0)
+                    break;
             }
-            failed_ = true;
-            error_ =
-                f.action == FaultAction::TornWrite
-                    ? "injected torn write while flushing shard"
-                    : "injected I/O error while flushing shard";
-            return false;
         }
-        os_.write(reinterpret_cast<const char *>(buf_.data()),
-                  static_cast<std::streamsize>(buf_.size()));
-        buf_.clear();
-        if (!os_) {
+        failed_ = true;
+        error_ = f.action == FaultAction::TornWrite
+                     ? "injected torn write while flushing shard"
+                     : "injected I/O error while flushing shard";
+        return false;
+    }
+    struct iovec *p = iov;
+    while (iovcnt > 0) {
+        const ssize_t wrote = ::writev(fd_, p, iovcnt);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
             failed_ = true;
             error_ = "I/O error while writing shard";
             return false;
         }
+        // Skip past fully written segments; trim a partial one.
+        std::size_t skip = static_cast<std::size_t>(wrote);
+        while (iovcnt > 0 && skip >= p->iov_len) {
+            skip -= p->iov_len;
+            p++;
+            iovcnt--;
+        }
+        if (iovcnt > 0) {
+            p->iov_base =
+                static_cast<unsigned char *>(p->iov_base) + skip;
+            p->iov_len -= skip;
+        }
     }
+    for (auto &seg : segs_)
+        seg.clear();
+    active_ = 0;
     return true;
 }
 
@@ -1270,15 +1824,23 @@ ParallelShardWriter::ParallelShardWriter(const std::string &prefix,
         Appender &a = *appenders_.back();
         a.seq_ = &nextSeq_;
         a.finalized_ = &finalized_;
+        a.segs_.resize(kAppendBatchSegments);
         const std::string path = shardPath(prefix, i);
-        a.os_.open(path, std::ios::binary);
-        if (!a.os_) {
+        a.fd_ = ::open(path.c_str(),
+                       O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (a.fd_ < 0) {
             failed_ = true;
             error_ = strFormat("cannot write '%s'", path.c_str());
             return;
         }
         h.index = i;
-        writeShardHeader(a.os_, h);
+        unsigned char hdr[kShardHeaderBytes];
+        encodeShardHeader(hdr, h);
+        if (!writeAll(a.fd_, hdr, sizeof(hdr))) {
+            failed_ = true;
+            error_ = strFormat("cannot write '%s'", path.c_str());
+            return;
+        }
     }
 }
 
@@ -1324,12 +1886,10 @@ ParallelShardWriter::finalize()
     }
     for (auto &a : appenders_) {
         const std::uint64_t counts[2] = {a->events_, total};
-        a->os_.seekp(
-            static_cast<std::streamoff>(kCountsOffset));
-        a->os_.write(reinterpret_cast<const char *>(counts),
-                     sizeof(counts));
-        a->os_.flush();
-        if (!a->os_) {
+        unsigned char patch[sizeof(counts)];
+        std::memcpy(patch, counts, sizeof(counts));
+        if (!pwriteAll(a->fd_, patch, sizeof(patch),
+                       kCountsOffset)) {
             failed_ = true;
             error_ = "I/O error while finalizing shard";
             return false;
@@ -1620,8 +2180,16 @@ openShardSetParallel(const std::string &prefix,
 }
 
 std::unique_ptr<EventSource>
+openShardSetPartitioned(const std::string &prefix,
+                        std::size_t workers, std::size_t window)
+{
+    return std::make_unique<PartitionedMergingEventSource>(
+        prefix, workers, window);
+}
+
+std::unique_ptr<EventSource>
 openShardMember(const std::string &path, std::size_t window,
-                std::size_t readers)
+                std::size_t readers, std::size_t mergeWorkers)
 {
     std::string prefix;
     std::uint32_t index = 0;
@@ -1631,10 +2199,13 @@ openShardMember(const std::string &path, std::size_t window,
                       "(want <prefix>.<index>.tcs)",
                       path.c_str()));
     }
-    auto merged = readers > 0
-                      ? openShardSetParallel(prefix, readers,
-                                             window)
-                      : openShardSet(prefix, window);
+    auto merged =
+        mergeWorkers > 0
+            ? openShardSetPartitioned(prefix, mergeWorkers,
+                                      window)
+            : readers > 0
+                  ? openShardSetParallel(prefix, readers, window)
+                  : openShardSet(prefix, window);
     // The named member must belong to the set that shard 0's
     // header describes — a stale higher-numbered file from an
     // earlier, wider split would otherwise be silently *excluded*

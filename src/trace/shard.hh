@@ -50,6 +50,16 @@
  *                             concurrently, the consumer reorders
  *                             on sequence numbers (out-of-order
  *                             arrival, in-order delivery).
+ *  - openShardSetPartitioned — the same merged order with the
+ *                             *merge itself* split across P
+ *                             workers: the global sequence space
+ *                             is cut into P contiguous key ranges
+ *                             (MergePicker::splitSequenceRange),
+ *                             each worker runs a private loser-tree
+ *                             merge over its own cursors draining
+ *                             only its range, and the consumer
+ *                             stitches the ranges back together in
+ *                             order.
  *  - trace_tool split/merge/capture — the CLI over all of it.
  */
 
@@ -183,21 +193,29 @@ class ParallelShardWriter
          * increasing — readers reject anything else. */
         bool appendStamped(std::uint64_t seq, const Event &e);
 
-        /** Push buffered records to the file. append() flushes
-         * automatically as the buffer fills; finalize() flushes
-         * every appender a last time. */
+        /** Push staged records to the file in one gathered
+         * writev(). append() flushes automatically once a full
+         * batch of segments is staged; finalize() flushes every
+         * appender a last time. */
         bool flush();
 
         bool failed() const { return failed_; }
         const std::string &error() const { return error_; }
         std::uint64_t eventsWritten() const { return events_; }
 
+        ~Appender();
+
       private:
         friend class ParallelShardWriter;
         Appender() = default;
 
-        std::ofstream os_;
-        std::vector<unsigned char> buf_;
+        int fd_ = -1;
+        /** Staging segments: append() memcpys into segs_[active_];
+         * a full segment advances active_, and a full set of
+         * segments goes to the file as one writev() — one syscall
+         * per batch, cache-sized copies per record. */
+        std::vector<std::vector<unsigned char>> segs_;
+        std::size_t active_ = 0;
         std::atomic<std::uint64_t> *seq_ = nullptr;
         const bool *finalized_ = nullptr;
         std::uint64_t events_ = 0;
@@ -338,18 +356,40 @@ openShardSetParallel(const std::string &prefix,
                      std::size_t window = kDefaultSourceWindow);
 
 /**
+ * The same merged order with the reconstruction itself partitioned:
+ * the dense global sequence space is split into @p workers
+ * contiguous key ranges (`MergePicker::splitSequenceRange`), one
+ * merge worker per range, each owning a private cursor set over the
+ * same files and merging only stamps in `[b_i, b_{i+1})` with
+ * `MergePicker::drainedBelow` as its exhaustion test. The consumer
+ * drains the ranges in order through bounded hand-off queues, so
+ * stream, end position and error behaviour are identical to
+ * openShardSet (the partitioned-merge suite pins this). Decode
+ * happens on the merge workers, so this also subsumes
+ * openShardSetParallel's reader threads. @p workers is clamped to
+ * [1, kMaxShardSetCount]. Never null.
+ */
+std::unique_ptr<EventSource>
+openShardSetPartitioned(const std::string &prefix,
+                        std::size_t workers,
+                        std::size_t window = kDefaultSourceWindow);
+
+/**
  * Open the shard set that member file @p path belongs to (the
- * `openTraceFile` path for `.tcs` inputs), with @p readers decode
- * threads when @p readers > 0 (sequential merge otherwise). Fails
- * when @p path does not parse as `<prefix>.<index>.tcs` or when its
- * index lies outside the set declared by the headers — a stale
- * member from an earlier, wider split must not silently open a set
- * that excludes it.
+ * `openTraceFile` path for `.tcs` inputs). @p mergeWorkers > 0
+ * selects the range-partitioned merge (which decodes on its own
+ * workers and therefore subsumes @p readers); otherwise @p readers
+ * > 0 spreads decode over that many reader threads (sequential
+ * merge when both are 0). Fails when @p path does not parse as
+ * `<prefix>.<index>.tcs` or when its index lies outside the set
+ * declared by the headers — a stale member from an earlier, wider
+ * split must not silently open a set that excludes it.
  */
 std::unique_ptr<EventSource>
 openShardMember(const std::string &path,
                 std::size_t window = kDefaultSourceWindow,
-                std::size_t readers = 0);
+                std::size_t readers = 0,
+                std::size_t mergeWorkers = 0);
 
 } // namespace tc
 
