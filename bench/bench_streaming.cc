@@ -40,7 +40,15 @@
  *     checkpointing disabled (entries checkpoint_on/checkpoint_off
  *     per clock). CI gates the ratio: durability must stay ≤5%
  *     of streaming throughput at the default 1M-event cadence
- *     (ci/check_checkpoint_overhead.py).
+ *     (ci/check_checkpoint_overhead.py),
+ * (n) lifecycle_footprint — a dynamic-membership pool workload
+ *     (src/gen/pool_workload.hh): --pool-tasks logical threads
+ *     created and retired through a --pool-size live window.
+ *     Entries lifecycle_footprint/{TC,VC} carry clock_bytes_peak
+ *     (TC must sit strictly below VC — slot recycling vs
+ *     external indexing) and lifecycle_bound/TC repeats the TC
+ *     leg at 10x the tasks to pin that its peak is set by the
+ *     pool width, not the task count.
  *
  * Reports events/s per (mode, clock), quantifying what "streaming
  * SHB/MAZ by default" costs over the batch loop, how much of the
@@ -67,6 +75,7 @@
 
 #include "analysis/pipeline.hh"
 #include "bench_common.hh"
+#include "gen/pool_workload.hh"
 #include "support/table.hh"
 #include "trace/prefetch_source.hh"
 #include "trace/shard.hh"
@@ -203,6 +212,7 @@ constexpr const char *kModeNames[] = {
     "merge_partitioned",
     "sharded_analysis",
     "checkpoint_overhead",
+    "lifecycle_footprint",
 };
 
 /** Best seconds for one pass of @p trace through a single (po,
@@ -389,7 +399,8 @@ main(int argc, char **argv)
                    "parallel_fanout | parallel_fanout_stream | "
                    "decode_scaling | merge_width | "
                    "merge_partitioned | sharded_analysis | "
-                   "checkpoint_overhead | all");
+                   "checkpoint_overhead | lifecycle_footprint | "
+                   "all");
     args.addInt("checkpoint-every",
                 static_cast<std::int64_t>(1000000),
                 "snapshot cadence (events) for the "
@@ -397,6 +408,12 @@ main(int argc, char **argv)
     args.addInt("workers", 0,
                 "worker threads for parallel_fanout (0 = one per "
                 "analysis)");
+    args.addInt("pool-size", 8,
+                "live-task pool width (lifecycle_footprint mode)");
+    args.addInt("pool-tasks", 10000,
+                "logical threads created and retired "
+                "(lifecycle_footprint mode; the TC-only bound leg "
+                "runs 10x this)");
     if (!args.parse(argc, argv))
         return 1;
 
@@ -680,6 +697,80 @@ main(int argc, char **argv)
                                          every, snap_dir, reps));
         }
         removeScratchDir(snap_dir);
+    }
+    if (modeEnabled(mode_filter, "lifecycle_footprint")) {
+        // Dynamic-membership footprint: a pool workload creates
+        // and retires far more logical threads than are ever live.
+        // TC recycles retired slots (ThreadIdMap), so resident
+        // clock bytes track the pool width; VC stays external-
+        // indexed and grows with the total id count. Two legs:
+        //  - lifecycle_footprint: TC vs VC on one trace (task
+        //    count kept modest — the VC pass is O(total ids) per
+        //    join and would dominate the harness otherwise),
+        //  - lifecycle_bound: TC only at 10x the tasks; peak bytes
+        //    must not scale with the task count (the CI docs quote
+        //    this pair as the boundedness evidence).
+        const std::int64_t pool_raw = args.getInt("pool-size");
+        const std::int64_t tasks_raw = args.getInt("pool-tasks");
+        if (pool_raw < 1 || pool_raw > 65535 || tasks_raw < 1) {
+            std::fprintf(stderr,
+                         "error: --pool-size must be in 1..65535 "
+                         "and --pool-tasks >= 1\n");
+            return 1;
+        }
+        PoolWorkloadParams pool_params;
+        pool_params.poolSize = static_cast<Tid>(pool_raw);
+        pool_params.tasks = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   static_cast<double>(tasks_raw) * scale));
+        // Same var/lock widths as the harness's random workload:
+        // the per-var reader sets stay shallow, so the timing
+        // reflects clock costs, not access-history scans.
+        pool_params.vars = params.vars;
+        pool_params.locks = params.locks;
+        const Trace pool_trace =
+            generatePoolWorkload(pool_params);
+        auto footprint = [&]<typename ClockT>(
+                             const char *entry, const char *label,
+                             const Trace &t,
+                             std::uint64_t tasks) {
+            const WorkCounters work =
+                workPo<ClockT>(po, t, true);
+            const double secs = bestOfReps(reps, [&] {
+                return timePoBatch<ClockT>(po, t, 1);
+            });
+            const double rate =
+                static_cast<double>(t.size()) / secs;
+            table.addRow(
+                {entry, label,
+                 humanCount(static_cast<std::uint64_t>(rate))});
+            json.entry(std::string(entry) + "/" + label);
+            json.metric("events_per_s", rate);
+            json.metric("clock_bytes_peak",
+                        static_cast<double>(work.clockBytesPeak));
+            json.metric("clock_bytes_resident",
+                        static_cast<double>(work.clockBytes));
+            std::printf("%s/%s: %llu bytes peak resident clocks "
+                        "(%llu logical threads, pool %lld)\n",
+                        entry, label,
+                        static_cast<unsigned long long>(
+                            work.clockBytesPeak),
+                        static_cast<unsigned long long>(tasks),
+                        static_cast<long long>(pool_raw));
+        };
+        footprint.template operator()<TreeClock>(
+            "lifecycle_footprint", "TC", pool_trace,
+            pool_params.tasks);
+        footprint.template operator()<VectorClock>(
+            "lifecycle_footprint", "VC", pool_trace,
+            pool_params.tasks);
+        PoolWorkloadParams bound_params = pool_params;
+        bound_params.tasks = pool_params.tasks * 10;
+        const Trace bound_trace =
+            generatePoolWorkload(bound_params);
+        footprint.template operator()<TreeClock>(
+            "lifecycle_bound", "TC", bound_trace,
+            bound_params.tasks);
     }
 
     table.print(std::cout);

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Fail when dynamic-membership clock memory loses its bound.
+
+Usage:
+    ci/check_lifecycle_footprint.py current.json \
+        [--harness=bench_streaming] [--bound-growth=1.5]
+
+`current.json` is a bench_streaming JsonReporter report (raw or a
+BENCH_baseline.json-style merged document) that ran the
+lifecycle_footprint mode. Two assertions, both machine-independent
+(they compare one process against itself, like the checkpoint
+gate):
+
+  * lifecycle_footprint/TC clock_bytes_peak must sit strictly
+    below lifecycle_footprint/VC's on the same trace — the tree
+    clock's ThreadIdMap slot recycling versus the vector clock's
+    external indexing. This is the paper-level claim the pool
+    workload exists to pin.
+  * lifecycle_bound/TC (the same workload at 10x the logical
+    threads) may exceed lifecycle_footprint/TC's peak by at most
+    `--bound-growth` (default 1.5x): 10x the created-and-retired
+    ids must not buy 10x the resident clock bytes, or slot
+    recycling has quietly stopped working.
+"""
+
+import json
+import sys
+
+METRIC = "clock_bytes_peak"
+
+
+def parse_args(argv):
+    harness = "bench_streaming"
+    bound_growth = 1.5
+    paths = []
+    for arg in argv:
+        if arg.startswith("--harness="):
+            harness = arg.split("=", 1)[1]
+        elif arg.startswith("--bound-growth="):
+            bound_growth = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 1 or bound_growth < 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    return paths[0], harness, bound_growth
+
+
+def main() -> int:
+    path, harness, bound_growth = parse_args(sys.argv[1:])
+    with open(path) as f:
+        report = json.load(f)
+    if harness in report:  # merged baseline document
+        report = report[harness]
+    peaks = {
+        b["name"]: b[METRIC]
+        for b in report.get("benchmarks", [])
+        if METRIC in b
+    }
+    needed = ("lifecycle_footprint/TC", "lifecycle_footprint/VC",
+              "lifecycle_bound/TC")
+    missing = [n for n in needed if n not in peaks]
+    if missing:
+        print(f"error: {path} is missing {', '.join(missing)} "
+              f"(did the lifecycle_footprint mode run?)",
+              file=sys.stderr)
+        return 2
+
+    tc = peaks["lifecycle_footprint/TC"]
+    vc = peaks["lifecycle_footprint/VC"]
+    bound = peaks["lifecycle_bound/TC"]
+    failures = []
+    if not tc < vc:
+        failures.append(
+            f"TC peak {tc:,.0f} B is not strictly below VC peak "
+            f"{vc:,.0f} B on the pool workload")
+    if bound > tc * bound_growth:
+        failures.append(
+            f"10x the logical threads grew the TC peak from "
+            f"{tc:,.0f} B to {bound:,.0f} B "
+            f"(> {bound_growth:.2f}x) — slot recycling is not "
+            f"bounding resident clocks")
+    if failures:
+        print("lifecycle footprint check failed:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"lifecycle footprint OK: TC peak {tc:,.0f} B "
+          f"({vc / tc:.0f}x below VC), 10x-threads peak "
+          f"{bound:,.0f} B ({bound / tc:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

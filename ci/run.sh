@@ -23,6 +23,10 @@
 #           every recovery path runs sanitized. The suites also run
 #           at depth 1 inside jobs 1–2; this job buys the deep
 #           randomized sweeps without slowing the whole matrix.
+#   Job 0 — docs gate: internal links in docs/ + README resolve,
+#           and the flags the docs spell exist in the CLIs (and
+#           every user-facing flag is documented). Runs first: it
+#           needs no build and catches drift in seconds.
 #   Job 5 — bench smoke: allocation regressions (exact) and
 #           streaming/fan-out throughput regressions (25%
 #           tolerance) against the committed BENCH_baseline.json,
@@ -36,6 +40,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
+
+# Docs gate first: link and flag-drift checking needs no build, so
+# a stale docs/ tree fails in seconds, before any compile.
+echo "=== docs gate (links + flag drift) ==="
+python3 ci/check_docs.py
 
 run_job() {
     local name="$1" build_dir="$2"
@@ -114,6 +123,15 @@ fi
 python3 ci/check_throughput_regressions.py BENCH_baseline.json \
     /tmp/tc-bench-ci.json \
     --tolerance="${TC_THROUGHPUT_TOLERANCE:-0.25}"
+
+# Lifecycle footprint gate: on the pool workload (bounded live set,
+# many created-and-retired logical threads) the tree clock's peak
+# resident clock bytes must stay strictly below the vector clock's,
+# and 10x the logical threads must not grow the TC peak (slot
+# recycling bounds it by the live set). Same-process comparison,
+# so no cross-machine tolerance is needed.
+echo "=== lifecycle footprint gate (TC bounded by live set) ==="
+python3 ci/check_lifecycle_footprint.py /tmp/tc-bench-streaming.json
 
 # Checkpoint-overhead gate: snapshots every 1M events must cost
 # ≤5% of streaming throughput. This compares the same binary

@@ -64,6 +64,7 @@
 #include <vector>
 
 #include "analysis/pipeline.hh"
+#include "gen/pool_workload.hh"
 #include "support/diagnostics.hh"
 #include "support/source_cli.hh"
 #include "support/strings.hh"
@@ -98,6 +99,10 @@ printReport(const AnalysisReport &report)
                 "entries changed\n",
                 static_cast<unsigned long long>(r.work.dsWork),
                 static_cast<unsigned long long>(r.work.vtWork));
+    std::printf("clock bytes     : %llu resident, %llu peak\n",
+                static_cast<unsigned long long>(r.work.clockBytes),
+                static_cast<unsigned long long>(
+                    r.work.clockBytesPeak));
     if (!r.races.reports().empty()) {
         std::printf("first %zu race reports:\n",
                     r.races.reports().size());
@@ -128,6 +133,14 @@ main(int argc, char **argv)
                    "vc");
     addParallelFlag(args);
     addShardAnalysisFlag(args);
+    args.addBool("pool", false,
+                 "generate a task-pool workload with lifecycle "
+                 "events instead of the flat random trace "
+                 "(implies --generate)");
+    args.addInt("pool-size", 8, "max live tasks (--pool)");
+    args.addInt("tasks", 1000,
+                "logical threads created over the run (--pool)");
+    args.addInt("task-events", 8, "body events per task (--pool)");
     args.addInt("max-reports", 10, "race reports to keep");
     args.addInt("checkpoint-every", 0,
                 "write a snapshot every N events (0 = off; "
@@ -155,10 +168,17 @@ main(int argc, char **argv)
         return reportError(failpoint_error, 0, kExitUsage);
 
     const bool has_trace = !args.getString("trace").empty();
-    if (!has_trace && !args.getBool("generate")) {
+    const bool pool = args.getBool("pool");
+    if (!has_trace && !args.getBool("generate") && !pool) {
         std::fprintf(stderr,
-                     "error: pass --trace=FILE or --generate "
-                     "(see --help)\n");
+                     "error: pass --trace=FILE, --generate or "
+                     "--pool (see --help)\n");
+        return kExitUsage;
+    }
+    if (has_trace && pool) {
+        std::fprintf(stderr,
+                     "error: --pool generates its workload; it "
+                     "cannot be combined with --trace\n");
         return kExitUsage;
     }
 
@@ -252,6 +272,21 @@ main(int argc, char **argv)
                     exitCodeForMessage(parsed.message));
             }
             trace = std::move(parsed.trace);
+        } else if (pool) {
+            PoolWorkloadParams pparams;
+            pparams.poolSize =
+                static_cast<Tid>(args.getInt("pool-size"));
+            pparams.tasks =
+                static_cast<std::uint64_t>(args.getInt("tasks"));
+            pparams.taskEvents = static_cast<std::uint64_t>(
+                args.getInt("task-events"));
+            pparams.locks =
+                static_cast<LockId>(args.getInt("locks"));
+            pparams.vars = static_cast<VarId>(args.getInt("vars"));
+            pparams.syncRatio = args.getDouble("sync-ratio");
+            pparams.seed =
+                static_cast<std::uint64_t>(args.getInt("seed"));
+            trace = generatePoolWorkload(pparams);
         } else {
             trace =
                 generateRandomTrace(traceParamsFromFlags(args));

@@ -24,6 +24,12 @@
  *   trace_tool prefix   run.tct out.tct --events=100000
  *   trace_tool compact  run.tct out.tct
  *   trace_tool generate out.tcb --threads=16 --events=1000000
+ *   trace_tool pool     out.tcb --pool-size=8 --tasks=100000
+ *                                             (task-pool workload
+ *                                              with lifecycle
+ *                                              events: bounded live
+ *                                              threads, unbounded
+ *                                              logical thread ids)
  *
  * stats, convert, split and merge consume the chunked streaming
  * readers and never materialize the trace, so they work on files
@@ -41,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "gen/pool_workload.hh"
 #include "gen/random_trace.hh"
 #include "support/cli.hh"
 #include "support/diagnostics.hh"
@@ -188,6 +195,12 @@ printStats(const TraceStats &s)
     std::printf("forks     : %s   joins: %s\n",
                 humanCount(s.forks).c_str(),
                 humanCount(s.joins).c_str());
+    if (s.tcreates + s.tjoins + s.tretires > 0) {
+        std::printf("tcreates  : %s   tjoins: %s   tretires: %s\n",
+                    humanCount(s.tcreates).c_str(),
+                    humanCount(s.tjoins).c_str(),
+                    humanCount(s.tretires).c_str());
+    }
     std::printf("sync %%    : %.2f\n", s.syncPercent());
     std::printf("r/w %%     : %.2f\n", s.rwPercent());
 }
@@ -200,7 +213,7 @@ main(int argc, char **argv)
     ArgParser args(
         "trace toolbox: stats | validate | convert | split | "
         "merge | capture | slice | project | prefix | compact | "
-        "generate");
+        "generate | pool");
     args.addInt("shards", static_cast<std::int64_t>(
                               kDefaultShardCount),
                 "shard count (split/capture)");
@@ -219,7 +232,10 @@ main(int argc, char **argv)
     args.addInt("locks", 16, "locks (generate)");
     args.addInt("gen-vars", 4096, "variables (generate)");
     args.addDouble("sync-ratio", 0.1, "sync share (generate)");
-    args.addInt("seed", 1, "seed (generate)");
+    args.addInt("seed", 1, "seed (generate/pool)");
+    args.addInt("pool-size", 8, "max live tasks (pool)");
+    args.addInt("tasks", 1000, "logical threads created (pool)");
+    args.addInt("task-events", 8, "body events per task (pool)");
     if (!args.parse(argc, argv))
         return kExitUsage;
 
@@ -511,6 +527,22 @@ main(int argc, char **argv)
         params.seed =
             static_cast<std::uint64_t>(args.getInt("seed"));
         saveOrDie(generateRandomTrace(params), pos[1]);
+        return 0;
+    }
+    if (cmd == "pool" && pos.size() == 2) {
+        PoolWorkloadParams params;
+        params.poolSize =
+            static_cast<Tid>(args.getInt("pool-size"));
+        params.tasks =
+            static_cast<std::uint64_t>(args.getInt("tasks"));
+        params.taskEvents =
+            static_cast<std::uint64_t>(args.getInt("task-events"));
+        params.locks = static_cast<LockId>(args.getInt("locks"));
+        params.vars = static_cast<VarId>(args.getInt("gen-vars"));
+        params.syncRatio = args.getDouble("sync-ratio");
+        params.seed =
+            static_cast<std::uint64_t>(args.getInt("seed"));
+        saveOrDie(generatePoolWorkload(params), pos[1]);
         return 0;
     }
 

@@ -45,9 +45,16 @@ class AnalysisDriver
   public:
     using Policy = PolicyT<ClockT>;
 
+    /** Does ClockT translate external ids through a ThreadIdMap?
+     * True for TreeClock (slot recycling); flat clocks stay
+     * external-indexed and never activate the map. */
+    static constexpr bool kUsesIdMap =
+        requires(ClockT c, const ThreadIdMap *m) { c.setIdMap(m); };
+
     explicit AnalysisDriver(EngineConfig cfg = {})
         : cfg_(std::move(cfg)), races_(0, cfg_.maxReports)
     {
+        cfg_.idMap = &idMap_;
         policy_.configure(&cfg_, &arena_);
     }
 
@@ -82,12 +89,17 @@ class AnalysisDriver
     feed(const Event &e)
     {
         // Grow all id spaces before taking references: emplacing a
-        // fork/join target would otherwise reallocate threads_ from
-        // under `ct`.
+        // fork/join/lifecycle target would otherwise reallocate
+        // threads_ from under `ct`.
         ensureThread(e.tid);
-        if (e.isFork() || e.isJoin())
+        if (e.isFork() || e.isJoin() || e.isThreadJoin() ||
+            e.isThreadRetire())
             ensureThread(e.targetTid());
-        ClockT &ct = threads_[static_cast<std::size_t>(e.tid)];
+        if (e.isThreadCreate())
+            prepareCreate(e.tid, e.targetTid());
+        TC_CHECK(lifeState(e.tid) <= kLive,
+                 "feed: thread acts after being joined");
+        ClockT &ct = threads_[slotIndex(e.tid)];
         const Clk c = ++local_[static_cast<std::size_t>(e.tid)];
         ct.increment(1);
         const std::size_t index =
@@ -128,23 +140,65 @@ class AnalysisDriver
             const Tid child = e.targetTid();
             TC_CHECK(child != e.tid &&
                          local_[static_cast<std::size_t>(child)] ==
-                             0,
+                             0 &&
+                         lifeState(child) == kNone,
                      "feed: fork target already ran");
-            detail::joinClock(
-                threads_[static_cast<std::size_t>(child)], ct,
-                cfg_);
-            if (cfg_.deepChecks) {
-                detail::deepCheck(
-                    threads_[static_cast<std::size_t>(child)]);
-            }
+            detail::joinClock(threads_[slotIndex(child)], ct, cfg_);
+            if (cfg_.deepChecks)
+                detail::deepCheck(threads_[slotIndex(child)]);
             break;
           }
           case OpType::Join:
-            detail::joinClock(
-                ct,
-                threads_[static_cast<std::size_t>(e.targetTid())],
-                cfg_);
+            detail::joinClock(ct, threads_[slotIndex(e.targetTid())],
+                              cfg_);
             break;
+          case OpType::ThreadCreate: {
+            // prepareCreate() already assigned the child its slot
+            // and reset its clock to the occupancy bias; what is
+            // left is the fork-like publish of the parent's clock.
+            // With a recycled slot the publish must descend fully
+            // (see TreeClock::joinFull): the child's synthetic root
+            // entry must not prune operand subtrees hanging under
+            // the slot's stale node.
+            ClockT &cc = threads_[slotIndex(e.targetTid())];
+            if constexpr (kUsesIdMap)
+                cc.joinFull(ct);
+            else
+                detail::joinClock(cc, ct, cfg_);
+            if (cfg_.deepChecks)
+                detail::deepCheck(cc);
+            break;
+          }
+          case OpType::ThreadJoin: {
+            const Tid child = e.targetTid();
+            TC_CHECK(child != e.tid, "feed: tjoin of self");
+            TC_CHECK(lifeState(child) == kLive,
+                     "feed: tjoin without tcreate");
+            lifeState_[static_cast<std::size_t>(child)] = kJoined;
+            detail::joinClock(ct, threads_[slotIndex(child)], cfg_);
+            break;
+          }
+          case OpType::ThreadRetire: {
+            const Tid child = e.targetTid();
+            TC_CHECK(lifeState(child) == kJoined,
+                     "feed: tretire without tjoin");
+            lifeState_[static_cast<std::size_t>(child)] = kRetired;
+            if constexpr (kUsesIdMap) {
+                // The slot becomes reusable at the thread's final
+                // raw value; its clock object is recycled in place
+                // by a later create's resetToRoot.
+                idMap_.retireExt(
+                    child, local_[static_cast<std::size_t>(child)]);
+            } else if constexpr (requires(ClockT &cl) {
+                                     cl.release();
+                                 }) {
+                // Flat clocks cannot recycle the id space; all the
+                // retire path can reclaim is the dead thread's own
+                // vector (see VectorClock::release).
+                threads_[slotIndex(child)].release();
+            }
+            break;
+          }
         }
 
         if (cfg_.deepChecks)
@@ -163,7 +217,8 @@ class AnalysisDriver
     {
         detail::maybeValidate(trace, cfg_);
         begin({trace.numThreads(), trace.numLocks(),
-               trace.numVars(), trace.size()});
+               trace.numVars(), trace.size(),
+               trace.hasLifecycle()});
         for (std::size_t i = 0; i < trace.size(); i++)
             feed(trace[i]);
         return result();
@@ -233,6 +288,21 @@ class AnalysisDriver
     }
     void fork(Tid t, Tid u) { feed(Event(t, OpType::Fork, u)); }
     void join(Tid t, Tid u) { feed(Event(t, OpType::Join, u)); }
+    void
+    threadCreate(Tid t, Tid u)
+    {
+        feed(Event(t, OpType::ThreadCreate, u));
+    }
+    void
+    threadJoin(Tid t, Tid u)
+    {
+        feed(Event(t, OpType::ThreadJoin, u));
+    }
+    void
+    threadRetire(Tid t, Tid u)
+    {
+        feed(Event(t, OpType::ThreadRetire, u));
+    }
     /** @} */
 
     /** Race results so far (live; totals only grow). */
@@ -241,9 +311,12 @@ class AnalysisDriver
     {
         return eventsProcessed_;
     }
+    /** External thread ids met so far — the width of externally
+     * indexed state (access histories, reports, timestamps). The
+     * clock bank may be narrower when retired slots are recycled. */
     Tid threadsSeen() const
     {
-        return static_cast<Tid>(threads_.size());
+        return static_cast<Tid>(local_.size());
     }
 
     /** @name Checkpoint save/restore (core/serial.hh)
@@ -265,9 +338,19 @@ class AnalysisDriver
     void
     saveState(ByteSink &out) const
     {
+        // Self-describing layout: a marker no event count can reach
+        // (kStateMarker ≥ 2^63) distinguishes the lifecycle-aware
+        // layout from pre-lifecycle blobs, whose first u64 was the
+        // event count. Old blobs restore through the legacy path
+        // below, so pre-bump snapshots stay loadable.
+        out.putU64(kStateMarker);
+        out.putU32(kStateVersion);
         out.putU64(eventsProcessed_);
         out.putU64(declaredThreads_);
         out.putVec(local_);
+        out.putVec(lifeState_);
+        out.putVec(seen_);
+        idMap_.serialize(out);
         out.putU64(threads_.size());
         for (const ClockT &clock : threads_)
             clock.serialize(out);
@@ -287,16 +370,56 @@ class AnalysisDriver
     restoreState(ByteSource &in)
     {
         resetState();
-        std::uint64_t thread_count = 0, lock_count = 0;
-        if (!in.getU64(eventsProcessed_))
+        std::uint64_t first = 0;
+        if (!in.getU64(first))
             return false;
+        const bool legacy = first != kStateMarker;
+        if (!legacy) {
+            std::uint32_t version = 0;
+            if (!in.getU32(version) || version != kStateVersion)
+                return in.fail();
+            if (!in.getU64(eventsProcessed_))
+                return false;
+        } else {
+            eventsProcessed_ = first;
+        }
+        std::uint64_t thread_count = 0, lock_count = 0;
         std::uint64_t declared = 0;
-        if (!in.getU64(declared) || !in.getVec(local_) ||
-            !in.getU64(thread_count) ||
+        if (!in.getU64(declared) || !in.getVec(local_))
+            return false;
+        declaredThreads_ = static_cast<std::size_t>(declared);
+        if (legacy) {
+            // Pre-lifecycle blobs carry no seen bits; those runs
+            // treated every id below the declared width as met,
+            // which is what an activation after resume must mirror.
+            lifeState_.assign(local_.size(), kNone);
+            seen_.assign(local_.size(), 1);
+        } else {
+            if (!in.getVec(lifeState_) || !in.getVec(seen_) ||
+                !idMap_.deserialize(in))
+                return false;
+            if (lifeState_.size() != local_.size() ||
+                seen_.size() != local_.size())
+                return in.fail();
+            // The map grows per met/created id, so it can trail the
+            // (possibly pre-sized) external width — never exceed it.
+            if (idMap_.active() &&
+                idMap_.extCount() > local_.size())
+                return in.fail();
+        }
+        extSeen_ = seen_.size();
+        while (extSeen_ > 0 && !seen_[extSeen_ - 1])
+            extSeen_--;
+        if (!in.getU64(thread_count) ||
             thread_count > in.remaining())
             return in.fail();
-        declaredThreads_ = static_cast<std::size_t>(declared);
-        if (local_.size() != thread_count)
+        // Active map: every slot must have a clock (extra trailing
+        // clocks — an eagerly built bank — are harmless). Inactive:
+        // the bank is identity-indexed, at most the external width
+        // (smaller when clocks were built lazily).
+        if (idMap_.active()
+                ? thread_count < idMap_.slotCount()
+                : thread_count > local_.size())
             return in.fail();
         threads_.reserve(static_cast<std::size_t>(thread_count));
         for (std::uint64_t t = 0; t < thread_count; t++) {
@@ -316,13 +439,15 @@ class AnalysisDriver
                 return false;
             if (locks_.back().holder < kNoTid ||
                 locks_.back().holder >=
-                    static_cast<Tid>(thread_count))
+                    static_cast<Tid>(local_.size()))
                 return in.fail();
         }
         if (!policy_.restoreState(in) || !races_.deserialize(in))
             return false;
         WorkCounters work;
-        if (!work.deserialize(in))
+        const bool work_ok = legacy ? work.deserializeLegacy(in)
+                                    : work.deserialize(in);
+        if (!work_ok)
             return false;
         if (cfg_.counters)
             *cfg_.counters = work;
@@ -330,27 +455,26 @@ class AnalysisDriver
     }
     /** @} */
 
-    /** Direct read access to a thread's clock (the sharded-analysis
-     * spine publishes these into the shared clock bank after each
-     * clock-mutating sync event). */
+    /** Direct read access to a thread's clock by *external* id (the
+     * sharded-analysis spine publishes these into the shared clock
+     * bank after each clock-mutating sync event). */
     const ClockT &
     threadClock(Tid t) const
     {
         TC_CHECK(t >= 0 &&
-                     static_cast<std::size_t>(t) < threads_.size(),
+                     static_cast<std::size_t>(t) < local_.size(),
                  "unknown thread");
-        return threads_[static_cast<std::size_t>(t)];
+        const std::size_t slot = slotIndex(t);
+        TC_CHECK(slot < threads_.size(),
+                 "thread has no clock yet (declared but never ran)");
+        return threads_[slot];
     }
 
     /** Current vector time of a thread (its view of the world). */
     std::vector<Clk>
     viewOf(Tid t) const
     {
-        TC_CHECK(t >= 0 &&
-                     static_cast<std::size_t>(t) < threads_.size(),
-                 "unknown thread");
-        return threads_[static_cast<std::size_t>(t)].toVector(
-            threads_.size());
+        return threadClock(t).toVector(local_.size());
     }
 
   private:
@@ -360,15 +484,51 @@ class AnalysisDriver
         Tid holder = kNoTid;
     };
 
+    /** First u64 of the lifecycle-aware (v2) saveState layout. Any
+     * value ≥ 2^63 is unreachable as an event count, so a blob
+     * starting with it cannot be a pre-lifecycle state (whose first
+     * u64 was eventsProcessed). Low bytes spell "2SCT". */
+    static constexpr std::uint64_t kStateMarker =
+        0xFFFFFFFF54435332ull;
+    static constexpr std::uint32_t kStateVersion = 2;
+
+    /** Lifecycle protocol states (lifeState_, external-indexed).
+     * kNone doubles as "ordinary thread" — only tcreate moves a
+     * thread to kLive. */
+    static constexpr std::uint8_t kNone = 0;
+    static constexpr std::uint8_t kLive = 1;
+    static constexpr std::uint8_t kJoined = 2;
+    static constexpr std::uint8_t kRetired = 3;
+
+    std::uint8_t
+    lifeState(Tid t) const
+    {
+        return lifeState_[static_cast<std::size_t>(t)];
+    }
+
+    /** threads_ index of external thread @p t: the id-map slot when
+     * the map is active, the id itself otherwise. */
+    std::size_t
+    slotIndex(Tid t) const
+    {
+        if constexpr (kUsesIdMap) {
+            if (idMap_.active()) {
+                const Tid s = idMap_.lookup(t).slot;
+                TC_CHECK(s != kNoTid, "unmapped thread id");
+                return static_cast<std::size_t>(s);
+            }
+        }
+        return static_cast<std::size_t>(t);
+    }
+
     /** Width of materialized timestamps handed to onTimestamp: the
      * declared thread count in batch/stream runs, else whatever has
      * been seen. */
     std::size_t
     timestampWidth() const
     {
-        return declaredThreads_ > threads_.size()
-                   ? declaredThreads_
-                   : threads_.size();
+        return declaredThreads_ > local_.size() ? declaredThreads_
+                                                : local_.size();
     }
 
     /** Drop per-run state so run() can be called repeatedly on one
@@ -378,6 +538,10 @@ class AnalysisDriver
     {
         threads_.clear();
         local_.clear();
+        lifeState_.clear();
+        seen_.clear();
+        extSeen_ = 0;
+        idMap_ = ThreadIdMap{};
         locks_.clear();
         policy_.reset();
         races_ = RaceSummary(0, cfg_.maxReports);
@@ -392,12 +556,25 @@ class AnalysisDriver
     {
         declaredThreads_ = static_cast<std::size_t>(si.threads);
         const auto k = static_cast<std::size_t>(si.threads);
-        threads_.reserve(k);
-        for (std::size_t t = 0; t < k; t++) {
-            threads_.emplace_back(static_cast<Tid>(t), k);
-            detail::configureClock(threads_.back(), cfg_, &arena_);
+        if (!si.lifecycle) {
+            // Static membership: every declared id will act, so
+            // build the bank upfront, each clock pre-sized to the
+            // full width (the measured batch configuration).
+            threads_.reserve(k);
+            for (std::size_t t = 0; t < k; t++) {
+                threads_.emplace_back(static_cast<Tid>(t), k);
+                detail::configureClock(threads_.back(), cfg_,
+                                       &arena_);
+            }
         }
+        // Dynamic membership: `k` counts logical ids over the whole
+        // execution, not live threads — an eager bank would be
+        // O(k²) bytes. Clocks build lazily (ensureSlotClock) and
+        // stay bounded by the live set once slots recycle; only the
+        // cheap external-indexed metadata below is eager.
         local_.assign(k, 0);
+        lifeState_.assign(k, kNone);
+        seen_.assign(k, 0);
         locks_.resize(static_cast<std::size_t>(si.locks));
         for (LockState &l : locks_)
             detail::configureClock(l.clock, cfg_, &arena_);
@@ -405,17 +582,91 @@ class AnalysisDriver
         races_.growVars(si.vars);
     }
 
+    /** Grow the externally indexed per-thread state to cover @p t. */
+    void
+    growExternal(Tid t)
+    {
+        while (local_.size() <= static_cast<std::size_t>(t)) {
+            local_.push_back(0);
+            lifeState_.push_back(kNone);
+            seen_.push_back(0);
+        }
+    }
+
+    /** Grow the clock bank to cover internal slot @p slot. While the
+     * id map is inactive slots equal external ids, so intermediate
+     * clocks are valid thread clocks for those ids; with an active
+     * map fresh slots are handed out densely and this adds exactly
+     * one clock. */
+    void
+    ensureSlotClock(Tid slot)
+    {
+        while (threads_.size() <= static_cast<std::size_t>(slot)) {
+            threads_.emplace_back(
+                static_cast<Tid>(threads_.size()),
+                static_cast<std::size_t>(slot) + 1);
+            detail::configureClock(threads_.back(), cfg_, &arena_);
+        }
+    }
+
     void
     ensureThread(Tid t)
     {
         TC_CHECK(t >= 0, "negative thread id");
-        while (threads_.size() <= static_cast<std::size_t>(t)) {
-            threads_.emplace_back(
-                static_cast<Tid>(threads_.size()),
-                static_cast<std::size_t>(t) + 1);
-            detail::configureClock(threads_.back(), cfg_, &arena_);
-            local_.push_back(0);
+        growExternal(t);
+        // Mark the id met: if the id map activates later, exactly
+        // these ids keep their identity slots (their clock contents
+        // are indexed by external id), while declared-but-never-met
+        // ids stay unmapped and remain legal tcreate targets.
+        seen_[static_cast<std::size_t>(t)] = 1;
+        if (static_cast<std::size_t>(t) + 1 > extSeen_)
+            extSeen_ = static_cast<std::size_t>(t) + 1;
+        if constexpr (kUsesIdMap)
+            ensureSlotClock(idMap_.ensureExt(t));
+        else
+            ensureSlotClock(t);
+    }
+
+    /**
+     * tcreate prologue: assign child @p child its slot — recycling
+     * a retired one when the creating thread @p parent covers the
+     * previous occupant's final clock — and reset its clock to the
+     * occupancy bias. Runs before any reference into threads_ is
+     * taken (slot assignment may grow the bank).
+     */
+    void
+    prepareCreate(Tid parent, Tid child)
+    {
+        TC_CHECK(child >= 0, "negative thread id");
+        TC_CHECK(child != parent, "feed: tcreate of self");
+        if constexpr (kUsesIdMap) {
+            // First lifecycle event: leave identity mode. Only ids
+            // actually met keep identity slots (their clock
+            // contents stay valid); declared-but-never-met ids stay
+            // unmapped — local_ may be pre-sized far beyond what
+            // has run, and mapping those ids here would make them
+            // illegal create targets.
+            if (!idMap_.active())
+                idMap_.activate(extSeen_, seen_.data());
         }
+        growExternal(child);
+        TC_CHECK(local_[static_cast<std::size_t>(child)] == 0 &&
+                     lifeState(child) == kNone,
+                 "feed: tcreate target already ran");
+        if constexpr (kUsesIdMap) {
+            ClockT &pc = threads_[slotIndex(parent)];
+            const Tid slot = idMap_.createExt(
+                child, [&pc](Tid s, Clk base) {
+                    return pc.rawGet(s) >= base;
+                });
+            const Clk bias = idMap_.lookup(child).bias;
+            ensureSlotClock(slot);
+            threads_[static_cast<std::size_t>(slot)].resetToRoot(
+                slot, bias);
+        } else {
+            ensureSlotClock(child);
+        }
+        lifeState_[static_cast<std::size_t>(child)] = kLive;
     }
 
     void
@@ -441,8 +692,25 @@ class AnalysisDriver
     /** Traversal scratch shared by all of this driver's clocks;
      * declared before them so it outlives every pointer. */
     ScratchArena arena_;
+    /** External-id compaction map; cfg_.idMap points here so every
+     * clock the driver configures shares it. Identity (inactive)
+     * until the first tcreate. */
+    ThreadIdMap idMap_;
+    /** Clock bank, indexed by internal slot (== external id until
+     * the id map activates). */
     std::vector<ClockT> threads_;
+    /** Local times by external id. */
     std::vector<Clk> local_;
+    /** Lifecycle protocol state by external id. */
+    std::vector<std::uint8_t> lifeState_;
+    /** 1 for every external id that has been met by feed() (acted,
+     * or was a fork/join/tjoin/tretire target) — the ids whose
+     * clock contents pin identity slots at id-map activation.
+     * tcreate children are deliberately *not* marked here before
+     * their create. */
+    std::vector<std::uint8_t> seen_;
+    /** max met external id + 1 — the activation width. */
+    std::size_t extSeen_ = 0;
     std::vector<LockState> locks_;
     Policy policy_;
     RaceSummary races_;

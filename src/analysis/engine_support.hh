@@ -85,6 +85,14 @@ struct EngineConfig
                    shardIndex;
     }
     /** @} */
+
+    /**
+     * Analysis-wide external-id compaction map (thread_id_map.hh),
+     * owned by the driver; attached to every clock that understands
+     * it (TreeClock). nullptr — and inactive until the first
+     * lifecycle event — for clock types that stay external-indexed.
+     */
+    const ThreadIdMap *idMap = nullptr;
 };
 
 /** Outcome of an engine run. */
@@ -115,6 +123,8 @@ configureClock(ClockT &clock, const EngineConfig &cfg,
         clock.setPolicy(cfg.policy);
     if constexpr (requires { clock.setArena(arena); })
         clock.setArena(arena);
+    if constexpr (requires { clock.setIdMap(cfg.idMap); })
+        clock.setIdMap(cfg.idMap);
 }
 
 /**

@@ -119,8 +119,15 @@ PoOracle::build(PartialOrderKind kind, std::size_t max_pairs)
             last_release[static_cast<std::size_t>(e.lock())] = i;
             break;
           case OpType::Fork:
+          case OpType::ThreadCreate:
             pending_fork[static_cast<std::size_t>(e.targetTid())] = i;
             break;
+          // Retirement reclaims clock storage, never ordering: the
+          // oracle keeps the child's full history, which is exactly
+          // the semantics the engines must preserve through reuse.
+          case OpType::ThreadRetire:
+            break;
+          case OpType::ThreadJoin:
           case OpType::Join: {
             const std::size_t child_last =
                 last_of_thread[static_cast<std::size_t>(

@@ -822,11 +822,16 @@ class ShardedBankedConsumer final : public ShardedConsumerBase
             switch (e.op) {
               case OpType::Acquire:
               case OpType::Join:
+              case OpType::ThreadJoin:
                 pub = e.tid;
                 break;
               case OpType::Fork:
+              case OpType::ThreadCreate:
                 pub = e.targetTid();
                 break;
+              // Retirement reclaims the child's storage without
+              // mutating any thread's vector time — nothing to
+              // publish.
               default:
                 break;
             }
@@ -860,7 +865,7 @@ class ShardedBankedConsumer final : public ShardedConsumerBase
         std::uint64_t pos = base;
         for (const Event &e : window) {
             reader.ensureThread(e.tid);
-            if (e.isFork() || e.isJoin())
+            if (e.isFork() || e.isJoin() || e.isLifecycle())
                 reader.ensureThread(e.targetTid());
             const auto ti = static_cast<std::size_t>(e.tid);
             const Clk c = ++reader.local[ti];
@@ -891,13 +896,16 @@ class ShardedBankedConsumer final : public ShardedConsumerBase
               }
               case OpType::Acquire:
               case OpType::Join:
+              case OpType::ThreadJoin:
                 reader.pubCount[ti]++;
                 break;
               case OpType::Fork:
+              case OpType::ThreadCreate:
                 reader.pubCount[static_cast<std::size_t>(
                     e.targetTid())]++;
                 break;
               case OpType::Release:
+              case OpType::ThreadRetire:
                 break;
             }
             pos++;

@@ -76,8 +76,19 @@ inline bool
 joinIsVacuous(const C &dst, const C &src)
 {
     if constexpr (RootedClock<C>) {
-        return src.empty() ||
-               src.localClk() <= dst.get(src.rootTid());
+        // rootTid() names an *internal* slot, so the probe must use
+        // the raw accessor on clocks that translate external ids
+        // (TreeClock with an active ThreadIdMap); for everything
+        // else rawGet is get.
+        if constexpr (requires(const C c, Tid t) {
+                          { c.rawGet(t) } -> std::same_as<Clk>;
+                      }) {
+            return src.empty() ||
+                   src.localClk() <= dst.rawGet(src.rootTid());
+        } else {
+            return src.empty() ||
+                   src.localClk() <= dst.get(src.rootTid());
+        }
     } else {
         (void)dst;
         (void)src;

@@ -87,6 +87,16 @@ class SparseVectorClock
 
     std::vector<Clk> toVector(std::size_t min_threads = 0) const;
 
+    /** Retire path (see VectorClock::release): drop the stored
+     * entries. Sparse clocks are not wired into the resident-byte
+     * gauge, so this is purely a deallocation. */
+    void
+    release()
+    {
+        entries_.clear();
+        entries_.shrink_to_fit();
+    }
+
     /** Number of stored (non-zero) entries. */
     std::size_t size() const { return entries_.size(); }
 

@@ -26,7 +26,25 @@ TreeClock::ensure(std::size_t n)
         firstChild_.resize(n, kNoTid);
         nextSib_.resize(n, kNoTid);
         prevSib_.resize(n, kNoTid);
+        updateAccounting();
     }
+}
+
+void
+TreeClock::resetToRoot(Tid owner, Clk start)
+{
+    TC_CHECK(owner >= 0, "thread clock owner must be a valid tid");
+    std::fill(clk_.begin(), clk_.end(), 0);
+    std::fill(aclk_.begin(), aclk_.end(), 0);
+    std::fill(parent_.begin(), parent_.end(), kAbsent);
+    std::fill(firstChild_.begin(), firstChild_.end(), kNoTid);
+    std::fill(nextSib_.begin(), nextSib_.end(), kNoTid);
+    std::fill(prevSib_.begin(), prevSib_.end(), kNoTid);
+    ensure(static_cast<std::size_t>(owner) + 1);
+    root_ = owner;
+    const auto o = static_cast<std::size_t>(owner);
+    parent_[o] = kNoTid;
+    clk_[o] = start;
 }
 
 void
@@ -46,7 +64,7 @@ bool
 TreeClock::lessThanOrEqualExact(const TreeClock &other) const
 {
     for (std::size_t i = 0; i < clk_.size(); i++) {
-        if (clk_[i] > other.get(static_cast<Tid>(i)))
+        if (clk_[i] > other.rawGet(static_cast<Tid>(i)))
             return false;
     }
     return true;
@@ -223,7 +241,7 @@ TreeClock::join(const TreeClock &other)
 
     const Clk other_root_clk =
         other.clk_[static_cast<std::size_t>(other.root_)];
-    if (get(other.root_) >= other_root_clk) {
+    if (rawGet(other.root_) >= other_root_clk) {
         // Root already covered: by direct monotonicity the whole
         // operand is covered (Algorithm 2, line 18).
         if (counters_) {
@@ -232,7 +250,7 @@ TreeClock::join(const TreeClock &other)
         }
         return;
     }
-    TC_CHECK(other.get(root_) <= localClk(),
+    TC_CHECK(other.rawGet(root_) <= localClk(),
              "join operand claims to know this thread's future");
     ensure(other.clk_.size());
 
@@ -244,9 +262,9 @@ TreeClock::join(const TreeClock &other)
         const auto o = static_cast<std::size_t>(other.root_);
         const Tid c = other.firstChild_[o];
         if (c == kNoTid ||
-            (get(c) >= other.clk_[static_cast<std::size_t>(c)] &&
+            (rawGet(c) >= other.clk_[static_cast<std::size_t>(c)] &&
              other.aclk_[static_cast<std::size_t>(c)] <=
-                 get(other.root_))) {
+                 rawGet(other.root_))) {
             if (parent_[o] != kAbsent)
                 detachFromParent(other.root_);
             clk_[o] = other_root_clk;
@@ -310,7 +328,7 @@ TreeClock::monotoneCopy(const TreeClock &other)
         const auto i = static_cast<std::size_t>(root_);
         const Tid c = other.firstChild_[i];
         if (c == kNoTid ||
-            (get(c) >= other.clk_[static_cast<std::size_t>(c)] &&
+            (rawGet(c) >= other.clk_[static_cast<std::size_t>(c)] &&
              other.aclk_[static_cast<std::size_t>(c)] <= clk_[i])) {
             const std::uint64_t changed = clk_[i] != other.clk_[i];
             clk_[i] = other.clk_[i];
@@ -422,8 +440,8 @@ TreeClock::deepCopy(const TreeClock &other)
 std::vector<Clk>
 TreeClock::toVector(std::size_t min_threads) const
 {
-    std::vector<Clk> out(std::max(clk_.size(), min_threads), 0);
-    std::copy(clk_.begin(), clk_.end(), out.begin());
+    std::vector<Clk> out;
+    toVectorInto(out, min_threads);
     return out;
 }
 
@@ -431,6 +449,16 @@ void
 TreeClock::toVectorInto(std::vector<Clk> &out,
                         std::size_t min_threads) const
 {
+    if (idMap_ && idMap_->active()) {
+        // External index space: project each mapped id through its
+        // slot/bias/cap record so the vector time reads in trace
+        // ids, exactly like a flat vector clock's.
+        const std::size_t exts = idMap_->extCount();
+        out.assign(std::max(exts, min_threads), 0);
+        for (std::size_t t = 0; t < exts; t++)
+            out[t] = get(static_cast<Tid>(t));
+        return;
+    }
     out.assign(std::max(clk_.size(), min_threads), 0);
     std::copy(clk_.begin(), clk_.end(), out.begin());
 }
@@ -590,6 +618,7 @@ TreeClock::deserialize(ByteSource &in)
     firstChild_ = std::move(first_child);
     nextSib_ = std::move(next_sib);
     prevSib_ = std::move(prev_sib);
+    updateAccounting();
     if (!checkInvariants().empty()) {
         // Leave a rejected clock empty rather than structurally
         // broken; the configured sinks stay attached.

@@ -59,6 +59,7 @@
 
 #include "core/scratch_arena.hh"
 #include "core/serial.hh"
+#include "core/thread_id_map.hh"
 #include "core/work_counters.hh"
 #include "support/types.hh"
 
@@ -103,8 +104,17 @@ class TreeClock
     /** Init(t): thread clock rooted at (t, 0, ⊥). */
     explicit TreeClock(Tid owner, std::size_t capacity = 0);
 
-    /** Attach a work-counter sink (nullptr detaches). */
-    void setCounters(WorkCounters *counters) { counters_ = counters; }
+    /** Attach a work-counter sink (nullptr detaches). Storage
+     * already held is credited to the new sink's resident-byte
+     * gauge; growth and release account incrementally from there
+     * (never in destructors, so moves cannot double-count). */
+    void
+    setCounters(WorkCounters *counters)
+    {
+        counters_ = counters;
+        accounted_ = 0;
+        updateAccounting();
+    }
 
     /**
      * Share a traversal scratch arena (nullptr reverts to the
@@ -117,12 +127,46 @@ class TreeClock
     JoinPolicy policy() const { return policy_; }
 
     /**
-     * Get(t): time of thread @p t, 0 when unknown. The same single
-     * array load a vector clock pays (absent threads hold 0 in the
-     * flat timestamp array).
+     * Attach the analysis-wide external-id map (nullptr detaches).
+     * While the map is inactive (no lifecycle event yet) every read
+     * takes the plain single-load path; once active, get() and
+     * toVector() translate external ids through it (thread_id_map.hh
+     * explains the slot/bias/cap scheme). The map must outlive this
+     * clock; structural operations (join/copy/increment) are
+     * unaffected — they work in slot space either way.
+     */
+    void setIdMap(const ThreadIdMap *map) { idMap_ = map; }
+
+    /**
+     * Get(t): time of external thread @p t, 0 when unknown. Without
+     * an active id map this is the same single array load a vector
+     * clock pays (absent threads hold 0 in the flat timestamp
+     * array); with one it is a record lookup plus a clamp.
      */
     Clk
     get(Tid t) const
+    {
+        if (idMap_ && idMap_->active()) {
+            const ThreadIdMap::Record r = idMap_->lookup(t);
+            if (r.slot == kNoTid)
+                return 0;
+            const Clk raw = rawGet(r.slot);
+            if (raw <= r.bias)
+                return 0;
+            const Clk ext = raw - r.bias;
+            return ext > r.cap ? r.cap : ext;
+        }
+        return rawGet(t);
+    }
+
+    /**
+     * Time stored for internal slot @p t — the cumulative occupancy
+     * time when an id map is active, identical to get() otherwise.
+     * This is the coordinate system all structural operations and
+     * cross-clock comparisons use.
+     */
+    Clk
+    rawGet(Tid t) const
     {
         const auto i = static_cast<std::size_t>(t);
         return i < clk_.size() ? clk_[i] : 0;
@@ -153,7 +197,7 @@ class TreeClock
     bool
     lessThanOrEqual(const TreeClock &other) const
     {
-        return root_ == kNoTid || localClk() <= other.get(root_);
+        return root_ == kNoTid || localClk() <= other.rawGet(root_);
     }
 
     /** Exact pointwise comparison for arbitrary clocks. O(k). */
@@ -161,6 +205,27 @@ class TreeClock
 
     /** Join of Algorithm 2: this ← this ⊔ other, sublinear. */
     void join(const TreeClock &other);
+
+    /**
+     * join() with pruning disabled for this one call — a full
+     * descent of the operand that transplants every progressed
+     * node. Required exactly once per slot reuse: right after
+     * resetToRoot() the clock's root entry is a synthetic bias, not
+     * causally acquired knowledge, so direct-monotonicity pruning
+     * against it could skip operand subtrees hanging under the
+     * recycled slot's stale node. One full-descent publish restores
+     * the causal premise (the creator covered the previous
+     * occupant's final clock, so everything any stale subtree holds
+     * is transplanted here), and every later join can prune again.
+     */
+    void
+    joinFull(const TreeClock &other)
+    {
+        const JoinPolicy saved = policy_;
+        policy_ = JoinPolicy::NoPruning;
+        join(other);
+        policy_ = saved;
+    }
 
     /**
      * MonotoneCopy of Algorithm 2: this ← other given this ⊑ other,
@@ -179,7 +244,20 @@ class TreeClock
     /** Unconditional linear copy of @p other's tree. */
     void deepCopy(const TreeClock &other);
 
-    /** Materialize the vector time (at least @p min_threads wide). */
+    /**
+     * Recycle this clock object for a new occupant of slot
+     * @p owner: drop the whole tree and become the single-node
+     * clock (owner, @p start, ⊥). @p start is the occupancy bias —
+     * the raw value at which the new thread's time begins (see
+     * thread_id_map.hh). With start == 0 this is equivalent to
+     * constructing a fresh thread clock. Counters/arena/policy/map
+     * wiring is preserved; no memory is returned (the arrays are
+     * about to be repopulated).
+     */
+    void resetToRoot(Tid owner, Clk start);
+
+    /** Materialize the vector time, externally indexed when an id
+     * map is active (at least @p min_threads wide). */
     std::vector<Clk> toVector(std::size_t min_threads = 0) const;
 
     /** toVector into caller storage, reusing its capacity (the
@@ -271,6 +349,23 @@ class TreeClock
         return arena_ ? arena_->stack : ownScratch_;
     }
 
+    /** Bytes per addressable slot: six parallel 32-bit arrays. */
+    static constexpr std::uint64_t kBytesPerSlot = 6 * sizeof(Clk);
+
+    /** Sync the counter sink's resident-byte gauge with the current
+     * array sizes (growth-only; shrinking never happens). */
+    void
+    updateAccounting()
+    {
+        if (!counters_)
+            return;
+        const std::uint64_t now = clk_.size() * kBytesPerSlot;
+        if (now > accounted_) {
+            counters_->addClockBytes(now - accounted_);
+            accounted_ = now;
+        }
+    }
+
     // Structure-of-arrays node storage, all 32-bit entries, indexed
     // by thread id (see the file comment for why).
     std::vector<Clk> clk_;        ///< flat timestamps (hot)
@@ -283,8 +378,11 @@ class TreeClock
     Tid root_ = kNoTid;
     WorkCounters *counters_ = nullptr;
     ScratchArena *arena_ = nullptr;
+    const ThreadIdMap *idMap_ = nullptr;
     JoinPolicy policy_ = JoinPolicy::Full;
     std::uint64_t fallbackCopies_ = 0;
+    /** Bytes already credited to counters_ (resident-byte gauge). */
+    std::uint64_t accounted_ = 0;
     /** Fallback traversal stack when no arena is attached. */
     std::vector<Tid> ownScratch_;
 };

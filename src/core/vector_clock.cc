@@ -17,8 +17,20 @@ VectorClock::VectorClock(Tid owner, std::size_t capacity)
 void
 VectorClock::ensure(std::size_t n)
 {
-    if (times_.size() < n)
+    if (times_.size() < n) {
         times_.resize(n, 0);
+        updateAccounting();
+    }
+}
+
+void
+VectorClock::release()
+{
+    if (counters_)
+        counters_->subClockBytes(accounted_);
+    accounted_ = 0;
+    times_.clear();
+    times_.shrink_to_fit();
 }
 
 void
@@ -114,14 +126,19 @@ VectorClock::deserialize(ByteSource &in)
     std::vector<Clk> times;
     if (!in.getI32(owner) || !in.getVec(times))
         return false;
+    if (owner < kNoTid)
+        return in.fail();
     // An owner must be addressable in its own vector (the owning
-    // constructor guarantees this for live clocks).
-    if (owner != kNoTid &&
-        (owner < 0 ||
-         static_cast<std::size_t>(owner) >= times.size()))
+    // constructor guarantees this for live clocks) — except the
+    // released representation (lifecycle retire): owner retained,
+    // no storage. Snapshots taken between a tretire and the end of
+    // the stream serialize exactly that state.
+    if (owner != kNoTid && !times.empty() &&
+        static_cast<std::size_t>(owner) >= times.size())
         return in.fail();
     owner_ = owner;
     times_ = std::move(times);
+    updateAccounting();
     return true;
 }
 

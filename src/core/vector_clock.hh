@@ -34,8 +34,16 @@ class VectorClock
     /** Thread clock for @p owner, pre-sized to @p capacity entries. */
     explicit VectorClock(Tid owner, std::size_t capacity = 0);
 
-    /** Attach a work-counter sink (nullptr detaches). */
-    void setCounters(WorkCounters *counters) { counters_ = counters; }
+    /** Attach a work-counter sink (nullptr detaches). Storage
+     * already held is credited to the new sink's resident-byte
+     * gauge. */
+    void
+    setCounters(WorkCounters *counters)
+    {
+        counters_ = counters;
+        accounted_ = 0;
+        updateAccounting();
+    }
 
     Tid ownerTid() const { return owner_; }
 
@@ -108,6 +116,17 @@ class VectorClock
     void toVectorInto(std::vector<Clk> &out,
                       std::size_t min_threads = 0) const;
 
+    /**
+     * Retire path: free this clock's storage and un-credit it from
+     * the resident-byte gauge. For a flat clock this is all
+     * reclamation can do — the entries of a retired thread inside
+     * *other* clocks must stay (every live vector still spans the
+     * full external id range), which is the structural gap the
+     * tree clock's slot recycling closes. The clock reads as all-0
+     * afterwards and must not be incremented again.
+     */
+    void release();
+
     /** Number of stored entries. */
     std::size_t size() const { return times_.size(); }
 
@@ -125,9 +144,25 @@ class VectorClock
   private:
     void ensure(std::size_t n);
 
+    /** Sync the counter sink's resident-byte gauge with the current
+     * entry count (growth-only; release() handles the shrink). */
+    void
+    updateAccounting()
+    {
+        if (!counters_)
+            return;
+        const std::uint64_t now = times_.size() * sizeof(Clk);
+        if (now > accounted_) {
+            counters_->addClockBytes(now - accounted_);
+            accounted_ = now;
+        }
+    }
+
     std::vector<Clk> times_;
     Tid owner_ = kNoTid;
     WorkCounters *counters_ = nullptr;
+    /** Bytes already credited to counters_ (resident-byte gauge). */
+    std::uint64_t accounted_ = 0;
 };
 
 } // namespace tc

@@ -35,6 +35,34 @@ struct WorkCounters
      * must stay 0 under HB/SHB/MAZ usage. */
     std::uint64_t fallbackCopies = 0;
 
+    /** @name Resident clock footprint (dynamic membership)
+     *
+     * Bytes currently held by clock payload arrays attributed to
+     * this counter set, and the high-water mark. Clocks account on
+     * growth and on explicit release() — never in destructors, so
+     * moves and scope exits cannot double-count. With thread
+     * lifecycle + reclamation the peak tracks *live* threads, not
+     * total-ever-created; that boundedness is what the pool-workload
+     * bench measures.
+     * @{ */
+    std::uint64_t clockBytes = 0;     ///< currently resident
+    std::uint64_t clockBytesPeak = 0; ///< high-water mark
+
+    void
+    addClockBytes(std::uint64_t n)
+    {
+        clockBytes += n;
+        if (clockBytes > clockBytesPeak)
+            clockBytesPeak = clockBytes;
+    }
+
+    void
+    subClockBytes(std::uint64_t n)
+    {
+        clockBytes = n > clockBytes ? 0 : clockBytes - n;
+    }
+    /** @} */
+
     void
     reset()
     {
@@ -52,11 +80,30 @@ struct WorkCounters
         out.putU64(copies);
         out.putU64(deepCopies);
         out.putU64(fallbackCopies);
+        out.putU64(clockBytes);
+        out.putU64(clockBytesPeak);
     }
 
     bool
     deserialize(ByteSource &in)
     {
+        return in.getU64(vtWork) && in.getU64(dsWork) &&
+               in.getU64(increments) && in.getU64(joins) &&
+               in.getU64(copies) && in.getU64(deepCopies) &&
+               in.getU64(fallbackCopies) && in.getU64(clockBytes) &&
+               in.getU64(clockBytesPeak);
+    }
+
+    /** Pre-lifecycle layout (seven fields, no clock-byte pair) —
+     * used when restoring snapshots written before the format bump.
+     * The byte counters restart from zero; they are a live-footprint
+     * gauge, not a cumulative total, so a resume repopulates them
+     * as clocks regrow. */
+    bool
+    deserializeLegacy(ByteSource &in)
+    {
+        clockBytes = 0;
+        clockBytesPeak = 0;
         return in.getU64(vtWork) && in.getU64(dsWork) &&
                in.getU64(increments) && in.getU64(joins) &&
                in.getU64(copies) && in.getU64(deepCopies) &&

@@ -1,0 +1,87 @@
+#include "gen/pool_workload.hh"
+
+#include <limits>
+#include <vector>
+
+#include "support/assert.hh"
+#include "support/rng.hh"
+
+namespace tc {
+
+Trace
+generatePoolWorkload(const PoolWorkloadParams &params)
+{
+    TC_CHECK(params.poolSize >= 1, "pool needs at least one slot");
+    TC_CHECK(params.tasks >= 1, "pool workload needs tasks");
+    TC_CHECK(params.vars >= 1, "pool workload needs variables");
+    TC_CHECK(params.tasks <=
+                 static_cast<std::uint64_t>(
+                     std::numeric_limits<Tid>::max() - 1),
+             "task count exceeds the thread id space");
+
+    Rng rng(params.seed);
+    Trace trace(static_cast<Tid>(params.tasks + 1), params.locks,
+                params.vars);
+    // Per task: create/join/retire plus the body (a sync decision
+    // emits two events, so this over-reserves slightly).
+    trace.reserve(params.tasks * (params.taskEvents + 3));
+
+    struct LiveTask
+    {
+        Tid id;
+        std::uint64_t remaining;
+    };
+    std::vector<LiveTask> live;
+    live.reserve(static_cast<std::size_t>(params.poolSize));
+
+    std::uint64_t created = 0;
+    const auto pool = static_cast<std::size_t>(params.poolSize);
+
+    while (created < params.tasks || !live.empty()) {
+        // Keep the pool full: the manager creates a fresh logical
+        // thread whenever a slot is open. Task ids are never
+        // reused in the trace — reuse is the *clock's* job.
+        if (live.size() < pool && created < params.tasks) {
+            const Tid id = static_cast<Tid>(1 + created);
+            created++;
+            trace.tcreate(0, id);
+            if (params.locks > 0)
+                trace.sync(0, 0); // manager heartbeat on lock 0
+            live.push_back({id, params.taskEvents});
+            continue;
+        }
+
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.below(static_cast<std::uint64_t>(live.size())));
+        LiveTask &task = live[pick];
+        if (task.remaining == 0) {
+            // Task done: the manager pulls its clock back and
+            // retires the id, making its slot reclaimable.
+            trace.tjoin(0, task.id);
+            trace.tretire(0, task.id);
+            live[pick] = live.back();
+            live.pop_back();
+            continue;
+        }
+        task.remaining--;
+        if (params.locks > 0 && rng.chance(params.syncRatio)) {
+            // Immediate acq/rel pair: always well-formed, and the
+            // release publishes the task's clock to later
+            // acquirers — the cross-task communication that makes
+            // slot reuse non-trivial for the clocks.
+            const LockId l = static_cast<LockId>(
+                rng.below(static_cast<std::uint64_t>(params.locks)));
+            trace.sync(task.id, l);
+        } else {
+            const VarId x = static_cast<VarId>(
+                rng.below(static_cast<std::uint64_t>(params.vars)));
+            if (rng.chance(params.readFraction))
+                trace.read(task.id, x);
+            else
+                trace.write(task.id, x);
+        }
+    }
+    return trace;
+}
+
+} // namespace tc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pool/task-graph workload: the dynamic-membership stress shape.
+ *
+ * A manager thread (tid 0) runs a task pool with a bounded number
+ * of live workers. Every task is a *fresh* logical thread id —
+ * tcreate'd by the manager, interleaved with the other live tasks
+ * for a bounded burst of accesses and lock syncs, then tjoin'd and
+ * tretire'd. The total id space grows with the task count
+ * (unbounded), while the live-thread count never exceeds
+ * poolSize + 1 — the workload the ThreadIdMap slot recycling
+ * exists for: tree-clock resident bytes stay proportional to the
+ * pool, not the task count.
+ */
+
+#ifndef TC_GEN_POOL_WORKLOAD_HH
+#define TC_GEN_POOL_WORKLOAD_HH
+
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace tc {
+
+/** Knobs for generatePoolWorkload(). */
+struct PoolWorkloadParams
+{
+    /** Maximum concurrently live tasks (pool width). */
+    Tid poolSize = 8;
+    /** Logical threads created — and retired — over the run. */
+    std::uint64_t tasks = 1000;
+    /** Body events per task (accesses + lock ops, approximate);
+     * the create/join/retire triple is extra. */
+    std::uint64_t taskEvents = 8;
+    LockId locks = 4;
+    VarId vars = 256;
+    /** Fraction of body events that are lock operations; syncs are
+     * immediate acq/rel pairs over a random lock, which is how
+     * tasks exchange clocks. */
+    double syncRatio = 0.2;
+    /** Fraction of accesses that are reads. */
+    double readFraction = 0.7;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate a well-formed pool trace (Trace::validate() holds by
+ * construction). Thread ids: 0 is the manager, tasks are 1..tasks.
+ * The result uses lifecycle events, so it is a format-v2 trace.
+ */
+Trace generatePoolWorkload(const PoolWorkloadParams &params);
+
+} // namespace tc
+
+#endif // TC_GEN_POOL_WORKLOAD_HH

@@ -28,7 +28,30 @@ enum class OpType : std::uint8_t
     Release, ///< rel(l): lock release
     Fork,    ///< fork(u): spawn thread u (extension)
     Join,    ///< join(u): wait for thread u to finish (extension)
+    /** @name Thread lifecycle (trace format v2)
+     *
+     * Dynamic membership for pool/task workloads: a *logical*
+     * thread is created by a parent (which publishes its clock to
+     * the child, like fork), later lifecycle-joined (the joiner
+     * pulls the child's final clock back), and finally retired —
+     * after which its id is dead and clocks may reclaim its
+     * storage. Unlike fork/join, these ops form a mandatory
+     * create → join → retire protocol per managed thread, which is
+     * what makes reclamation sound. Format-v1 readers reject these
+     * op codes as corrupt input.
+     * @{ */
+    ThreadCreate, ///< tcreate(u): create logical thread u
+    ThreadJoin,   ///< tjoin(u): await u's completion
+    ThreadRetire, ///< tretire(u): u's id becomes reclaimable
+    /** @} */
 };
+
+/** Highest op code of the v1 trace formats (no lifecycle). */
+inline constexpr std::uint8_t kMaxOpV1 =
+    static_cast<std::uint8_t>(OpType::Join);
+/** Highest op code of the v2 trace formats. */
+inline constexpr std::uint8_t kMaxOpV2 =
+    static_cast<std::uint8_t>(OpType::ThreadRetire);
 
 /** Short mnemonic used by the text trace format ("r", "acq", ...). */
 const char *opName(OpType op);
@@ -55,8 +78,21 @@ struct Event
     bool isRelease() const { return op == OpType::Release; }
     bool isFork() const { return op == OpType::Fork; }
     bool isJoin() const { return op == OpType::Join; }
+    bool
+    isThreadCreate() const
+    {
+        return op == OpType::ThreadCreate;
+    }
+    bool isThreadJoin() const { return op == OpType::ThreadJoin; }
+    bool
+    isThreadRetire() const
+    {
+        return op == OpType::ThreadRetire;
+    }
+    /** tcreate/tjoin/tretire (dynamic membership, format v2). */
+    bool isLifecycle() const { return op >= OpType::ThreadCreate; }
     /** Synchronization events in the paper's sense (acq/rel), plus
-     * the fork/join extension. */
+     * the fork/join and lifecycle extensions. */
     bool isSync() const { return !isAccess(); }
 
     VarId var() const { return static_cast<VarId>(target); }

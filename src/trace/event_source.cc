@@ -40,6 +40,12 @@ parseOp(const std::string &text, OpType &out)
         out = OpType::Fork;
     } else if (text == "join") {
         out = OpType::Join;
+    } else if (text == "tcreate") {
+        out = OpType::ThreadCreate;
+    } else if (text == "tjoin") {
+        out = OpType::ThreadJoin;
+    } else if (text == "tretire") {
+        out = OpType::ThreadRetire;
     } else {
         return false;
     }
@@ -111,8 +117,16 @@ class TextEventSource final : public EventSource
         while (std::getline(*is_, line)) {
             line_++;
             const std::string text = trimString(line);
-            if (text.empty() || text[0] == '#')
+            if (text.empty() || text[0] == '#') {
+                // The v2 writer stamps a version comment before the
+                // header; v1 files have no such line. Purely a
+                // reservation hint — hand-written v2 files without
+                // it still parse (and analyze) correctly.
+                if (text.rfind("# treeclock trace v", 0) == 0 &&
+                    text != "# treeclock trace v1")
+                    info_.lifecycle = true;
                 continue;
+            }
             std::istringstream ls(text);
             std::string kw_threads, kw_locks, kw_vars;
             std::int64_t k = 0, nl = 0, nv = 0;
@@ -171,7 +185,12 @@ class TextEventSource final : public EventSource
     std::size_t line_ = 0;
 };
 
-constexpr char kMagic[6] = {'T', 'C', 'T', 'B', '1', '\0'};
+/** v1 magic: formats that predate the lifecycle ops. Readers keep
+ * accepting it, bounding op codes at kMaxOpV1 so a v1 file carrying
+ * a lifecycle op code is corrupt, not silently reinterpreted. */
+constexpr char kMagicV1[6] = {'T', 'C', 'T', 'B', '1', '\0'};
+/** v2 magic: same wire layout, op codes up to kMaxOpV2. */
+constexpr char kMagicV2[6] = {'T', 'C', 'T', 'B', '2', '\0'};
 /** On-wire bytes per event: int32 tid, uint32 target, uint8 op. */
 constexpr std::size_t kEventBytes = 9;
 
@@ -214,7 +233,7 @@ class BinaryEventSource final : public EventSource
         const std::uint8_t op = p[8];
         bufPos_++;
         delivered_++;
-        if (op > static_cast<std::uint8_t>(OpType::Join)) {
+        if (op > maxOp_) {
             fail(0, "invalid op code");
             return false;
         }
@@ -271,9 +290,17 @@ class BinaryEventSource final : public EventSource
     void
     parseHeader()
     {
-        char magic[sizeof(kMagic)];
-        if (!is_->read(magic, sizeof(magic)) ||
-            std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        char magic[sizeof(kMagicV1)];
+        if (!is_->read(magic, sizeof(magic))) {
+            fail(0, "bad magic (not a treeclock binary trace)");
+            return;
+        }
+        if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+            maxOp_ = kMaxOpV1;
+        } else if (std::memcmp(magic, kMagicV2,
+                               sizeof(kMagicV2)) == 0) {
+            maxOp_ = kMaxOpV2;
+        } else {
             fail(0, "bad magic (not a treeclock binary trace)");
             return;
         }
@@ -289,6 +316,10 @@ class BinaryEventSource final : public EventSource
         info_.locks = static_cast<LockId>(header[1]);
         info_.vars = static_cast<VarId>(header[2]);
         info_.events = n;
+        // v2 files may carry lifecycle events, so their declared
+        // thread count can far exceed the live set — tell consumers
+        // to reserve accordingly.
+        info_.lifecycle = maxOp_ == kMaxOpV2;
     }
 
     /** Bulk-read the next window of raw records. */
@@ -328,6 +359,7 @@ class BinaryEventSource final : public EventSource
     std::istream::pos_type start_;
     SourceInfo info_;
     std::size_t window_;
+    std::uint8_t maxOp_ = kMaxOpV1;
     std::vector<unsigned char> buf_;
     std::size_t bufPos_ = 0;
     std::size_t bufCount_ = 0;

@@ -67,6 +67,14 @@ struct SourceInfo
     /** Total events when known upfront (materialized traces, binary
      * files); kUnknownEventCount otherwise (text streams). */
     std::uint64_t events = kUnknownEventCount;
+    /** The stream may contain thread lifecycle events (format v2
+     * with a dynamic-membership trace). A reservation hint only:
+     * `threads` then counts logical thread ids over the whole
+     * execution, not concurrently live threads, so consumers should
+     * size per-id metadata eagerly but build clocks lazily.
+     * Consumers must handle lifecycle events regardless of this
+     * flag — a false value never licenses rejecting them. */
+    bool lifecycle = false;
 
     bool
     eventCountKnown() const
@@ -246,7 +254,8 @@ class TraceSource final : public EventSource
     info() const override
     {
         return {trace_->numThreads(), trace_->numLocks(),
-                trace_->numVars(), trace_->size()};
+                trace_->numVars(), trace_->size(),
+                trace_->hasLifecycle()};
     }
 
     bool

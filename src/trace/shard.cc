@@ -27,7 +27,11 @@ namespace tc {
 
 namespace {
 
-constexpr char kShardMagic[6] = {'T', 'C', 'S', 'H', '1', '\0'};
+/** v1 magic: pre-lifecycle shard sets. Readers accept it and bound
+ * op codes at kMaxOpV1; the wire layout is identical to v2. */
+constexpr char kShardMagicV1[6] = {'T', 'C', 'S', 'H', '1', '\0'};
+/** v2 magic: op codes up to kMaxOpV2 (lifecycle events). */
+constexpr char kShardMagicV2[6] = {'T', 'C', 'S', 'H', '2', '\0'};
 
 /** Fixed-width header: magic, then shardIndex, shardCount, threads,
  * locks, vars (u32 each), then shardEvents, totalEvents (u64 each).
@@ -35,7 +39,7 @@ constexpr char kShardMagic[6] = {'T', 'C', 'S', 'H', '1', '\0'};
  * patched by finalize(), so readers can tell a crashed capture from
  * a finalized one. */
 constexpr std::size_t kCountsOffset =
-    sizeof(kShardMagic) + 5 * sizeof(std::uint32_t);
+    sizeof(kShardMagicV1) + 5 * sizeof(std::uint32_t);
 constexpr std::size_t kShardHeaderBytes =
     kCountsOffset + 2 * sizeof(std::uint64_t);
 
@@ -45,6 +49,9 @@ constexpr std::size_t kShardRecordBytes = 17;
 
 struct ShardHeader
 {
+    /** Decoded from the magic, never a wire field: 1 for TCSH1
+     * sets, 2 for TCSH2. Bounds the op codes readBatch accepts. */
+    std::uint8_t version = 2;
     std::uint32_t index = 0;
     std::uint32_t count = 0;
     std::uint32_t threads = 0;
@@ -57,10 +64,12 @@ struct ShardHeader
 void
 encodeShardHeader(unsigned char *out, const ShardHeader &h)
 {
-    std::memcpy(out, kShardMagic, sizeof(kShardMagic));
+    std::memcpy(out,
+                h.version >= 2 ? kShardMagicV2 : kShardMagicV1,
+                sizeof(kShardMagicV1));
     const std::uint32_t words[5] = {h.index, h.count, h.threads,
                                     h.locks, h.vars};
-    std::memcpy(out + sizeof(kShardMagic), words, sizeof(words));
+    std::memcpy(out + sizeof(kShardMagicV1), words, sizeof(words));
     const std::uint64_t counts[2] = {h.shardEvents, h.totalEvents};
     std::memcpy(out + kCountsOffset, counts, sizeof(counts));
 }
@@ -113,9 +122,16 @@ pwriteAll(int fd, const unsigned char *data, std::size_t n,
 bool
 readShardHeader(std::istream &is, ShardHeader &h)
 {
-    char magic[sizeof(kShardMagic)];
-    if (!is.read(magic, sizeof(magic)) ||
-        std::memcmp(magic, kShardMagic, sizeof(kShardMagic)) != 0)
+    char magic[sizeof(kShardMagicV1)];
+    if (!is.read(magic, sizeof(magic)))
+        return false;
+    if (std::memcmp(magic, kShardMagicV1,
+                    sizeof(kShardMagicV1)) == 0)
+        h.version = 1;
+    else if (std::memcmp(magic, kShardMagicV2,
+                         sizeof(kShardMagicV2)) == 0)
+        h.version = 2;
+    else
         return false;
     std::uint32_t words[5];
     std::uint64_t counts[2];
@@ -205,7 +221,8 @@ class ShardFileReader
             std::memcpy(&target, p + 12, sizeof(target));
             const std::uint8_t op = p[16];
             const std::uint64_t index = delivered_ + j;
-            if (op > static_cast<std::uint8_t>(OpType::Join) ||
+            if (op > (header_.version >= 2 ? kMaxOpV2
+                                           : kMaxOpV1) ||
                 tid < 0 ||
                 target >
                     static_cast<std::uint32_t>(
@@ -403,7 +420,8 @@ openShardReaders(
     std::uint64_t sum = 0;
     for (std::size_t i = 0; i < readers.size(); i++) {
         const ShardHeader &h = readers[i]->header();
-        if (h.count != first.count ||
+        if (h.version != first.version ||
+            h.count != first.count ||
             h.threads != first.threads ||
             h.locks != first.locks || h.vars != first.vars ||
             h.totalEvents != first.totalEvents ||
@@ -425,6 +443,7 @@ openShardReaders(
     info.locks = static_cast<LockId>(first.locks);
     info.vars = static_cast<VarId>(first.vars);
     info.events = first.totalEvents;
+    info.lifecycle = first.version >= 2;
     return {};
 }
 
@@ -1573,6 +1592,10 @@ ShardWriter::ShardWriter(const std::string &prefix,
     if (shards > kMaxShardSetCount)
         shards = kMaxShardSetCount;
     ShardHeader h;
+    // Versioned by content: lifecycle-free captures stay TCSH1 so
+    // readers reconstruct the same lifecycle hint (and therefore
+    // the same analysis memory behavior) as the original source.
+    h.version = info.lifecycle ? 2 : 1;
     h.count = shards;
     h.threads = static_cast<std::uint32_t>(info.threads);
     h.locks = static_cast<std::uint32_t>(info.locks);
@@ -1811,6 +1834,8 @@ ParallelShardWriter::ParallelShardWriter(const std::string &prefix,
     if (shards > kMaxShardSetCount)
         shards = kMaxShardSetCount;
     ShardHeader h;
+    // Same content-driven versioning as ShardWriter above.
+    h.version = info.lifecycle ? 2 : 1;
     h.count = shards;
     h.threads = static_cast<std::uint32_t>(info.threads);
     h.locks = static_cast<std::uint32_t>(info.locks);
@@ -2097,6 +2122,7 @@ captureTraceParallel(const Trace &trace, const std::string &prefix,
     info.locks = trace.numLocks();
     info.vars = trace.numVars();
     info.events = trace.size();
+    info.lifecycle = trace.hasLifecycle();
     ParallelShardWriter writer(prefix, shards, info);
     if (!writer.failed()) {
         // Per-shard position lists: each capture thread must know

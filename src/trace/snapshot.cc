@@ -168,7 +168,8 @@ parseSnapshot(const std::string &path,
     if (!header.getU32(version) || !header.getU8(finalized) ||
         !header.getU32(section_count))
         return corrupt("truncated snapshot header");
-    if (version != kSnapshotVersion)
+    if (version < kSnapshotVersionMin ||
+        version > kSnapshotVersion)
         return corrupt("unsupported snapshot version");
     if (finalized != 1) {
         return corrupt(

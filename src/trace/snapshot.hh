@@ -52,8 +52,12 @@
 
 namespace tc {
 
-/** Current .tcsnap format version. */
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/** Current .tcsnap format version. v2 snapshots may hold driver
+ * state blobs with dynamic-membership sections; the loader accepts
+ * v1 (pre-lifecycle) snapshots unchanged. */
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+/** Oldest version the loader still accepts. */
+inline constexpr std::uint32_t kSnapshotVersionMin = 1;
 
 /** Everything the meta section declares. */
 struct SnapshotMeta

@@ -17,6 +17,9 @@ opName(OpType op)
       case OpType::Release: return "rel";
       case OpType::Fork: return "fork";
       case OpType::Join: return "join";
+      case OpType::ThreadCreate: return "tcreate";
+      case OpType::ThreadJoin: return "tjoin";
+      case OpType::ThreadRetire: return "tretire";
     }
     return "?";
 }
@@ -24,8 +27,8 @@ opName(OpType op)
 std::string
 Event::toString() const
 {
-    const char prefix = isAccess() ? 'x' : (isSync() && !isFork() &&
-                                            !isJoin()) ? 'l' : 't';
+    const char prefix =
+        isAccess() ? 'x' : (isAcquire() || isRelease()) ? 'l' : 't';
     return strFormat("t%d:%s(%c%u)", tid, opName(op), prefix, target);
 }
 
@@ -53,9 +56,13 @@ Trace::push(const Event &e)
         break;
       case OpType::Fork:
       case OpType::Join:
+      case OpType::ThreadCreate:
+      case OpType::ThreadJoin:
+      case OpType::ThreadRetire:
         numThreads_ = std::max(numThreads_, e.targetTid() + 1);
         break;
     }
+    hasLifecycle_ = hasLifecycle_ || e.isLifecycle();
     events_.push_back(e);
 }
 
@@ -73,6 +80,13 @@ Trace::validate() const
                              false);
     std::vector<bool> joined(static_cast<std::size_t>(numThreads_),
                              false);
+    // Lifecycle protocol state: tcreate → tjoin → tretire. A
+    // lifecycle-managed thread is disjoint from fork targets, and
+    // tjoin reuses `joined` so "acts after being joined" covers it.
+    std::vector<bool> created(static_cast<std::size_t>(numThreads_),
+                              false);
+    std::vector<bool> retired(static_cast<std::size_t>(numThreads_),
+                              false);
 
     for (std::size_t i = 0; i < events_.size(); i++) {
         const Event &e = events_[i];
@@ -144,6 +158,11 @@ Trace::validate() const
                 return ValidationResult::failure(
                     i, strFormat("thread %d forked twice", child));
             }
+            if (created[static_cast<std::size_t>(child)]) {
+                return ValidationResult::failure(
+                    i, strFormat("fork target %d is lifecycle-managed",
+                                 child));
+            }
             forked[static_cast<std::size_t>(child)] = true;
             break;
           }
@@ -163,6 +182,73 @@ Trace::validate() const
                     i, strFormat("thread %d joined twice", child));
             }
             joined[static_cast<std::size_t>(child)] = true;
+            break;
+          }
+          case OpType::ThreadCreate: {
+            const Tid child = e.targetTid();
+            if (child < 0 || child >= numThreads_) {
+                return ValidationResult::failure(
+                    i, strFormat("tcreate target %d out of range",
+                                 child));
+            }
+            if (child == e.tid) {
+                return ValidationResult::failure(
+                    i, "thread tcreates itself");
+            }
+            if (started[static_cast<std::size_t>(child)]) {
+                return ValidationResult::failure(
+                    i, strFormat("tcreate target %d already has "
+                                 "events", child));
+            }
+            if (forked[static_cast<std::size_t>(child)] ||
+                created[static_cast<std::size_t>(child)]) {
+                return ValidationResult::failure(
+                    i, strFormat("thread %d created twice", child));
+            }
+            created[static_cast<std::size_t>(child)] = true;
+            break;
+          }
+          case OpType::ThreadJoin: {
+            const Tid child = e.targetTid();
+            if (child < 0 || child >= numThreads_) {
+                return ValidationResult::failure(
+                    i, strFormat("tjoin target %d out of range",
+                                 child));
+            }
+            if (child == e.tid) {
+                return ValidationResult::failure(
+                    i, "thread tjoins itself");
+            }
+            if (!created[static_cast<std::size_t>(child)]) {
+                return ValidationResult::failure(
+                    i, strFormat("tjoin of thread %d without tcreate",
+                                 child));
+            }
+            if (joined[static_cast<std::size_t>(child)]) {
+                return ValidationResult::failure(
+                    i, strFormat("thread %d joined twice", child));
+            }
+            joined[static_cast<std::size_t>(child)] = true;
+            break;
+          }
+          case OpType::ThreadRetire: {
+            const Tid child = e.targetTid();
+            if (child < 0 || child >= numThreads_) {
+                return ValidationResult::failure(
+                    i, strFormat("tretire target %d out of range",
+                                 child));
+            }
+            if (!created[static_cast<std::size_t>(child)] ||
+                !joined[static_cast<std::size_t>(child)]) {
+                return ValidationResult::failure(
+                    i, strFormat("tretire of thread %d without tjoin",
+                                 child));
+            }
+            if (retired[static_cast<std::size_t>(child)]) {
+                return ValidationResult::failure(
+                    i, strFormat("thread %d retired twice", child));
+            }
+            retired[static_cast<std::size_t>(child)] = true;
             break;
           }
         }

@@ -62,6 +62,18 @@ class Trace
     {
         push(Event(t, OpType::Join, child));
     }
+    void tcreate(Tid t, Tid child)
+    {
+        push(Event(t, OpType::ThreadCreate, child));
+    }
+    void tjoin(Tid t, Tid child)
+    {
+        push(Event(t, OpType::ThreadJoin, child));
+    }
+    void tretire(Tid t, Tid child)
+    {
+        push(Event(t, OpType::ThreadRetire, child));
+    }
     /** sync(l) of the paper's examples: acq(l) directly followed by
      * rel(l). */
     void sync(Tid t, LockId l) { acquire(t, l); release(t, l); }
@@ -79,6 +91,10 @@ class Trace
     Tid numThreads() const { return numThreads_; }
     LockId numLocks() const { return numLocks_; }
     VarId numVars() const { return numVars_; }
+    /** At least one lifecycle (tcreate/tjoin/tretire) event was
+     * appended — the trace is dynamic-membership and needs the v2
+     * on-disk formats. */
+    bool hasLifecycle() const { return hasLifecycle_; }
 
     /** Reserve storage for n events. */
     void reserve(std::size_t n) { events_.reserve(n); }
@@ -103,6 +119,7 @@ class Trace
     Tid numThreads_ = 0;
     LockId numLocks_ = 0;
     VarId numVars_ = 0;
+    bool hasLifecycle_ = false;
 };
 
 } // namespace tc

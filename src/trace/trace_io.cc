@@ -45,9 +45,15 @@ drainSource(EventSource &source)
 
 void
 writeBinaryHeader(std::ostream &os, Tid threads, LockId locks,
-                  VarId vars, std::uint64_t n)
+                  VarId vars, std::uint64_t n, bool lifecycle)
 {
-    constexpr char magic[6] = {'T', 'C', 'T', 'B', '1', '\0'};
+    // Versioned by content: lifecycle ops require the v2 op range,
+    // everything else stays v1 so pre-bump readers (and byte-level
+    // golden comparisons) keep working. Readers infer the lifecycle
+    // hint from the magic, so over-stamping v2 on a lifecycle-free
+    // stream would silently change analysis memory behavior.
+    const char magic[6] = {'T', 'C', 'T', 'B',
+                           lifecycle ? '2' : '1', '\0'};
     os.write(magic, sizeof(magic));
     const std::uint32_t header[3] = {
         static_cast<std::uint32_t>(threads),
@@ -73,9 +79,14 @@ writeBinaryEvent(std::ostream &os, const Event &e)
 
 void
 writeTextHeader(std::ostream &os, Tid threads, LockId locks,
-                VarId vars)
+                VarId vars, bool lifecycle)
 {
-    os << "# treeclock trace v1\n";
+    // Informational: the text parser treats '#' lines as comments,
+    // so v1 consumers still read v2 files that avoid lifecycle ops.
+    // The comment is emitted only when the content needs v2 — the
+    // sniffer keys the lifecycle hint off it.
+    if (lifecycle)
+        os << "# treeclock trace v2\n";
     os << "threads " << threads << " locks " << locks << " vars "
        << vars << "\n";
 }
@@ -86,7 +97,7 @@ void
 writeTraceText(const Trace &trace, std::ostream &os)
 {
     writeTextHeader(os, trace.numThreads(), trace.numLocks(),
-                    trace.numVars());
+                    trace.numVars(), trace.hasLifecycle());
     for (const Event &e : trace)
         os << e.tid << ' ' << opName(e.op) << ' ' << e.target
            << '\n';
@@ -102,7 +113,8 @@ bool
 writeTraceBinary(const Trace &trace, std::ostream &os)
 {
     writeBinaryHeader(os, trace.numThreads(), trace.numLocks(),
-                      trace.numVars(), trace.size());
+                      trace.numVars(), trace.size(),
+                      trace.hasLifecycle());
     for (const Event &e : trace)
         writeBinaryEvent(os, e);
     return static_cast<bool>(os);
@@ -157,12 +169,14 @@ saveTraceStream(EventSource &source, const std::string &path)
         // cannot announce it upfront (text inputs); it is the last
         // header field, so its offset is measured, not assumed.
         writeBinaryHeader(os, si.threads, si.locks, si.vars,
-                          si.eventCountKnown() ? si.events : 0);
+                          si.eventCountKnown() ? si.events : 0,
+                          si.lifecycle);
         count_pos =
             os.tellp() -
             static_cast<std::streamoff>(sizeof(std::uint64_t));
     } else {
-        writeTextHeader(os, si.threads, si.locks, si.vars);
+        writeTextHeader(os, si.threads, si.locks, si.vars,
+                        si.lifecycle);
     }
 
     std::uint64_t n = 0;

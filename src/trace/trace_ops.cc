@@ -44,7 +44,7 @@ projectThreads(const Trace &trace, const std::vector<Tid> &tids)
     for (const Event &e : trace) {
         if (!keep[static_cast<std::size_t>(e.tid)])
             continue;
-        if ((e.isFork() || e.isJoin()) &&
+        if ((e.isFork() || e.isJoin() || e.isLifecycle()) &&
             !keep[static_cast<std::size_t>(e.targetTid())]) {
             continue; // edge to a dropped thread is meaningless
         }
@@ -108,6 +108,9 @@ renumberDense(const Trace &trace, IdRemap *remap)
             break;
           case OpType::Fork:
           case OpType::Join:
+          case OpType::ThreadCreate:
+          case OpType::ThreadJoin:
+          case OpType::ThreadRetire:
             thread_used[static_cast<std::size_t>(e.targetTid())] =
                 true;
             break;
@@ -144,6 +147,9 @@ renumberDense(const Trace &trace, IdRemap *remap)
             break;
           case OpType::Fork:
           case OpType::Join:
+          case OpType::ThreadCreate:
+          case OpType::ThreadJoin:
+          case OpType::ThreadRetire:
             target = static_cast<std::uint32_t>(
                 thread_map[static_cast<std::size_t>(
                     e.targetTid())]);
@@ -177,6 +183,9 @@ appendShifted(const Trace &first, const Trace &second)
             break;
           case OpType::Fork:
           case OpType::Join:
+          case OpType::ThreadCreate:
+          case OpType::ThreadJoin:
+          case OpType::ThreadRetire:
             target += static_cast<std::uint32_t>(first.numThreads());
             break;
         }

@@ -69,6 +69,16 @@ StatsAccumulator::add(const Event &e)
       case OpType::Join:
         partial_.joins++;
         break;
+      case OpType::ThreadCreate:
+        partial_.tcreates++;
+        mark(threadSeen_, static_cast<std::size_t>(e.targetTid()));
+        break;
+      case OpType::ThreadJoin:
+        partial_.tjoins++;
+        break;
+      case OpType::ThreadRetire:
+        partial_.tretires++;
+        break;
     }
 }
 

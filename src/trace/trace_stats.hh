@@ -28,12 +28,16 @@ struct TraceStats
     std::uint64_t releases = 0;
     std::uint64_t forks = 0;
     std::uint64_t joins = 0;
+    std::uint64_t tcreates = 0; ///< lifecycle creates (format v2)
+    std::uint64_t tjoins = 0;   ///< lifecycle joins
+    std::uint64_t tretires = 0; ///< lifecycle retires
 
     std::uint64_t accessEvents() const { return reads + writes; }
     std::uint64_t
     syncEvents() const
     {
-        return acquires + releases + forks + joins;
+        return acquires + releases + forks + joins + tcreates +
+               tjoins + tretires;
     }
     /** Percentage of synchronization events (paper Table 1 row). */
     double syncPercent() const;

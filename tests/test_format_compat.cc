@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Backward compatibility against committed pre-lifecycle (format
+ * v1) fixtures in tests/fixtures/ — real files written by the
+ * pre-bump binaries, never regenerated:
+ *
+ *   golden_v1.tcb       binary trace, "TCTB1" magic
+ *   golden_v1.tct       the same trace, v1 text
+ *   golden_v1.{0,1,2}.tcs  the same trace as a 3-shard capture set
+ *   golden_v1.tcsnap    mid-stream checkpoint of the full
+ *                       (hb,shb,maz) × (tc,vc) analysis matrix
+ *
+ * The suite pins three contracts: every v1 container still decodes
+ * to the identical event stream with the identical analysis
+ * results (hardcoded from the pre-bump run), v1 snapshots still
+ * resume, and version mismatches are rejected as corrupt input —
+ * including by the CLIs, whose exit code 3 is scripted against.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline.hh"
+#include "test_helpers.hh"
+#include "trace/shard.hh"
+#include "trace/snapshot.hh"
+#include "trace/trace_io.hh"
+
+#ifndef TC_FIXTURE_DIR
+#error "TC_FIXTURE_DIR must point at tests/fixtures"
+#endif
+
+namespace tc {
+namespace {
+
+const std::string kDir = TC_FIXTURE_DIR;
+
+/** The pre-bump analysis results of the golden trace, copied from
+ * tests/fixtures/golden_v1.report.txt (which the pre-bump
+ * race_detector wrote). Any drift here is a silent change in how
+ * v1 inputs are decoded or analyzed. */
+struct GoldenCounts
+{
+    const char *po;
+    std::uint64_t total, ww, wr, rw, racyVars;
+};
+constexpr GoldenCounts kGolden[] = {
+    {"hb", 2262, 410, 1007, 845, 62},
+    {"shb", 1683, 281, 677, 725, 62},
+    {"maz", 1384, 225, 563, 596, 58},
+};
+
+Trace
+loadGoldenBinary()
+{
+    ParseResult r = loadTrace(kDir + "/golden_v1.tcb");
+    EXPECT_TRUE(r.ok) << r.message;
+    return std::move(r.trace);
+}
+
+int
+runCli(const std::string &command)
+{
+    const int status =
+        std::system((command + " > /dev/null 2>&1").c_str());
+    if (status == -1 || !WIFEXITED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+TEST(FormatCompat, FixturesAreGenuinelyV1)
+{
+    std::ifstream in(kDir + "/golden_v1.tcb", std::ios::binary);
+    ASSERT_TRUE(in.good());
+    char magic[6] = {};
+    in.read(magic, sizeof(magic));
+    EXPECT_EQ(std::string(magic, 5), "TCTB1")
+        << "fixture was regenerated with a v2 writer — restore "
+           "the committed pre-bump file";
+
+    std::ifstream text(kDir + "/golden_v1.tct");
+    std::string first;
+    std::getline(text, first);
+    EXPECT_NE(first, "# treeclock trace v2")
+        << "text fixture was regenerated with a v2 writer";
+}
+
+TEST(FormatCompat, AllV1ContainersDecodeIdentically)
+{
+    const Trace golden = loadGoldenBinary();
+    ASSERT_EQ(golden.size(), 3998u);
+    EXPECT_FALSE(golden.hasLifecycle());
+
+    ParseResult text = loadTrace(kDir + "/golden_v1.tct");
+    ASSERT_TRUE(text.ok) << text.message;
+    ASSERT_EQ(text.trace.size(), golden.size());
+    for (std::size_t i = 0; i < golden.size(); i++)
+        ASSERT_EQ(text.trace[i], golden[i]) << "event " << i;
+
+    auto shards = openShardSet(kDir + "/golden_v1");
+    ASSERT_NE(shards, nullptr);
+    EXPECT_FALSE(shards->info().lifecycle);
+    test::expectSameEvents(golden, *shards, "v1 shard set");
+}
+
+TEST(FormatCompat, V1RoundTripsThroughTheV2Writer)
+{
+    const Trace golden = loadGoldenBinary();
+    const std::string copy = "/tmp/tc_compat_roundtrip.tcb";
+    ASSERT_TRUE(saveTrace(golden, copy));
+    ParseResult r = loadTrace(copy);
+    ASSERT_TRUE(r.ok) << r.message;
+    ASSERT_EQ(r.trace.size(), golden.size());
+    for (std::size_t i = 0; i < golden.size(); i++)
+        ASSERT_EQ(r.trace[i], golden[i]) << "event " << i;
+    std::remove(copy.c_str());
+}
+
+TEST(FormatCompat, AnalysisResultsMatchThePreBumpRun)
+{
+    const Trace golden = loadGoldenBinary();
+    for (const GoldenCounts &g : kGolden) {
+        for (const char *clock : {"tc", "vc"}) {
+            SCOPED_TRACE(std::string(g.po) + "/" + clock);
+            AnalysisPipeline pipeline;
+            EngineConfig cfg;
+            cfg.maxReports = 10;
+            pipeline.add(makeAnalysisConsumer(g.po, clock, cfg));
+            TraceSource source(golden);
+            const auto reports = pipeline.run(source);
+            ASSERT_EQ(reports.size(), 1u);
+            const RaceSummary &races = reports[0].result.races;
+            EXPECT_EQ(races.total(), g.total);
+            EXPECT_EQ(races.writeWrite(), g.ww);
+            EXPECT_EQ(races.writeRead(), g.wr);
+            EXPECT_EQ(races.readWrite(), g.rw);
+            EXPECT_EQ(races.racyVarCount(), g.racyVars);
+        }
+    }
+
+    // The first reports are position-exact too (from the committed
+    // report text: "w-r race on x52: 1@t4 vs 4@t0", ...).
+    AnalysisPipeline hb;
+    EngineConfig cfg;
+    cfg.maxReports = 10;
+    hb.add(makeAnalysisConsumer("hb", "tc", cfg));
+    TraceSource source(golden);
+    const auto reports = hb.run(source);
+    const auto &first = reports[0].result.races.reports();
+    ASSERT_GE(first.size(), 3u);
+    EXPECT_EQ(first[0].var, 52);
+    EXPECT_EQ(first[0].kind, RaceKind::WriteRead);
+    EXPECT_EQ(first[0].prior, Epoch(4, 1));
+    EXPECT_EQ(first[0].current, Epoch(0, 4));
+    EXPECT_EQ(first[1].var, 3);
+    EXPECT_EQ(first[1].prior, Epoch(1, 4));
+    EXPECT_EQ(first[1].current, Epoch(4, 8));
+    EXPECT_EQ(first[2].var, 7);
+    EXPECT_EQ(first[2].prior, Epoch(5, 2));
+    EXPECT_EQ(first[2].current, Epoch(3, 4));
+}
+
+TEST(FormatCompat, V1SnapshotResumesToTheFullRunResult)
+{
+    const Trace golden = loadGoldenBinary();
+
+    // The committed snapshot holds the CLI's consumer matrix in
+    // CLI order: po-major over (hb, shb, maz) × (tc, vc).
+    auto add_matrix = [](AnalysisPipeline &pipeline) {
+        for (const char *po : {"hb", "shb", "maz"})
+            for (const char *clock : {"tc", "vc"})
+                pipeline.add(makeAnalysisConsumer(po, clock));
+    };
+
+    AnalysisPipeline straight;
+    add_matrix(straight);
+    TraceSource full(golden);
+    const auto expected = straight.run(full);
+
+    AnalysisPipeline resumed;
+    add_matrix(resumed);
+    SnapshotMeta meta;
+    std::string error;
+    ASSERT_TRUE(loadSnapshot(kDir + "/golden_v1.tcsnap", resumed,
+                             &meta, &error))
+        << error;
+    ASSERT_GT(meta.position, 0u);
+    ASSERT_LT(meta.position, golden.size());
+
+    TraceSource tail(golden);
+    ASSERT_TRUE(tail.seekToSequence(meta.position));
+    const auto reports = resumed.drain(tail);
+    ASSERT_EQ(reports.size(), expected.size());
+    for (std::size_t i = 0; i < reports.size(); i++) {
+        SCOPED_TRACE(expected[i].name);
+        EXPECT_EQ(reports[i].name, expected[i].name);
+        const RaceSummary &a = reports[i].result.races;
+        const RaceSummary &e = expected[i].result.races;
+        EXPECT_EQ(a.total(), e.total());
+        EXPECT_EQ(a.writeWrite(), e.writeWrite());
+        EXPECT_EQ(a.writeRead(), e.writeRead());
+        EXPECT_EQ(a.readWrite(), e.readWrite());
+        EXPECT_EQ(a.racyVars(), e.racyVars());
+        EXPECT_EQ(reports[i].result.work.vtWork,
+                  expected[i].result.work.vtWork);
+    }
+
+    // And the totals are still the pre-bump ones.
+    EXPECT_EQ(reports[0].result.races.total(), kGolden[0].total);
+    EXPECT_EQ(reports[2].result.races.total(), kGolden[1].total);
+    EXPECT_EQ(reports[4].result.races.total(), kGolden[2].total);
+}
+
+// ---------------------------------------------------------------
+// Version negotiation: unknown versions are corrupt input, both
+// through the library and through the CLIs (exit code 3).
+// ---------------------------------------------------------------
+
+void
+writeBinaryWithMagic(const std::string &path, const char *magic5,
+                     std::uint8_t op)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(magic5, 5);
+    out.put('\0');
+    const std::uint32_t header[3] = {2, 1, 1};
+    out.write(reinterpret_cast<const char *>(header),
+              sizeof(header));
+    const std::uint64_t n = 1;
+    out.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    const std::int32_t tid = 0;
+    const std::uint32_t target = 1;
+    out.write(reinterpret_cast<const char *>(&tid), sizeof(tid));
+    out.write(reinterpret_cast<const char *>(&target),
+              sizeof(target));
+    out.put(static_cast<char>(op));
+}
+
+TEST(FormatCompat, UnknownBinaryVersionIsCorrupt)
+{
+    const std::string path = "/tmp/tc_compat_v3.tcb";
+    writeBinaryWithMagic(path, "TCTB3", 0);
+    const ParseResult r = loadTrace(path);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(runCli("./race_detector --trace=" + path), 3);
+    EXPECT_EQ(runCli("./trace_tool stats " + path), 3);
+    std::remove(path.c_str());
+}
+
+TEST(FormatCompat, LifecycleOpInV1ContainerIsCorrupt)
+{
+    // A v1 file must not smuggle v2 op codes: the v1 reader bounds
+    // ops at kMaxOpV1 and treats anything beyond as corruption.
+    const std::string path = "/tmp/tc_compat_v1_lifecycle.tcb";
+    writeBinaryWithMagic(path, "TCTB1",
+                         static_cast<std::uint8_t>(
+                             OpType::ThreadCreate));
+    const ParseResult r = loadTrace(path);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(runCli("./race_detector --trace=" + path), 3);
+
+    // The identical bytes under a v2 magic are a valid trace.
+    writeBinaryWithMagic(path, "TCTB2",
+                         static_cast<std::uint8_t>(
+                             OpType::ThreadCreate));
+    const ParseResult v2 = loadTrace(path);
+    EXPECT_TRUE(v2.ok) << v2.message;
+    EXPECT_TRUE(v2.trace.hasLifecycle());
+    std::remove(path.c_str());
+}
+
+TEST(FormatCompat, UnknownSnapshotVersionIsRejected)
+{
+    // Byte 8 starts the u32 format version (after the 8-byte
+    // magic); bump it past kSnapshotVersion.
+    std::ifstream in(kDir + "/golden_v1.tcsnap",
+                     std::ios::binary);
+    std::vector<char> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 12u);
+    bytes[8] = static_cast<char>(kSnapshotVersion + 1);
+
+    const std::string path = "/tmp/tc_compat_future.tcsnap";
+    {
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    AnalysisPipeline pipeline;
+    pipeline.add(makeAnalysisConsumer("hb", "tc"));
+    SnapshotMeta meta;
+    std::string error;
+    EXPECT_FALSE(loadSnapshot(path, pipeline, &meta, &error));
+    EXPECT_FALSE(error.empty());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tc

@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Dynamic thread membership (trace format v2): lifecycle sync
+ * semantics on crafted traces, the ThreadIdMap slot-recycling
+ * contract in isolation, engine-vs-oracle sweeps over pool/task
+ * workloads, and the boundedness claim itself — tree-clock
+ * resident bytes scale with the live set, not the number of
+ * logical threads ever created.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/oracle.hh"
+#include "core/thread_id_map.hh"
+#include "gen/pool_workload.hh"
+#include "test_helpers.hh"
+
+namespace tc {
+namespace {
+
+using test::runEngine;
+
+// ---------------------------------------------------------------
+// Lifecycle sync semantics: tcreate publishes the parent's clock
+// to the child (like fork), tjoin pulls the child's final clock
+// back (like join), tretire frees the id without adding order.
+// ---------------------------------------------------------------
+
+TEST(Lifecycle, CreateOrdersChildAfterParent)
+{
+    Trace t(2, 0, 1);
+    t.write(0, 0);
+    t.tcreate(0, 1);
+    t.read(1, 0); // sees the parent's write through the create
+    const auto tc = runEngine<HbEngine, TreeClock>(t);
+    const auto vc = runEngine<HbEngine, VectorClock>(t);
+    EXPECT_EQ(tc.races.total(), 0u);
+    EXPECT_EQ(vc.races.total(), 0u);
+
+    // Without the create edge the same accesses race.
+    Trace t2(2, 0, 1);
+    t2.write(0, 0);
+    t2.read(1, 0);
+    EXPECT_GT((runEngine<HbEngine, TreeClock>(t2).races.total()),
+              0u);
+}
+
+TEST(Lifecycle, JoinOrdersParentAfterChild)
+{
+    Trace t(2, 0, 1);
+    t.tcreate(0, 1);
+    t.write(1, 0);
+    t.tjoin(0, 1);
+    t.read(0, 0); // ordered after the child's write
+    t.tretire(0, 1);
+    ASSERT_TRUE(t.validate().ok) << t.validate().message;
+    EXPECT_EQ((runEngine<HbEngine, TreeClock>(t).races.total()),
+              0u);
+    EXPECT_EQ((runEngine<HbEngine, VectorClock>(t).races.total()),
+              0u);
+}
+
+TEST(Lifecycle, SiblingsAreConcurrent)
+{
+    Trace t(3, 0, 1);
+    t.tcreate(0, 1);
+    t.tcreate(0, 2);
+    t.write(1, 0);
+    t.read(2, 0); // unordered against the sibling's write
+    const auto tc = runEngine<HbEngine, TreeClock>(t);
+    const auto vc = runEngine<HbEngine, VectorClock>(t);
+    EXPECT_EQ(tc.races.total(), 1u);
+    EXPECT_EQ(vc.races.total(), 1u);
+    EXPECT_EQ(tc.races.writeRead(), 1u);
+}
+
+TEST(Lifecycle, ReusedSlotStaysOrderedThroughJoinChain)
+{
+    // t1 retires, then t2 is created — with one live task at a
+    // time, t2 recycles t1's clock slot under TC. The join→create
+    // chain orders t2 after every t1 event, so the reuse must not
+    // resurrect t1's time as t2's.
+    Trace t(3, 0, 2);
+    t.tcreate(0, 1);
+    t.write(1, 0);
+    t.write(1, 1);
+    t.tjoin(0, 1);
+    t.tretire(0, 1);
+    t.tcreate(0, 2);
+    t.read(2, 0); // ordered: via tjoin(1) → tcreate(2)
+    t.write(2, 1);
+    ASSERT_TRUE(t.validate().ok) << t.validate().message;
+    for (const char *po : {"hb", "shb", "maz"}) {
+        SCOPED_TRACE(po);
+        EngineResult tc, vc;
+        if (po[0] == 'h') {
+            tc = runEngine<HbEngine, TreeClock>(t);
+            vc = runEngine<HbEngine, VectorClock>(t);
+        } else if (po[0] == 's') {
+            tc = runEngine<ShbEngine, TreeClock>(t);
+            vc = runEngine<ShbEngine, VectorClock>(t);
+        } else {
+            tc = runEngine<MazEngine, TreeClock>(t);
+            vc = runEngine<MazEngine, VectorClock>(t);
+        }
+        EXPECT_EQ(tc.races.total(), 0u);
+        EXPECT_EQ(vc.races.total(), 0u);
+    }
+}
+
+TEST(Lifecycle, UnsyncedAccessAfterRetireStillRaces)
+{
+    // The manager never reads x, so a second task racing the
+    // first's write through a recycled slot must still be caught:
+    // slot reuse is only legal because the join chain orders the
+    // *occupants*, not the accesses of unrelated threads.
+    Trace t(4, 0, 1);
+    t.tcreate(0, 1);
+    t.write(1, 0);
+    t.tjoin(0, 1);
+    t.tretire(0, 1);
+    t.tcreate(0, 2);
+    t.tcreate(0, 3);
+    t.write(2, 0); // ordered after t1's write (join chain)...
+    t.read(3, 0);  // ...but t3 races t2: siblings
+    ASSERT_TRUE(t.validate().ok) << t.validate().message;
+    const auto tc = runEngine<HbEngine, TreeClock>(t);
+    const auto vc = runEngine<HbEngine, VectorClock>(t);
+    EXPECT_EQ(tc.races.total(), vc.races.total());
+    EXPECT_EQ(tc.races.writeRead(), 1u);
+}
+
+TEST(Lifecycle, ValidationEnforcesTheProtocol)
+{
+    {
+        Trace t(2, 0, 1); // tjoin without tcreate
+        t.tjoin(0, 1);
+        EXPECT_FALSE(t.validate().ok);
+    }
+    {
+        Trace t(2, 0, 1); // tretire without tjoin
+        t.tcreate(0, 1);
+        t.tretire(0, 1);
+        EXPECT_FALSE(t.validate().ok);
+    }
+    {
+        Trace t(2, 0, 1); // fork target is lifecycle-managed
+        t.tcreate(0, 1);
+        t.fork(0, 1);
+        EXPECT_FALSE(t.validate().ok);
+    }
+    {
+        Trace t(2, 0, 1); // double create
+        t.tcreate(0, 1);
+        t.tjoin(0, 1);
+        t.tretire(0, 1);
+        t.tcreate(0, 1);
+        EXPECT_FALSE(t.validate().ok);
+    }
+}
+
+// ---------------------------------------------------------------
+// ThreadIdMap in isolation.
+// ---------------------------------------------------------------
+
+TEST(ThreadIdMap, IdentityUntilActivated)
+{
+    ThreadIdMap map;
+    EXPECT_FALSE(map.active());
+    EXPECT_EQ(map.ensureExt(7), 7);
+    EXPECT_EQ(map.extCount(), 0u);
+}
+
+TEST(ThreadIdMap, ActivationFreesNeverSeenSlots)
+{
+    ThreadIdMap map;
+    const std::vector<std::uint8_t> seen = {1, 0, 1, 0};
+    map.activate(seen.size(), seen.data());
+    EXPECT_TRUE(map.active());
+    EXPECT_EQ(map.extCount(), 4u);
+    EXPECT_EQ(map.slotCount(), 4u);
+    EXPECT_EQ(map.freeCount(), 2u);
+    EXPECT_EQ(map.lookup(0).slot, 0);
+    EXPECT_EQ(map.lookup(2).slot, 2);
+    EXPECT_EQ(map.lookup(1).slot, kNoTid);
+    EXPECT_EQ(map.lookup(3).slot, kNoTid);
+
+    // A virgin slot has base 0, so any creator covers it: the
+    // create recycles instead of growing the slot space.
+    const Tid s =
+        map.createExt(5, [](Tid, Clk base) { return base == 0; });
+    EXPECT_TRUE(s == 1 || s == 3);
+    EXPECT_EQ(map.slotCount(), 4u);
+    EXPECT_EQ(map.lookup(5).slot, s);
+    EXPECT_EQ(map.lookup(5).bias, 0u);
+}
+
+TEST(ThreadIdMap, ReuseRequiresCoverage)
+{
+    ThreadIdMap map;
+    const std::vector<std::uint8_t> seen = {1, 1};
+    map.activate(seen.size(), seen.data());
+    map.retireExt(1, 10); // slot 1 free, next occupancy at raw 10
+
+    // An uncovered creator must not recycle: fresh slot instead.
+    const Tid fresh =
+        map.createExt(2, [](Tid, Clk) { return false; });
+    EXPECT_EQ(fresh, 2);
+    EXPECT_EQ(map.slotCount(), 3u);
+    EXPECT_EQ(map.freeCount(), 1u);
+
+    // A covered creator recycles slot 1 with the retiree's final
+    // raw value as the bias.
+    const Tid reused =
+        map.createExt(3, [](Tid, Clk base) { return base >= 10; });
+    EXPECT_EQ(reused, 1);
+    EXPECT_EQ(map.lookup(3).bias, 10u);
+    EXPECT_EQ(map.lookup(3).cap, ThreadIdMap::kLiveCap);
+    EXPECT_EQ(map.freeCount(), 0u);
+
+    // The retiree's record survives the reuse, capped at its
+    // final time.
+    EXPECT_EQ(map.lookup(1).slot, 1);
+    EXPECT_EQ(map.lookup(1).cap, 10u);
+}
+
+TEST(ThreadIdMap, SerializeRoundtripAndRejection)
+{
+    ThreadIdMap map;
+    const std::vector<std::uint8_t> seen = {1, 1, 0};
+    map.activate(seen.size(), seen.data());
+    map.retireExt(0, 4);
+    map.createExt(7, [](Tid, Clk base) { return base >= 4; });
+
+    ByteSink sink;
+    map.serialize(sink);
+
+    ThreadIdMap loaded;
+    ByteSource source(sink.bytes());
+    ASSERT_TRUE(loaded.deserialize(source));
+    EXPECT_EQ(loaded.extCount(), map.extCount());
+    EXPECT_EQ(loaded.slotCount(), map.slotCount());
+    EXPECT_EQ(loaded.freeCount(), map.freeCount());
+    EXPECT_EQ(loaded.lookup(7).slot, map.lookup(7).slot);
+    EXPECT_EQ(loaded.lookup(7).bias, map.lookup(7).bias);
+    EXPECT_EQ(loaded.lookup(0).cap, 4u);
+
+    // Every truncation of the blob must be rejected.
+    for (std::size_t len = 0; len < sink.size(); len++) {
+        ThreadIdMap bad;
+        ByteSource trunc(sink.bytes().data(), len);
+        EXPECT_FALSE(bad.deserialize(trunc)) << "len " << len;
+    }
+}
+
+// ---------------------------------------------------------------
+// Pool workload: generator contract and engine-vs-oracle sweep.
+// ---------------------------------------------------------------
+
+PoolWorkloadParams
+smallPool(std::uint64_t tasks, Tid pool, std::uint64_t seed)
+{
+    PoolWorkloadParams p;
+    p.poolSize = pool;
+    p.tasks = tasks;
+    p.taskEvents = 6;
+    p.locks = 3;
+    p.vars = 12;
+    p.seed = seed;
+    return p;
+}
+
+TEST(PoolWorkload, GeneratesValidBoundedTraces)
+{
+    const PoolWorkloadParams params = smallPool(60, 4, 11);
+    const Trace t = generatePoolWorkload(params);
+    ASSERT_TRUE(t.validate().ok) << t.validate().message;
+    EXPECT_TRUE(t.hasLifecycle());
+    EXPECT_EQ(t.numThreads(), static_cast<Tid>(params.tasks + 1));
+
+    // The live set never exceeds poolSize + the manager.
+    std::vector<std::uint8_t> live(
+        static_cast<std::size_t>(t.numThreads()), 0);
+    live[0] = 1;
+    Tid live_count = 1, peak = 1;
+    std::uint64_t created = 0, retired = 0;
+    for (const Event &e : t) {
+        if (e.isThreadCreate()) {
+            live[static_cast<std::size_t>(e.targetTid())] = 1;
+            live_count++;
+            created++;
+            peak = std::max(peak, live_count);
+        } else if (e.isThreadRetire()) {
+            live[static_cast<std::size_t>(e.targetTid())] = 0;
+            live_count--;
+            retired++;
+        }
+    }
+    EXPECT_EQ(created, params.tasks);
+    EXPECT_EQ(retired, params.tasks);
+    EXPECT_LE(peak, params.poolSize + 1);
+
+    // Deterministic per seed; different seeds differ.
+    const Trace again = generatePoolWorkload(params);
+    ASSERT_EQ(again.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); i++)
+        ASSERT_EQ(again[i], t[i]) << "event " << i;
+    EXPECT_NE(generatePoolWorkload(smallPool(60, 4, 12)).events(),
+              t.events());
+}
+
+struct PoolSweepCase
+{
+    std::string label;
+    PoolWorkloadParams params;
+
+    friend std::ostream &
+    operator<<(std::ostream &os, const PoolSweepCase &c)
+    {
+        return os << c.label;
+    }
+};
+
+std::vector<PoolSweepCase>
+poolSweep()
+{
+    auto make = [](std::string label, std::uint64_t tasks,
+                   Tid pool, double sync, std::uint64_t seed) {
+        PoolSweepCase c;
+        c.label = std::move(label);
+        c.params = smallPool(tasks, pool, seed);
+        c.params.syncRatio = sync;
+        return c;
+    };
+    return {
+        make("narrow_1w", 40, 1, 0.3, 21),
+        make("small_3w", 60, 3, 0.2, 22),
+        make("wide_8w", 80, 8, 0.25, 23),
+        make("synced_4w", 60, 4, 0.6, 24),
+        make("syncfree_4w", 50, 4, 0.0, 25),
+    };
+}
+
+class PoolOracleSweep
+    : public ::testing::TestWithParam<PoolSweepCase>
+{
+  protected:
+    Trace trace_ = generatePoolWorkload(GetParam().params);
+};
+
+TEST_P(PoolOracleSweep, EnginesMatchOracleOnLifecycleTraces)
+{
+    struct Kind
+    {
+        PartialOrderKind po;
+        EngineResult (*tc)(const Trace &);
+        EngineResult (*vc)(const Trace &);
+    };
+    const Kind kinds[] = {
+        {PartialOrderKind::HB,
+         [](const Trace &t) {
+             return runEngine<HbEngine, TreeClock>(t);
+         },
+         [](const Trace &t) {
+             return runEngine<HbEngine, VectorClock>(t);
+         }},
+        {PartialOrderKind::SHB,
+         [](const Trace &t) {
+             return runEngine<ShbEngine, TreeClock>(t);
+         },
+         [](const Trace &t) {
+             return runEngine<ShbEngine, VectorClock>(t);
+         }},
+        {PartialOrderKind::MAZ,
+         [](const Trace &t) {
+             return runEngine<MazEngine, TreeClock>(t);
+         },
+         [](const Trace &t) {
+             return runEngine<MazEngine, VectorClock>(t);
+         }},
+    };
+    for (const Kind &kind : kinds) {
+        SCOPED_TRACE(partialOrderName(kind.po));
+        const PoOracle oracle(trace_, kind.po);
+        for (const bool use_tree : {false, true}) {
+            SCOPED_TRACE(use_tree ? "tc" : "vc");
+            const EngineResult result =
+                use_tree ? kind.tc(trace_) : kind.vc(trace_);
+            EXPECT_EQ(result.races.writeWrite(),
+                      oracle.races().writeWrite);
+            EXPECT_EQ(result.races.writeRead(),
+                      oracle.races().writeRead);
+            EXPECT_LE(result.races.readWrite(),
+                      oracle.races().readWrite);
+            EXPECT_EQ(result.races.racyVars(),
+                      oracle.races().racyVar);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PoolOracleSweep, ::testing::ValuesIn(poolSweep()),
+    [](const ::testing::TestParamInfo<PoolSweepCase> &info) {
+        return info.param.label;
+    });
+
+// ---------------------------------------------------------------
+// The boundedness claim: TC resident clock bytes track the pool,
+// not the task count.
+// ---------------------------------------------------------------
+
+template <typename ClockT>
+std::uint64_t
+peakClockBytes(const Trace &t)
+{
+    WorkCounters work;
+    EngineConfig cfg;
+    cfg.counters = &work;
+    HbEngine<ClockT> engine(cfg);
+    engine.run(t);
+    return work.clockBytesPeak;
+}
+
+TEST(Lifecycle, TreeClockFootprintBoundedByLiveSet)
+{
+    const Trace small = generatePoolWorkload(smallPool(300, 4, 31));
+    const Trace large =
+        generatePoolWorkload(smallPool(1500, 4, 31));
+
+    const std::uint64_t tc_small = peakClockBytes<TreeClock>(small);
+    const std::uint64_t tc_large = peakClockBytes<TreeClock>(large);
+    const std::uint64_t vc_large =
+        peakClockBytes<VectorClock>(large);
+
+    // 5x the logical threads, same pool: the TC peak must not
+    // scale with the task count (slack for free-list occupancy
+    // jitter), and must sit well below the external-indexed VC.
+    EXPECT_LE(tc_large, tc_small + tc_small / 4)
+        << "peak grew from " << tc_small << " to " << tc_large;
+    EXPECT_LT(tc_large * 10, vc_large);
+}
+
+} // namespace
+} // namespace tc

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "analysis/pipeline.hh"
+#include "gen/pool_workload.hh"
 #include "gen/random_trace.hh"
 #include "test_helpers.hh"
 #include "trace/event_source.hh"
@@ -99,13 +100,14 @@ removeDir(const std::string &dir)
     rmdir(dir.c_str());
 }
 
-TEST(SnapshotFuzz, EveryByteFlipRejectsOrLoadsIdentically)
+/** The snapshot flip-sweep body, shared by the plain and the
+ * lifecycle (pool-trace) legs. */
+void
+snapshotFlipSweep(const std::string &dir, const Trace &trace,
+                  std::size_t cut)
 {
-    const std::string dir = "/tmp/tc_snapfuzz";
     removeDir(dir);
     ASSERT_EQ(mkdir(dir.c_str(), 0755), 0);
-    const Trace trace = tinyTrace(400);
-    const std::size_t cut = 250;
 
     AnalysisPipeline straight;
     addConsumers(straight);
@@ -175,6 +177,29 @@ TEST(SnapshotFuzz, EveryByteFlipRejectsOrLoadsIdentically)
     removeDir(dir);
 }
 
+TEST(SnapshotFuzz, EveryByteFlipRejectsOrLoadsIdentically)
+{
+    snapshotFlipSweep("/tmp/tc_snapfuzz", tinyTrace(400), 250);
+}
+
+TEST(SnapshotFuzz, LifecycleStateFlipsRejectOrLoadIdentically)
+{
+    // A snapshot cut mid-pool-trace serializes the dynamic-
+    // membership state too — seen bits, the ThreadIdMap records
+    // and slot bases, lifecycle states. Flip every byte of that.
+    PoolWorkloadParams params;
+    params.poolSize = 3;
+    params.tasks = 30;
+    params.taskEvents = 4;
+    params.locks = 2;
+    params.vars = 8;
+    params.seed = 77;
+    const Trace trace = generatePoolWorkload(params);
+    ASSERT_TRUE(trace.hasLifecycle());
+    snapshotFlipSweep("/tmp/tc_snapfuzz_lc", trace,
+                      trace.size() / 2);
+}
+
 TEST(SnapshotFuzz, TruncationsNeverLoad)
 {
     const std::string dir = "/tmp/tc_snapfuzz_trunc";
@@ -206,12 +231,13 @@ TEST(SnapshotFuzz, TruncationsNeverLoad)
     removeDir(dir);
 }
 
-TEST(SnapshotFuzz, ShardEveryByteFlipRejectsOrKeepsShape)
+/** The .tcs flip-sweep body, shared by the v1-shape and the
+ * lifecycle (v2 capture) legs. */
+void
+shardFlipSweep(const std::string &dir, const Trace &trace)
 {
-    const std::string dir = "/tmp/tc_shardfuzz";
     removeDir(dir);
     ASSERT_EQ(mkdir(dir.c_str(), 0755), 0);
-    const Trace trace = tinyTrace(200, 21);
     const std::string prefix = dir + "/cap";
     {
         TraceSource source(trace);
@@ -251,6 +277,28 @@ TEST(SnapshotFuzz, ShardEveryByteFlipRejectsOrKeepsShape)
     auto source = openTraceFile(target);
     test::expectSameEvents(trace, *source, "restored shard set");
     removeDir(dir);
+}
+
+TEST(SnapshotFuzz, ShardEveryByteFlipRejectsOrKeepsShape)
+{
+    shardFlipSweep("/tmp/tc_shardfuzz", tinyTrace(200, 21));
+}
+
+TEST(SnapshotFuzz, LifecycleShardFlipsRejectOrKeepShape)
+{
+    // The same sweep over a v2 (TCSH2) capture: lifecycle op
+    // codes in the records and the version byte in the header
+    // are part of the flipped surface.
+    PoolWorkloadParams params;
+    params.poolSize = 3;
+    params.tasks = 20;
+    params.taskEvents = 4;
+    params.locks = 2;
+    params.vars = 8;
+    params.seed = 78;
+    const Trace trace = generatePoolWorkload(params);
+    ASSERT_TRUE(trace.hasLifecycle());
+    shardFlipSweep("/tmp/tc_shardfuzz_lc", trace);
 }
 
 } // namespace
