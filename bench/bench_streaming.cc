@@ -48,7 +48,20 @@
  *     (TC must sit strictly below VC — slot recycling vs
  *     external indexing) and lifecycle_bound/TC repeats the TC
  *     leg at 10x the tasks to pin that its peak is set by the
- *     pool width, not the task count.
+ *     pool width, not the task count,
+ * (o) decode_io — pure decode drains (no analysis) of the same
+ *     bytes through each --io byte source: buffered stream vs the
+ *     mmap in-place decoder, for both the single .tcb file and the
+ *     K-shard merged set, plus the prefetch decorator over the
+ *     stream reader as the pre-existing overlap point of reference
+ *     (entries decode_{tcb,shards}_{stream,mmap} and
+ *     decode_tcb_prefetch). CI floors mmap against stream,
+ * (p) capture_async — the write-side twin: the same parallel split
+ *     (encode + shard append) with the writer's flush submitted
+ *     synchronously vs handed to the async backend (io_uring where
+ *     the kernel has it, a writer thread otherwise; entries
+ *     capture_sync/capture_async), measuring how much flush wall
+ *     time the capture overlap hides.
  *
  * Reports events/s per (mode, clock), quantifying what "streaming
  * SHB/MAZ by default" costs over the batch loop, how much of the
@@ -213,6 +226,7 @@ constexpr const char *kModeNames[] = {
     "sharded_analysis",
     "checkpoint_overhead",
     "lifecycle_footprint",
+    "decode_io",       "capture_async",
 };
 
 /** Best seconds for one pass of @p trace through a single (po,
@@ -400,7 +414,7 @@ main(int argc, char **argv)
                    "decode_scaling | merge_width | "
                    "merge_partitioned | sharded_analysis | "
                    "checkpoint_overhead | lifecycle_footprint | "
-                   "all");
+                   "decode_io | capture_async | all");
     args.addInt("checkpoint-every",
                 static_cast<std::int64_t>(1000000),
                 "snapshot cadence (events) for the "
@@ -452,7 +466,9 @@ main(int argc, char **argv)
     const bool need_file =
         modeEnabled(mode_filter, "file_stream") ||
         modeEnabled(mode_filter, "prefetch") ||
-        modeEnabled(mode_filter, "parallel_fanout_stream");
+        modeEnabled(mode_filter, "parallel_fanout_stream") ||
+        modeEnabled(mode_filter, "decode_io") ||
+        modeEnabled(mode_filter, "capture_async");
     if (need_file && !saveTrace(trace, path)) {
         std::fprintf(stderr, "error: cannot write '%s'\n",
                      path.c_str());
@@ -469,7 +485,8 @@ main(int argc, char **argv)
     const bool need_shards =
         modeEnabled(mode_filter, "shard_merge") ||
         modeEnabled(mode_filter, "shard_prefetch") ||
-        modeEnabled(mode_filter, "decode_scaling");
+        modeEnabled(mode_filter, "decode_scaling") ||
+        modeEnabled(mode_filter, "decode_io");
     if (need_shards) {
         TraceSource shard_feed(trace);
         std::string error;
@@ -771,6 +788,71 @@ main(int argc, char **argv)
         footprint.template operator()<TreeClock>(
             "lifecycle_bound", "TC", bound_trace,
             bound_params.tasks);
+    }
+    if (modeEnabled(mode_filter, "decode_io")) {
+        // Pure decode drain (no analysis) of the same bytes
+        // through each --io byte source, for both container
+        // formats the flag routes: the single .tcb file and the
+        // K-shard merged set. The prefetch leg decorates the
+        // stream reader — the pre-existing overlap mechanism mmap
+        // is measured against. Where the build lacks mmap the Mmap
+        // request degrades to the stream reader, so the pair
+        // simply ties instead of failing.
+        const auto tcb_stream =
+            openTraceFile(path, window, 0, 0, IoMode::Stream);
+        report("decode_tcb_stream", "drain",
+               timeDrain(*tcb_stream, reps));
+        const auto tcb_mmap =
+            openTraceFile(path, window, 0, 0, IoMode::Mmap);
+        report("decode_tcb_mmap", "drain",
+               timeDrain(*tcb_mmap, reps));
+        const auto tcb_prefetch = makePrefetchSource(
+            openTraceFile(path, window, 0, 0, IoMode::Stream),
+            window);
+        report("decode_tcb_prefetch", "drain",
+               timeDrain(*tcb_prefetch, reps));
+        const auto shards_stream =
+            openShardSet(shard_prefix, window,
+                         MergeStrategy::LoserTree, IoMode::Stream);
+        report("decode_shards_stream", "drain",
+               timeDrain(*shards_stream, reps));
+        const auto shards_mmap =
+            openShardSet(shard_prefix, window,
+                         MergeStrategy::LoserTree, IoMode::Mmap);
+        report("decode_shards_mmap", "drain",
+               timeDrain(*shards_mmap, reps));
+    }
+    if (modeEnabled(mode_filter, "capture_async")) {
+        // Write-side twin of decode_io: the same parallel split
+        // (encode + shard append) with the writer's staged
+        // segments flushed synchronously vs submitted to the async
+        // backend (io_uring where the kernel has it, a flush
+        // thread otherwise) — how much flush wall time the
+        // capture/flush overlap hides. Two writer threads so the
+        // encode side is not the bottleneck on small CI boxes.
+        const std::string cap_prefix = path + ".cap";
+        auto timeSplit = [&](ShardAppendMode append) {
+            return bestOfReps(reps, [&] {
+                TraceSource feed(trace);
+                std::string error;
+                Timer timer;
+                if (splitTraceStreamParallel(feed, cap_prefix,
+                                             shards, 2, &error,
+                                             append) ==
+                    kUnknownEventCount) {
+                    std::fprintf(stderr, "error: %s\n",
+                                 error.c_str());
+                    std::abort();
+                }
+                return timer.seconds();
+            });
+        };
+        report("capture_sync", "write",
+               timeSplit(ShardAppendMode::Sync));
+        report("capture_async", "write",
+               timeSplit(ShardAppendMode::Async));
+        for (std::uint32_t i = 0; i < shards; i++)
+            std::remove(shardPath(cap_prefix, i).c_str());
     }
 
     table.print(std::cout);

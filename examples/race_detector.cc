@@ -258,6 +258,14 @@ main(int argc, char **argv)
     }
     const std::size_t shard_workers = resolveShardWorkers(
         shardAnalysisWorkersFromFlags(args));
+    IoMode io = IoMode::Auto;
+    if (!ioModeFromFlags(args, io)) {
+        std::fprintf(stderr,
+                     "error: unknown --io mode '%s' "
+                     "(auto|mmap|stream)\n",
+                     args.getString("io").c_str());
+        return kExitUsage;
+    }
     std::unique_ptr<EventSource> source;
     if (!stream) {
         // Materialize once: whole-trace validation and the summary
@@ -265,7 +273,7 @@ main(int argc, char **argv)
         Trace trace;
         if (has_trace) {
             ParseResult parsed =
-                loadTrace(args.getString("trace"));
+                loadTrace(args.getString("trace"), io);
             if (!parsed.ok) {
                 return reportError(
                     parsed.message, parsed.line,

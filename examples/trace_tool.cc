@@ -51,6 +51,7 @@
 #include "gen/random_trace.hh"
 #include "support/cli.hh"
 #include "support/diagnostics.hh"
+#include "support/source_cli.hh"
 #include "support/strings.hh"
 #include "trace/event_source.hh"
 #include "trace/fault_injection.hh"
@@ -89,12 +90,14 @@ loadOrDie(const std::string &path)
 
 /** Open a chunked streaming reader, or die on open/header errors.
  * @p mergeWorkers > 0 merges shard-set inputs on that many
- * range-partitioned workers (no effect on single-file formats). */
+ * range-partitioned workers (no effect on single-file formats);
+ * @p io selects the byte source (--io). */
 std::unique_ptr<EventSource>
-openOrDie(const std::string &path, std::size_t mergeWorkers = 0)
+openOrDie(const std::string &path, std::size_t mergeWorkers = 0,
+          IoMode io = IoMode::Auto)
 {
     auto source = openTraceFile(path, kDefaultSourceWindow, 0,
-                                mergeWorkers);
+                                mergeWorkers, io);
     if (source->failed())
         std::exit(reportSourceError(*source));
     return source;
@@ -224,6 +227,16 @@ main(int argc, char **argv)
                 "range-partitioned merge workers for reading "
                 "shard sets (stats/convert/merge; 0/1 = "
                 "sequential merge, byte-identical either way)");
+    args.addString("io", "auto",
+                   "byte source for reading traces: mmap decodes "
+                   "binary files in place, stream reads through "
+                   "buffered I/O (auto|mmap|stream)");
+    args.addBool("async-append", false,
+                 "flush shard segments asynchronously in "
+                 "multi-writer split and capture (io_uring where "
+                 "it works, a flusher thread otherwise; the "
+                 "finalized set is byte-identical to synchronous "
+                 "flushing)");
     args.addString("vars", "", "comma-separated variable ids (slice)");
     args.addString("threads-list", "",
                    "comma-separated thread ids (project)");
@@ -267,10 +280,22 @@ main(int argc, char **argv)
             : static_cast<std::size_t>(
                   args.getInt("merge-workers"));
 
+    IoMode io = IoMode::Auto;
+    if (!ioModeFromFlags(args, io)) {
+        std::fprintf(stderr,
+                     "error: unknown --io mode '%s' "
+                     "(auto|mmap|stream)\n",
+                     args.getString("io").c_str());
+        return kExitUsage;
+    }
+    const ShardAppendMode append_mode =
+        args.getBool("async-append") ? ShardAppendMode::Async
+                                     : ShardAppendMode::Sync;
+
     if (cmd == "stats" && pos.size() == 2) {
         // Streaming: O(distinct ids) memory regardless of file
         // size.
-        const auto source = openOrDie(pos[1], merge_workers);
+        const auto source = openOrDie(pos[1], merge_workers, io);
         const TraceStats s = computeStats(*source);
         checkDrained(*source, pos[1]);
         printStats(s);
@@ -301,7 +326,7 @@ main(int argc, char **argv)
         }
         if (isShardOutput(pos[2]))
             return 1;
-        const auto source = openOrDie(pos[1], merge_workers);
+        const auto source = openOrDie(pos[1], merge_workers, io);
         // Probe writability first (append mode, no truncation) so
         // the failure cleanup below never deletes a pre-existing
         // file we were unable to open in the first place.
@@ -359,14 +384,15 @@ main(int argc, char **argv)
         }
         const auto writers =
             static_cast<std::uint32_t>(writers_raw);
-        const auto source = openOrDie(pos[1], merge_workers);
+        const auto source = openOrDie(pos[1], merge_workers, io);
         std::string error;
         // Both paths produce byte-identical sets; the parallel one
-        // dispatches decoded records to per-shard writer threads.
+        // dispatches decoded records to per-shard writer threads
+        // (and is the one --async-append applies to).
         const std::uint64_t written =
             writers > 1 ? splitTraceStreamParallel(
                               *source, pos[2], shards, writers,
-                              &error)
+                              &error, append_mode)
                         : splitTraceStream(*source, pos[2], shards,
                                            &error);
         if (written == kUnknownEventCount) {
@@ -406,7 +432,8 @@ main(int argc, char **argv)
         std::string error;
         const std::uint64_t written = captureTraceParallel(
             trace, pos[1],
-            static_cast<std::uint32_t>(shards_raw), &error);
+            static_cast<std::uint32_t>(shards_raw), &error,
+            append_mode);
         if (written == kUnknownEventCount) {
             return reportError(error, 0,
                                exitCodeForMessage(error));
@@ -448,11 +475,13 @@ main(int argc, char **argv)
         auto source =
             named_member
                 ? openShardMember(pos[1], kDefaultSourceWindow,
-                                  0, merge_workers)
+                                  0, merge_workers, io)
                 : merge_workers > 0
-                      ? openShardSetPartitioned(prefix,
-                                                merge_workers)
-                      : openShardSet(prefix);
+                      ? openShardSetPartitioned(
+                            prefix, merge_workers,
+                            kDefaultSourceWindow, io)
+                      : openShardSet(prefix, kDefaultSourceWindow,
+                                     MergeStrategy::LoserTree, io);
         if (source->failed())
             return reportSourceError(*source);
         // Probe only after the set opened: the append-mode probe

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "gen/generator_source.hh"
+#include "support/strings.hh"
 #include "trace/prefetch_source.hh"
 
 namespace tc {
@@ -13,6 +14,11 @@ addTraceSourceFlags(ArgParser &args)
     args.addString("trace", "",
                    "trace file to analyze (.tct/.tcb, or any "
                    ".tcs member of a sharded capture)");
+    args.addString("io", "auto",
+                   "byte source for --trace: mmap decodes binary "
+                   "files in place, stream reads through buffered "
+                   "I/O, auto picks mmap where it applies "
+                   "(auto|mmap|stream)");
     args.addBool("prefetch", false,
                  "decode --trace on a background reader thread "
                  "(double-buffered windows)");
@@ -105,6 +111,21 @@ resolveMergeWorkers(std::size_t requested)
     return requested <= 1 ? 0 : requested;
 }
 
+bool
+ioModeFromFlags(const ArgParser &args, IoMode &out)
+{
+    const std::string raw = args.getString("io");
+    if (raw == "auto")
+        out = IoMode::Auto;
+    else if (raw == "mmap")
+        out = IoMode::Mmap;
+    else if (raw == "stream")
+        out = IoMode::Stream;
+    else
+        return false;
+    return true;
+}
+
 RandomTraceParams
 traceParamsFromFlags(const ArgParser &args)
 {
@@ -130,10 +151,16 @@ makeEventSource(const ArgParser &args)
                                   readers_raw);
         const std::size_t mergeWorkers =
             resolveMergeWorkers(mergeWorkersFromFlags(args));
+        IoMode io = IoMode::Auto;
+        if (!ioModeFromFlags(args, io)) {
+            return makeFailedSource(strFormat(
+                "unknown --io mode '%s' (auto|mmap|stream)",
+                args.getString("io").c_str()));
+        }
         auto source =
             openTraceFile(args.getString("trace"),
                           kDefaultSourceWindow, readers,
-                          mergeWorkers);
+                          mergeWorkers, io);
         // Prefetch pays off where there is decode + I/O to hide;
         // generated sources below have neither. It composes with
         // --readers: the shard readers decode, the prefetch

@@ -307,6 +307,32 @@ class TraceSource final : public EventSource
  * in memory at any time, not a file-size limit). */
 inline constexpr std::size_t kDefaultSourceWindow = 4096;
 
+/**
+ * How file-backed binary readers (.tcb and .tcs) get their bytes —
+ * the --io flag of the CLIs.
+ *
+ *  - Mmap:   map the file and decode records in place (zero copy;
+ *            seeks become offset arithmetic). Degrades to Stream
+ *            when the file cannot be mapped (pipe, special file,
+ *            platform without mmap) or fault injection is armed —
+ *            armed sources always take the stream path so injected
+ *            faults fire identically regardless of the flag.
+ *  - Stream: buffered istream reads into a private window (the
+ *            original path; the only one for text traces).
+ *  - Auto:   Mmap where possible, Stream otherwise (the default).
+ *
+ * The two paths are byte-identical — streams, SourceInfo, rewind,
+ * seeks, and mid-stream error positions/messages all match
+ * (tests/test_mmap_source.cc pins this differentially), so the
+ * mode is purely a performance choice.
+ */
+enum class IoMode : std::uint8_t
+{
+    Auto,
+    Mmap,
+    Stream,
+};
+
 /** Streaming reader over the text format, borrowing @p is. Holds
  * one line at a time. */
 std::unique_ptr<EventSource> makeTextEventSource(std::istream &is);
@@ -328,15 +354,18 @@ makeBinaryEventSource(std::istream &is,
  * range-partitioned workers (which decode for themselves, so it
  * subsumes @p shardReaders — see trace/shard.hh); neither flag has
  * an effect on single-file formats, whose decode is parallelized
- * by the prefetch decorator instead. The returned source owns the
- * file stream(s). On open or header failure the source is
- * returned in the failed() state (never null).
+ * by the prefetch decorator instead. @p io selects the byte source
+ * of the binary formats (see IoMode; text traces always stream).
+ * The returned source owns the file stream(s) or mapping(s). On
+ * open or header failure the source is returned in the failed()
+ * state (never null).
  */
 std::unique_ptr<EventSource>
 openTraceFile(const std::string &path,
               std::size_t window = kDefaultSourceWindow,
               std::size_t shardReaders = 0,
-              std::size_t mergeWorkers = 0);
+              std::size_t mergeWorkers = 0,
+              IoMode io = IoMode::Auto);
 
 /** A source that is born failed() with @p message — for factories
  * that must report "could not even open the input" through the
@@ -345,6 +374,14 @@ openTraceFile(const std::string &path,
 std::unique_ptr<EventSource>
 makeFailedSource(std::string message,
                  SourceErrorKind kind = SourceErrorKind::Io);
+
+/** Resolve @p io against runtime state: true when readers should
+ * attempt the mapped path — @p io is not Stream, the build has
+ * mmap, and no fault injection is armed (armed processes stream
+ * everything so injected faults fire identically under any --io).
+ * A true answer still degrades per file when the mapping call
+ * fails. */
+bool useMappedIo(IoMode io);
 
 } // namespace tc
 

@@ -1,0 +1,76 @@
+#include "trace/mapped_file.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define TC_HAVE_MMAP 0
+#endif
+
+namespace tc {
+
+bool
+mmapSupported()
+{
+    return TC_HAVE_MMAP != 0;
+}
+
+std::unique_ptr<MappedFile>
+MappedFile::map(const std::string &path)
+{
+#if TC_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return nullptr;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        return nullptr;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+        // mmap(0) is EINVAL; an empty regular file is still a valid
+        // (empty) byte source, and readers report their own
+        // truncated-header errors over it.
+        ::close(fd);
+        return std::unique_ptr<MappedFile>(
+            new MappedFile(nullptr, 0));
+    }
+    void *addr =
+        ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping pins the file's pages independently of the
+    // descriptor, so the fd closes here either way.
+    ::close(fd);
+    if (addr == MAP_FAILED)
+        return nullptr;
+    // Streaming decode touches every page exactly once, front to
+    // back: tell the kernel so readahead runs ahead of the decoder
+    // and consumed pages are cheap to reclaim. Advice is advisory;
+    // failures are ignored.
+#if defined(POSIX_MADV_SEQUENTIAL)
+    ::posix_madvise(addr, size, POSIX_MADV_SEQUENTIAL);
+    ::posix_madvise(addr, size, POSIX_MADV_WILLNEED);
+#elif defined(MADV_SEQUENTIAL)
+    ::madvise(addr, size, MADV_SEQUENTIAL);
+    ::madvise(addr, size, MADV_WILLNEED);
+#endif
+    return std::unique_ptr<MappedFile>(new MappedFile(
+        static_cast<const unsigned char *>(addr), size));
+#else
+    (void)path;
+    return nullptr;
+#endif
+}
+
+MappedFile::~MappedFile()
+{
+#if TC_HAVE_MMAP
+    if (data_ != nullptr)
+        ::munmap(const_cast<unsigned char *>(data_), size_);
+#endif
+}
+
+} // namespace tc

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Read-only memory mapping of a trace file — the byte source behind
+ * the zero-copy ingest path (--io=mmap).
+ *
+ * The streaming readers in event_source.cc and shard.cc copy every
+ * byte twice before an event exists: page cache → libc stdio buffer
+ * → the reader's private window. Mapping the file removes both
+ * copies — the decoder validates records directly against the
+ * mapping and materializes only the 12-byte in-memory Event. The
+ * mapping is advised for sequential streaming (MADV_SEQUENTIAL +
+ * MADV_WILLNEED), which keeps readahead aggressive without the
+ * reader issuing a single read syscall.
+ *
+ * Mapping is best-effort by design: pipes, special files, and
+ * platforms without mmap return null from map(), and every caller
+ * falls back to the stream path — the two paths are differentially
+ * tested to be byte-identical (tests/test_mmap_source.cc), so the
+ * fallback is a performance decision, never a correctness one.
+ */
+
+#ifndef TC_TRACE_MAPPED_FILE_HH
+#define TC_TRACE_MAPPED_FILE_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace tc {
+
+/** An immutable byte view of one whole file, held for the lifetime
+ * of the object. Empty files map successfully with size() == 0. */
+class MappedFile
+{
+  public:
+    /** Map @p path read-only. Returns null when the file cannot be
+     * opened, is not a regular file, or the platform/mapping call
+     * fails — callers then use their stream path. */
+    static std::unique_ptr<MappedFile> map(const std::string &path);
+
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const unsigned char *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    MappedFile(const unsigned char *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    const unsigned char *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+/** True when this build can memory-map files at all (the --io=mmap
+ * request degrades to the stream path when false). */
+bool mmapSupported();
+
+} // namespace tc
+
+#endif // TC_TRACE_MAPPED_FILE_HH

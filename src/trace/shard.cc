@@ -17,10 +17,24 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+// Raw-syscall io_uring for the async append backend: the uapi
+// header is enough (no liburing dependency), and a runtime probe
+// decides whether the ring actually works (seccomp policies often
+// deny the syscalls even when the kernel has them).
+#if __has_include(<linux/io_uring.h>) && defined(__linux__)
+#define TC_HAVE_IO_URING 1
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#else
+#define TC_HAVE_IO_URING 0
+#endif
+
 #include "support/assert.hh"
 #include "support/strings.hh"
 #include "trace/fault_injection.hh"
 #include "trace/loser_tree.hh"
+#include "trace/mapped_file.hh"
 #include "trace/merge_picker.hh"
 
 namespace tc {
@@ -119,25 +133,26 @@ pwriteAll(int fd, const unsigned char *data, std::size_t n,
     return true;
 }
 
+/** Decode a shard header from @p size bytes at @p d (the mapped
+ * path's equivalent of readShardHeader). */
 bool
-readShardHeader(std::istream &is, ShardHeader &h)
+decodeShardHeader(const unsigned char *d, std::size_t size,
+                  ShardHeader &h)
 {
-    char magic[sizeof(kShardMagicV1)];
-    if (!is.read(magic, sizeof(magic)))
+    if (size < kShardHeaderBytes)
         return false;
-    if (std::memcmp(magic, kShardMagicV1,
+    if (std::memcmp(d, kShardMagicV1,
                     sizeof(kShardMagicV1)) == 0)
         h.version = 1;
-    else if (std::memcmp(magic, kShardMagicV2,
+    else if (std::memcmp(d, kShardMagicV2,
                          sizeof(kShardMagicV2)) == 0)
         h.version = 2;
     else
         return false;
     std::uint32_t words[5];
     std::uint64_t counts[2];
-    if (!is.read(reinterpret_cast<char *>(words), sizeof(words)) ||
-        !is.read(reinterpret_cast<char *>(counts), sizeof(counts)))
-        return false;
+    std::memcpy(words, d + sizeof(kShardMagicV1), sizeof(words));
+    std::memcpy(counts, d + kCountsOffset, sizeof(counts));
     h.index = words[0];
     h.count = words[1];
     h.threads = words[2];
@@ -146,6 +161,15 @@ readShardHeader(std::istream &is, ShardHeader &h)
     h.shardEvents = counts[0];
     h.totalEvents = counts[1];
     return true;
+}
+
+bool
+readShardHeader(std::istream &is, ShardHeader &h)
+{
+    unsigned char hdr[kShardHeaderBytes];
+    if (!is.read(reinterpret_cast<char *>(hdr), sizeof(hdr)))
+        return false;
+    return decodeShardHeader(hdr, sizeof(hdr), h);
 }
 
 /** One decoded shard record: the global stamp and its event. */
@@ -162,12 +186,22 @@ struct ShardRecord
  * threads) move around. Validation (op/id ranges, strictly
  * increasing sequence numbers) happens here, once, for every
  * consumer.
+ *
+ * With IoMode::Auto/Mmap (and no armed fault injection) the file
+ * is memory-mapped: batches decode straight out of the mapping
+ * with no read syscalls or staging copy, seqAt() probes become
+ * plain loads (so countBelow / the merged seekToSequence are pure
+ * memory binary searches), and seekToIndex is offset arithmetic.
+ * Window spans, validation order and every error position/message
+ * are identical to the stream path.
  */
 class ShardFileReader
 {
   public:
-    ShardFileReader(std::string path, std::size_t window)
-        : path_(std::move(path)), window_(window == 0 ? 1 : window)
+    ShardFileReader(std::string path, std::size_t window,
+                    IoMode io = IoMode::Auto)
+        : path_(std::move(path)), io_(io),
+          window_(window == 0 ? 1 : window)
     {
         open();
     }
@@ -198,10 +232,29 @@ class ShardFileReader
             header_.shardEvents - delivered_;
         const std::size_t want = static_cast<std::size_t>(
             remaining < window_ ? remaining : window_);
-        raw_.resize(want * kShardRecordBytes);
-        is_.read(reinterpret_cast<char *>(raw_.data()),
-                 static_cast<std::streamsize>(raw_.size()));
-        const auto got = static_cast<std::size_t>(is_.gcount());
+        const unsigned char *base;
+        std::size_t got;
+        if (map_) {
+            // Zero-copy refill: the "read" is bounds arithmetic
+            // against the mapping — same span a stream read of
+            // want records would return, including the short tail.
+            const std::uint64_t consumed =
+                kShardHeaderBytes +
+                delivered_ * kShardRecordBytes;
+            const std::size_t avail =
+                map_->size() > consumed
+                    ? static_cast<std::size_t>(map_->size() -
+                                               consumed)
+                    : 0;
+            got = std::min(want * kShardRecordBytes, avail);
+            base = map_->data() + consumed;
+        } else {
+            raw_.resize(want * kShardRecordBytes);
+            is_.read(reinterpret_cast<char *>(raw_.data()),
+                     static_cast<std::streamsize>(raw_.size()));
+            got = static_cast<std::size_t>(is_.gcount());
+            base = raw_.data();
+        }
         const std::size_t records = got / kShardRecordBytes;
         if (records == 0) {
             setError(strFormat(
@@ -212,7 +265,7 @@ class ShardFileReader
         out.reserve(records);
         for (std::size_t j = 0; j < records; j++) {
             const unsigned char *p =
-                raw_.data() + j * kShardRecordBytes;
+                base + j * kShardRecordBytes;
             std::uint64_t seq;
             std::int32_t tid;
             std::uint32_t target;
@@ -273,10 +326,12 @@ class ShardFileReader
     bool
     rewind()
     {
-        is_.clear();
-        if (!is_.seekg(static_cast<std::streamoff>(
-                kShardHeaderBytes)))
-            return false;
+        if (!map_) {
+            is_.clear();
+            if (!is_.seekg(static_cast<std::streamoff>(
+                    kShardHeaderBytes)))
+                return false;
+        }
         delivered_ = 0;
         lastSeq_ = 0;
         error_.clear();
@@ -289,9 +344,16 @@ class ShardFileReader
     bool
     seqAt(std::uint64_t i, std::uint64_t &out)
     {
+        const std::uint64_t off =
+            kShardHeaderBytes + i * kShardRecordBytes;
+        if (map_) {
+            if (off + sizeof(out) > map_->size())
+                return false;
+            std::memcpy(&out, map_->data() + off, sizeof(out));
+            return true;
+        }
         is_.clear();
-        if (!is_.seekg(static_cast<std::streamoff>(
-                kShardHeaderBytes + i * kShardRecordBytes)))
+        if (!is_.seekg(static_cast<std::streamoff>(off)))
             return false;
         return static_cast<bool>(is_.read(
             reinterpret_cast<char *>(&out), sizeof(out)));
@@ -333,10 +395,13 @@ class ShardFileReader
         std::uint64_t prev = 0;
         if (index > 0 && !seqAt(index - 1, prev))
             return false;
-        is_.clear();
-        if (!is_.seekg(static_cast<std::streamoff>(
-                kShardHeaderBytes + index * kShardRecordBytes)))
-            return false;
+        if (!map_) {
+            is_.clear();
+            if (!is_.seekg(static_cast<std::streamoff>(
+                    kShardHeaderBytes +
+                    index * kShardRecordBytes)))
+                return false;
+        }
         delivered_ = index;
         lastSeq_ = prev;
         error_.clear();
@@ -347,15 +412,27 @@ class ShardFileReader
     void
     open()
     {
-        is_.open(path_, std::ios::binary);
-        if (!is_) {
-            setError(strFormat("cannot open '%s'", path_.c_str()));
-            return;
-        }
-        if (!readShardHeader(is_, header_)) {
-            setError(strFormat("%s: bad shard header",
-                               path_.c_str()));
-            return;
+        if (useMappedIo(io_))
+            map_ = MappedFile::map(path_);
+        if (map_) {
+            if (!decodeShardHeader(map_->data(), map_->size(),
+                                   header_)) {
+                setError(strFormat("%s: bad shard header",
+                                   path_.c_str()));
+                return;
+            }
+        } else {
+            is_.open(path_, std::ios::binary);
+            if (!is_) {
+                setError(strFormat("cannot open '%s'",
+                                   path_.c_str()));
+                return;
+            }
+            if (!readShardHeader(is_, header_)) {
+                setError(strFormat("%s: bad shard header",
+                                   path_.c_str()));
+                return;
+            }
         }
         if (header_.shardEvents == kUnknownEventCount ||
             header_.totalEvents == kUnknownEventCount) {
@@ -384,6 +461,9 @@ class ShardFileReader
 
     std::string path_;
     std::string error_;
+    IoMode io_;
+    /** Non-null when the file is mapped; is_/raw_ are unused then. */
+    std::unique_ptr<MappedFile> map_;
     std::ifstream is_;
     ShardHeader header_;
     std::size_t window_;
@@ -403,17 +483,17 @@ std::string
 openShardReaders(
     const std::string &prefix, std::size_t window,
     std::vector<std::unique_ptr<ShardFileReader>> &readers,
-    SourceInfo &info)
+    SourceInfo &info, IoMode io)
 {
     readers.clear();
     readers.push_back(std::make_unique<ShardFileReader>(
-        shardPath(prefix, 0), window));
+        shardPath(prefix, 0), window, io));
     if (!readers[0]->ok())
         return readers[0]->error();
     const ShardHeader first = readers[0]->header();
     for (std::uint32_t i = 1; i < first.count; i++) {
         readers.push_back(std::make_unique<ShardFileReader>(
-            shardPath(prefix, i), window));
+            shardPath(prefix, i), window, io));
         if (!readers.back()->ok())
             return readers.back()->error();
     }
@@ -498,12 +578,13 @@ class MergingEventSource final : public EventSource
 {
   public:
     MergingEventSource(const std::string &prefix,
-                       std::size_t window, MergeStrategy strategy)
+                       std::size_t window, MergeStrategy strategy,
+                       IoMode io)
         : picker_(1, strategy), strategy_(strategy)
     {
         std::vector<std::unique_ptr<ShardFileReader>> readers;
         std::string err =
-            openShardReaders(prefix, window, readers, info_);
+            openShardReaders(prefix, window, readers, info_, io);
         if (!err.empty()) {
             rejectSet(std::move(err));
             return;
@@ -732,12 +813,12 @@ class ParallelMergingEventSource final : public EventSource
   public:
     ParallelMergingEventSource(const std::string &prefix,
                                std::size_t readers,
-                               std::size_t window)
+                               std::size_t window, IoMode io)
         : picker_(1, MergeStrategy::LoserTree)
     {
         std::vector<std::unique_ptr<ShardFileReader>> opened;
         std::string err =
-            openShardReaders(prefix, window, opened, info_);
+            openShardReaders(prefix, window, opened, info_, io);
         if (!err.empty()) {
             rejected_ = true;
             fail(0, std::move(err));
@@ -1108,11 +1189,12 @@ class PartitionedMergingEventSource final : public EventSource
   public:
     PartitionedMergingEventSource(const std::string &prefix,
                                   std::size_t workers,
-                                  std::size_t window)
-        : prefix_(prefix), window_(window == 0 ? 1 : window)
+                                  std::size_t window, IoMode io)
+        : prefix_(prefix), window_(window == 0 ? 1 : window),
+          io_(io)
     {
         std::string err =
-            openShardReaders(prefix, window_, probes_, info_);
+            openShardReaders(prefix, window_, probes_, info_, io);
         if (!err.empty()) {
             rejected_ = true;
             fail(0, std::move(err));
@@ -1376,7 +1458,7 @@ class PartitionedMergingEventSource final : public EventSource
         for (std::size_t s = 0; s < shardCount && err.empty();
              s++) {
             readers.push_back(std::make_unique<ShardFileReader>(
-                shardPath(prefix_, s), window_));
+                shardPath(prefix_, s), window_, io_));
             if (!readers.back()->ok())
                 err = readers.back()->error();
         }
@@ -1503,6 +1585,7 @@ class PartitionedMergingEventSource final : public EventSource
 
     std::string prefix_;
     std::size_t window_;
+    IoMode io_;
     SourceInfo info_;
     /** The construction-time readers, kept for seek-key probes
      * (findSeekKey / computeKeyBounds); never used for decode. */
@@ -1709,6 +1792,545 @@ static constexpr std::size_t kAppendFlushBytes = 1 << 16;
  * segment on its own, without a single huge staging copy. */
 static constexpr std::size_t kAppendBatchSegments = 4;
 
+/**
+ * Background flusher shared by one ParallelShardWriter's appenders
+ * in ShardAppendMode::Async. A submission carries its own
+ * (fd, offset, buffers) triple, so completions may land in any
+ * order without corrupting the files, and capture threads go back
+ * to staging the moment their segments are handed over — encode
+ * overlaps the flush instead of waiting on it.
+ *
+ * Errors are sticky and surface on a *later* flush or at
+ * finalize(); finalize() drains every submitted write before it
+ * patches the headers, so a finalized set is byte-identical to the
+ * sync path's. Two implementations sit behind submit()/drain(): an
+ * io_uring ring where the probe succeeds, and a flusher thread
+ * issuing positioned pwritev() otherwise.
+ */
+class ShardFlushBackend
+{
+  public:
+    virtual ~ShardFlushBackend() = default;
+
+    /** Pick the best available implementation. Never null. */
+    static std::unique_ptr<ShardFlushBackend> create();
+
+    /**
+     * Queue @p segs (ownership transferred; buffers stay alive
+     * until their write completes) for writing at byte @p offset of
+     * @p fd. Returns recycled, cleared segment buffers for the
+     * caller to stage into — capacity is reused across flushes so
+     * the steady-state append path allocates nothing. Thread-safe;
+     * blocks only when the in-flight window is full.
+     */
+    virtual std::vector<std::vector<unsigned char>>
+    submit(int fd, std::uint64_t offset,
+           std::vector<std::vector<unsigned char>> segs) = 0;
+
+    /** Block until every submitted write has completed. */
+    virtual void drain() = 0;
+
+    bool
+    failed() const
+    {
+        return failed_.load(std::memory_order_acquire);
+    }
+
+    std::string
+    error() const
+    {
+        std::lock_guard<std::mutex> lock(errMutex_);
+        return error_;
+    }
+
+  protected:
+    /** First error wins; later submissions become no-ops. */
+    void
+    setError(std::string msg)
+    {
+        std::lock_guard<std::mutex> lock(errMutex_);
+        if (error_.empty())
+            error_ = std::move(msg);
+        failed_.store(true, std::memory_order_release);
+    }
+
+  private:
+    mutable std::mutex errMutex_;
+    std::atomic<bool> failed_{false};
+    std::string error_;
+};
+
+namespace {
+
+/** Submissions a backend may hold queued or in flight before
+ * submit() blocks — bounds staged-buffer memory to
+ * kMaxInflightFlushes × kAppendBatchSegments × ~64KiB. */
+constexpr std::size_t kMaxInflightFlushes = 8;
+
+/** One queued gathered write: where it goes and what it carries. */
+struct FlushSubmission
+{
+    int fd = -1;
+    std::uint64_t offset = 0;
+    std::vector<std::vector<unsigned char>> segs;
+};
+
+/** Positioned gathered write with EINTR retry and partial-write
+ * trim — the async twin of the sync path's writev() loop, with the
+ * explicit offset making completion order irrelevant. */
+bool
+pwritevAll(int fd, const FlushSubmission &s, std::size_t skip)
+{
+    struct iovec iov[kAppendBatchSegments];
+    int iovcnt = 0;
+    std::size_t total = 0;
+    for (const auto &seg : s.segs) {
+        if (seg.empty())
+            continue;
+        iov[iovcnt].iov_base =
+            const_cast<unsigned char *>(seg.data());
+        iov[iovcnt].iov_len = seg.size();
+        total += seg.size();
+        iovcnt++;
+    }
+    std::uint64_t off = s.offset;
+    struct iovec *p = iov;
+    // A resumed write (skip > 0) drops the bytes io_uring already
+    // landed before its short completion.
+    for (;;) {
+        while (iovcnt > 0 && skip >= p->iov_len) {
+            skip -= p->iov_len;
+            off += p->iov_len;
+            p++;
+            iovcnt--;
+        }
+        if (iovcnt == 0)
+            return true;
+        if (skip > 0) {
+            p->iov_base =
+                static_cast<unsigned char *>(p->iov_base) + skip;
+            p->iov_len -= skip;
+            off += skip;
+            skip = 0;
+        }
+        const ssize_t wrote =
+            ::pwritev(fd, p, iovcnt, static_cast<off_t>(off));
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        skip = static_cast<std::size_t>(wrote);
+    }
+}
+
+/**
+ * Fallback backend: one flusher thread draining a bounded queue of
+ * positioned pwritev() submissions. Portable to anything with
+ * pwritev; on a saturated disk it degenerates gracefully — submit()
+ * blocks exactly like the sync path once the queue is full.
+ */
+class ThreadFlushBackend final : public ShardFlushBackend
+{
+  public:
+    ThreadFlushBackend()
+    {
+        worker_ = std::thread([this] { loop(); });
+    }
+
+    ~ThreadFlushBackend() override
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        worker_.join();
+    }
+
+    std::vector<std::vector<unsigned char>>
+    submit(int fd, std::uint64_t offset,
+           std::vector<std::vector<unsigned char>> segs) override
+    {
+        FlushSubmission s;
+        s.fd = fd;
+        s.offset = offset;
+        s.segs = std::move(segs);
+        std::vector<std::vector<unsigned char>> fresh;
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            space_.wait(lock, [&] {
+                return queue_.size() < kMaxInflightFlushes;
+            });
+            queue_.push_back(std::move(s));
+            if (!spare_.empty()) {
+                fresh = std::move(spare_.back());
+                spare_.pop_back();
+            }
+        }
+        wake_.notify_one();
+        return fresh;
+    }
+
+    void
+    drain() override
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        idle_.wait(lock,
+                   [&] { return queue_.empty() && !busy_; });
+    }
+
+  private:
+    void
+    loop()
+    {
+        for (;;) {
+            FlushSubmission s;
+            {
+                std::unique_lock<std::mutex> lock(m_);
+                wake_.wait(lock, [&] {
+                    return stop_ || !queue_.empty();
+                });
+                if (queue_.empty())
+                    return; // stop requested, queue drained
+                s = std::move(queue_.front());
+                queue_.pop_front();
+                busy_ = true;
+            }
+            space_.notify_one();
+            if (!failed() && !pwritevAll(s.fd, s, 0))
+                setError("I/O error while writing shard");
+            {
+                std::lock_guard<std::mutex> lock(m_);
+                for (auto &seg : s.segs)
+                    seg.clear();
+                spare_.push_back(std::move(s.segs));
+                busy_ = false;
+            }
+            idle_.notify_all();
+        }
+    }
+
+    std::mutex m_;
+    std::condition_variable wake_;
+    std::condition_variable space_;
+    std::condition_variable idle_;
+    std::deque<FlushSubmission> queue_;
+    std::vector<std::vector<std::vector<unsigned char>>> spare_;
+    bool busy_ = false;
+    bool stop_ = false;
+    std::thread worker_;
+};
+
+#if TC_HAVE_IO_URING
+
+/**
+ * io_uring backend: submissions become IORING_OP_WRITEV entries on
+ * a kernel ring, so the flush runs entirely in-kernel with no
+ * flusher thread to schedule. Buffers are pinned in slots_ until
+ * their completion is reaped; a short completion (ENOSPC aside,
+ * essentially theoretical for regular files) finishes synchronously
+ * via the shared pwritev loop rather than growing a resubmission
+ * state machine.
+ */
+class IoUringFlushBackend final : public ShardFlushBackend
+{
+  public:
+    /** Set up a ring and prove it works end-to-end with a NOP
+     * round-trip — mere header presence means nothing under
+     * seccomp. Null on any failure; callers fall back. */
+    static std::unique_ptr<IoUringFlushBackend>
+    probe()
+    {
+        std::unique_ptr<IoUringFlushBackend> b(
+            new IoUringFlushBackend());
+        if (!b->init())
+            return nullptr;
+        return b;
+    }
+
+    ~IoUringFlushBackend() override
+    {
+        drain(); // in-flight writes reference slot buffers
+        if (sqes_ != nullptr)
+            ::munmap(sqes_, sqesBytes_);
+        if (ring_ != nullptr)
+            ::munmap(ring_, ringBytes_);
+        if (ringFd_ >= 0)
+            ::close(ringFd_);
+    }
+
+    std::vector<std::vector<unsigned char>>
+    submit(int fd, std::uint64_t offset,
+           std::vector<std::vector<unsigned char>> segs) override
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        reap(); // opportunistic, keeps slots cycling
+        std::vector<std::vector<unsigned char>> fresh;
+        if (!spare_.empty()) {
+            fresh = std::move(spare_.back());
+            spare_.pop_back();
+        }
+        if (failed()) {
+            // Sticky failure: recycle without touching the ring so
+            // the appender sees the error on its next flush.
+            return fresh;
+        }
+        while (inflight_ >= slots_.size()) {
+            if (!waitOne())
+                return fresh;
+        }
+        std::size_t idx = 0;
+        while (slots_[idx].active)
+            idx++;
+        Slot &slot = slots_[idx];
+        slot.sub.fd = fd;
+        slot.sub.offset = offset;
+        slot.sub.segs = std::move(segs);
+        slot.iovcnt = 0;
+        slot.total = 0;
+        for (const auto &seg : slot.sub.segs) {
+            if (seg.empty())
+                continue;
+            slot.iov[slot.iovcnt].iov_base =
+                const_cast<unsigned char *>(seg.data());
+            slot.iov[slot.iovcnt].iov_len = seg.size();
+            slot.total += seg.size();
+            slot.iovcnt++;
+        }
+        slot.active = true;
+        pushSqe(idx);
+        inflight_++;
+        if (!enter(1, 0, 0)) {
+            // Submission itself failed: the kernel never saw the
+            // sqe, so complete the write synchronously.
+            slot.active = false;
+            inflight_--;
+            if (!pwritevAll(slot.sub.fd, slot.sub, 0))
+                setError("I/O error while writing shard");
+            recycleLocked(slot);
+        }
+        return fresh;
+    }
+
+    void
+    drain() override
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        while (inflight_ > 0) {
+            if (!waitOne())
+                return;
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        FlushSubmission sub;
+        struct iovec iov[kAppendBatchSegments];
+        int iovcnt = 0;
+        std::size_t total = 0;
+        bool active = false;
+    };
+
+    IoUringFlushBackend() = default;
+
+    bool
+    init()
+    {
+        struct io_uring_params p;
+        std::memset(&p, 0, sizeof(p));
+        const long fd = ::syscall(__NR_io_uring_setup,
+                                  kRingEntries, &p);
+        if (fd < 0)
+            return false;
+        ringFd_ = static_cast<int>(fd);
+        // One mapping covers both rings on every kernel new enough
+        // to matter; skipping the split-mmap dance keeps this
+        // readable, and the thread backend covers the rest.
+        if ((p.features & IORING_FEAT_SINGLE_MMAP) == 0)
+            return false;
+        const std::size_t sqBytes =
+            p.sq_off.array + p.sq_entries * sizeof(std::uint32_t);
+        const std::size_t cqBytes =
+            p.cq_off.cqes +
+            p.cq_entries * sizeof(struct io_uring_cqe);
+        ringBytes_ = std::max(sqBytes, cqBytes);
+        void *ring = ::mmap(nullptr, ringBytes_,
+                            PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, ringFd_,
+                            IORING_OFF_SQ_RING);
+        if (ring == MAP_FAILED)
+            return false;
+        ring_ = static_cast<unsigned char *>(ring);
+        sqesBytes_ = p.sq_entries * sizeof(struct io_uring_sqe);
+        void *sqes = ::mmap(nullptr, sqesBytes_,
+                            PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, ringFd_,
+                            IORING_OFF_SQES);
+        if (sqes == MAP_FAILED)
+            return false;
+        sqes_ = static_cast<struct io_uring_sqe *>(sqes);
+        sqHead_ = ringU32(p.sq_off.head);
+        sqTail_ = ringU32(p.sq_off.tail);
+        sqMask_ = *ringU32(p.sq_off.ring_mask);
+        sqArray_ = ringU32(p.sq_off.array);
+        cqHead_ = ringU32(p.cq_off.head);
+        cqTail_ = ringU32(p.cq_off.tail);
+        cqMask_ = *ringU32(p.cq_off.ring_mask);
+        cqes_ = reinterpret_cast<struct io_uring_cqe *>(
+            ring_ + p.cq_off.cqes);
+        slots_.resize(std::min<std::size_t>(kRingEntries,
+                                            p.sq_entries));
+        // End-to-end probe: a NOP must travel the whole ring.
+        struct io_uring_sqe *sqe = &sqes_[0];
+        std::memset(sqe, 0, sizeof(*sqe));
+        sqe->opcode = IORING_OP_NOP;
+        sqe->user_data = ~0ull;
+        const std::uint32_t tail =
+            __atomic_load_n(sqTail_, __ATOMIC_RELAXED);
+        sqArray_[tail & sqMask_] = 0;
+        __atomic_store_n(sqTail_, tail + 1, __ATOMIC_RELEASE);
+        if (!enter(1, 1, IORING_ENTER_GETEVENTS))
+            return false;
+        const std::uint32_t head =
+            __atomic_load_n(cqHead_, __ATOMIC_RELAXED);
+        if (__atomic_load_n(cqTail_, __ATOMIC_ACQUIRE) == head)
+            return false;
+        __atomic_store_n(cqHead_, head + 1, __ATOMIC_RELEASE);
+        return true;
+    }
+
+    std::uint32_t *
+    ringU32(std::uint32_t off)
+    {
+        return reinterpret_cast<std::uint32_t *>(ring_ + off);
+    }
+
+    void
+    pushSqe(std::size_t idx)
+    {
+        const std::uint32_t tail =
+            __atomic_load_n(sqTail_, __ATOMIC_RELAXED);
+        struct io_uring_sqe *sqe = &sqes_[tail & sqMask_];
+        std::memset(sqe, 0, sizeof(*sqe));
+        sqe->opcode = IORING_OP_WRITEV;
+        sqe->fd = slots_[idx].sub.fd;
+        sqe->addr =
+            reinterpret_cast<std::uint64_t>(slots_[idx].iov);
+        sqe->len = static_cast<std::uint32_t>(slots_[idx].iovcnt);
+        sqe->off = slots_[idx].sub.offset;
+        sqe->user_data = idx;
+        sqArray_[tail & sqMask_] =
+            static_cast<std::uint32_t>(tail & sqMask_);
+        __atomic_store_n(sqTail_, tail + 1, __ATOMIC_RELEASE);
+    }
+
+    bool
+    enter(unsigned toSubmit, unsigned minComplete, unsigned flags)
+    {
+        for (;;) {
+            const long r =
+                ::syscall(__NR_io_uring_enter, ringFd_, toSubmit,
+                          minComplete, flags, nullptr, 0);
+            if (r >= 0)
+                return true;
+            if (errno == EINTR)
+                continue;
+            setError("I/O error while writing shard");
+            return false;
+        }
+    }
+
+    /** Blocking reap of at least one completion. */
+    bool
+    waitOne()
+    {
+        if (!enter(0, 1, IORING_ENTER_GETEVENTS)) {
+            // The ring broke under us; in-flight accounting can
+            // never settle, so unblock callers and stay failed.
+            inflight_ = 0;
+            return false;
+        }
+        reap();
+        return true;
+    }
+
+    void
+    reap()
+    {
+        std::uint32_t head =
+            __atomic_load_n(cqHead_, __ATOMIC_RELAXED);
+        while (__atomic_load_n(cqTail_, __ATOMIC_ACQUIRE) !=
+               head) {
+            const struct io_uring_cqe &cqe =
+                cqes_[head & cqMask_];
+            const std::size_t idx =
+                static_cast<std::size_t>(cqe.user_data);
+            const std::int32_t res = cqe.res;
+            head++;
+            __atomic_store_n(cqHead_, head, __ATOMIC_RELEASE);
+            if (idx >= slots_.size() || !slots_[idx].active)
+                continue; // the probe NOP, or a stale entry
+            Slot &slot = slots_[idx];
+            if (res < 0) {
+                setError("I/O error while writing shard");
+            } else if (static_cast<std::size_t>(res) <
+                       slot.total) {
+                if (!pwritevAll(slot.sub.fd, slot.sub,
+                                static_cast<std::size_t>(res)))
+                    setError("I/O error while writing shard");
+            }
+            slot.active = false;
+            inflight_--;
+            recycleLocked(slot);
+        }
+    }
+
+    void
+    recycleLocked(Slot &slot)
+    {
+        for (auto &seg : slot.sub.segs)
+            seg.clear();
+        spare_.push_back(std::move(slot.sub.segs));
+        slot.sub.segs = {};
+    }
+
+    static constexpr std::uint32_t kRingEntries = 16;
+
+    std::mutex m_;
+    int ringFd_ = -1;
+    unsigned char *ring_ = nullptr;
+    std::size_t ringBytes_ = 0;
+    struct io_uring_sqe *sqes_ = nullptr;
+    std::size_t sqesBytes_ = 0;
+    std::uint32_t *sqHead_ = nullptr;
+    std::uint32_t *sqTail_ = nullptr;
+    std::uint32_t sqMask_ = 0;
+    std::uint32_t *sqArray_ = nullptr;
+    std::uint32_t *cqHead_ = nullptr;
+    std::uint32_t *cqTail_ = nullptr;
+    std::uint32_t cqMask_ = 0;
+    struct io_uring_cqe *cqes_ = nullptr;
+    std::vector<Slot> slots_;
+    std::size_t inflight_ = 0;
+    std::vector<std::vector<std::vector<unsigned char>>> spare_;
+};
+
+#endif // TC_HAVE_IO_URING
+
+} // namespace
+
+std::unique_ptr<ShardFlushBackend>
+ShardFlushBackend::create()
+{
+#if TC_HAVE_IO_URING
+    if (auto ring = IoUringFlushBackend::probe())
+        return ring;
+#endif
+    return std::make_unique<ThreadFlushBackend>();
+}
+
 ParallelShardWriter::Appender::~Appender()
 {
     if (fd_ >= 0)
@@ -1796,6 +2418,21 @@ ParallelShardWriter::Appender::flush()
                      : "injected I/O error while flushing shard";
         return false;
     }
+    if (backend_ != nullptr) {
+        // Async mode: earlier submissions' failures surface here,
+        // before this flush pretends to succeed.
+        if (backend_->failed()) {
+            failed_ = true;
+            error_ = backend_->error();
+            return false;
+        }
+        segs_ = backend_->submit(fd_, fileOffset_,
+                                 std::move(segs_));
+        segs_.resize(kAppendBatchSegments);
+        fileOffset_ += total;
+        active_ = 0;
+        return true;
+    }
     struct iovec *p = iov;
     while (iovcnt > 0) {
         const ssize_t wrote = ::writev(fd_, p, iovcnt);
@@ -1827,12 +2464,20 @@ ParallelShardWriter::Appender::flush()
 
 ParallelShardWriter::ParallelShardWriter(const std::string &prefix,
                                          std::uint32_t shards,
-                                         const SourceInfo &info)
+                                         const SourceInfo &info,
+                                         ShardAppendMode append)
 {
     if (shards == 0)
         shards = 1;
     if (shards > kMaxShardSetCount)
         shards = kMaxShardSetCount;
+    // Async degrades to Sync while fault injection is armed: the
+    // torn-write and crash failpoints are specified to fire on the
+    // capturing thread at a deterministic byte position, which a
+    // background flusher cannot reproduce.
+    if (append == ShardAppendMode::Async &&
+        !FailpointRegistry::instance().anyArmed())
+        backend_ = ShardFlushBackend::create();
     ShardHeader h;
     // Same content-driven versioning as ShardWriter above.
     h.version = info.lifecycle ? 2 : 1;
@@ -1849,6 +2494,8 @@ ParallelShardWriter::ParallelShardWriter(const std::string &prefix,
         Appender &a = *appenders_.back();
         a.seq_ = &nextSeq_;
         a.finalized_ = &finalized_;
+        a.backend_ = backend_.get();
+        a.fileOffset_ = kShardHeaderBytes;
         a.segs_.resize(kAppendBatchSegments);
         const std::string path = shardPath(prefix, i);
         a.fd_ = ::open(path.c_str(),
@@ -1908,6 +2555,17 @@ ParallelShardWriter::finalize()
             return false;
         }
         total += a->events_;
+    }
+    if (backend_ != nullptr) {
+        // Every async submission must land before the headers stop
+        // saying "crashed capture" — this is the latest point where
+        // a deferred write error can surface.
+        backend_->drain();
+        if (backend_->failed()) {
+            failed_ = true;
+            error_ = backend_->error();
+            return false;
+        }
     }
     for (auto &a : appenders_) {
         const std::uint64_t counts[2] = {a->events_, total};
@@ -1988,7 +2646,8 @@ std::uint64_t
 splitTraceStreamParallel(EventSource &source,
                          const std::string &prefix,
                          std::uint32_t shards,
-                         std::uint32_t writers, std::string *error)
+                         std::uint32_t writers, std::string *error,
+                         ShardAppendMode append)
 {
     if (shards == 0)
         shards = 1;
@@ -1999,7 +2658,8 @@ splitTraceStreamParallel(EventSource &source,
     if (writers > shards)
         writers = shards;
 
-    ParallelShardWriter writer(prefix, shards, source.info());
+    ParallelShardWriter writer(prefix, shards, source.info(),
+                               append);
     std::uint64_t written = kUnknownEventCount;
     if (!writer.failed()) {
         std::deque<WriterChannel> channels(writers);
@@ -2111,7 +2771,8 @@ splitTraceStreamParallel(EventSource &source,
 
 std::uint64_t
 captureTraceParallel(const Trace &trace, const std::string &prefix,
-                     std::uint32_t shards, std::string *error)
+                     std::uint32_t shards, std::string *error,
+                     ShardAppendMode append)
 {
     if (shards == 0)
         shards = 1;
@@ -2123,7 +2784,7 @@ captureTraceParallel(const Trace &trace, const std::string &prefix,
     info.vars = trace.numVars();
     info.events = trace.size();
     info.lifecycle = trace.hasLifecycle();
-    ParallelShardWriter writer(prefix, shards, info);
+    ParallelShardWriter writer(prefix, shards, info, append);
     if (!writer.failed()) {
         // Per-shard position lists: each capture thread must know
         // which global stamps belong to it for the replay gate.
@@ -2191,31 +2852,34 @@ captureTraceParallel(const Trace &trace, const std::string &prefix,
 
 std::unique_ptr<EventSource>
 openShardSet(const std::string &prefix, std::size_t window,
-             MergeStrategy strategy)
+             MergeStrategy strategy, IoMode io)
 {
     return std::make_unique<MergingEventSource>(prefix, window,
-                                                strategy);
+                                                strategy, io);
 }
 
 std::unique_ptr<EventSource>
 openShardSetParallel(const std::string &prefix,
-                     std::size_t readers, std::size_t window)
+                     std::size_t readers, std::size_t window,
+                     IoMode io)
 {
     return std::make_unique<ParallelMergingEventSource>(
-        prefix, readers, window);
+        prefix, readers, window, io);
 }
 
 std::unique_ptr<EventSource>
 openShardSetPartitioned(const std::string &prefix,
-                        std::size_t workers, std::size_t window)
+                        std::size_t workers, std::size_t window,
+                        IoMode io)
 {
     return std::make_unique<PartitionedMergingEventSource>(
-        prefix, workers, window);
+        prefix, workers, window, io);
 }
 
 std::unique_ptr<EventSource>
 openShardMember(const std::string &path, std::size_t window,
-                std::size_t readers, std::size_t mergeWorkers)
+                std::size_t readers, std::size_t mergeWorkers,
+                IoMode io)
 {
     std::string prefix;
     std::uint32_t index = 0;
@@ -2228,10 +2892,12 @@ openShardMember(const std::string &path, std::size_t window,
     auto merged =
         mergeWorkers > 0
             ? openShardSetPartitioned(prefix, mergeWorkers,
-                                      window)
+                                      window, io)
             : readers > 0
-                  ? openShardSetParallel(prefix, readers, window)
-                  : openShardSet(prefix, window);
+                  ? openShardSetParallel(prefix, readers, window,
+                                         io)
+                  : openShardSet(prefix, window,
+                                 MergeStrategy::LoserTree, io);
     // The named member must belong to the set that shard 0's
     // header describes — a stale higher-numbered file from an
     // earlier, wider split would otherwise be silently *excluded*

@@ -78,6 +78,10 @@
 
 namespace tc {
 
+/** Asynchronous segment-flush backend of ParallelShardWriter
+ * (io_uring or flusher thread; defined in shard.cc). */
+class ShardFlushBackend;
+
 /** Default shard count of `trace_tool split` (capture threads on a
  * typical production host, not a correctness knob). */
 inline constexpr std::uint32_t kDefaultShardCount = 4;
@@ -109,6 +113,28 @@ bool parseShardPath(const std::string &path, std::string &prefix,
  * the set's member files (e.g. for overwrite guards) without
  * opening the whole set. */
 std::uint32_t shardSetCount(const std::string &prefix);
+
+/**
+ * How ParallelShardWriter appenders push staged segments to disk.
+ *
+ *  - Sync:  the gathered writev() runs on the capturing thread
+ *           (the original path; always used while fault injection
+ *           is armed so torn-write/crash semantics stay
+ *           deterministic).
+ *  - Async: full segment batches are submitted to a per-writer
+ *           flush backend — io_uring where the kernel allows it, a
+ *           flusher thread otherwise — with explicit file offsets,
+ *           so capture overlaps encoding with disk writes.
+ *           Completion errors surface on a later flush()/
+ *           finalize(); finalize() drains every in-flight write
+ *           before patching headers, so the finalized bytes are
+ *           identical to a Sync capture.
+ */
+enum class ShardAppendMode : std::uint8_t
+{
+    Sync,
+    Async,
+};
 
 /**
  * Capture side of the shard format: routes events to K shard files
@@ -221,13 +247,21 @@ class ParallelShardWriter
         std::uint64_t events_ = 0;
         bool failed_ = false;
         std::string error_;
+        /** Async mode only: the shared flush backend and this
+         * file's next write offset (header + bytes submitted). */
+        ShardFlushBackend *backend_ = nullptr;
+        std::uint64_t fileOffset_ = 0;
     };
 
     /** Open `<prefix>.<i>.tcs` for i in [0, shards) with sentinel
-     * headers. Check failed() before handing out appenders. */
-    ParallelShardWriter(const std::string &prefix,
-                        std::uint32_t shards,
-                        const SourceInfo &info);
+     * headers. @p append selects synchronous or asynchronous
+     * segment flushing (see ShardAppendMode; Async silently
+     * degrades to Sync while fault injection is armed). Check
+     * failed() before handing out appenders. */
+    ParallelShardWriter(
+        const std::string &prefix, std::uint32_t shards,
+        const SourceInfo &info,
+        ShardAppendMode append = ShardAppendMode::Sync);
     ~ParallelShardWriter();
 
     ParallelShardWriter(const ParallelShardWriter &) = delete;
@@ -269,6 +303,8 @@ class ParallelShardWriter
   private:
     std::vector<std::unique_ptr<Appender>> appenders_;
     std::atomic<std::uint64_t> nextSeq_{0};
+    /** Non-null only in Async append mode. */
+    std::unique_ptr<ShardFlushBackend> backend_;
     bool failed_ = false;
     bool finalized_ = false;
     std::string error_;
@@ -292,15 +328,16 @@ std::uint64_t splitTraceStream(EventSource &source,
  * appending to its own shards through a ParallelShardWriter. The
  * finalized set is byte-identical to splitTraceStream's — same
  * routing, same stamps — so the two paths are interchangeable.
- * @p writers is clamped to [1, shards]. Returns the event count,
- * or kUnknownEventCount on failure.
+ * @p writers is clamped to [1, shards]. @p append selects how the
+ * writer flushes (ShardAppendMode; bytes identical either way).
+ * Returns the event count, or kUnknownEventCount on failure.
  */
 std::uint64_t
-splitTraceStreamParallel(EventSource &source,
-                         const std::string &prefix,
-                         std::uint32_t shards,
-                         std::uint32_t writers,
-                         std::string *error = nullptr);
+splitTraceStreamParallel(
+    EventSource &source, const std::string &prefix,
+    std::uint32_t shards, std::uint32_t writers,
+    std::string *error = nullptr,
+    ShardAppendMode append = ShardAppendMode::Sync);
 
 /**
  * Generator-driven capture simulation: K capture threads (one per
@@ -311,13 +348,15 @@ splitTraceStreamParallel(EventSource &source,
  * then hands out *is* that position, so the captured total order
  * reproduces the input execution and the finalized set is
  * byte-identical to a single-writer split of the same trace (the
- * capture test suite pins this). Returns the event count, or
- * kUnknownEventCount on failure.
+ * capture test suite pins this). @p append selects how the writer
+ * flushes (ShardAppendMode; bytes identical either way). Returns
+ * the event count, or kUnknownEventCount on failure.
  */
-std::uint64_t captureTraceParallel(const Trace &trace,
-                                   const std::string &prefix,
-                                   std::uint32_t shards,
-                                   std::string *error = nullptr);
+std::uint64_t
+captureTraceParallel(const Trace &trace, const std::string &prefix,
+                     std::uint32_t shards,
+                     std::string *error = nullptr,
+                     ShardAppendMode append = ShardAppendMode::Sync);
 
 /** How the sequential merge picks the next event among the K shard
  * heads. LoserTree is the default (O(log K) per event); LinearScan
@@ -333,13 +372,16 @@ enum class MergeStrategy
  * Open the shard set named by @p prefix as one EventSource that
  * yields the canonical total order (a K-way merge on global
  * sequence numbers). Each underlying reader holds at most
- * @p window records in memory. Never null; open/header/consistency
+ * @p window records in memory. @p io selects each member reader's
+ * byte source (IoMode; mmap decodes records in place and turns
+ * seek probes into loads). Never null; open/header/consistency
  * failures surface through the failed() state.
  */
 std::unique_ptr<EventSource>
 openShardSet(const std::string &prefix,
              std::size_t window = kDefaultSourceWindow,
-             MergeStrategy strategy = MergeStrategy::LoserTree);
+             MergeStrategy strategy = MergeStrategy::LoserTree,
+             IoMode io = IoMode::Auto);
 
 /**
  * The same merged order with decode parallelized: @p readers
@@ -353,7 +395,8 @@ openShardSet(const std::string &prefix,
 std::unique_ptr<EventSource>
 openShardSetParallel(const std::string &prefix,
                      std::size_t readers,
-                     std::size_t window = kDefaultSourceWindow);
+                     std::size_t window = kDefaultSourceWindow,
+                     IoMode io = IoMode::Auto);
 
 /**
  * The same merged order with the reconstruction itself partitioned:
@@ -372,7 +415,8 @@ openShardSetParallel(const std::string &prefix,
 std::unique_ptr<EventSource>
 openShardSetPartitioned(const std::string &prefix,
                         std::size_t workers,
-                        std::size_t window = kDefaultSourceWindow);
+                        std::size_t window = kDefaultSourceWindow,
+                        IoMode io = IoMode::Auto);
 
 /**
  * Open the shard set that member file @p path belongs to (the
@@ -389,7 +433,8 @@ std::unique_ptr<EventSource>
 openShardMember(const std::string &path,
                 std::size_t window = kDefaultSourceWindow,
                 std::size_t readers = 0,
-                std::size_t mergeWorkers = 0);
+                std::size_t mergeWorkers = 0,
+                IoMode io = IoMode::Auto);
 
 } // namespace tc
 

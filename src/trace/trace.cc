@@ -66,6 +66,36 @@ Trace::push(const Event &e)
     events_.push_back(e);
 }
 
+void
+Trace::append(const Event *events, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i++) {
+        const Event &e = events[i];
+        TC_CHECK(e.tid >= 0,
+                 "event thread id must be non-negative");
+        numThreads_ = std::max(numThreads_, e.tid + 1);
+        switch (e.op) {
+          case OpType::Read:
+          case OpType::Write:
+            numVars_ = std::max(numVars_, e.var() + 1);
+            break;
+          case OpType::Acquire:
+          case OpType::Release:
+            numLocks_ = std::max(numLocks_, e.lock() + 1);
+            break;
+          case OpType::Fork:
+          case OpType::Join:
+          case OpType::ThreadCreate:
+          case OpType::ThreadJoin:
+          case OpType::ThreadRetire:
+            numThreads_ = std::max(numThreads_, e.targetTid() + 1);
+            break;
+        }
+        hasLifecycle_ = hasLifecycle_ || e.isLifecycle();
+    }
+    events_.insert(events_.end(), events, events + n);
+}
+
 ValidationResult
 Trace::validate() const
 {

@@ -78,6 +78,10 @@ class Trace
      * rel(l). */
     void sync(Tid t, LockId l) { acquire(t, l); release(t, l); }
     void push(const Event &e);
+    /** Append @p n already-decoded events in one insert — the bulk
+     * twin of push() for streaming loaders, folding the id-space
+     * maxima without a per-event push_back. */
+    void append(const Event *events, std::size_t n);
     /** @} */
 
     const Event &operator[](std::size_t i) const { return events_[i]; }

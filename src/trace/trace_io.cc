@@ -23,7 +23,10 @@ parseFailure(std::size_t line, std::string msg)
 }
 
 /** Materialize a stream: the whole-file loaders are this thin drain
- * of the chunked sources in event_source.cc. */
+ * of the chunked sources in event_source.cc. Drains window-at-a-time
+ * through read() into one reused buffer — with a known event count
+ * the reserve below is the only steady-state allocation, so loading
+ * never holds a second materialized copy of the trace. */
 ParseResult
 drainSource(EventSource &source)
 {
@@ -35,9 +38,10 @@ drainSource(EventSource &source)
     result.trace = Trace(si.threads, si.locks, si.vars);
     if (si.eventCountKnown())
         result.trace.reserve(si.events);
-    Event e;
-    while (source.next(e))
-        result.trace.push(e);
+    std::vector<Event> buf(kDefaultSourceWindow);
+    std::size_t n;
+    while ((n = source.read(buf.data(), buf.size())) != 0)
+        result.trace.append(buf.data(), n);
     if (source.failed())
         return parseFailure(source.errorLine(), source.error());
     return result;
@@ -145,9 +149,10 @@ saveTrace(const Trace &trace, const std::string &path)
 }
 
 ParseResult
-loadTrace(const std::string &path)
+loadTrace(const std::string &path, IoMode io)
 {
-    const auto source = openTraceFile(path);
+    const auto source =
+        openTraceFile(path, kDefaultSourceWindow, 0, 0, io);
     return drainSource(*source);
 }
 

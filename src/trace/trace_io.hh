@@ -20,11 +20,10 @@
 #include <iosfwd>
 #include <string>
 
+#include "trace/event_source.hh" // IoMode
 #include "trace/trace.hh"
 
 namespace tc {
-
-class EventSource;
 
 /** Result of a parse attempt. */
 struct ParseResult
@@ -48,9 +47,13 @@ ParseResult readTraceBinary(std::istream &is);
 /** Convenience file wrappers; format chosen by extension
  * (".tcb" binary, anything else text — except ".tcs", which names
  * shard sets that only trace/shard.hh writes; saving to one is
- * refused). */
+ * refused). @p io selects the byte source for loading: the Auto
+ * default maps binary files and decodes them in place (one pass,
+ * no second materialized copy), degrading to buffered streams
+ * where mmap does not apply. */
 bool saveTrace(const Trace &trace, const std::string &path);
-ParseResult loadTrace(const std::string &path);
+ParseResult loadTrace(const std::string &path,
+                      IoMode io = IoMode::Auto);
 
 /**
  * Drain @p source into @p path without materializing a Trace
